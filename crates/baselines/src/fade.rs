@@ -1,0 +1,320 @@
+use foces_controlplane::Deployment;
+use foces_dataplane::{pair_header, pair_match, DataPlane, Rule, RuleRef};
+use foces_net::SwitchId;
+use std::fmt;
+
+/// Priority of FADE's dedicated counter rules: above every forwarding rule
+/// the control plane installs (5 and 10), so the dedicated rules capture
+/// exactly the monitored flow while forwarding it identically.
+const FADE_PRIORITY: u16 = 20;
+
+/// A single-flow conservation violation found by [`FadeMonitor::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowViolation {
+    /// Index of the violated flow in the deployment's flow list.
+    pub flow_index: usize,
+    /// The dedicated-rule counters along the expected path, in path order.
+    pub counters: Vec<f64>,
+    /// The largest relative hop-to-hop discrepancy observed.
+    pub max_discrepancy: f64,
+}
+
+impl fmt::Display for FlowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow #{}: counters {:?} ({:.1}% discrepancy)",
+            self.flow_index,
+            self.counters,
+            100.0 * self.max_discrepancy
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MonitoredFlow {
+    flow_index: usize,
+    dedicated_rules: Vec<RuleRef>,
+}
+
+/// FADE-style per-flow anomaly detector: dedicated counter rules along each
+/// monitored flow's path, checked pairwise for flow conservation.
+///
+/// Exhibits the costs the paper attributes to per-flow methods — call
+/// [`FadeMonitor::rule_overhead`] for the flow-table space consumed, and
+/// note that [`FadeMonitor::check`] can only speak about the flows it
+/// monitors.
+///
+/// # Example
+///
+/// ```
+/// use foces_baselines::FadeMonitor;
+/// use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+/// use foces_dataplane::LossModel;
+/// use foces_net::generators::bcube;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = bcube(1, 4);
+/// let flows = uniform_flows(&topo, 240_000.0);
+/// let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair)?;
+/// let monitor = FadeMonitor::install(&mut dep, &[0, 1, 2], 0.05);
+/// assert!(monitor.rule_overhead() >= 3); // ≥ 1 dedicated rule per hop
+/// dep.replay_traffic(&mut LossModel::none());
+/// assert!(monitor.check(&dep.dataplane).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FadeMonitor {
+    monitored: Vec<MonitoredFlow>,
+    tolerance: f64,
+}
+
+impl FadeMonitor {
+    /// Installs dedicated counter rules for the given flow indices (into
+    /// `dep.flows`) and returns the monitor. Install **before** any anomaly
+    /// is injected — dedicated rules are part of the trusted configuration.
+    ///
+    /// Each monitored flow gets one exact-match rule per switch on its
+    /// expected path, forwarding exactly as the underlying rule would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow index is out of range or a path switch has no rule
+    /// matching the flow (cannot happen for flows provisioned by
+    /// [`foces_controlplane::provision`]).
+    pub fn install(dep: &mut Deployment, flow_indices: &[usize], tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        let mut monitored = Vec::with_capacity(flow_indices.len());
+        for &flow_index in flow_indices {
+            let spec = dep.flows[flow_index];
+            let path = dep.expected_paths[flow_index].clone();
+            let header = pair_header(spec.src, spec.dst);
+            let mut dedicated_rules = Vec::with_capacity(path.len());
+            for &switch in &path {
+                let (_, base_rule) = dep
+                    .dataplane
+                    .table(switch)
+                    .lookup(header)
+                    .unwrap_or_else(|| {
+                        panic!("no rule for monitored flow #{flow_index} at s{}", switch.0)
+                    });
+                let action = base_rule.action();
+                let r = dep.dataplane.install(
+                    switch,
+                    Rule::new(pair_match(spec.src, spec.dst), FADE_PRIORITY, action),
+                );
+                dedicated_rules.push(r);
+            }
+            monitored.push(MonitoredFlow {
+                flow_index,
+                dedicated_rules,
+            });
+        }
+        FadeMonitor {
+            monitored,
+            tolerance,
+        }
+    }
+
+    /// Total dedicated rules installed — the flow-table overhead of this
+    /// baseline (FOCES's is zero).
+    pub fn rule_overhead(&self) -> usize {
+        self.monitored
+            .iter()
+            .map(|m| m.dedicated_rules.len())
+            .sum()
+    }
+
+    /// Number of monitored flows.
+    pub fn monitored_count(&self) -> usize {
+        self.monitored.len()
+    }
+
+    /// Whether any monitored flow's dedicated rules sit on `switch` — the
+    /// detection-scope query: an anomaly at an uncovered switch is
+    /// invisible to this monitor.
+    pub fn covers_switch(&self, switch: SwitchId) -> bool {
+        self.monitored
+            .iter()
+            .any(|m| m.dedicated_rules.iter().any(|r| r.switch == switch))
+    }
+
+    /// Checks flow conservation along every monitored flow: flags a flow
+    /// when some consecutive pair of dedicated counters differs by more
+    /// than the relative tolerance.
+    pub fn check(&self, dp: &DataPlane) -> Vec<FlowViolation> {
+        let mut out = Vec::new();
+        for m in &self.monitored {
+            let counters: Vec<f64> = m
+                .dedicated_rules
+                .iter()
+                .map(|r| dp.counter(r.switch, r.index))
+                .collect();
+            let mut max_discrepancy = 0.0_f64;
+            for w in counters.windows(2) {
+                let d = (w[0] - w[1]).abs() / w[0].max(1.0);
+                max_discrepancy = max_discrepancy.max(d);
+            }
+            if max_discrepancy > self.tolerance {
+                out.push(FlowViolation {
+                    flow_index: m.flow_index,
+                    counters,
+                    max_discrepancy,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    use foces_dataplane::{Action, LossModel};
+    use foces_net::generators::bcube;
+    use foces_net::Port;
+
+    fn deployment() -> Deployment {
+        let topo = bcube(1, 4);
+        let flows = uniform_flows(&topo, 240_000.0);
+        provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap()
+    }
+
+    #[test]
+    fn healthy_monitored_flows_pass() {
+        let mut dep = deployment();
+        let all: Vec<usize> = (0..dep.flows.len()).collect();
+        let monitor = FadeMonitor::install(&mut dep, &all, 0.02);
+        dep.replay_traffic(&mut LossModel::none());
+        assert!(monitor.check(&dep.dataplane).is_empty());
+        assert_eq!(monitor.monitored_count(), 240);
+    }
+
+    #[test]
+    fn overhead_is_one_rule_per_hop() {
+        let mut dep = deployment();
+        let monitor = FadeMonitor::install(&mut dep, &[0], 0.02);
+        assert_eq!(
+            monitor.rule_overhead(),
+            dep.expected_paths[0].len(),
+            "one dedicated rule per path switch"
+        );
+    }
+
+    #[test]
+    fn monitored_deviation_is_caught() {
+        let mut dep = deployment();
+        let all: Vec<usize> = (0..dep.flows.len()).collect();
+        let monitor = FadeMonitor::install(&mut dep, &all, 0.02);
+        // Compromise the first hop of flow 0 by editing its dedicated rule
+        // (the highest-priority matching rule) to drop.
+        let first_hop = dep.expected_paths[0][0];
+        let header = pair_header(dep.flows[0].src, dep.flows[0].dst);
+        let (idx, _) = dep.dataplane.table(first_hop).lookup(header).unwrap();
+        dep.dataplane
+            .modify_rule_action(
+                RuleRef {
+                    switch: first_hop,
+                    index: idx,
+                },
+                Action::Drop,
+            )
+            .unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        let violations = monitor.check(&dep.dataplane);
+        assert!(violations.iter().any(|v| v.flow_index == 0), "{violations:?}");
+    }
+
+    #[test]
+    fn unmonitored_anomaly_is_missed() {
+        // The limited-detection-scope drawback: monitor only flow 0, break
+        // a switch not on flow 0's path — FADE sees nothing.
+        let mut dep = deployment();
+        let monitor = FadeMonitor::install(&mut dep, &[0], 0.02);
+        let covered = dep.expected_paths[0].clone();
+        let victim_flow = (0..dep.flows.len())
+            .find(|&i| {
+                dep.expected_paths[i]
+                    .iter()
+                    .all(|s| !covered.contains(s))
+            })
+            .expect("bcube has disjoint paths");
+        let victim_switch = dep.expected_paths[victim_flow][0];
+        assert!(!monitor.covers_switch(victim_switch));
+        let header = pair_header(dep.flows[victim_flow].src, dep.flows[victim_flow].dst);
+        let (idx, _) = dep.dataplane.table(victim_switch).lookup(header).unwrap();
+        dep.dataplane
+            .modify_rule_action(
+                RuleRef {
+                    switch: victim_switch,
+                    index: idx,
+                },
+                Action::Drop,
+            )
+            .unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        assert!(
+            monitor.check(&dep.dataplane).is_empty(),
+            "FADE must miss anomalies outside its monitored set"
+        );
+    }
+
+    #[test]
+    fn loss_below_tolerance_not_flagged() {
+        let mut dep = deployment();
+        let all: Vec<usize> = (0..dep.flows.len()).collect();
+        let monitor = FadeMonitor::install(&mut dep, &all, 0.06);
+        let mut loss = LossModel::sampled(0.02, 4);
+        dep.replay_traffic(&mut loss);
+        let violations = monitor.check(&dep.dataplane);
+        assert!(
+            violations.len() < dep.flows.len() / 20,
+            "2% loss under a 6% tolerance should rarely flag: {} flagged",
+            violations.len()
+        );
+    }
+
+    #[test]
+    fn dedicated_rules_preserve_forwarding() {
+        let mut dep = deployment();
+        let all: Vec<usize> = (0..dep.flows.len()).collect();
+        let _monitor = FadeMonitor::install(&mut dep, &all, 0.02);
+        let flows = dep.flows.clone();
+        for f in &flows {
+            let rep = dep.dataplane.inject(
+                f.src,
+                pair_header(f.src, f.dst),
+                f.rate,
+                &mut LossModel::none(),
+            );
+            assert_eq!(rep.delivered_to, Some(f.dst));
+        }
+    }
+
+    #[test]
+    fn covers_switch_reflects_paths() {
+        let mut dep = deployment();
+        let monitor = FadeMonitor::install(&mut dep, &[0], 0.02);
+        for s in &dep.expected_paths[0] {
+            assert!(monitor.covers_switch(*s));
+        }
+        assert!(!monitor.covers_switch(SwitchId(9999).min(SwitchId(
+            dep.view.topology().switch_count() - 1
+        ))) || dep.expected_paths[0]
+            .contains(&SwitchId(dep.view.topology().switch_count() - 1)));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = FlowViolation {
+            flow_index: 7,
+            counters: vec![10.0, 2.0],
+            max_discrepancy: 0.8,
+        };
+        assert!(v.to_string().contains("#7"));
+        assert!(v.to_string().contains("80.0%"));
+        let _ = Port(0);
+    }
+}

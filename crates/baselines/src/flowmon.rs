@@ -1,0 +1,221 @@
+use foces_dataplane::DataPlane;
+use foces_net::SwitchId;
+use std::fmt;
+
+/// A per-switch conservation violation found by [`FlowMonChecker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchViolation {
+    /// The switch whose port statistics do not balance.
+    pub switch: SwitchId,
+    /// Total received volume (Σ over ports).
+    pub rx_total: f64,
+    /// Total transmitted volume (Σ over ports).
+    pub tx_total: f64,
+    /// `|rx − tx| / max(rx, 1)` — the relative imbalance compared against
+    /// the checker's tolerance.
+    pub imbalance: f64,
+}
+
+impl fmt::Display for SwitchViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "s{}: rx {} vs tx {} ({:.1}% imbalance)",
+            self.switch.0,
+            self.rx_total,
+            self.tx_total,
+            100.0 * self.imbalance
+        )
+    }
+}
+
+/// FlowMon-style per-port statistics checker: flags switches whose total
+/// received and transmitted volumes diverge by more than a relative
+/// tolerance.
+///
+/// No dedicated rules are needed, but the detection scope is per-switch
+/// totals only — a deviation that re-routes (rather than drops) traffic
+/// keeps every switch balanced and sails through (see the crate docs and
+/// the `loop_free_deviation_is_invisible_at_the_culprit` test).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowMonChecker {
+    tolerance: f64,
+}
+
+impl FlowMonChecker {
+    /// Creates a checker with a relative imbalance tolerance (e.g. `0.05`
+    /// to absorb up to 5 % link loss on the heaviest port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative.
+    pub fn new(tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        FlowMonChecker { tolerance }
+    }
+
+    /// The configured tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Checks every switch's port-statistics balance, returning violations
+    /// (empty = no switch flagged).
+    ///
+    /// Hosts deliver and sink traffic, so a switch's host-facing ports are
+    /// included in the totals: a last-hop switch receives on a fabric port
+    /// and transmits on the host port, balancing naturally.
+    pub fn check(&self, dp: &DataPlane) -> Vec<SwitchViolation> {
+        let mut out = Vec::new();
+        for s in dp.topology().switches() {
+            let rx_total: f64 = dp.port_rx(s).iter().sum();
+            let tx_total: f64 = dp.port_tx(s).iter().sum();
+            if rx_total == 0.0 && tx_total == 0.0 {
+                continue;
+            }
+            let imbalance = (rx_total - tx_total).abs() / rx_total.max(1.0);
+            if imbalance > self.tolerance {
+                out.push(SwitchViolation {
+                    switch: s,
+                    rx_total,
+                    tx_total,
+                    imbalance,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    use foces_dataplane::{inject_random_anomaly, Action, AnomalyKind, LossModel, RuleRef};
+    use foces_net::generators::bcube;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn deployment() -> foces_controlplane::Deployment {
+        let topo = bcube(1, 4);
+        let flows = uniform_flows(&topo, 240_000.0);
+        provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap()
+    }
+
+    #[test]
+    fn healthy_network_balances() {
+        let mut dep = deployment();
+        dep.replay_traffic(&mut LossModel::none());
+        assert!(FlowMonChecker::new(0.01).check(&dep.dataplane).is_empty());
+    }
+
+    #[test]
+    fn loss_within_tolerance_not_flagged() {
+        let mut dep = deployment();
+        let mut loss = LossModel::sampled(0.02, 5);
+        dep.replay_traffic(&mut loss);
+        // 2% per-link loss: each switch's imbalance ≈ 2%, below 5%.
+        assert!(FlowMonChecker::new(0.05).check(&dep.dataplane).is_empty());
+    }
+
+    #[test]
+    fn dropper_is_caught_and_localized() {
+        // With a tight tolerance (lossless run), a dropping switch is the
+        // one switch whose totals do not balance.
+        let mut dep = deployment();
+        let mut rng = StdRng::seed_from_u64(2);
+        let applied = inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::EarlyDrop,
+            &mut rng,
+            &[],
+        )
+        .unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        let violations = FlowMonChecker::new(0.001).check(&dep.dataplane);
+        assert!(!violations.is_empty());
+        assert!(
+            violations.iter().any(|v| v.switch == applied.rule.switch),
+            "the dropping switch must be among {violations:?}"
+        );
+    }
+
+    #[test]
+    fn single_flow_drop_hides_under_loss_tolerance() {
+        // The coarseness drawback: one dropped flow is a ~1.5% imbalance on
+        // a busy BCube switch, indistinguishable from 5% link loss — so a
+        // loss-calibrated tolerance misses it where FOCES would not.
+        let mut dep = deployment();
+        let mut rng = StdRng::seed_from_u64(2);
+        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[])
+            .unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        assert!(FlowMonChecker::new(0.05).check(&dep.dataplane).is_empty());
+    }
+
+    #[test]
+    fn loop_free_deviation_is_invisible_at_the_culprit() {
+        // The structural blind spot: a deviating switch transmits everything
+        // it receives, so ITS port totals balance; the deficit appears only
+        // downstream (table-miss drop at the redirection target). Build the
+        // deviation manually so no forwarding loop can blur the picture:
+        // redirect flow 0's first hop toward a switch with no rule for it.
+        let mut dep = deployment();
+        let culprit = dep.expected_paths[0][0];
+        let intended_next = dep.expected_paths[0].get(1).copied();
+        let header = foces_dataplane::pair_header(dep.flows[0].src, dep.flows[0].dst);
+        let (idx, _) = dep.dataplane.table(culprit).lookup(header).unwrap();
+        // Find an off-path neighbor switch that has NO rule matching the
+        // flow (per-pair granularity: only path switches have one).
+        let target_port = dep
+            .view
+            .topology()
+            .adj(foces_net::Node::Switch(culprit))
+            .iter()
+            .find_map(|a| match a.neighbor {
+                foces_net::Node::Switch(s)
+                    if Some(s) != intended_next
+                        && dep.dataplane.table(s).lookup(header).is_none() =>
+                {
+                    Some(a.local_port)
+                }
+                _ => None,
+            })
+            .expect("bcube first hop has an off-path neighbor");
+        dep.dataplane
+            .modify_rule_action(
+                RuleRef {
+                    switch: culprit,
+                    index: idx,
+                },
+                Action::Forward(target_port),
+            )
+            .unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        let violations = FlowMonChecker::new(0.001).check(&dep.dataplane);
+        assert!(
+            violations.iter().all(|v| v.switch != culprit),
+            "deviating switch must balance: {violations:?}"
+        );
+        // The redirection target (where the miss-drop happens) does flag.
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let v = SwitchViolation {
+            switch: SwitchId(3),
+            rx_total: 100.0,
+            tx_total: 50.0,
+            imbalance: 0.5,
+        };
+        assert!(v.to_string().contains("s3"));
+        assert!(v.to_string().contains("50.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_rejected() {
+        FlowMonChecker::new(-0.1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistics-verification baselines FOCES is compared against (paper §VII).
+//!
+//! Two representative per-flow / per-switch methods, built on the same data
+//! plane as FOCES so experiments can compare detection scope and overhead:
+//!
+//! * [`FadeMonitor`] — a FADE-style checker ("FADE: Detecting forwarding
+//!   anomaly in software-defined networks", ICC 2016): installs **dedicated
+//!   higher-priority per-flow counter rules** along a monitored flow's
+//!   expected path and applies the single-flow conservation principle to
+//!   their counters. Faithfully exhibits the two drawbacks the paper
+//!   attributes to this family: flow-table overhead (one dedicated rule per
+//!   monitored flow per hop) and limited detection scope (unmonitored flows
+//!   are invisible).
+//! * [`FlowMonChecker`] — a FlowMon-style checker (ACM SafeConfig 2015):
+//!   needs **no dedicated rules**, checking per-switch conservation of port
+//!   statistics (Σrx ≈ Σtx). Catches packet droppers, but is structurally
+//!   blind to path deviations that preserve per-switch totals — the
+//!   "smaller detection scope" the paper describes.
+//!
+//! # Example
+//!
+//! ```
+//! use foces_baselines::FlowMonChecker;
+//! use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+//! use foces_dataplane::LossModel;
+//! use foces_net::generators::bcube;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = bcube(1, 4);
+//! let flows = uniform_flows(&topo, 240_000.0);
+//! let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair)?;
+//! dep.replay_traffic(&mut LossModel::none());
+//! let checker = FlowMonChecker::new(0.05);
+//! assert!(checker.check(&dep.dataplane).is_empty()); // healthy
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fade;
+mod flowmon;
+
+pub use fade::{FadeMonitor, FlowViolation};
+pub use flowmon::{FlowMonChecker, SwitchViolation};

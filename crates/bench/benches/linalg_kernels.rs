@@ -1,0 +1,86 @@
+//! Kernel benchmarks for the linear-algebra substrate: Cholesky, QR, CGLS,
+//! and the dense-vs-sparse Gram-assembly ablation (a DESIGN.md ablation:
+//! assembling `HᵀH` from CSR rows is the reason large FCMs never densify).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foces_linalg::{cgls, Cholesky, CsrMatrix, DenseMatrix, Qr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A synthetic FCM-shaped 0/1 matrix: `rows x cols`, ~`fill` ones per
+/// column (a path length), plus an identity block for full rank.
+fn fcm_like(rows: usize, cols: usize, fill: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for j in 0..cols {
+        m.set(j % rows, j, 1.0);
+        for _ in 0..fill {
+            m.set(rng.gen_range(0..rows), j, 1.0);
+        }
+    }
+    m
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_factor");
+    for n in [64usize, 128, 256, 512] {
+        let h = fcm_like(n * 3, n, 5, 42);
+        let gram = h.gram();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &gram, |b, g| {
+            b.iter(|| Cholesky::factor(black_box(g)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr_factor");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let h = fcm_like(n * 3, n, 5, 43);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, m| {
+            b.iter(|| Qr::factor(black_box(m)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cgls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgls_solve");
+    for n in [128usize, 512, 1024] {
+        let dense = fcm_like(n * 3, n, 5, 44);
+        let sparse = CsrMatrix::from_dense(&dense);
+        let x: Vec<f64> = (0..n).map(|i| (i % 7 + 1) as f64).collect();
+        let y = sparse.matvec(&x).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&sparse, &y), |b, (m, rhs)| {
+            b.iter(|| cgls(black_box(m), black_box(rhs), 1e-10, 2000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram_assembly(c: &mut Criterion) {
+    // Ablation: dense column-dot Gram vs sparse per-row outer products.
+    let mut group = c.benchmark_group("gram_assembly");
+    for n in [128usize, 256, 512] {
+        let dense = fcm_like(n * 3, n, 5, 45);
+        let sparse = CsrMatrix::from_dense(&dense);
+        group.bench_with_input(BenchmarkId::new("dense", n), &dense, |b, m| {
+            b.iter(|| black_box(m).gram());
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", n), &sparse, |b, m| {
+            b.iter(|| black_box(m).gram_dense());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_qr,
+    bench_cgls,
+    bench_gram_assembly
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
+use foces_net::Topology;
+
+/// Provisions the all-pairs workload on `topo` (1000 packets/flow/interval).
+///
+/// # Panics
+///
+/// Panics if the topology cannot be provisioned.
+pub fn deployment(topo: Topology, granularity: RuleGranularity) -> Deployment {
+    let n = topo.host_count() as f64;
+    let flows = uniform_flows(&topo, n * (n - 1.0) * 1000.0);
+    provision(topo, &flows, granularity).expect("bench topologies provision")
+}
+
+/// Replays all flows losslessly and returns the counter vector.
+pub fn healthy_counters(dep: &mut Deployment) -> Vec<f64> {
+    let mut loss = foces_dataplane::LossModel::none();
+    dep.replay_traffic(&mut loss);
+    dep.dataplane.collect_counters()
+}

@@ -1,0 +1,62 @@
+//! The simulated **control channel** between the FOCES controller and its
+//! switches — the part of the paper's stack that OpenFlow/Floodlight-REST
+//! played (§II-A: "the controller … can request counters of rules from
+//! switches"; §VI-A: "the Statistics Collector periodically queries
+//! switches for flow statistics").
+//!
+//! Why this matters for fidelity: in the rest of this workspace the
+//! detector reads counters straight out of the [`foces_dataplane::DataPlane`]
+//! — omniscient ground truth. In the paper's threat model the controller
+//! only ever sees what switches **report**, and a compromised switch lies:
+//! it answers table dumps with the original (pre-modification) rules and
+//! may forge its own counters (§II-B: "simply dumping flow tables is not
+//! effective"). This crate restores that boundary:
+//!
+//! * [`message`] — a compact binary wire format ([`bytes`]-based) for
+//!   stats requests/replies and table dumps, with strict decoding;
+//! * [`agent`] — per-switch endpoints: [`HonestAgent`] reports the truth,
+//!   [`ForgingAgent`] reports the controller's own expectations back at it;
+//! * [`collector`] — the controller side: polls every agent over the wire,
+//!   reassembles the network-wide counter vector in canonical (FCM row)
+//!   order, and can audit table dumps against the controller view —
+//!   demonstrating exactly why dump-auditing fails and counter analysis
+//!   (FOCES) is needed.
+//!
+//! # Example
+//!
+//! ```
+//! use foces_channel::{ChannelCollector, HonestAgent, SwitchAgent};
+//! use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+//! use foces_dataplane::LossModel;
+//! use foces_net::generators::ring;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = ring(4);
+//! let flows = uniform_flows(&topo, 12_000.0);
+//! let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair)?;
+//! dep.replay_traffic(&mut LossModel::none());
+//!
+//! // One honest agent per switch, polled over the wire.
+//! let agents: Vec<Box<dyn SwitchAgent>> = dep
+//!     .view
+//!     .topology()
+//!     .switches()
+//!     .map(|s| Box::new(HonestAgent::new(s)) as Box<dyn SwitchAgent>)
+//!     .collect();
+//! let collector = ChannelCollector::new(agents);
+//! let counters = collector.collect_counters(&dep.dataplane)?;
+//! assert_eq!(counters, dep.dataplane.collect_counters());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod collector;
+pub mod message;
+
+pub use agent::{ForgingAgent, HonestAgent, SwitchAgent};
+pub use collector::{honest_collector, ChannelCollector, ChannelError, DeltaTracker, DumpAudit};
+pub use message::{ControllerMsg, SwitchMsg, WireError, WireRule};

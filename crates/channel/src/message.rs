@@ -1,0 +1,410 @@
+//! Wire format for the control channel.
+//!
+//! A deliberately OpenFlow-flavoured binary encoding: every message is
+//! `[type: u8][xid: u32][body…]`, integers big-endian, counters as `f64`
+//! bits. Decoding is strict — trailing bytes, truncated bodies, and
+//! unknown types are errors, never silently ignored (a control channel is
+//! a security boundary).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use foces_dataplane::{Action, Rule};
+use foces_headerspace::Wildcard;
+use foces_net::Port;
+use std::error::Error;
+use std::fmt;
+
+/// Wire-format errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown message or action type byte.
+    UnknownType(u8),
+    /// A decoded field was semantically invalid.
+    Invalid(String),
+    /// Bytes remained after the message body.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::UnknownType(t) => write!(f, "unknown type byte {t:#04x}"),
+            WireError::Invalid(msg) => write!(f, "invalid field: {msg}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// A rule as it crosses the wire in a table dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRule {
+    /// Ternary match (width + planes on the wire).
+    pub match_fields: Wildcard,
+    /// Priority.
+    pub priority: u16,
+    /// Action (`0` = drop, `1 + port`).
+    pub action: Action,
+    /// The counter value reported alongside the rule.
+    pub counter: f64,
+}
+
+impl WireRule {
+    /// Builds a wire rule from a live rule and its counter.
+    pub fn from_rule(rule: &Rule, counter: f64) -> Self {
+        WireRule {
+            match_fields: rule.match_fields().clone(),
+            priority: rule.priority(),
+            action: rule.action(),
+            counter,
+        }
+    }
+}
+
+/// Controller → switch messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerMsg {
+    /// Request all rule counters of the switch.
+    StatsRequest {
+        /// Transaction id echoed in the reply.
+        xid: u32,
+    },
+    /// Request a full flow-table dump (rules + counters).
+    TableDumpRequest {
+        /// Transaction id echoed in the reply.
+        xid: u32,
+    },
+}
+
+/// Switch → controller messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchMsg {
+    /// Counter values in table-index order.
+    StatsReply {
+        /// Echoed transaction id.
+        xid: u32,
+        /// `counters[i]` belongs to rule index `i`.
+        counters: Vec<f64>,
+    },
+    /// Full table dump in table-index order.
+    TableDumpReply {
+        /// Echoed transaction id.
+        xid: u32,
+        /// The rules as reported by the switch (possibly forged!).
+        rules: Vec<WireRule>,
+    },
+}
+
+const T_STATS_REQ: u8 = 0x01;
+const T_DUMP_REQ: u8 = 0x02;
+const T_STATS_REP: u8 = 0x81;
+const T_DUMP_REP: u8 = 0x82;
+
+const A_DROP: u8 = 0x00;
+const A_FWD: u8 = 0x01;
+
+impl ControllerMsg {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(5);
+        match self {
+            ControllerMsg::StatsRequest { xid } => {
+                b.put_u8(T_STATS_REQ);
+                b.put_u32(*xid);
+            }
+            ControllerMsg::TableDumpRequest { xid } => {
+                b.put_u8(T_DUMP_REQ);
+                b.put_u32(*xid);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes from wire bytes (strict).
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        let ty = take_u8(&mut buf)?;
+        let xid = take_u32(&mut buf)?;
+        let msg = match ty {
+            T_STATS_REQ => ControllerMsg::StatsRequest { xid },
+            T_DUMP_REQ => ControllerMsg::TableDumpRequest { xid },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        finish(&buf)?;
+        Ok(msg)
+    }
+}
+
+impl SwitchMsg {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            SwitchMsg::StatsReply { xid, counters } => {
+                b.put_u8(T_STATS_REP);
+                b.put_u32(*xid);
+                b.put_u32(counters.len() as u32);
+                for c in counters {
+                    b.put_f64(*c);
+                }
+            }
+            SwitchMsg::TableDumpReply { xid, rules } => {
+                b.put_u8(T_DUMP_REP);
+                b.put_u32(*xid);
+                b.put_u32(rules.len() as u32);
+                for r in rules {
+                    encode_rule(&mut b, r);
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes from wire bytes (strict).
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        let ty = take_u8(&mut buf)?;
+        let xid = take_u32(&mut buf)?;
+        let msg = match ty {
+            T_STATS_REP => {
+                let n = take_u32(&mut buf)? as usize;
+                let mut counters = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    counters.push(take_f64(&mut buf)?);
+                }
+                SwitchMsg::StatsReply { xid, counters }
+            }
+            T_DUMP_REP => {
+                let n = take_u32(&mut buf)? as usize;
+                let mut rules = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    rules.push(decode_rule(&mut buf)?);
+                }
+                SwitchMsg::TableDumpReply { xid, rules }
+            }
+            other => return Err(WireError::UnknownType(other)),
+        };
+        finish(&buf)?;
+        Ok(msg)
+    }
+}
+
+fn encode_rule(b: &mut BytesMut, r: &WireRule) {
+    b.put_u16(r.match_fields.width() as u16);
+    let (mask, value) = r.match_fields.planes();
+    for w in mask {
+        b.put_u64(*w);
+    }
+    for w in value {
+        b.put_u64(*w);
+    }
+    b.put_u16(r.priority);
+    match r.action {
+        Action::Drop => b.put_u8(A_DROP),
+        Action::Forward(Port(p)) => {
+            b.put_u8(A_FWD);
+            b.put_u32(p as u32);
+        }
+    }
+    b.put_f64(r.counter);
+}
+
+fn decode_rule(buf: &mut Bytes) -> Result<WireRule, WireError> {
+    let width = take_u16(buf)? as usize;
+    let blocks = width.div_ceil(64);
+    let mut mask = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        mask.push(take_u64(buf)?);
+    }
+    let mut value = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        value.push(take_u64(buf)?);
+    }
+    let match_fields = Wildcard::from_planes(width, &mask, &value)
+        .map_err(|e| WireError::Invalid(e.to_string()))?;
+    let priority = take_u16(buf)?;
+    let action = match take_u8(buf)? {
+        A_DROP => Action::Drop,
+        A_FWD => Action::Forward(Port(take_u32(buf)? as usize)),
+        other => return Err(WireError::UnknownType(other)),
+    };
+    let counter = take_f64(buf)?;
+    Ok(WireRule {
+        match_fields,
+        priority,
+        action,
+        counter,
+    })
+}
+
+fn take_u8(b: &mut Bytes) -> Result<u8, WireError> {
+    if b.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_u8())
+}
+
+fn take_u16(b: &mut Bytes) -> Result<u16, WireError> {
+    if b.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_u16())
+}
+
+fn take_u32(b: &mut Bytes) -> Result<u32, WireError> {
+    if b.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_u32())
+}
+
+fn take_u64(b: &mut Bytes) -> Result<u64, WireError> {
+    if b.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_u64())
+}
+
+fn take_f64(b: &mut Bytes) -> Result<f64, WireError> {
+    if b.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_f64())
+}
+
+fn finish(b: &Bytes) -> Result<(), WireError> {
+    if b.remaining() == 0 {
+        Ok(())
+    } else {
+        Err(WireError::TrailingBytes(b.remaining()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_dataplane::HEADER_WIDTH;
+
+    fn sample_rule() -> WireRule {
+        WireRule {
+            match_fields: Wildcard::prefix(HEADER_WIDTH, 0xDEAD_0000, 16).unwrap(),
+            priority: 10,
+            action: Action::Forward(Port(3)),
+            counter: 1234.5,
+        }
+    }
+
+    #[test]
+    fn controller_messages_round_trip() {
+        for msg in [
+            ControllerMsg::StatsRequest { xid: 0 },
+            ControllerMsg::StatsRequest { xid: u32::MAX },
+            ControllerMsg::TableDumpRequest { xid: 7 },
+        ] {
+            let back = ControllerMsg::decode(msg.encode()).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn switch_messages_round_trip() {
+        let msgs = [
+            SwitchMsg::StatsReply {
+                xid: 3,
+                counters: vec![0.0, 1.5, f64::MAX],
+            },
+            SwitchMsg::StatsReply {
+                xid: 4,
+                counters: vec![],
+            },
+            SwitchMsg::TableDumpReply {
+                xid: 5,
+                rules: vec![
+                    sample_rule(),
+                    WireRule {
+                        match_fields: Wildcard::any(HEADER_WIDTH),
+                        priority: 0,
+                        action: Action::Drop,
+                        counter: 0.0,
+                    },
+                ],
+            },
+        ];
+        for msg in msgs {
+            let back = SwitchMsg::decode(msg.encode()).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let full = SwitchMsg::TableDumpReply {
+            xid: 9,
+            rules: vec![sample_rule()],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let err = SwitchMsg::decode(full.slice(0..cut));
+            assert!(err.is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = ControllerMsg::StatsRequest { xid: 1 }.encode().to_vec();
+        bytes.push(0xFF);
+        assert!(matches!(
+            ControllerMsg::decode(Bytes::from(bytes)),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn unknown_types_rejected() {
+        let bytes = Bytes::from_static(&[0x77, 0, 0, 0, 1]);
+        assert!(matches!(
+            ControllerMsg::decode(bytes.clone()),
+            Err(WireError::UnknownType(0x77))
+        ));
+        assert!(matches!(
+            SwitchMsg::decode(bytes),
+            Err(WireError::UnknownType(0x77))
+        ));
+    }
+
+    #[test]
+    fn cross_decoding_fails() {
+        // A controller message is not a switch message and vice versa.
+        let c = ControllerMsg::StatsRequest { xid: 1 }.encode();
+        assert!(SwitchMsg::decode(c).is_err());
+        let s = SwitchMsg::StatsReply {
+            xid: 1,
+            counters: vec![],
+        }
+        .encode();
+        assert!(ControllerMsg::decode(s).is_err());
+    }
+
+    #[test]
+    fn wire_rule_from_live_rule() {
+        let rule = Rule::new(
+            Wildcard::any(HEADER_WIDTH),
+            5,
+            Action::Forward(Port(1)),
+        );
+        let w = WireRule::from_rule(&rule, 42.0);
+        assert_eq!(w.priority, 5);
+        assert_eq!(w.counter, 42.0);
+        assert_eq!(w.action, Action::Forward(Port(1)));
+    }
+}

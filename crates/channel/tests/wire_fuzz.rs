@@ -1,0 +1,91 @@
+//! Property tests for the wire format: arbitrary bytes never panic the
+//! decoders, and arbitrary well-formed messages round-trip bit-exactly.
+//! A control channel is a security boundary; its parser gets fuzzed.
+
+use bytes::Bytes;
+use foces_channel::{ControllerMsg, SwitchMsg, WireRule};
+use foces_dataplane::Action;
+use foces_headerspace::Wildcard;
+use foces_net::Port;
+use proptest::prelude::*;
+
+fn arbitrary_wildcard() -> impl Strategy<Value = Wildcard> {
+    (1usize..100, proptest::collection::vec(0u8..3, 100)).prop_map(|(width, tri)| {
+        let mut w = Wildcard::any(width);
+        for (pos, t) in tri.iter().take(width).enumerate() {
+            w.set_bit(
+                pos,
+                match t {
+                    0 => Some(false),
+                    1 => Some(true),
+                    _ => None,
+                },
+            );
+        }
+        w
+    })
+}
+
+fn arbitrary_rule() -> impl Strategy<Value = WireRule> {
+    (
+        arbitrary_wildcard(),
+        any::<u16>(),
+        prop_oneof![
+            Just(Action::Drop),
+            (0usize..1000).prop_map(|p| Action::Forward(Port(p)))
+        ],
+        0.0f64..1e12,
+    )
+        .prop_map(|(match_fields, priority, action, counter)| WireRule {
+            match_fields,
+            priority,
+            action,
+            counter,
+        })
+}
+
+proptest! {
+    /// Random bytes must decode to Err, never panic.
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let bytes = Bytes::from(data);
+        let _ = ControllerMsg::decode(bytes.clone());
+        let _ = SwitchMsg::decode(bytes);
+    }
+
+    /// Bit-flipped valid messages must decode to Err or to a *different*
+    /// well-formed message — never panic.
+    #[test]
+    fn bit_flips_never_panic(
+        counters in proptest::collection::vec(0.0f64..1e9, 0..16),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let msg = SwitchMsg::StatsReply { xid: 7, counters };
+        let mut bytes = msg.encode().to_vec();
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        let _ = SwitchMsg::decode(Bytes::from(bytes));
+    }
+
+    /// Arbitrary stats replies round-trip.
+    #[test]
+    fn stats_replies_round_trip(
+        xid in any::<u32>(),
+        counters in proptest::collection::vec(0.0f64..1e15, 0..64),
+    ) {
+        let msg = SwitchMsg::StatsReply { xid, counters };
+        prop_assert_eq!(SwitchMsg::decode(msg.encode()).unwrap(), msg);
+    }
+
+    /// Arbitrary table dumps (arbitrary widths, priorities, actions)
+    /// round-trip.
+    #[test]
+    fn table_dumps_round_trip(
+        xid in any::<u32>(),
+        rules in proptest::collection::vec(arbitrary_rule(), 0..8),
+    ) {
+        let msg = SwitchMsg::TableDumpReply { xid, rules };
+        prop_assert_eq!(SwitchMsg::decode(msg.encode()).unwrap(), msg);
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal argument parser: positionals plus `--key value` options and
+//! `--flag` booleans. Hand-rolled to keep the dependency set at the
+//! approved offline list (no clap).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// An argument error (unknown option, missing value, bad number).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments. `value_opts` lists the `--key` options that
+    /// take a value; any other `--name` is treated as a boolean flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when a value option is last with no value.
+    pub fn parse(raw: &[String], value_opts: &[&str]) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_opts.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    out.options.insert(name.to_string(), v.clone());
+                } else {
+                    out.flags.push(name.to_string());
+                }
+            } else {
+                out.positionals.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positionals.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Whether a boolean `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A `--key value` option as a string.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] if present but unparsable.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn positionals_options_flags() {
+        let a = Args::parse(&raw("detect net.foces --loss 0.05 --sliced"), &["loss"]).unwrap();
+        assert_eq!(a.positional(0), Some("detect"));
+        assert_eq!(a.positional(1), Some("net.foces"));
+        assert_eq!(a.positional_count(), 2);
+        assert_eq!(a.opt("loss"), Some("0.05"));
+        assert!(a.flag("sliced"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn numeric_parsing_and_defaults() {
+        let a = Args::parse(&raw("--seed 42"), &["seed"]).unwrap();
+        assert_eq!(a.num("seed", 0u64).unwrap(), 42);
+        assert_eq!(a.num("rounds", 7usize).unwrap(), 7);
+        let bad = Args::parse(&raw("--seed abc"), &["seed"]).unwrap();
+        assert!(bad.num("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&raw("--loss"), &["loss"]).is_err());
+    }
+}

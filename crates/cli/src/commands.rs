@@ -1,0 +1,401 @@
+//! CLI command implementations. Each command is a pure function from
+//! parsed arguments to a report string, so the test suite can drive them
+//! without process spawning.
+
+use crate::args::Args;
+use foces::{
+    audit_deviations, harden, localize, AlarmState, Detector, Fcm, Monitor, MonitorConfig,
+    SlicedFcm,
+};
+use foces_controlplane::scenario::Scenario;
+use foces_controlplane::Deployment;
+use foces_dataplane::{
+    inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// A command error rendered to stderr by `main`.
+pub type CmdError = Box<dyn std::error::Error>;
+
+/// Usage text.
+pub const USAGE: &str = "\
+foces — network-wide forwarding anomaly detection (FOCES, ICDCS 2018)
+
+USAGE:
+  foces topo     <scenario>                          topology & FCM statistics
+  foces detect   <scenario> [--loss P] [--modify K] [--seed N] [--threshold T] [--sliced]
+  foces monitor  <scenario> [--rounds N] [--attack-at R] [--repair-at R] [--loss P] [--seed N]
+  foces audit    <scenario> [--cap N]                detectability blind spots
+  foces harden   <scenario> [--budget N] [--cap N]   close blind spots with extra rules
+  foces scenario <fattree|bcube|dcell|stanford|linear|ring> print a template scenario
+  foces help
+
+Scenario files: see `foces scenario ring` for the format.";
+
+fn load(args: &Args) -> Result<(Scenario, Deployment), CmdError> {
+    let path = args
+        .positional(1)
+        .ok_or("missing scenario file argument")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario = Scenario::parse(&text)?;
+    let dep = scenario.provision()?;
+    Ok((scenario, dep))
+}
+
+/// Replays one collection interval and returns counters (loss + default
+/// collection noise when `loss > 0`, exact otherwise).
+fn one_round(dep: &mut Deployment, loss: f64, seed: u64) -> Vec<f64> {
+    dep.dataplane.reset_counters();
+    let mut lm = if loss > 0.0 {
+        LossModel::sampled(loss, seed)
+    } else {
+        LossModel::none()
+    };
+    dep.replay_traffic(&mut lm);
+    if loss > 0.0 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        dep.dataplane
+            .collect_counters_realistic(&CollectionNoise::default(), &mut rng)
+    } else {
+        dep.dataplane.collect_counters()
+    }
+}
+
+/// `foces topo <scenario>`.
+pub fn topo(args: &Args) -> Result<String, CmdError> {
+    let (scenario, dep) = load(args)?;
+    let topo = scenario.topology();
+    let fcm = Fcm::from_view(&dep.view);
+    let sliced = SlicedFcm::from_fcm(&fcm);
+    let mut out = String::new();
+    writeln!(out, "switches:      {}", topo.switch_count())?;
+    writeln!(out, "hosts:         {}", topo.host_count())?;
+    writeln!(out, "links:         {}", topo.link_count())?;
+    writeln!(out, "flows:         {}", dep.flows.len())?;
+    writeln!(out, "rules:         {}", dep.view.rule_count())?;
+    writeln!(out, "granularity:   {:?}", dep.granularity)?;
+    writeln!(out, "fcm:           {fcm}")?;
+    writeln!(
+        out,
+        "fcm columns:   {} distinct of {}",
+        fcm.unique_column_basis().len(),
+        fcm.flow_count()
+    )?;
+    writeln!(out, "slices:        {}", sliced.slice_count())?;
+    Ok(out)
+}
+
+/// `foces detect <scenario> ...`.
+pub fn detect(args: &Args) -> Result<String, CmdError> {
+    let (_, mut dep) = load(args)?;
+    let loss: f64 = args.num("loss", 0.0)?;
+    let modify: usize = args.num("modify", 0)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let threshold: f64 = args.num("threshold", foces::DEFAULT_THRESHOLD)?;
+    let fcm = Fcm::from_view(&dep.view);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    for _ in 0..modify {
+        if let Some(a) =
+            inject_random_anomaly(&mut dep.dataplane, AnomalyKind::PathDeviation, &mut rng, &[])
+        {
+            writeln!(
+                out,
+                "injected: {} rewritten {} -> {}",
+                a.rule, a.original_action, a.modified_action
+            )?;
+        }
+    }
+    let counters = one_round(&mut dep, loss, seed);
+    let detector = Detector::with_threshold(threshold);
+    let verdict = detector.detect(&fcm, &counters)?;
+    writeln!(out, "verdict: {verdict}")?;
+    if let Some(worst) = verdict.worst_rule {
+        writeln!(out, "largest residual at rule {worst}")?;
+    }
+    if args.flag("sliced") {
+        let sliced = SlicedFcm::from_fcm(&fcm);
+        let sv = sliced.detect(&detector, &counters)?;
+        writeln!(out, "sliced:  {sv}")?;
+        for s in localize(&sv).iter().take(3) {
+            writeln!(out, "  suspect {s}")?;
+        }
+    }
+    Ok(out)
+}
+
+/// `foces monitor <scenario> ...`.
+pub fn monitor(args: &Args) -> Result<String, CmdError> {
+    let (_, mut dep) = load(args)?;
+    let rounds: u64 = args.num("rounds", 24)?;
+    let attack_at: u64 = args.num("attack-at", rounds / 3)?;
+    let repair_at: u64 = args.num("repair-at", 2 * rounds / 3)?;
+    let loss: f64 = args.num("loss", 0.02)?;
+    let seed: u64 = args.num("seed", 7)?;
+    let fcm = Fcm::from_view(&dep.view);
+    let mut mon = Monitor::new(fcm, MonitorConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut applied = None;
+    let mut out = String::new();
+    for round in 0..rounds {
+        if round == attack_at {
+            applied = inject_random_anomaly(
+                &mut dep.dataplane,
+                AnomalyKind::PathDeviation,
+                &mut rng,
+                &[],
+            );
+            if let Some(a) = &applied {
+                writeln!(out, "round {round:>3}: [attack on s{}]", a.rule.switch.0)?;
+            }
+        }
+        if round == repair_at {
+            if let Some(a) = applied.take() {
+                a.revert(&mut dep.dataplane)?;
+                writeln!(out, "round {round:>3}: [repaired]")?;
+            }
+        }
+        let counters = one_round(&mut dep, loss, seed.wrapping_add(round));
+        let report = mon.ingest(&counters)?;
+        if report.alarm_raised {
+            let suspects: Vec<String> = report
+                .suspects
+                .iter()
+                .take(3)
+                .map(|s| format!("s{}", s.switch.0))
+                .collect();
+            writeln!(
+                out,
+                "round {round:>3}: ALARM (AI {:.2}) suspects: {}",
+                report.verdict.anomaly_index.min(1e6),
+                suspects.join(", ")
+            )?;
+        } else if report.alarm_cleared {
+            writeln!(out, "round {round:>3}: alarm cleared")?;
+        }
+    }
+    writeln!(out, "final state: {}", mon.state())?;
+    if mon.state() != AlarmState::Normal {
+        writeln!(out, "warning: network still suspicious at end of run")?;
+    }
+    Ok(out)
+}
+
+/// `foces audit <scenario> [--cap N]`.
+pub fn audit(args: &Args) -> Result<String, CmdError> {
+    let (_, dep) = load(args)?;
+    let cap: usize = args.num("cap", usize::MAX)?;
+    let fcm = Fcm::from_view(&dep.view);
+    let report = audit_deviations(&dep.view, &fcm, cap);
+    let mut out = String::new();
+    writeln!(out, "candidates:   {}", report.total())?;
+    writeln!(out, "detectable:   {}", report.detectable.len())?;
+    writeln!(out, "blind spots:  {}", report.undetectable.len())?;
+    writeln!(out, "coverage:     {:.1}%", 100.0 * report.coverage())?;
+    for c in report.undetectable.iter().take(10) {
+        let flow = &fcm.flows()[c.flow];
+        writeln!(
+            out,
+            "  blind: flow h{}->h{} deviated at s{} toward s{} (delivered: {})",
+            flow.ingress.0, flow.egress.0, c.at_switch.0, c.redirected_to.0, c.still_delivered
+        )?;
+    }
+    if report.undetectable.len() > 10 {
+        writeln!(out, "  ... and {} more", report.undetectable.len() - 10)?;
+    }
+    Ok(out)
+}
+
+/// `foces harden <scenario> [--budget N] [--cap N]`.
+pub fn harden_cmd(args: &Args) -> Result<String, CmdError> {
+    let (_, dep) = load(args)?;
+    let budget: usize = args.num("budget", 10_000)?;
+    let cap: usize = args.num("cap", usize::MAX)?;
+    let outcome = harden(&dep.view, budget, cap);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "coverage: {:.1}% -> {:.1}%",
+        100.0 * outcome.coverage_before,
+        100.0 * outcome.coverage_after
+    )?;
+    writeln!(
+        out,
+        "installed {} dedicated rules across {} flows (budget {budget})",
+        outcome.installed.len(),
+        outcome.flows_split
+    )?;
+    if outcome.coverage_after < 1.0 {
+        writeln!(out, "warning: budget exhausted before full coverage")?;
+    }
+    Ok(out)
+}
+
+/// `foces scenario <family>` — prints a template.
+pub fn scenario_template(args: &Args) -> Result<String, CmdError> {
+    let family = args.positional(1).unwrap_or("ring");
+    let body = match family {
+        "fattree" => "topology fattree 4\ngranularity per-pair\nall-pairs 1000\n",
+        "bcube" => "topology bcube 1 4\ngranularity per-pair\nall-pairs 1000\n",
+        "dcell" => "topology dcell 1 4\ngranularity per-pair\nall-pairs 1000\n",
+        "stanford" => "topology stanford\ngranularity per-pair\nall-pairs 1000\n",
+        "linear" => "topology linear 4\nflow h0 h3 1000\nflow h3 h0 1000\n",
+        "ring" => "\
+# A 6-switch ring with a waypointed flow taking the long way round.
+topology ring 6
+granularity per-pair
+all-pairs 500
+flow-via h0 h2 1000 s4
+",
+        other => return Err(format!("unknown scenario family {other:?}").into()),
+    };
+    Ok(format!("# foces scenario template: {family}\n{body}"))
+}
+
+/// Dispatches a full argument vector (excluding `argv[0]`).
+pub fn dispatch(raw: &[String]) -> Result<String, CmdError> {
+    let args = Args::parse(
+        raw,
+        &[
+            "loss",
+            "modify",
+            "seed",
+            "threshold",
+            "rounds",
+            "attack-at",
+            "repair-at",
+            "cap",
+            "budget",
+        ],
+    )?;
+    match args.positional(0) {
+        Some("topo") => topo(&args),
+        Some("detect") => detect(&args),
+        Some("monitor") => monitor(&args),
+        Some("audit") => audit(&args),
+        Some("harden") => harden_cmd(&args),
+        Some("scenario") => scenario_template(&args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn scenario_file(content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "foces-cli-test-{}-{}.foces",
+            std::process::id(),
+            content.len()
+        ));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path
+    }
+
+    fn run(cmdline: Vec<String>) -> Result<String, CmdError> {
+        dispatch(&cmdline)
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(vec![]).unwrap().contains("USAGE"));
+        assert!(run(argv(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn topo_reports_statistics() {
+        let path = scenario_file("topology bcube 1 4\nall-pairs 1000\n");
+        let out = run(argv(&["topo", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("switches:      24"));
+        assert!(out.contains("flows:         240"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn detect_healthy_and_compromised() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let healthy = run(argv(&["detect", path.to_str().unwrap()])).unwrap();
+        assert!(healthy.contains("normal"), "{healthy}");
+        let attacked = run(argv(&[
+            "detect",
+            path.to_str().unwrap(),
+            "--modify",
+            "1",
+            "--sliced",
+        ]))
+        .unwrap();
+        assert!(attacked.contains("ANOMALY"), "{attacked}");
+        assert!(attacked.contains("suspect"), "{attacked}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn monitor_runs_attack_cycle() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run(argv(&[
+            "monitor",
+            path.to_str().unwrap(),
+            "--rounds",
+            "12",
+            "--attack-at",
+            "4",
+            "--repair-at",
+            "8",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("[attack"), "{out}");
+        assert!(out.contains("ALARM"), "{out}");
+        assert!(out.contains("alarm cleared"), "{out}");
+        assert!(out.contains("final state: normal"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn audit_and_harden_round_trip() {
+        let path = scenario_file(
+            "topology fattree 4\ngranularity per-dest\nall-pairs 1000\n",
+        );
+        let audit_out = run(argv(&["audit", path.to_str().unwrap()])).unwrap();
+        assert!(audit_out.contains("blind spots:  224"), "{audit_out}");
+        let harden_out =
+            run(argv(&["harden", path.to_str().unwrap(), "--budget", "5000"])).unwrap();
+        assert!(harden_out.contains("-> 100.0%"), "{harden_out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scenario_templates_parse() {
+        for family in ["fattree", "bcube", "dcell", "stanford", "linear", "ring"] {
+            let out = run(argv(&["scenario", family])).unwrap();
+            let body: String = out
+                .lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n");
+            foces_controlplane::scenario::Scenario::parse(&body)
+                .unwrap_or_else(|e| panic!("{family}: {e}"));
+        }
+        assert!(run(argv(&["scenario", "marsnet"])).is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let e = run(argv(&["topo", "/no/such/file.foces"])).unwrap_err();
+        assert!(e.to_string().contains("/no/such/file.foces"));
+    }
+}

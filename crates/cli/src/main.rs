@@ -1,0 +1,16 @@
+//! `foces` — the command-line entry point. All logic lives in
+//! [`commands`]; `main` only wires argv and exit codes.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&raw) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

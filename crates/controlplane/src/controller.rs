@@ -1,0 +1,725 @@
+use crate::{DestinationTree, FlowSpec, RuleGranularity};
+use foces_dataplane::{dst_match, pair_match, Action, DataPlane, FlowTable, Rule, RuleRef};
+use foces_net::{HostId, SwitchId, Topology};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from provisioning.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProvisionError {
+    /// A flow endpoint is not attached to any switch.
+    UnattachedHost(HostId),
+    /// No route exists between a flow's endpoints.
+    NoRoute {
+        /// The flow that could not be routed.
+        src: HostId,
+        /// Its destination.
+        dst: HostId,
+    },
+    /// A waypoint is unreachable from the previous path segment.
+    WaypointUnreachable {
+        /// The unreachable waypoint.
+        waypoint: SwitchId,
+    },
+    /// The stitched waypoint path visits a switch twice; a single
+    /// match/action rule cannot express two different next hops for the
+    /// same flow at one switch.
+    NonSimplePath {
+        /// The repeated switch.
+        switch: SwitchId,
+    },
+}
+
+impl fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvisionError::UnattachedHost(h) => {
+                write!(f, "host h{} is not attached to a switch", h.0)
+            }
+            ProvisionError::NoRoute { src, dst } => {
+                write!(f, "no route from h{} to h{}", src.0, dst.0)
+            }
+            ProvisionError::WaypointUnreachable { waypoint } => {
+                write!(f, "waypoint s{} is unreachable", waypoint.0)
+            }
+            ProvisionError::NonSimplePath { switch } => {
+                write!(
+                    f,
+                    "waypoint path revisits s{}; flow rules cannot express it",
+                    switch.0
+                )
+            }
+        }
+    }
+}
+
+impl Error for ProvisionError {}
+
+/// The controller's record of everything it installed: topology plus a copy
+/// of every flow table. This — not the live data plane — is what FOCES's
+/// FCM generator reads, because a compromised switch forges its table dumps
+/// to match exactly this view (threat model, §II-B).
+#[derive(Debug, Clone)]
+pub struct ControllerView {
+    topo: Topology,
+    tables: Vec<FlowTable>,
+}
+
+impl ControllerView {
+    /// Builds a view directly from a topology and per-switch flow tables —
+    /// for loading externally-authored configurations (tests, replayed
+    /// snapshots). [`provision`] is the normal constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len()` differs from the topology's switch count.
+    pub fn from_parts(topo: Topology, tables: Vec<FlowTable>) -> Self {
+        assert_eq!(
+            tables.len(),
+            topo.switch_count(),
+            "one flow table per switch required"
+        );
+        ControllerView { topo, tables }
+    }
+
+    /// The network topology as the controller knows it.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The flow table the controller installed on `switch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id is out of range.
+    pub fn table(&self, switch: SwitchId) -> &FlowTable {
+        &self.tables[switch.0]
+    }
+
+    /// Iterates over every installed rule in canonical (switch-major,
+    /// index) order — the FCM row order.
+    pub fn rule_refs(&self) -> impl Iterator<Item = RuleRef> + '_ {
+        self.tables.iter().enumerate().flat_map(|(s, t)| {
+            (0..t.len()).map(move |index| RuleRef {
+                switch: SwitchId(s),
+                index,
+            })
+        })
+    }
+
+    /// Total number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.tables.iter().map(FlowTable::len).sum()
+    }
+
+    /// Looks up a rule in the view.
+    pub fn rule(&self, r: RuleRef) -> Option<&Rule> {
+        self.tables.get(r.switch.0)?.get(r.index)
+    }
+
+    /// Installs a rule into the view's table for `switch`, returning its
+    /// reference. Used by configuration tooling (e.g. detectability
+    /// hardening) that refines the rule set; remember to install the same
+    /// rule on the live data plane at the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id is out of range.
+    pub fn install(&mut self, switch: SwitchId, rule: Rule) -> RuleRef {
+        let index = self.tables[switch.0].push(rule);
+        RuleRef { switch, index }
+    }
+}
+
+/// The output of [`provision`]: a live data plane, the controller's view of
+/// it, the flow demands, and the expected switch path of every flow.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The data plane with all rules installed (counters zeroed).
+    pub dataplane: DataPlane,
+    /// The controller's record of what it installed (updated only by the
+    /// controller itself — [`Deployment::add_flow`] — never by the
+    /// adversary).
+    pub view: ControllerView,
+    /// The provisioned traffic demands.
+    pub flows: Vec<FlowSpec>,
+    /// `expected_paths[i]` is the switch path `flows[i]` should take.
+    pub expected_paths: Vec<Vec<SwitchId>>,
+    /// The rule-compilation granularity this deployment was built with.
+    pub granularity: RuleGranularity,
+}
+
+impl Deployment {
+    /// Replays every flow through the data plane for one collection
+    /// interval, accumulating counters. Call
+    /// [`DataPlane::reset_counters`] first when simulating successive
+    /// intervals.
+    pub fn replay_traffic(&mut self, loss: &mut foces_dataplane::LossModel) {
+        for f in &self.flows {
+            let header = foces_dataplane::pair_header(f.src, f.dst);
+            self.dataplane.inject(f.src, header, f.rate, loss);
+        }
+    }
+
+    /// Reactively provisions one additional flow (paper §II-A's reactive
+    /// rule-installation mode): computes its route, installs any missing
+    /// rules into **both** the live data plane and the controller's view
+    /// (identical indices — they append in lockstep), and records the flow.
+    ///
+    /// Returns the rules newly installed (for
+    /// `foces::Fcm::extend_rules`) and the flow's switch path (for
+    /// `foces::Fcm::add_flows`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`provision`].
+    pub fn add_flow(
+        &mut self,
+        spec: FlowSpec,
+    ) -> Result<(Vec<RuleRef>, Vec<SwitchId>), ProvisionError> {
+        let tree = DestinationTree::compute(self.dataplane.topology(), spec.dst)
+            .ok_or(ProvisionError::UnattachedHost(spec.dst))?;
+        if self.dataplane.topology().host_attachment(spec.src).is_none() {
+            return Err(ProvisionError::UnattachedHost(spec.src));
+        }
+        let path = tree
+            .path_from(self.dataplane.topology(), spec.src)
+            .ok_or(ProvisionError::NoRoute {
+                src: spec.src,
+                dst: spec.dst,
+            })?;
+        let header = foces_dataplane::pair_header(spec.src, spec.dst);
+        let mut new_rules = Vec::new();
+        for &sw in &path {
+            let port = tree.egress_port(sw).expect("path switches have egress");
+            let needed = match self.granularity {
+                RuleGranularity::PerDestination => {
+                    // A per-destination rule may already exist from another
+                    // source's path; matching the header is the test.
+                    self.view.table(sw).lookup(header).is_none()
+                }
+                RuleGranularity::PerFlowPair => {
+                    // Require an exact pair rule (a lower-priority dst rule
+                    // from a different granularity epoch does not count).
+                    !self
+                        .view
+                        .table(sw)
+                        .iter()
+                        .any(|(_, r)| r.match_fields() == &pair_match(spec.src, spec.dst))
+                }
+            };
+            if needed {
+                let rule = match self.granularity {
+                    RuleGranularity::PerDestination => {
+                        Rule::new(dst_match(spec.dst), 5, Action::Forward(port))
+                    }
+                    RuleGranularity::PerFlowPair => {
+                        Rule::new(pair_match(spec.src, spec.dst), 10, Action::Forward(port))
+                    }
+                };
+                let r = self.dataplane.install(sw, rule.clone());
+                let view_index = self.view.tables[sw.0].push(rule);
+                debug_assert_eq!(view_index, r.index, "view and data plane in lockstep");
+                new_rules.push(r);
+            }
+        }
+        self.flows.push(spec);
+        self.expected_paths.push(path.clone());
+        Ok((new_rules, path))
+    }
+
+    /// Provisions a flow that must transit the given switches in order —
+    /// waypoint policies like "guest traffic goes through the firewall"
+    /// (the paper's motivating security policy, §I). The route stitches
+    /// shortest-path segments between consecutive waypoints; the flow gets
+    /// dedicated exact-match rules (waypoint routes are per-flow by
+    /// nature), installed into the data plane and the controller's view in
+    /// lockstep.
+    ///
+    /// Returns the installed rules and the stitched switch path.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProvisionError::UnattachedHost`] for detached endpoints;
+    /// * [`ProvisionError::WaypointUnreachable`] if a segment has no route;
+    /// * [`ProvisionError::NonSimplePath`] if the stitched path would visit
+    ///   a switch twice (inexpressible with single match/action rules).
+    pub fn add_flow_via(
+        &mut self,
+        spec: FlowSpec,
+        waypoints: &[SwitchId],
+    ) -> Result<(Vec<RuleRef>, Vec<SwitchId>), ProvisionError> {
+        let topo = self.dataplane.topology();
+        let (src_sw, _) = topo
+            .host_attachment(spec.src)
+            .ok_or(ProvisionError::UnattachedHost(spec.src))?;
+        let (dst_sw, dst_port) = topo
+            .host_attachment(spec.dst)
+            .ok_or(ProvisionError::UnattachedHost(spec.dst))?;
+        // Stitch switch-level shortest-path segments through the waypoints.
+        let mut path: Vec<SwitchId> = vec![src_sw];
+        let mut stops: Vec<SwitchId> = waypoints.to_vec();
+        stops.push(dst_sw);
+        for stop in stops {
+            let from = *path.last().expect("path starts non-empty");
+            let segment = topo
+                .shortest_path(
+                    foces_net::Node::Switch(from),
+                    foces_net::Node::Switch(stop),
+                )
+                .ok_or(ProvisionError::WaypointUnreachable { waypoint: stop })?;
+            for node in segment.into_iter().skip(1) {
+                let foces_net::Node::Switch(sw) = node else {
+                    unreachable!("switch-to-switch paths never transit hosts");
+                };
+                path.push(sw);
+            }
+        }
+        // Simplicity check.
+        let mut seen = std::collections::HashSet::new();
+        for &sw in &path {
+            if !seen.insert(sw) {
+                return Err(ProvisionError::NonSimplePath { switch: sw });
+            }
+        }
+        // Install per-pair rules along the stitched path, at a priority
+        // above plain per-pair forwarding (10): a waypoint policy for a
+        // pair overrides any shortest-path rule already installed for it.
+        const WAYPOINT_PRIORITY: u16 = 12;
+        let mut new_rules = Vec::with_capacity(path.len());
+        for (i, &sw) in path.iter().enumerate() {
+            let port = match path.get(i + 1) {
+                Some(&next) => self
+                    .dataplane
+                    .topology()
+                    .port_towards(
+                        foces_net::Node::Switch(sw),
+                        foces_net::Node::Switch(next),
+                    )
+                    .expect("consecutive path switches are adjacent"),
+                None => dst_port,
+            };
+            let rule = Rule::new(
+                pair_match(spec.src, spec.dst),
+                WAYPOINT_PRIORITY,
+                Action::Forward(port),
+            );
+            let r = self.dataplane.install(sw, rule.clone());
+            let view_index = self.view.tables[sw.0].push(rule);
+            debug_assert_eq!(view_index, r.index, "view and data plane in lockstep");
+            new_rules.push(r);
+        }
+        self.flows.push(spec);
+        self.expected_paths.push(path.clone());
+        Ok((new_rules, path))
+    }
+}
+
+/// Computes routes for all flows, compiles rules at the requested
+/// granularity, installs them into a fresh [`DataPlane`], and returns the
+/// deployment together with the controller's view.
+///
+/// Routing: per-destination BFS trees ([`DestinationTree`]); every rule
+/// needed by at least one provisioned flow is installed, and nothing else.
+///
+/// # Errors
+///
+/// * [`ProvisionError::UnattachedHost`] if a flow endpoint has no switch;
+/// * [`ProvisionError::NoRoute`] if the topology is partitioned between a
+///   flow's endpoints.
+pub fn provision(
+    topo: Topology,
+    flows: &[FlowSpec],
+    granularity: RuleGranularity,
+) -> Result<Deployment, ProvisionError> {
+    let mut dp = DataPlane::new(topo);
+    let mut trees: HashMap<HostId, DestinationTree> = HashMap::new();
+    // Rule dedup: (switch, dst) -> installed, or (switch, src, dst).
+    let mut dst_rules: HashMap<(SwitchId, HostId), RuleRef> = HashMap::new();
+    let mut pair_rules: HashMap<(SwitchId, HostId, HostId), RuleRef> = HashMap::new();
+    let mut expected_paths = Vec::with_capacity(flows.len());
+
+    for f in flows {
+        let tree = match trees.get(&f.dst) {
+            Some(t) => t,
+            None => {
+                let t = DestinationTree::compute(dp.topology(), f.dst)
+                    .ok_or(ProvisionError::UnattachedHost(f.dst))?;
+                trees.entry(f.dst).or_insert(t)
+            }
+        };
+        if dp.topology().host_attachment(f.src).is_none() {
+            return Err(ProvisionError::UnattachedHost(f.src));
+        }
+        let path = tree
+            .path_from(dp.topology(), f.src)
+            .ok_or(ProvisionError::NoRoute {
+                src: f.src,
+                dst: f.dst,
+            })?;
+        // Collect (switch, egress) pairs first to end the borrow of `trees`
+        // before mutating `dp`.
+        let hops: Vec<(SwitchId, foces_net::Port)> = path
+            .iter()
+            .map(|&sw| {
+                let port = tree
+                    .egress_port(sw)
+                    .expect("switches on a tree path have egress ports");
+                (sw, port)
+            })
+            .collect();
+        for (sw, port) in hops {
+            match granularity {
+                RuleGranularity::PerDestination => {
+                    dst_rules.entry((sw, f.dst)).or_insert_with(|| {
+                        dp.install(sw, Rule::new(dst_match(f.dst), 5, Action::Forward(port)))
+                    });
+                }
+                RuleGranularity::PerFlowPair => {
+                    pair_rules.entry((sw, f.src, f.dst)).or_insert_with(|| {
+                        dp.install(
+                            sw,
+                            Rule::new(pair_match(f.src, f.dst), 10, Action::Forward(port)),
+                        )
+                    });
+                }
+            }
+        }
+        expected_paths.push(path);
+    }
+
+    let view = ControllerView {
+        topo: dp.topology().clone(),
+        tables: (0..dp.topology().switch_count())
+            .map(|s| dp.table(SwitchId(s)).clone())
+            .collect(),
+    };
+    Ok(Deployment {
+        dataplane: dp,
+        view,
+        flows: flows.to_vec(),
+        expected_paths,
+        granularity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_flows;
+    use foces_dataplane::LossModel;
+    use foces_net::generators::{bcube, dcell, fattree, stanford};
+    use foces_net::Node;
+
+    fn deploy(
+        topo: Topology,
+        granularity: RuleGranularity,
+    ) -> Deployment {
+        let flows = uniform_flows(&topo, topo.host_count() as f64 * 1000.0);
+        provision(topo, &flows, granularity).unwrap()
+    }
+
+    #[test]
+    fn all_flows_deliver_losslessly() {
+        for topo in [fattree(4), bcube(1, 4), dcell(1, 4), stanford()] {
+            let mut dep = deploy(topo, RuleGranularity::PerDestination);
+            let flows = dep.flows.clone();
+            for f in &flows {
+                let header = foces_dataplane::pair_header(f.src, f.dst);
+                let rep = dep
+                    .dataplane
+                    .inject(f.src, header, f.rate, &mut LossModel::none());
+                assert_eq!(rep.delivered_to, Some(f.dst), "flow {f}");
+                assert!((rep.delivered_volume - f.rate).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn per_flow_granularity_also_delivers() {
+        let mut dep = deploy(fattree(4), RuleGranularity::PerFlowPair);
+        let flows = dep.flows.clone();
+        for f in &flows {
+            let header = foces_dataplane::pair_header(f.src, f.dst);
+            let rep = dep
+                .dataplane
+                .inject(f.src, header, f.rate, &mut LossModel::none());
+            assert_eq!(rep.delivered_to, Some(f.dst));
+        }
+    }
+
+    #[test]
+    fn view_matches_dataplane_before_compromise() {
+        let dep = deploy(bcube(1, 4), RuleGranularity::PerDestination);
+        for r in dep.view.rule_refs() {
+            assert_eq!(dep.view.rule(r), dep.dataplane.rule(r));
+        }
+        assert_eq!(dep.view.rule_count(), dep.dataplane.rule_count());
+    }
+
+    #[test]
+    fn view_is_immutable_under_compromise() {
+        let mut dep = deploy(bcube(1, 4), RuleGranularity::PerDestination);
+        let r = dep.view.rule_refs().next().unwrap();
+        let before = dep.view.rule(r).unwrap().clone();
+        dep.dataplane
+            .modify_rule_action(r, Action::Drop)
+            .unwrap();
+        assert_eq!(dep.view.rule(r), Some(&before));
+        assert_ne!(dep.dataplane.rule(r), Some(&before));
+    }
+
+    #[test]
+    fn per_destination_aggregates_rules() {
+        let dst_dep = deploy(fattree(4), RuleGranularity::PerDestination);
+        let pair_dep = deploy(fattree(4), RuleGranularity::PerFlowPair);
+        assert!(
+            dst_dep.view.rule_count() < pair_dep.view.rule_count(),
+            "aggregation must reduce rule count: {} vs {}",
+            dst_dep.view.rule_count(),
+            pair_dep.view.rule_count()
+        );
+    }
+
+    #[test]
+    fn expected_paths_start_and_end_at_attachments() {
+        let dep = deploy(dcell(1, 4), RuleGranularity::PerDestination);
+        for (f, p) in dep.flows.iter().zip(&dep.expected_paths) {
+            let (src_sw, _) = dep.view.topology().host_attachment(f.src).unwrap();
+            let (dst_sw, _) = dep.view.topology().host_attachment(f.dst).unwrap();
+            assert_eq!(*p.first().unwrap(), src_sw);
+            assert_eq!(*p.last().unwrap(), dst_sw);
+        }
+    }
+
+    #[test]
+    fn expected_paths_are_consistent_with_counters() {
+        // After lossless replay, a rule's counter equals the sum of rates of
+        // flows whose expected path passes its switch and matches it.
+        let mut dep = deploy(fattree(4), RuleGranularity::PerDestination);
+        dep.replay_traffic(&mut LossModel::none());
+        for (f, p) in dep.flows.clone().iter().zip(dep.expected_paths.clone()) {
+            for sw in p {
+                let header = foces_dataplane::pair_header(f.src, f.dst);
+                let (idx, _) = dep.dataplane.table(sw).lookup(header).unwrap();
+                assert!(dep.dataplane.counter(sw, idx) >= f.rate - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn unattached_host_is_rejected() {
+        let mut topo = Topology::new();
+        topo.add_switch("s0");
+        let h0 = topo.add_host();
+        let h1 = topo.add_host();
+        let flows = [FlowSpec {
+            src: h0,
+            dst: h1,
+            rate: 1.0,
+        }];
+        assert!(matches!(
+            provision(topo, &flows, RuleGranularity::PerDestination),
+            Err(ProvisionError::UnattachedHost(_))
+        ));
+    }
+
+    #[test]
+    fn partitioned_network_is_rejected() {
+        let mut topo = Topology::new();
+        let s0 = topo.add_switch("s0");
+        let s1 = topo.add_switch("s1");
+        let h0 = topo.add_host();
+        let h1 = topo.add_host();
+        topo.connect(Node::Host(h0), Node::Switch(s0)).unwrap();
+        topo.connect(Node::Host(h1), Node::Switch(s1)).unwrap();
+        let flows = [FlowSpec {
+            src: h0,
+            dst: h1,
+            rate: 1.0,
+        }];
+        assert!(matches!(
+            provision(topo, &flows, RuleGranularity::PerDestination),
+            Err(ProvisionError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn add_flow_matches_batch_provisioning() {
+        // Provision half the pairs up front, add the rest reactively; the
+        // resulting view must install the same rule set per switch as the
+        // all-at-once provisioning (order may differ).
+        for g in [RuleGranularity::PerFlowPair, RuleGranularity::PerDestination] {
+            let topo = bcube(1, 4);
+            let all = uniform_flows(&topo, 240_000.0);
+            let full = provision(topo.clone(), &all, g).unwrap();
+            let (first, rest) = all.split_at(all.len() / 2);
+            let mut incremental = provision(topo, first, g).unwrap();
+            for f in rest {
+                incremental.add_flow(*f).unwrap();
+            }
+            assert_eq!(incremental.flows.len(), full.flows.len());
+            assert_eq!(
+                incremental.view.rule_count(),
+                full.view.rule_count(),
+                "granularity {g:?}"
+            );
+            // Same multiset of (switch, match, action) triples.
+            for s in incremental.view.topology().switches() {
+                let mut a: Vec<String> = incremental
+                    .view
+                    .table(s)
+                    .iter()
+                    .map(|(_, r)| r.to_string())
+                    .collect();
+                let mut b: Vec<String> =
+                    full.view.table(s).iter().map(|(_, r)| r.to_string()).collect();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "switch {s:?} tables differ ({g:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn add_flow_keeps_view_and_dataplane_in_lockstep() {
+        let topo = bcube(1, 4);
+        let all = uniform_flows(&topo, 240_000.0);
+        let mut dep = provision(topo, &all[..10], RuleGranularity::PerFlowPair).unwrap();
+        let (new_rules, path) = dep.add_flow(all[10]).unwrap();
+        assert_eq!(new_rules.len(), path.len(), "per-pair: one rule per hop");
+        for r in &new_rules {
+            assert_eq!(dep.view.rule(*r), dep.dataplane.rule(*r));
+        }
+        // Re-adding the same flow installs nothing new.
+        let (none, _) = dep.add_flow(all[10]).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn add_flow_delivers_traffic() {
+        let topo = fattree(4);
+        let all = uniform_flows(&topo, 240_000.0);
+        let mut dep = provision(topo, &all[..1], RuleGranularity::PerDestination).unwrap();
+        let spec = all[37];
+        dep.add_flow(spec).unwrap();
+        let rep = dep.dataplane.inject(
+            spec.src,
+            foces_dataplane::pair_header(spec.src, spec.dst),
+            spec.rate,
+            &mut LossModel::none(),
+        );
+        assert_eq!(rep.delivered_to, Some(spec.dst));
+    }
+
+    #[test]
+    fn waypoint_flow_transits_the_waypoint() {
+        // ring(6): h0 -> h2 shortest is s0-s1-s2; waypoint s4 forces the
+        // long way round (s0-s5-s4-s3-s2), which is simple and expressible.
+        let topo = foces_net::generators::ring(6);
+        let hosts: Vec<HostId> = topo.hosts().collect();
+        let mut dep = provision(topo, &[], RuleGranularity::PerFlowPair).unwrap();
+        let spec = FlowSpec {
+            src: hosts[0],
+            dst: hosts[2],
+            rate: 500.0,
+        };
+        let waypoint = SwitchId(4);
+        let (rules, path) = dep.add_flow_via(spec, &[waypoint]).unwrap();
+        assert_eq!(
+            path,
+            vec![SwitchId(0), SwitchId(5), SwitchId(4), SwitchId(3), SwitchId(2)],
+            "the long way round"
+        );
+        assert_eq!(rules.len(), path.len());
+        // Traffic actually follows the stitched path and is delivered.
+        let rep = dep.dataplane.inject(
+            spec.src,
+            foces_dataplane::pair_header(spec.src, spec.dst),
+            spec.rate,
+            &mut LossModel::none(),
+        );
+        assert_eq!(rep.delivered_to, Some(spec.dst));
+        assert_eq!(rep.hops, path.len());
+        for r in &rules {
+            assert_eq!(dep.dataplane.counter(r.switch, r.index), spec.rate);
+        }
+    }
+
+    #[test]
+    fn waypoint_path_must_be_simple() {
+        // FatTree(4): cores connect to exactly one aggregation switch per
+        // pod, so a core waypoint for a same-pod flow must go up and down
+        // through the SAME agg — inexpressible with single match/action
+        // rules, and correctly rejected.
+        let topo = fattree(4);
+        let hosts: Vec<HostId> = topo.hosts().collect();
+        let core = topo
+            .switches()
+            .find(|&s| topo.switch_role(s) == foces_net::SwitchRole::Core)
+            .unwrap();
+        let mut dep = provision(topo, &[], RuleGranularity::PerFlowPair).unwrap();
+        let spec = FlowSpec {
+            src: hosts[0],
+            dst: hosts[1], // same edge switch
+            rate: 1.0,
+        };
+        let err = dep.add_flow_via(spec, &[core]).unwrap_err();
+        assert!(matches!(err, ProvisionError::NonSimplePath { .. }));
+    }
+
+    #[test]
+    fn waypoint_unreachable_is_reported() {
+        let mut topo = fattree(4);
+        let island = topo.add_switch("island");
+        let hosts: Vec<HostId> = topo.hosts().collect();
+        let mut dep = provision(topo, &[], RuleGranularity::PerFlowPair).unwrap();
+        let spec = FlowSpec {
+            src: hosts[0],
+            dst: hosts[15],
+            rate: 1.0,
+        };
+        let err = dep.add_flow_via(spec, &[island]).unwrap_err();
+        assert!(matches!(
+            err,
+            ProvisionError::WaypointUnreachable { waypoint } if waypoint == island
+        ));
+    }
+
+    #[test]
+    fn add_flow_validates_endpoints() {
+        let mut topo = Topology::new();
+        let s0 = topo.add_switch("s0");
+        let h0 = topo.add_host();
+        let h1 = topo.add_host();
+        topo.connect(Node::Host(h0), Node::Switch(s0)).unwrap();
+        topo.connect(Node::Host(h1), Node::Switch(s0)).unwrap();
+        let flows = [FlowSpec { src: h0, dst: h1, rate: 1.0 }];
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        let h_orphan = HostId(99);
+        assert!(dep
+            .add_flow(FlowSpec { src: h0, dst: h_orphan, rate: 1.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn table1_dimensions() {
+        // Reproduces Table I's switch/host/flow columns exactly; rule counts
+        // depend on compilation granularity (documented in EXPERIMENTS.md).
+        let cases: [(&str, Topology, usize, usize, usize); 4] = [
+            ("stanford", stanford(), 26, 26, 650),
+            ("fattree4", fattree(4), 20, 16, 240),
+            ("bcube14", bcube(1, 4), 24, 16, 240),
+            ("dcell14", dcell(1, 4), 25, 20, 380),
+        ];
+        for (name, topo, switches, hosts, flow_count) in cases {
+            assert_eq!(topo.switch_count(), switches, "{name} switches");
+            assert_eq!(topo.host_count(), hosts, "{name} hosts");
+            let dep = deploy(topo, RuleGranularity::PerDestination);
+            assert_eq!(dep.flows.len(), flow_count, "{name} flows");
+            assert!(dep.view.rule_count() > 0, "{name} rules");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The simulated SDN control plane for the FOCES reproduction.
+//!
+//! Plays the role Floodlight plays in the paper's experiments (§VI-B): it
+//! computes shortest-path routes for every host pair, compiles them into
+//! flow rules, installs the rules into a [`foces_dataplane::DataPlane`], and
+//! retains its own copy of what it installed — the **controller's view**.
+//!
+//! The controller's view is the ground truth FOCES checks against: the
+//! adversary may silently rewrite actions on the data plane, but a
+//! flow-table dump (which the adversary forges) always matches the view, so
+//! the detector can only rely on *counters*, exactly as in the paper's
+//! threat model.
+//!
+//! Routing is per-destination: for each host `d` a BFS tree rooted at `d`'s
+//! attachment switch fixes every switch's next hop toward `d`. With
+//! [`RuleGranularity::PerDestination`] one rule per (switch, destination)
+//! serves every source — the aggregated rules of the paper's Fig. 2. With
+//! [`RuleGranularity::PerFlowPair`] each (src, dst) pair gets its own exact
+//! rule along the same path (an ablation; Floodlight's reactive mode
+//! behaves this way).
+//!
+//! # Example
+//!
+//! ```
+//! use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+//! use foces_net::generators::fattree;
+//!
+//! let topo = fattree(4);
+//! let flows = uniform_flows(&topo, 1000.0);
+//! assert_eq!(flows.len(), 16 * 15); // all ordered host pairs
+//! let dep = provision(topo, &flows, RuleGranularity::PerDestination).unwrap();
+//! assert!(dep.dataplane.rule_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod routing;
+pub mod scenario;
+mod spec;
+
+pub use controller::{provision, ControllerView, Deployment, ProvisionError};
+pub use routing::DestinationTree;
+pub use spec::{uniform_flows, FlowSpec, RuleGranularity};

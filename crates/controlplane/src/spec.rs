@@ -1,0 +1,118 @@
+use foces_net::{HostId, Topology};
+use std::fmt;
+
+/// A traffic demand: `rate` packets per collection interval from `src` to
+/// `dst`.
+///
+/// The paper fixes each network's aggregate rate to 800 Mb/s split evenly
+/// over all host pairs; in the fluid simulator only the *relative* volumes
+/// matter, so experiments work in packets-per-interval directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// Traffic source.
+    pub src: HostId,
+    /// Traffic sink.
+    pub dst: HostId,
+    /// Packets per collection interval.
+    pub rate: f64,
+}
+
+impl fmt::Display for FlowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}->h{} @{}", self.src.0, self.dst.0, self.rate)
+    }
+}
+
+/// How the controller compiles routes into rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum RuleGranularity {
+    /// One rule per (switch, destination host): sources share rules, so
+    /// rules aggregate flows — the regime FOCES is designed for (no
+    /// dedicated per-flow rules needed).
+    #[default]
+    PerDestination,
+    /// One exact-match rule per (switch, src, dst): no aggregation.
+    /// Mirrors Floodlight's reactive per-flow installation; used as an
+    /// ablation of rule-aggregation effects.
+    PerFlowPair,
+}
+
+/// Generates the paper's workload: one flow per ordered host pair, each of
+/// `total_rate / pair_count` packets per interval (§VI-B: "a flow of the
+/// same rate between each pair of hosts", total fixed per network).
+///
+/// Returns an empty vector for topologies with fewer than two hosts.
+///
+/// # Example
+///
+/// ```
+/// use foces_controlplane::uniform_flows;
+/// use foces_net::generators::stanford;
+///
+/// let flows = uniform_flows(&stanford(), 650_000.0);
+/// assert_eq!(flows.len(), 650);            // 26 * 25 ordered pairs
+/// assert_eq!(flows[0].rate, 1000.0);
+/// ```
+pub fn uniform_flows(topo: &Topology, total_rate: f64) -> Vec<FlowSpec> {
+    let hosts: Vec<HostId> = topo.hosts().collect();
+    let pairs = hosts.len().saturating_mul(hosts.len().saturating_sub(1));
+    if pairs == 0 {
+        return Vec::new();
+    }
+    let rate = total_rate / pairs as f64;
+    let mut flows = Vec::with_capacity(pairs);
+    for &src in &hosts {
+        for &dst in &hosts {
+            if src != dst {
+                flows.push(FlowSpec { src, dst, rate });
+            }
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_net::generators::{bcube, dcell, fattree, stanford};
+
+    #[test]
+    fn flow_counts_match_table1() {
+        // Table I: Stanford 650, FatTree(4) 240, BCube(1,4) 240, DCell(1,4) 380.
+        assert_eq!(uniform_flows(&stanford(), 1.0).len(), 650);
+        assert_eq!(uniform_flows(&fattree(4), 1.0).len(), 240);
+        assert_eq!(uniform_flows(&bcube(1, 4), 1.0).len(), 240);
+        assert_eq!(uniform_flows(&dcell(1, 4), 1.0).len(), 380);
+    }
+
+    #[test]
+    fn rates_are_uniform_and_sum_to_total() {
+        let flows = uniform_flows(&fattree(4), 480.0);
+        assert!(flows.iter().all(|f| f.rate == 2.0));
+        let total: f64 = flows.iter().map(|f| f.rate).sum();
+        assert!((total - 480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_self_flows() {
+        let flows = uniform_flows(&stanford(), 1.0);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn empty_topology_yields_no_flows() {
+        let topo = Topology::new();
+        assert!(uniform_flows(&topo, 100.0).is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let f = FlowSpec {
+            src: HostId(1),
+            dst: HostId(2),
+            rate: 3.5,
+        };
+        assert_eq!(f.to_string(), "h1->h2 @3.5");
+    }
+}

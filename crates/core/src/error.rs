@@ -1,0 +1,74 @@
+use foces_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the FOCES detector.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FocesError {
+    /// The counter vector's length does not match the FCM's rule count.
+    CounterLengthMismatch {
+        /// Number of counters supplied.
+        got: usize,
+        /// Number of rules (FCM rows) expected.
+        expected: usize,
+    },
+    /// The FCM has no flows (nothing to check).
+    EmptyFcm,
+    /// The underlying linear solve failed beyond all fallbacks.
+    Solver(LinalgError),
+}
+
+impl fmt::Display for FocesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FocesError::CounterLengthMismatch { got, expected } => write!(
+                f,
+                "counter vector has {got} entries but the FCM has {expected} rules"
+            ),
+            FocesError::EmptyFcm => write!(f, "flow-counter matrix has no flows"),
+            FocesError::Solver(e) => write!(f, "equation system solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for FocesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FocesError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for FocesError {
+    fn from(e: LinalgError) -> Self {
+        FocesError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FocesError::CounterLengthMismatch {
+            got: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.source().is_none());
+
+        let inner = LinalgError::DimensionMismatch("x".into());
+        let e = FocesError::from(inner.clone());
+        assert_eq!(e, FocesError::Solver(inner));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FocesError>();
+    }
+}

@@ -1,0 +1,431 @@
+use foces_atpg::{trace_flows, LogicalFlow};
+use foces_controlplane::ControllerView;
+use foces_dataplane::RuleRef;
+use foces_linalg::{CsrMatrix, DenseMatrix, Triplet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The Flow-Counter Matrix (paper Eq. 1): `H[i][j] = 1` iff logical flow
+/// `j` traverses rule `i`.
+///
+/// Rows are indexed by [`RuleRef`] in canonical (switch-major, table-index)
+/// order — the same order [`foces_dataplane::DataPlane::collect_counters`]
+/// reports counters in, so a collected counter vector lines up with the FCM
+/// rows with no further bookkeeping.
+///
+/// The matrix is stored in CSR form — real FCMs are enormous but have one
+/// nonzero per hop per flow, far below 1 % density — and densified only on
+/// demand ([`Fcm::dense`]) for the detectability oracle and small test
+/// instances. Construction from a controller view runs the ATPG tracer
+/// ([`foces_atpg::trace_flows`]) to enumerate logical flows.
+///
+/// # Example
+///
+/// ```
+/// use foces::Fcm;
+/// use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+/// use foces_net::generators::fattree;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = fattree(4);
+/// let flows = uniform_flows(&topo, 240.0);
+/// let dep = provision(topo, &flows, RuleGranularity::PerDestination)?;
+/// let fcm = Fcm::from_view(&dep.view);
+/// assert_eq!(fcm.flow_count(), 240);
+/// assert_eq!(fcm.rule_count(), dep.view.rule_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fcm {
+    rules: Vec<RuleRef>,
+    rule_index: HashMap<RuleRef, usize>,
+    flows: Vec<LogicalFlow>,
+    sparse: CsrMatrix,
+}
+
+impl Fcm {
+    /// Builds the FCM for a controller view: enumerates the view's logical
+    /// flows via ATPG symbolic traversal and populates one column per flow.
+    pub fn from_view(view: &ControllerView) -> Self {
+        let rules: Vec<RuleRef> = view.rule_refs().collect();
+        let flows = trace_flows(view);
+        Fcm::from_parts(rules, flows)
+    }
+
+    /// Builds the FCM from explicit parts: a rule universe (row order) and
+    /// the logical flows (columns). Exposed for tests and for callers that
+    /// already traced flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow references a rule not present in `rules` — flows
+    /// must come from the same view as the rule universe.
+    pub fn from_parts(rules: Vec<RuleRef>, flows: Vec<LogicalFlow>) -> Self {
+        let rule_index: HashMap<RuleRef, usize> =
+            rules.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let m = rules.len();
+        let n = flows.len();
+        let mut triplets = Vec::new();
+        for (j, f) in flows.iter().enumerate() {
+            for r in &f.rules {
+                let i = *rule_index
+                    .get(r)
+                    .unwrap_or_else(|| panic!("flow references unknown rule {r}"));
+                triplets.push(Triplet {
+                    row: i,
+                    col: j,
+                    value: 1.0,
+                });
+            }
+        }
+        let sparse =
+            CsrMatrix::from_triplets(m, n, &triplets).expect("indices bounded by construction");
+        Fcm {
+            rules,
+            rule_index,
+            flows,
+            sparse,
+        }
+    }
+
+    /// Number of rules (rows).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of logical flows (columns).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The rule universe in row order.
+    pub fn rules(&self) -> &[RuleRef] {
+        &self.rules
+    }
+
+    /// The logical flows in column order.
+    pub fn flows(&self) -> &[LogicalFlow] {
+        &self.flows
+    }
+
+    /// Row index of a rule, if it is part of this FCM.
+    pub fn rule_row(&self, r: RuleRef) -> Option<usize> {
+        self.rule_index.get(&r).copied()
+    }
+
+    /// Materializes the FCM densely (rules × flows). The matrix is kept in
+    /// CSR form internally — real FCMs are huge but sparse — so this is an
+    /// O(rules·flows) conversion intended for the detectability oracle and
+    /// for small/test instances, not for the per-round solver path.
+    pub fn dense(&self) -> DenseMatrix {
+        self.sparse.to_dense()
+    }
+
+    /// The sparse (CSR) matrix.
+    pub fn sparse(&self) -> &CsrMatrix {
+        &self.sparse
+    }
+
+    /// The column of flow `j` as a dense vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        let mut col = vec![0.0; self.rule_count()];
+        for r in &self.flows[j].rules {
+            col[self.rule_index[r]] = 1.0;
+        }
+        col
+    }
+
+    /// Indices of columns forming a **deduplicated column basis**: the first
+    /// occurrence of every distinct column. With per-destination rule
+    /// aggregation, two hosts on the same edge switch sending to the same
+    /// destination traverse identical rule sets, giving identical FCM
+    /// columns; the least-squares projection only depends on the column
+    /// *space*, so the solver works on this basis (see
+    /// [`crate::EquationSystem`]).
+    pub fn unique_column_basis(&self) -> Vec<usize> {
+        let mut seen: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut basis = Vec::new();
+        for (j, f) in self.flows.iter().enumerate() {
+            let mut key: Vec<usize> = f
+                .rules
+                .iter()
+                .map(|r| self.rule_index[r])
+                .collect();
+            key.sort_unstable();
+            if seen.insert(key, j).is_none() {
+                basis.push(j);
+            }
+        }
+        basis
+    }
+
+    /// Groups columns by identical rule sets: `basis[g]` is the first
+    /// column of group `g`, and `group_of[j]` maps every column to its
+    /// group. Used by the solver to work on a duplicate-free column basis.
+    pub fn column_groups(&self) -> ColumnGroups {
+        let mut seen: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut basis = Vec::new();
+        let mut group_of = Vec::with_capacity(self.flows.len());
+        for (j, f) in self.flows.iter().enumerate() {
+            let mut key: Vec<usize> = f.rules.iter().map(|r| self.rule_index[r]).collect();
+            key.sort_unstable();
+            let g = *seen.entry(key).or_insert_with(|| {
+                basis.push(j);
+                basis.len() - 1
+            });
+            group_of.push(g);
+        }
+        ColumnGroups { basis, group_of }
+    }
+
+    /// Expected counter vector `Y₀ = H·X` for given flow volumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volumes.len() != flow_count()`.
+    pub fn expected_counters(&self, volumes: &[f64]) -> Vec<f64> {
+        self.sparse
+            .matvec(volumes)
+            .expect("volume vector length checked by caller")
+    }
+
+    /// The number of nonzero entries (total rule traversals).
+    pub fn nnz(&self) -> usize {
+        self.sparse.nnz()
+    }
+
+    /// Appends logical flows as new columns — the incremental path for
+    /// reactive rule installation (paper §II-A: "rules can also be
+    /// installed reactively when a new flow comes into the network").
+    /// Rebuilds the sparse form once, so batch additions where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow references a rule outside the universe; call
+    /// [`Fcm::extend_rules`] first for rules the controller just installed.
+    pub fn add_flows(&mut self, flows: Vec<LogicalFlow>) {
+        for f in &flows {
+            for r in &f.rules {
+                assert!(
+                    self.rule_index.contains_key(r),
+                    "flow references unknown rule {r}; extend_rules first"
+                );
+            }
+        }
+        self.flows.extend(flows);
+        self.rebuild_sparse();
+    }
+
+    /// Removes the flows at the given column indices (e.g. reactive flows
+    /// that timed out), returning them in the order given. Remaining
+    /// columns keep their relative order; installed rules stay in the
+    /// universe (their counters simply go quiet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or repeated.
+    pub fn remove_flows(&mut self, indices: &[usize]) -> Vec<LogicalFlow> {
+        let mut marked = vec![false; self.flows.len()];
+        for &i in indices {
+            assert!(i < self.flows.len(), "flow index {i} out of range");
+            assert!(!marked[i], "flow index {i} repeated");
+            marked[i] = true;
+        }
+        let mut removed = Vec::with_capacity(indices.len());
+        for &i in indices {
+            removed.push(self.flows[i].clone());
+        }
+        let mut keep = Vec::with_capacity(self.flows.len() - indices.len());
+        for (i, f) in self.flows.drain(..).enumerate() {
+            if !marked[i] {
+                keep.push(f);
+            }
+        }
+        self.flows = keep;
+        self.rebuild_sparse();
+        removed
+    }
+
+    /// Extends the rule universe with newly installed rules (new rows,
+    /// all-zero until some flow traverses them). Existing row indices are
+    /// preserved, so previously collected counter vectors stay aligned
+    /// after appending the new rules' counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule is already in the universe.
+    pub fn extend_rules(&mut self, new_rules: &[RuleRef]) {
+        for &r in new_rules {
+            let idx = self.rules.len();
+            let prev = self.rule_index.insert(r, idx);
+            assert!(prev.is_none(), "rule {r} already in the FCM universe");
+            self.rules.push(r);
+        }
+        self.rebuild_sparse();
+    }
+
+    fn rebuild_sparse(&mut self) {
+        let mut triplets = Vec::new();
+        for (j, f) in self.flows.iter().enumerate() {
+            for r in &f.rules {
+                triplets.push(Triplet {
+                    row: self.rule_index[r],
+                    col: j,
+                    value: 1.0,
+                });
+            }
+        }
+        self.sparse = CsrMatrix::from_triplets(self.rules.len(), self.flows.len(), &triplets)
+            .expect("indices bounded by construction");
+    }
+
+    /// Collects this FCM's counter vector from a data plane, in row order.
+    /// Unlike [`foces_dataplane::DataPlane::collect_counters`] this ignores
+    /// rules outside the FCM's universe — e.g. dedicated measurement rules
+    /// another tool installed after the FCM was built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule of the FCM no longer exists on the data plane.
+    pub fn counters_from(&self, dp: &foces_dataplane::DataPlane) -> Vec<f64> {
+        self.rules
+            .iter()
+            .map(|r| dp.counter(r.switch, r.index))
+            .collect()
+    }
+}
+
+/// Column grouping by identical rule sets (see [`Fcm::column_groups`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnGroups {
+    /// First column index of each group, in first-appearance order.
+    pub basis: Vec<usize>,
+    /// `group_of[j]` = group index of column `j`.
+    pub group_of: Vec<usize>,
+}
+
+impl ColumnGroups {
+    /// Number of members in group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range (callers iterate over valid groups).
+    pub fn group_size(&self, g: usize) -> usize {
+        assert!(g < self.basis.len(), "group {g} out of range");
+        self.group_of.iter().filter(|&&x| x == g).count()
+    }
+}
+
+impl fmt::Display for Fcm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FCM: {} rules x {} flows ({} nonzeros, density {:.4}%)",
+            self.rule_count(),
+            self.flow_count(),
+            self.nnz(),
+            100.0 * self.nnz() as f64 / (self.rule_count().max(1) * self.flow_count().max(1)) as f64
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    use foces_net::generators::{fattree, stanford};
+
+    fn fcm_for(topo: foces_net::Topology, g: RuleGranularity) -> Fcm {
+        let flows = uniform_flows(&topo, 1000.0);
+        let dep = provision(topo, &flows, g).unwrap();
+        Fcm::from_view(&dep.view)
+    }
+
+    #[test]
+    fn dimensions_match_view() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        assert_eq!(fcm.flow_count(), 240);
+        assert!(fcm.rule_count() > 0);
+        assert_eq!(fcm.dense().rows(), fcm.rule_count());
+        assert_eq!(fcm.dense().cols(), fcm.flow_count());
+        assert_eq!(fcm.sparse().rows(), fcm.rule_count());
+        assert_eq!(fcm.sparse().nnz(), fcm.nnz());
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let fcm = fcm_for(stanford(), RuleGranularity::PerDestination);
+        assert!(fcm.sparse().to_dense().approx_eq(&fcm.dense(), 0.0));
+    }
+
+    #[test]
+    fn column_entries_match_flow_rules() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        for (j, flow) in fcm.flows().iter().enumerate().take(20) {
+            let col = fcm.column(j);
+            let ones: usize = col.iter().filter(|&&v| v == 1.0).count();
+            assert_eq!(ones, flow.rules.len());
+            for r in &flow.rules {
+                assert_eq!(col[fcm.rule_row(*r).unwrap()], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn per_pair_columns_are_all_unique() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerFlowPair);
+        assert_eq!(fcm.unique_column_basis().len(), fcm.flow_count());
+    }
+
+    #[test]
+    fn per_destination_fattree_has_duplicate_columns() {
+        // Two hosts on one edge switch sending to the same destination share
+        // every rule, so their columns coincide.
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        let basis = fcm.unique_column_basis();
+        assert!(basis.len() < fcm.flow_count());
+        assert!(basis.len() >= fcm.flow_count() / 2);
+    }
+
+    #[test]
+    fn stanford_per_destination_columns_unique() {
+        // One host per switch: every (src, dst) pair takes a distinct path.
+        let fcm = fcm_for(stanford(), RuleGranularity::PerDestination);
+        assert_eq!(fcm.unique_column_basis().len(), fcm.flow_count());
+    }
+
+    #[test]
+    fn expected_counters_are_flow_sums() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        let volumes = vec![1.0; fcm.flow_count()];
+        let y = fcm.expected_counters(&volumes);
+        // Each rule's expected counter = number of flows traversing it ≥ 1.
+        assert!(y.iter().all(|&v| v >= 1.0));
+        let total: f64 = y.iter().sum();
+        assert_eq!(total as usize, fcm.nnz());
+    }
+
+    #[test]
+    fn display_reports_shape() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        let s = fcm.to_string();
+        assert!(s.contains("240 flows"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown rule")]
+    fn from_parts_rejects_foreign_rules() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        let mut flows = fcm.flows().to_vec();
+        flows[0].rules.push(RuleRef {
+            switch: foces_net::SwitchId(999),
+            index: 0,
+        });
+        Fcm::from_parts(fcm.rules().to_vec(), flows);
+    }
+}

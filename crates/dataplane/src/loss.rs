@@ -1,0 +1,239 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-link packet-loss model applied every time a volume crosses a link.
+///
+/// The paper's experiments impose uniform loss rates from 0 % to 25 % on
+/// Mininet links; lost packets are what perturb the flow-conservation
+/// equations and force FOCES's threshold-based detector. Three modes:
+///
+/// * [`LossModel::none`] — lossless, for exact golden tests;
+/// * [`LossModel::deterministic`] — expected-value thinning (`v·(1-p)`),
+///   useful when a test needs loss without sampling noise;
+/// * [`LossModel::sampled`] — binomial thinning with a seeded RNG, the mode
+///   experiments use: each of the `round(v)` packets independently survives
+///   with probability `1-p`, exactly like discrete packets on a lossy link.
+///
+/// # Example
+///
+/// ```
+/// use foces_dataplane::LossModel;
+///
+/// let mut lossless = LossModel::none();
+/// assert_eq!(lossless.attenuate(100.0), 100.0);
+///
+/// let mut det = LossModel::deterministic(0.1);
+/// assert_eq!(det.attenuate(100.0), 90.0);
+///
+/// let mut sampled = LossModel::sampled(0.1, 42);
+/// let v = sampled.attenuate(10_000.0);
+/// assert!(v > 8_500.0 && v < 9_500.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossModel {
+    rate: f64,
+    rng: Option<StdRng>,
+}
+
+impl LossModel {
+    /// A lossless link model.
+    pub fn none() -> Self {
+        LossModel {
+            rate: 0.0,
+            rng: None,
+        }
+    }
+
+    /// Expected-value loss: every traversal multiplies the volume by
+    /// `1 - rate` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn deterministic(rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "loss rate {rate} not in [0,1)");
+        LossModel { rate, rng: None }
+    }
+
+    /// Binomial loss with a seeded RNG: volumes are treated as integer
+    /// packet counts and thinned per-packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn sampled(rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "loss rate {rate} not in [0,1)");
+        LossModel {
+            rate,
+            rng: Some(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The configured loss rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Applies one link traversal's loss to a volume, returning the
+    /// surviving volume.
+    pub fn attenuate(&mut self, volume: f64) -> f64 {
+        if self.rate == 0.0 || volume <= 0.0 {
+            return volume.max(0.0);
+        }
+        match &mut self.rng {
+            None => volume * (1.0 - self.rate),
+            Some(rng) => {
+                let n = volume.round() as u64;
+                let p_survive = 1.0 - self.rate;
+                binomial_sample(rng, n, p_survive) as f64
+            }
+        }
+    }
+}
+
+/// Samples Binomial(n, p).
+///
+/// Exact per-trial sampling below a size cutoff; above it, a
+/// normal approximation (mean np, variance np(1-p)) clamped to `[0, n]` —
+/// statistically indistinguishable at the volumes the experiments use
+/// (thousands of packets per interval) and O(1) instead of O(n).
+fn binomial_sample(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    const EXACT_CUTOFF: u64 = 256;
+    if n <= EXACT_CUTOFF {
+        let mut successes = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                successes += 1;
+            }
+        }
+        successes
+    } else {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = standard_normal(rng);
+        (mean + sd * z).round().clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Box–Muller standard normal sample.
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Adds zero-mean Gaussian noise of standard deviation `sigma` to each
+/// counter — the paper's model for out-of-sync counter collection
+/// (`Y'(i) ~ N(Y₀(i), σ²)`, §IV-A). Counters are clamped at zero.
+pub(crate) fn gaussian_counter_noise(counters: &mut [f64], sigma: f64, rng: &mut StdRng) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for c in counters {
+        *c = (*c + sigma * standard_normal(rng)).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let mut l = LossModel::none();
+        assert_eq!(l.attenuate(123.0), 123.0);
+        assert_eq!(l.rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_is_exact() {
+        let mut l = LossModel::deterministic(0.25);
+        assert_eq!(l.attenuate(400.0), 300.0);
+        // Compounding over two hops.
+        let first_hop = l.attenuate(400.0);
+        assert_eq!(l.attenuate(first_hop), 225.0);
+    }
+
+    #[test]
+    fn negative_volume_clamps_to_zero() {
+        let mut l = LossModel::none();
+        assert_eq!(l.attenuate(-5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1)")]
+    fn rate_validation() {
+        LossModel::deterministic(1.0);
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_seed() {
+        let mut a = LossModel::sampled(0.1, 7);
+        let mut b = LossModel::sampled(0.1, 7);
+        for _ in 0..10 {
+            assert_eq!(a.attenuate(5000.0), b.attenuate(5000.0));
+        }
+    }
+
+    #[test]
+    fn sampled_mean_is_close_to_expectation() {
+        let mut l = LossModel::sampled(0.2, 99);
+        let n = 200;
+        let total: f64 = (0..n).map(|_| l.attenuate(1000.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 800.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn small_volumes_use_exact_path() {
+        let mut l = LossModel::sampled(0.5, 3);
+        for _ in 0..50 {
+            let out = l.attenuate(10.0);
+            assert!((0.0..=10.0).contains(&out));
+            assert_eq!(out.fract(), 0.0); // integer packet counts
+        }
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(binomial_sample(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial_sample(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn gaussian_noise_zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = vec![5.0, 10.0];
+        gaussian_counter_noise(&mut c, 0.0, &mut rng);
+        assert_eq!(c, vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn gaussian_noise_clamps_at_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = vec![0.001; 100];
+        gaussian_counter_noise(&mut c, 10.0, &mut rng);
+        assert!(c.iter().all(|&v| v >= 0.0));
+        assert!(c.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn normal_approximation_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000u64;
+        let p = 0.9;
+        let samples: Vec<f64> = (0..300)
+            .map(|_| binomial_sample(&mut rng, n, p) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let expected = n as f64 * p;
+        assert!((mean - expected).abs() / expected < 0.001, "mean {mean}");
+    }
+}

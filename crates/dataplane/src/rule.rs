@@ -1,0 +1,149 @@
+use foces_headerspace::Wildcard;
+use foces_net::Port;
+use std::fmt;
+
+/// Width in bits of the concrete packet header used by the reproduction:
+/// 16 bits of source host id followed by 16 bits of destination host id.
+///
+/// Real OpenFlow matches span hundreds of bits; FOCES only needs enough
+/// match structure to distinguish flows and express aggregation, which a
+/// 32-bit (src, dst) header provides while keeping the header-space algebra
+/// cheap.
+pub const HEADER_WIDTH: usize = 32;
+
+/// The action a rule applies to matching packets.
+///
+/// Deliberately *not* `#[non_exhaustive]`: consumers (the ATPG tracer, the
+/// detector's oracle) must handle every action, and adding a variant should
+/// be a breaking change that forces them to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward out of the given local port.
+    Forward(Port),
+    /// Drop the packet.
+    Drop,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Forward(Port(p)) => write!(f, "fwd:{p}"),
+            Action::Drop => write!(f, "drop"),
+        }
+    }
+}
+
+/// A flow-table entry: match fields, priority, and an action, plus the
+/// counter semantics the simulator maintains externally.
+///
+/// # Example
+///
+/// ```
+/// use foces_dataplane::{Action, Rule};
+/// use foces_headerspace::Wildcard;
+/// use foces_net::Port;
+///
+/// let r = Rule::new(Wildcard::any(32), 10, Action::Forward(Port(2)));
+/// assert_eq!(r.priority(), 10);
+/// assert!(r.matches(0xdead_beef));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    match_fields: Wildcard,
+    priority: u16,
+    action: Action,
+}
+
+impl Rule {
+    /// Creates a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match width is not [`HEADER_WIDTH`] — all rules in one
+    /// network share the header layout.
+    pub fn new(match_fields: Wildcard, priority: u16, action: Action) -> Self {
+        assert_eq!(
+            match_fields.width(),
+            HEADER_WIDTH,
+            "rule match width {} != header width {HEADER_WIDTH}",
+            match_fields.width()
+        );
+        Rule {
+            match_fields,
+            priority,
+            action,
+        }
+    }
+
+    /// The ternary match pattern.
+    pub fn match_fields(&self) -> &Wildcard {
+        &self.match_fields
+    }
+
+    /// Match priority; higher wins, ties broken by insertion order.
+    pub fn priority(&self) -> u16 {
+        self.priority
+    }
+
+    /// The rule's action.
+    pub fn action(&self) -> Action {
+        self.action
+    }
+
+    /// Replaces the action (the adversary's lever: §II-B avenue (1),
+    /// "modify output ports of forwarding rules").
+    pub fn set_action(&mut self, action: Action) {
+        self.action = action;
+    }
+
+    /// Whether a concrete header matches this rule.
+    pub fn matches(&self, header: u64) -> bool {
+        self.match_fields.matches_concrete(header)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[p{}] {} -> {}",
+            self.priority, self.match_fields, self.action
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_matches_via_wildcard() {
+        let w = Wildcard::prefix(HEADER_WIDTH, 0x8000_0000, 1).unwrap();
+        let r = Rule::new(w, 5, Action::Drop);
+        assert!(r.matches(0xF000_0000));
+        assert!(!r.matches(0x7000_0000));
+        assert_eq!(r.action(), Action::Drop);
+    }
+
+    #[test]
+    #[should_panic(expected = "match width")]
+    fn wrong_width_rejected() {
+        Rule::new(Wildcard::any(16), 0, Action::Drop);
+    }
+
+    #[test]
+    fn set_action_changes_behaviour() {
+        let mut r = Rule::new(Wildcard::any(HEADER_WIDTH), 0, Action::Forward(Port(1)));
+        r.set_action(Action::Forward(Port(3)));
+        assert_eq!(r.action(), Action::Forward(Port(3)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = Rule::new(Wildcard::any(HEADER_WIDTH), 7, Action::Forward(Port(2)));
+        let s = r.to_string();
+        assert!(s.contains("p7"));
+        assert!(s.contains("fwd:2"));
+        assert_eq!(Action::Drop.to_string(), "drop");
+    }
+}

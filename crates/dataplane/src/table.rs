@@ -1,0 +1,192 @@
+use crate::rule::Rule;
+use std::fmt;
+
+/// A single switch's flow table: an ordered set of [`Rule`]s with
+/// OpenFlow-style lookup (highest priority wins, insertion order breaks
+/// ties).
+///
+/// # Example
+///
+/// ```
+/// use foces_dataplane::{Action, FlowTable, Rule};
+/// use foces_headerspace::Wildcard;
+/// use foces_net::Port;
+///
+/// # fn main() -> Result<(), foces_headerspace::HeaderSpaceError> {
+/// let mut t = FlowTable::new();
+/// t.push(Rule::new(Wildcard::any(32), 0, Action::Drop));              // default
+/// t.push(Rule::new(Wildcard::prefix(32, 0, 1)?, 10, Action::Forward(Port(0))));
+/// let (idx, rule) = t.lookup(0x0000_0001).unwrap();
+/// assert_eq!(idx, 1); // the higher-priority prefix rule
+/// assert_eq!(rule.action(), Action::Forward(Port(0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowTable {
+    rules: Vec<Rule>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Appends a rule, returning its stable index. Indices never shift;
+    /// rules are only ever modified in place (the adversary model) or the
+    /// whole table replaced (controller reconfiguration).
+    pub fn push(&mut self, rule: Rule) -> usize {
+        self.rules.push(rule);
+        self.rules.len() - 1
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rule at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&Rule> {
+        self.rules.get(index)
+    }
+
+    /// Mutable access to the rule at `index`, if present.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut Rule> {
+        self.rules.get_mut(index)
+    }
+
+    /// Iterates over `(index, rule)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Rule)> {
+        self.rules.iter().enumerate()
+    }
+
+    /// OpenFlow lookup: among rules matching `header`, returns the one with
+    /// the highest priority; ties break toward the earliest-installed rule.
+    /// Returns `None` on a table miss (the simulator treats misses as drops,
+    /// matching a default-drop OpenFlow pipeline).
+    pub fn lookup(&self, header: u64) -> Option<(usize, &Rule)> {
+        let mut best: Option<(usize, &Rule)> = None;
+        for (i, r) in self.rules.iter().enumerate() {
+            if !r.matches(header) {
+                continue;
+            }
+            match best {
+                Some((_, b)) if b.priority() >= r.priority() => {}
+                _ => best = Some((i, r)),
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for FlowTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "flow table ({} rules):", self.rules.len())?;
+        for (i, r) in self.iter() {
+            writeln!(f, "  {i}: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rule> for FlowTable {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
+        FlowTable {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Rule> for FlowTable {
+    fn extend<T: IntoIterator<Item = Rule>>(&mut self, iter: T) {
+        self.rules.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Action, HEADER_WIDTH};
+    use foces_headerspace::Wildcard;
+    use foces_net::Port;
+
+    fn fwd(p: usize) -> Action {
+        Action::Forward(Port(p))
+    }
+
+    #[test]
+    fn lookup_prefers_priority() {
+        let mut t = FlowTable::new();
+        t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 1, fwd(0)));
+        t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 9, fwd(1)));
+        t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 5, fwd(2)));
+        let (idx, r) = t.lookup(42).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(r.action(), fwd(1));
+    }
+
+    #[test]
+    fn lookup_ties_break_by_insertion_order() {
+        let mut t = FlowTable::new();
+        t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 5, fwd(0)));
+        t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 5, fwd(1)));
+        assert_eq!(t.lookup(0).unwrap().0, 0);
+    }
+
+    #[test]
+    fn lookup_respects_match_fields() {
+        let mut t = FlowTable::new();
+        let one = Wildcard::exact(HEADER_WIDTH, 1);
+        let two = Wildcard::exact(HEADER_WIDTH, 2);
+        t.push(Rule::new(one, 5, fwd(0)));
+        t.push(Rule::new(two, 5, fwd(1)));
+        assert_eq!(t.lookup(1).unwrap().0, 0);
+        assert_eq!(t.lookup(2).unwrap().0, 1);
+        assert!(t.lookup(3).is_none());
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        assert!(FlowTable::new().lookup(0).is_none());
+        assert!(FlowTable::new().is_empty());
+    }
+
+    #[test]
+    fn indices_are_stable() {
+        let mut t = FlowTable::new();
+        let i0 = t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 0, fwd(0)));
+        let i1 = t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 0, fwd(1)));
+        assert_eq!((i0, i1), (0, 1));
+        t.get_mut(0).unwrap().set_action(Action::Drop);
+        assert_eq!(t.get(0).unwrap().action(), Action::Drop);
+        assert_eq!(t.get(1).unwrap().action(), fwd(1));
+        assert!(t.get(2).is_none());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let rules = vec![
+            Rule::new(Wildcard::any(HEADER_WIDTH), 0, fwd(0)),
+            Rule::new(Wildcard::any(HEADER_WIDTH), 1, fwd(1)),
+        ];
+        let mut t: FlowTable = rules.clone().into_iter().collect();
+        assert_eq!(t.len(), 2);
+        t.extend(rules);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn display_lists_rules() {
+        let mut t = FlowTable::new();
+        t.push(Rule::new(Wildcard::any(HEADER_WIDTH), 3, Action::Drop));
+        let s = t.to_string();
+        assert!(s.contains("1 rules"));
+        assert!(s.contains("drop"));
+    }
+}

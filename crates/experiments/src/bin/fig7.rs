@@ -1,0 +1,61 @@
+//! **Fig. 7** — functional test: anomaly-index timeline on BCube(1,4).
+//!
+//! Protocol (paper §VI-C): run for 180 s with a detection round every 5 s
+//! (36 rounds); at t = 60 s randomly modify one rule, at t = 120 s repair
+//! it. Repeat for packet loss rates 0 %, 5 %, and 10 %. Threshold 4.5.
+//!
+//! Expected shape: the index sits near its noise floor outside the attack
+//! window, jumps past the threshold inside it, and the normal/anomaly gap
+//! narrows as the loss rate grows.
+
+use foces::{Detector, Fcm};
+use foces_controlplane::RuleGranularity;
+use foces_dataplane::{inject_random_anomaly, AnomalyKind};
+use foces_experiments::{replay, Testbed};
+use foces_net::generators::bcube;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 36; // 180 s at one detection per 5 s
+const ATTACK_START: usize = 12; // t = 60 s
+const ATTACK_END: usize = 24; // t = 120 s
+
+fn main() {
+    println!("# Fig. 7: anomaly index over time, BCube(1,4), threshold 4.5");
+    println!("loss_pct,time_s,anomaly_index,flagged,attack_active");
+    let detector = Detector::default();
+    for loss in [0.0, 0.05, 0.10] {
+        let tb = Testbed::build(bcube(1, 4), RuleGranularity::PerFlowPair);
+        let fcm = Fcm::from_view(&tb.dep.view);
+        let mut dp = tb.dep.dataplane.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut applied = None;
+        for round in 0..ROUNDS {
+            if round == ATTACK_START {
+                applied = inject_random_anomaly(
+                    &mut dp,
+                    AnomalyKind::PathDeviation,
+                    &mut rng,
+                    &[],
+                );
+            }
+            if round == ATTACK_END {
+                if let Some(a) = applied.take() {
+                    a.revert(&mut dp).expect("rule still present");
+                }
+            }
+            let counters = replay(&mut dp, &tb.dep, loss, round as u64 + 1000);
+            let verdict = detector.detect(&fcm, &counters).expect("counters match");
+            let attack = (ATTACK_START..ATTACK_END).contains(&round);
+            println!(
+                "{},{},{:.3},{},{}",
+                (loss * 100.0) as u32,
+                (round + 1) * 5,
+                verdict.anomaly_index.min(1e6), // render ∞ as a large cap
+                verdict.anomalous as u8,
+                attack as u8
+            );
+        }
+    }
+    println!("# expected: flagged=1 exactly while attack_active=1; gap narrows with loss");
+}

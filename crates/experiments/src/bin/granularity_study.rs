@@ -1,0 +1,56 @@
+//! **Reproduction study** (beyond the paper): healthy-network anomaly-index
+//! distributions under the two rule-compilation granularities.
+//!
+//! The paper's threshold derivation (§IV-A) predicts a healthy index below
+//! ≈ 4.4. This study shows the prediction holds for **per-flow rules**
+//! (Floodlight reactive — the paper's testbed) but *not* for aggregated
+//! per-destination rules, where loss residuals concentrate on heavily
+//! shared rules and push the healthy index to 6–10. Operators deploying
+//! FOCES on aggregated rule sets must re-derive their threshold; this
+//! binary prints the data to do it (healthy index quantiles per topology,
+//! granularity, and loss rate).
+
+use foces_controlplane::RuleGranularity;
+use foces_experiments::{paper_topologies, Testbed};
+
+fn main() {
+    let trials: usize = std::env::var("FOCES_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    println!("# healthy anomaly-index quantiles by rule granularity ({trials} rounds)");
+    println!("topology,granularity,loss_pct,p10,p50,p90,max");
+    for (name, topo) in paper_topologies() {
+        for (glabel, g) in [
+            ("per-pair", RuleGranularity::PerFlowPair),
+            ("per-dest", RuleGranularity::PerDestination),
+        ] {
+            let tb = Testbed::build(topo.clone(), g);
+            for loss in [0.0, 0.05, 0.10] {
+                let mut ais: Vec<f64> = (0..trials)
+                    .map(|t| {
+                        let (c, _) = tb.round(loss, 0, t as u64);
+                        tb.anomaly_index(&c)
+                    })
+                    .collect();
+                ais.sort_by(|a, b| a.partial_cmp(b).expect("indices are not NaN"));
+                let q = |p: f64| ais[((ais.len() - 1) as f64 * p).round() as usize];
+                println!(
+                    "{name},{glabel},{},{:.2},{:.2},{:.2},{:.2}",
+                    (loss * 100.0) as u32,
+                    q(0.10),
+                    q(0.50),
+                    q(0.90),
+                    ais[ais.len() - 1]
+                );
+            }
+        }
+        eprintln!("# finished {name}");
+    }
+    println!("# reading: per-pair medians sit well below the default threshold 4.5;");
+    println!("# per-dest medians exceed it — aggregation needs a recalibrated threshold.");
+    println!("# Stanford per-dest degenerates to AI=inf: with one host per switch its FCM");
+    println!("# is nearly square (676 rules x 650 flows), the least-squares fit");
+    println!("# interpolates the noise, the residual median collapses to zero, and the");
+    println!("# max/median statistic loses meaning. FOCES needs rules >> flows.");
+}

@@ -1,0 +1,169 @@
+//! Renders the recorded experiment CSVs (`results/*.csv`) as ASCII charts.
+//!
+//! ```sh
+//! cargo run --release -p foces-experiments --bin plot            # all figures
+//! cargo run --release -p foces-experiments --bin plot -- fig7    # one figure
+//! ```
+
+use foces_experiments::{column, parse_csv, AsciiChart, Series};
+
+fn read(name: &str) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let path = format!("results/{name}.csv");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Some(parse_csv(&text)),
+        Err(_) => {
+            eprintln!("(skipping {name}: no {path}; run the {name} binary first)");
+            None
+        }
+    }
+}
+
+fn f(s: &str) -> f64 {
+    s.parse().unwrap_or(f64::NAN)
+}
+
+fn plot_fig7() {
+    let Some((header, rows)) = read("fig7") else { return };
+    let (li, ti, ai) = (
+        column(&header, "loss_pct").unwrap(),
+        column(&header, "time_s").unwrap(),
+        column(&header, "anomaly_index").unwrap(),
+    );
+    let mut series = Vec::new();
+    for loss in ["0", "5", "10"] {
+        let points: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r[li] == loss)
+            .map(|r| (f(&r[ti]), f(&r[ai]).max(0.01)))
+            .collect();
+        if !points.is_empty() {
+            series.push(Series {
+                label: format!("{loss}% loss"),
+                points,
+            });
+        }
+    }
+    println!(
+        "{}",
+        AsciiChart::new("Fig. 7: anomaly index over time (attack 60-120s)", 64, 16)
+            .log_y()
+            .with_series(series)
+            .render()
+    );
+}
+
+fn plot_fig8() {
+    let Some((header, rows)) = read("fig8") else { return };
+    let (topo_i, loss_i, tp_i, fp_i) = (
+        column(&header, "topology").unwrap(),
+        column(&header, "loss_pct").unwrap(),
+        column(&header, "tp_rate").unwrap(),
+        column(&header, "fp_rate").unwrap(),
+    );
+    for topo in ["Stanford", "DCell14"] {
+        let mut series = Vec::new();
+        for loss in ["5", "15", "25"] {
+            let points: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|r| r[topo_i] == topo && r[loss_i] == loss)
+                .map(|r| (f(&r[fp_i]), f(&r[tp_i])))
+                .collect();
+            if !points.is_empty() {
+                series.push(Series {
+                    label: format!("{loss}% loss"),
+                    points,
+                });
+            }
+        }
+        println!(
+            "{}",
+            AsciiChart::new(
+                format!("Fig. 8: ROC, {topo} (x = FP rate, y = TP rate)"),
+                64,
+                14
+            )
+            .with_series(series)
+            .render()
+        );
+    }
+}
+
+fn plot_fig11() {
+    let Some((header, rows)) = read("fig11") else { return };
+    let (topo_i, m_i, t_i, a_i) = (
+        column(&header, "topology").unwrap(),
+        column(&header, "method").unwrap(),
+        column(&header, "threshold").unwrap(),
+        column(&header, "accuracy").unwrap(),
+    );
+    let mut series = Vec::new();
+    for method in ["baseline", "sliced"] {
+        let points: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r[topo_i] == "FatTree4" && r[m_i] == method && f(&r[t_i]) <= 20.0)
+            .map(|r| (f(&r[t_i]), f(&r[a_i])))
+            .collect();
+        if !points.is_empty() {
+            series.push(Series {
+                label: method.to_string(),
+                points,
+            });
+        }
+    }
+    println!(
+        "{}",
+        AsciiChart::new(
+            "Fig. 11: accuracy vs threshold, FatTree4 (thresholds <= 20)",
+            64,
+            14
+        )
+        .with_series(series)
+        .render()
+    );
+}
+
+fn plot_fig12() {
+    let Some((header, rows)) = read("fig12") else { return };
+    let fl = column(&header, "flows").unwrap();
+    let mut series = Vec::new();
+    for (col, label) in [
+        ("baseline_ms", "paper-literal dense"),
+        ("direct_ms", "structure-aware direct"),
+        ("sliced_ms", "sliced (Alg. 2)"),
+        ("cgls_ms", "CGLS"),
+    ] {
+        let ci = column(&header, col).unwrap();
+        let points: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|r| (f(&r[fl]), f(&r[ci])))
+            .collect();
+        series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+    }
+    println!(
+        "{}",
+        AsciiChart::new("Fig. 12: detection time (ms) vs flows, FatTree(8)", 64, 16)
+            .log_y()
+            .with_series(series)
+            .render()
+    );
+}
+
+fn main() {
+    let only: Option<String> = std::env::args().nth(1);
+    let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    if want("fig7") {
+        plot_fig7();
+    }
+    if want("fig8") {
+        plot_fig8();
+    }
+    if want("fig11") {
+        plot_fig11();
+    }
+    if want("fig12") {
+        plot_fig12();
+    }
+}

@@ -1,0 +1,276 @@
+//! Dependency-free ASCII charts for experiment results.
+//!
+//! The experiment binaries emit CSV; [`AsciiChart`] turns the series back
+//! into something a human can eyeball in a terminal or paste into an
+//! issue — no plotting stack required.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series scatter chart rendered to monospace text.
+///
+/// Each series gets its own glyph; axes are annotated with data ranges;
+/// `log_y` plots `log10(y)` (clamping non-positive values to the smallest
+/// positive y in the data).
+///
+/// # Example
+///
+/// ```
+/// use foces_experiments::{AsciiChart, Series};
+///
+/// let chart = AsciiChart::new("demo", 40, 10).with_series(vec![Series {
+///     label: "line".into(),
+///     points: (0..10).map(|i| (i as f64, i as f64 * 2.0)).collect(),
+/// }]);
+/// let text = chart.render();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("line"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    title: String,
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+const GLYPHS: [char; 8] = ['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+impl AsciiChart {
+    /// Creates an empty chart with a plot area of `width` x `height`
+    /// characters (both clamped to at least 8 x 4).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        AsciiChart {
+            title: title.into(),
+            width: width.max(8),
+            height: height.max(4),
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Plots `log10(y)` instead of `y`.
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds series (chainable).
+    pub fn with_series(mut self, series: Vec<Series>) -> Self {
+        self.series.extend(series);
+        self
+    }
+
+    /// Renders the chart. Returns a note instead of a plot when there are
+    /// no points at all.
+    pub fn render(&self) -> String {
+        let mut points_all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if points_all.is_empty() {
+            return format!("{}: (no data)\n", self.title);
+        }
+        let min_pos_y = points_all
+            .iter()
+            .map(|&(_, y)| y)
+            .filter(|&y| y > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let ty = |y: f64| -> f64 {
+            if self.log_y {
+                y.max(if min_pos_y.is_finite() { min_pos_y } else { 1e-9 })
+                    .log10()
+            } else {
+                y
+            }
+        };
+        for p in &mut points_all {
+            p.1 = ty(p.1);
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &points_all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let yv = ty(y);
+                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let row = ((yv - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - row.min(self.height - 1);
+                grid[row][col.min(self.width - 1)] = glyph;
+            }
+        }
+        let fmt_val = |v: f64| -> String {
+            let real = if self.log_y { 10f64.powf(v) } else { v };
+            if real.abs() >= 1000.0 {
+                format!("{real:.0}")
+            } else {
+                format!("{real:.2}")
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}{}",
+            self.title,
+            if self.log_y { "  [log y]" } else { "" }
+        );
+        let y_top = fmt_val(y_max);
+        let y_bot = fmt_val(y_min);
+        let label_w = y_top.len().max(y_bot.len());
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_top:>label_w$}")
+            } else if i == self.height - 1 {
+                format!("{y_bot:>label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label} |{line}|");
+        }
+        let x_lo = format!("{x_min:.6}");
+        let x_lo = x_lo.trim_end_matches('0').trim_end_matches('.');
+        let x_hi = format!("{x_max:.6}");
+        let x_hi = x_hi.trim_end_matches('0').trim_end_matches('.');
+        let pad = self
+            .width
+            .saturating_sub(x_lo.len() + x_hi.len())
+            .max(1);
+        let _ = writeln!(
+            out,
+            "{} {}{}{}",
+            " ".repeat(label_w),
+            x_lo,
+            " ".repeat(pad),
+            x_hi
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "    {} {}", GLYPHS[si % GLYPHS.len()], s.label);
+        }
+        out
+    }
+}
+
+/// Parses one of this repo's experiment CSVs: skips `#` comments, treats
+/// the first remaining line as a header, and returns `(header, rows)`.
+pub fn parse_csv(text: &str) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut lines = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty());
+    let header: Vec<String> = lines
+        .next()
+        .map(|h| h.split(',').map(|c| c.trim().to_string()).collect())
+        .unwrap_or_default();
+    let rows = lines
+        .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+        .collect();
+    (header, rows)
+}
+
+/// Looks up a column index by name.
+pub fn column(header: &[String], name: &str) -> Option<usize> {
+    header.iter().position(|h| h == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_in_the_right_corners() {
+        let chart = AsciiChart::new("corners", 20, 6).with_series(vec![Series {
+            label: "pts".into(),
+            points: vec![(0.0, 0.0), (10.0, 100.0)],
+        }]);
+        let text = chart.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Top row holds the max point (right edge), bottom-1 the min (left).
+        assert!(lines[1].trim_start().starts_with("100"));
+        assert!(lines[1].contains('o'));
+        assert!(lines[6].contains('o'));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let chart = AsciiChart::new("two", 20, 6).with_series(vec![
+            Series {
+                label: "a".into(),
+                points: vec![(0.0, 1.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(1.0, 2.0)],
+            },
+        ]);
+        let text = chart.render();
+        assert!(text.contains('o'));
+        assert!(text.contains('x'));
+        assert!(text.contains("a\n") || text.contains("a "));
+    }
+
+    #[test]
+    fn log_scale_compresses_large_ranges() {
+        let chart = AsciiChart::new("log", 20, 8)
+            .log_y()
+            .with_series(vec![Series {
+                label: "t".into(),
+                points: vec![(0.0, 1.0), (1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)],
+            }]);
+        let text = chart.render();
+        assert!(text.contains("[log y]"));
+        // With log scaling the four points occupy four distinct rows.
+        let rows_with_glyph = text.lines().filter(|l| l.contains('o')).count();
+        assert!(rows_with_glyph >= 3, "{text}");
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let chart = AsciiChart::new("nothing", 20, 6);
+        assert!(chart.render().contains("(no data)"));
+        let nan_chart = AsciiChart::new("nan", 20, 6).with_series(vec![Series {
+            label: "bad".into(),
+            points: vec![(f64::NAN, 1.0)],
+        }]);
+        assert!(nan_chart.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn csv_parsing_skips_comments() {
+        let text = "# comment\na,b,c\n1,2,3\n# mid\n4,5,6\n";
+        let (header, rows) = parse_csv(text);
+        assert_eq!(header, vec!["a", "b", "c"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["4", "5", "6"]);
+        assert_eq!(column(&header, "b"), Some(1));
+        assert_eq!(column(&header, "z"), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! Ternary header-space algebra for the FOCES reproduction.
+//!
+//! FOCES builds its flow-counter matrix from *logical flows*: equivalence
+//! classes of packets that traverse the same set of rules (paper §III-B,
+//! following ATPG). Computing those classes requires symbolic packet headers
+//! where each bit is `0`, `1`, or `*` (wildcard), together with three
+//! operations:
+//!
+//! * **intersection** — which packets match both a symbolic header and a
+//!   rule's match field;
+//! * **subset tests** — is one region contained in another (used when
+//!   higher-priority rules shadow lower ones);
+//! * **rewrite** — apply a rule's set-field actions to a symbolic header.
+//!
+//! The [`Wildcard`] type implements all three over an arbitrary bit width,
+//! packed two-planes-per-bit into `u64` blocks (a `mask` plane marking exact
+//! bits and a `value` plane holding their values).
+//!
+//! # Example
+//!
+//! ```
+//! use foces_headerspace::Wildcard;
+//!
+//! # fn main() -> Result<(), foces_headerspace::HeaderSpaceError> {
+//! // 8-bit headers; rule matches 101*_****.
+//! let rule = Wildcard::from_str_bits("101*****")?;
+//! let any = Wildcard::any(8);
+//! let region = any.intersect(&rule).expect("non-empty");
+//! assert!(region.matches_concrete(0b1011_0000));
+//! assert!(!region.matches_concrete(0b0011_0000));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod wildcard;
+
+pub use wildcard::{HeaderSpaceError, Wildcard};

@@ -1,0 +1,94 @@
+//! Property tests: the ternary algebra must satisfy the laws of set algebra
+//! on the regions it denotes. We check against a brute-force concrete-header
+//! enumeration for 8-bit headers, which is exhaustive (256 headers).
+
+use foces_headerspace::Wildcard;
+use proptest::prelude::*;
+
+const WIDTH: usize = 8;
+
+fn wildcard_strategy() -> impl Strategy<Value = Wildcard> {
+    proptest::collection::vec(0u8..3, WIDTH).prop_map(|tri| {
+        let mut w = Wildcard::any(WIDTH);
+        for (pos, t) in tri.iter().enumerate() {
+            w.set_bit(
+                pos,
+                match t {
+                    0 => Some(false),
+                    1 => Some(true),
+                    _ => None,
+                },
+            );
+        }
+        w
+    })
+}
+
+/// The set of concrete headers a wildcard denotes.
+fn denote(w: &Wildcard) -> Vec<u64> {
+    (0..(1u64 << WIDTH)).filter(|&h| w.matches_concrete(h)).collect()
+}
+
+proptest! {
+    /// intersect denotes set intersection.
+    #[test]
+    fn intersection_is_set_intersection(a in wildcard_strategy(), b in wildcard_strategy()) {
+        let lhs: Vec<u64> = match a.intersect(&b) {
+            Some(c) => denote(&c),
+            None => vec![],
+        };
+        let rhs: Vec<u64> = denote(&a).into_iter().filter(|h| b.matches_concrete(*h)).collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// subset test agrees with the denotations.
+    #[test]
+    fn subset_is_set_inclusion(a in wildcard_strategy(), b in wildcard_strategy()) {
+        let claimed = a.is_subset_of(&b);
+        let actual = denote(&a).iter().all(|h| b.matches_concrete(*h));
+        prop_assert_eq!(claimed, actual);
+    }
+
+    /// cardinality matches the denotation size.
+    #[test]
+    fn cardinality_matches_enumeration(a in wildcard_strategy()) {
+        prop_assert_eq!(a.cardinality() as usize, denote(&a).len());
+    }
+
+    /// rewrite then match: rewriting a concrete member of `a` produces a
+    /// member of `a.rewrite(rw)`.
+    #[test]
+    fn rewrite_commutes_with_membership(a in wildcard_strategy(), rw in wildcard_strategy()) {
+        let out = a.rewrite(&rw);
+        for h in denote(&a).into_iter().take(16) {
+            // Apply the rewrite to the concrete header.
+            let mut rewritten = h;
+            for pos in 0..WIDTH {
+                if let Some(v) = rw.bit(pos) {
+                    let m = 1u64 << (WIDTH - 1 - pos);
+                    if v { rewritten |= m } else { rewritten &= !m }
+                }
+            }
+            prop_assert!(out.matches_concrete(rewritten));
+        }
+    }
+
+    /// intersect is commutative, associative (where defined), with `any` as
+    /// the identity.
+    #[test]
+    fn intersect_algebraic_laws(a in wildcard_strategy(), b in wildcard_strategy(), c in wildcard_strategy()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.intersect(&Wildcard::any(WIDTH)), Some(a.clone()));
+        let left = a.intersect(&b).and_then(|ab| ab.intersect(&c));
+        let right = b.intersect(&c).and_then(|bc| a.intersect(&bc));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Parsing the Display form round-trips.
+    #[test]
+    fn display_parse_round_trip(a in wildcard_strategy()) {
+        let s = format!("{a}");
+        let back = Wildcard::from_str_bits(&s).unwrap();
+        prop_assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+///
+/// Every fallible public function in this crate returns this type so callers
+/// (the FOCES detector) can distinguish between misuse (dimension mismatch)
+/// and genuinely degenerate inputs (a rank-deficient flow-counter matrix).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// Carries a human-readable description of the operation and the shapes
+    /// involved, e.g. `"matvec: matrix is 6x3 but vector has length 4"`.
+    DimensionMismatch(String),
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky factorization failed because the matrix is not positive
+    /// definite (within tolerance). For FOCES this happens when the FCM has
+    /// linearly dependent columns, i.e. two logical flows traverse exactly
+    /// the same rule set.
+    NotPositiveDefinite {
+        /// Index of the pivot that was non-positive.
+        pivot: usize,
+        /// Value of the offending pivot.
+        value: f64,
+    },
+    /// A triangular solve hit a (near-)zero diagonal entry.
+    SingularTriangular {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+    /// The least-squares system is rank deficient and the requested method
+    /// cannot handle that.
+    RankDeficient {
+        /// Estimated numerical rank.
+        rank: usize,
+        /// Number of columns (full rank would equal this).
+        cols: usize,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+    /// Construction input was invalid (e.g. a triplet index out of bounds).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value:e}"
+            ),
+            LinalgError::SingularTriangular { index } => {
+                write!(f, "triangular matrix is singular at diagonal index {index}")
+            }
+            LinalgError::RankDeficient { rank, cols } => {
+                write!(f, "matrix is rank deficient: rank {rank} of {cols} columns")
+            }
+            LinalgError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (residual {residual:e})"
+            ),
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 3,
+            value: -1.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pivot 3"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn Error> = Box::new(LinalgError::SingularTriangular { index: 0 });
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,263 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// Householder QR factorization of a (possibly tall) matrix `A = Q R`.
+///
+/// Used as the numerically robust least-squares path: solving `min ‖Ax - b‖`
+/// via QR avoids squaring the condition number the way the normal equations
+/// do. The FOCES detector uses QR as a fallback whenever the Cholesky of the
+/// Gram matrix fails (near-dependent flow columns), and the test suite uses
+/// it to cross-validate the Cholesky path.
+///
+/// The factorization is stored compactly: Householder vectors in the lower
+/// trapezoid of `qr` plus the `beta` scalars, and `R` in the upper triangle.
+///
+/// # Example
+///
+/// ```
+/// use foces_linalg::{DenseMatrix, Qr};
+///
+/// # fn main() -> Result<(), foces_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1., 0.], &[1., 1.], &[1., 2.]])?;
+/// let qr = Qr::factor(&a)?;
+/// // Fit y = c0 + c1 t through (0,1), (1,2), (2,3): exact line.
+/// let x = qr.solve_least_squares(&[1., 2., 3.])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factors: `R` above the diagonal (inclusive), Householder
+    /// vectors below (with implicit leading 1).
+    qr: DenseMatrix,
+    /// Householder scalars, one per reflection.
+    beta: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors `a` (must satisfy `rows >= cols` for least-squares use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `rows < cols`; the
+    /// FOCES equation system is always overdetermined (more rules than
+    /// flows), so an underdetermined input indicates a caller bug.
+    pub fn factor(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr: matrix is {m}x{n}; least-squares factorization requires rows >= cols"
+            )));
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k, rows k..m.
+            let col = qr.col(k);
+            let norm_x = col[k..].iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm_x == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            let alpha = if col[k] >= 0.0 { -norm_x } else { norm_x };
+            let v0 = col[k] - alpha;
+            // v = x - alpha e1, normalized so v[0] = 1.
+            let mut v = vec![0.0; m - k];
+            v[0] = 1.0;
+            for i in 1..m - k {
+                v[i] = col[k + i] / v0;
+            }
+            // With v normalized so v[0] = 1, the reflector is
+            // H = I - (2 / vᵀv) v vᵀ.
+            let vtv: f64 = v.iter().map(|x| x * x).sum();
+            let beta_k = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            // Apply H = I - beta v vᵀ to columns k..n of qr.
+            for j in k..n {
+                let cj = qr.col(j);
+                let mut s = 0.0;
+                for i in 0..m - k {
+                    s += v[i] * cj[k + i];
+                }
+                s *= beta_k;
+                let cjm = qr.col_mut(j);
+                for i in 0..m - k {
+                    cjm[k + i] -= s * v[i];
+                }
+            }
+            // R's diagonal entry is now alpha (stored by the update above);
+            // store the Householder vector below the diagonal.
+            let ck = qr.col_mut(k);
+            ck[k + 1..m].copy_from_slice(&v[1..m - k]);
+            beta[k] = beta_k;
+        }
+        Ok(Qr { qr, beta })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Extracts the upper-triangular factor `R` (`cols x cols`).
+    pub fn r(&self) -> DenseMatrix {
+        let n = self.cols();
+        let mut r = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                r.set(i, j, self.qr.get(i, j));
+            }
+        }
+        r
+    }
+
+    /// Applies `Qᵀ` to a vector in place (the sequence of reflections).
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = (self.rows(), self.cols());
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            // v[0] = 1 implicit, v[i] stored in qr(k+i, k).
+            let mut s = b[k];
+            for i in 1..m - k {
+                s += self.qr.get(k + i, k) * b[k + i];
+            }
+            s *= self.beta[k];
+            b[k] -= s;
+            for i in 1..m - k {
+                b[k + i] -= s * self.qr.get(k + i, k);
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A x - b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != rows`.
+    /// * [`LinalgError::SingularTriangular`] if `R` has a (near-)zero
+    ///   diagonal, i.e. `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = (self.rows(), self.cols());
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr solve: matrix has {m} rows but rhs has length {}",
+                b.len()
+            )));
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb);
+        // Back substitution on R x = (Qᵀ b)[..n].
+        let tol = crate::DEFAULT_TOL * self.qr.max_abs().max(1.0);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.qr.get(i, i);
+            if rii.abs() <= tol {
+                return Err(LinalgError::SingularTriangular { index: i });
+            }
+            let mut s = qtb[i];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.qr.get(i, j) * xj;
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_is_upper_triangular_and_reconstructs_norms() {
+        let a = DenseMatrix::from_rows(&[&[1., 2.], &[3., 4.], &[5., 6.]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        let r = qr.r();
+        // |r00| must equal the norm of A's first column.
+        let n0 = (1.0f64 + 9.0 + 25.0).sqrt();
+        assert!((r.get(0, 0).abs() - n0).abs() < 1e-12);
+        assert_eq!(r.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn exact_system_is_solved_exactly() {
+        let a = DenseMatrix::from_rows(&[&[2., 1.], &[1., 3.], &[0., 1.]]).unwrap();
+        let x_true = [3.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inconsistent_system_minimizes_residual() {
+        // Overdetermined inconsistent system; least-squares answer known.
+        let a = DenseMatrix::from_rows(&[&[1.], &[1.], &[1.]]).unwrap();
+        let b = [1.0, 2.0, 6.0];
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12); // mean minimizes ‖x·1 - b‖
+    }
+
+    #[test]
+    fn agrees_with_cholesky_normal_equations() {
+        let a = DenseMatrix::from_rows(&[
+            &[1., 0., 0.],
+            &[1., 0., 0.],
+            &[1., 1., 0.],
+            &[0., 0., 0.],
+            &[0., 0., 1.],
+            &[1., 1., 1.],
+        ])
+        .unwrap();
+        let y = [3., 3., 4., 3., 8., 12.];
+        let x_qr = Qr::factor(&a).unwrap().solve_least_squares(&y).unwrap();
+        let g = a.gram();
+        let rhs = a.transpose_matvec(&y).unwrap();
+        let x_ch = crate::Cholesky::factor(&g).unwrap().solve(&rhs).unwrap();
+        for (q, c) in x_qr.iter().zip(&x_ch) {
+            assert!((q - c).abs() < 1e-9, "qr {q} vs cholesky {c}");
+        }
+        // Paper Eq. (7): X̂ = (3, 1, 8).
+        assert!((x_qr[0] - 3.0).abs() < 1e-9);
+        assert!((x_qr[1] - 1.0).abs() < 1e-9);
+        assert!((x_qr[2] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = DenseMatrix::from_rows(&[&[1., 1.], &[1., 1.], &[2., 2.]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1., 2., 3.]),
+            Err(LinalgError::SingularTriangular { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_rhs_length() {
+        let a = DenseMatrix::identity(2);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn zero_column_yields_zero_beta_and_singular_solve() {
+        let a = DenseMatrix::from_rows(&[&[0., 1.], &[0., 2.], &[0., 3.]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1., 1., 1.]).is_err());
+    }
+}

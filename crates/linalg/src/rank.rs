@@ -1,0 +1,361 @@
+use crate::DenseMatrix;
+
+/// Computes the numerical rank of a matrix by Gaussian elimination with
+/// partial pivoting, treating pivots below `tol * max|a_ij|` as zero.
+///
+/// The FOCES detectability oracle (Theorem 1) needs exactly this: an anomaly
+/// `FA(hᵢ, hᵢ')` is *undetectable* iff appending the deviated column `hᵢ'`
+/// to the FCM does not increase its rank. FCM entries are 0/1, so partial
+/// pivoting with a relative tolerance is plenty robust here.
+///
+/// # Example
+///
+/// ```
+/// use foces_linalg::{rank, DenseMatrix, DEFAULT_TOL};
+///
+/// # fn main() -> Result<(), foces_linalg::LinalgError> {
+/// let m = DenseMatrix::from_rows(&[&[1., 2.], &[2., 4.]])?; // dependent rows
+/// assert_eq!(rank(&m, DEFAULT_TOL), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rank(a: &DenseMatrix, tol: f64) -> usize {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let mut w = a.clone();
+    let threshold = tol * w.max_abs().max(1.0);
+    let mut rank = 0;
+    let mut row = 0;
+    for col in 0..n {
+        // Find pivot: largest |entry| in this column at or below `row`.
+        let mut piv = row;
+        let mut piv_val = 0.0_f64;
+        for i in row..m {
+            let v = w.get(i, col).abs();
+            if v > piv_val {
+                piv_val = v;
+                piv = i;
+            }
+        }
+        if piv_val <= threshold {
+            continue; // column is dependent on previous ones
+        }
+        // Swap rows `row` and `piv`.
+        if piv != row {
+            for j in col..n {
+                let tmp = w.get(row, j);
+                w.set(row, j, w.get(piv, j));
+                w.set(piv, j, tmp);
+            }
+        }
+        // Eliminate below.
+        let pivot = w.get(row, col);
+        for i in row + 1..m {
+            let factor = w.get(i, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                w.set(i, j, w.get(i, j) - factor * w.get(row, j));
+            }
+        }
+        rank += 1;
+        row += 1;
+        if row == m {
+            break;
+        }
+    }
+    rank
+}
+
+/// Tests whether vector `v` lies in the column span of `a`.
+///
+/// This is Theorem 1 of the paper operationalized: `rank([A | v]) == rank(A)`
+/// iff `v` is a linear combination of `A`'s columns, i.e. the corresponding
+/// forwarding anomaly is **undetectable** by the flow-counter equation
+/// system.
+///
+/// # Panics
+///
+/// Panics if `v.len() != a.rows()` — span membership is only defined for
+/// vectors of matching dimension.
+///
+/// # Example
+///
+/// ```
+/// use foces_linalg::{in_column_span, DenseMatrix, DEFAULT_TOL};
+///
+/// # fn main() -> Result<(), foces_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1., 0.], &[0., 1.], &[1., 1.]])?;
+/// assert!(in_column_span(&a, &[2., 3., 5.], DEFAULT_TOL));   // 2c₀ + 3c₁
+/// assert!(!in_column_span(&a, &[1., 0., 0.], DEFAULT_TOL));
+/// # Ok(())
+/// # }
+/// ```
+pub fn in_column_span(a: &DenseMatrix, v: &[f64], tol: f64) -> bool {
+    assert_eq!(
+        v.len(),
+        a.rows(),
+        "span test: vector length {} but matrix has {} rows",
+        v.len(),
+        a.rows()
+    );
+    let base_rank = rank(a, tol);
+    let mut augmented = a.clone();
+    augmented
+        .push_col(v)
+        .expect("length checked above, push_col cannot fail");
+    rank(&augmented, tol) == base_rank
+}
+
+/// A reusable column-span membership tester: orthonormalizes a matrix's
+/// columns once (modified Gram–Schmidt, skipping dependent columns), then
+/// answers `v ∈ span(A)` queries in `O(rows · rank)` each.
+///
+/// The FOCES detectability audit asks thousands of span queries against
+/// the *same* FCM; recomputing a rank factorization per query (as the
+/// plain [`in_column_span`] does) is quadratically wasteful.
+///
+/// # Example
+///
+/// ```
+/// use foces_linalg::{DenseMatrix, SpanTester, DEFAULT_TOL};
+///
+/// # fn main() -> Result<(), foces_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1., 0.], &[0., 1.], &[1., 1.]])?;
+/// let tester = SpanTester::new(&a, DEFAULT_TOL);
+/// assert_eq!(tester.rank(), 2);
+/// assert!(tester.contains(&[2., 3., 5.]));
+/// assert!(!tester.contains(&[1., 0., 0.]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpanTester {
+    /// Orthonormal basis vectors of the column space, each of length `rows`.
+    basis: Vec<Vec<f64>>,
+    rows: usize,
+    tol: f64,
+}
+
+impl SpanTester {
+    /// Builds the tester from a matrix's columns.
+    pub fn new(a: &DenseMatrix, tol: f64) -> Self {
+        let mut tester = SpanTester::empty(a.rows(), tol);
+        for j in 0..a.cols() {
+            tester.absorb(a.col(j));
+        }
+        tester
+    }
+
+    /// An empty tester over `rows`-dimensional vectors; grow it with
+    /// [`SpanTester::absorb`]. Lets callers with huge sparse matrices feed
+    /// columns one at a time without densifying the whole matrix.
+    pub fn empty(rows: usize, tol: f64) -> Self {
+        SpanTester {
+            basis: Vec::new(),
+            rows,
+            tol,
+        }
+    }
+
+    /// Number of independent columns absorbed so far.
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Projects `v` out of the current basis in place, returning the
+    /// residual norm (and leaving the residual in `v`).
+    fn project_out(&self, v: &mut [f64]) -> f64 {
+        for q in &self.basis {
+            let dot: f64 = q.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+            for (vi, qi) in v.iter_mut().zip(q) {
+                *vi -= dot * qi;
+            }
+        }
+        v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Whether `v` lies in the span (residual below `tol` relative to the
+    /// vector's own norm, or absolutely for near-zero vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the matrix's row count.
+    pub fn contains(&self, v: &[f64]) -> bool {
+        assert_eq!(v.len(), self.rows, "span query length mismatch");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let mut work = v.to_vec();
+        let residual = self.project_out(&mut work);
+        residual <= self.tol * norm.max(1.0)
+    }
+
+    /// Absorbs a new generator column into the basis (no-op if dependent).
+    /// Lets the audit grow the span as flows are added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the matrix's row count.
+    pub fn absorb(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.rows, "span absorb length mismatch");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let mut work = v.to_vec();
+        let residual = self.project_out(&mut work);
+        if residual > self.tol * norm.max(1.0) {
+            // Re-orthogonalize once (classic MGS twice-is-enough) for
+            // numerical hygiene, then normalize.
+            let r2 = self.project_out(&mut work);
+            if r2 > 0.0 {
+                for x in &mut work {
+                    *x /= r2;
+                }
+                self.basis.push(work);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_TOL;
+
+    #[test]
+    fn full_rank_square() {
+        let m = DenseMatrix::identity(4);
+        assert_eq!(rank(&m, DEFAULT_TOL), 4);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(rank(&DenseMatrix::zeros(3, 5), DEFAULT_TOL), 0);
+        assert_eq!(rank(&DenseMatrix::zeros(0, 0), DEFAULT_TOL), 0);
+    }
+
+    #[test]
+    fn tall_matrix_rank_bounded_by_cols() {
+        let m = DenseMatrix::from_rows(&[&[1., 0.], &[0., 1.], &[1., 1.], &[2., 1.]]).unwrap();
+        assert_eq!(rank(&m, DEFAULT_TOL), 2);
+    }
+
+    #[test]
+    fn dependent_columns_detected() {
+        // Third column = first + second.
+        let m = DenseMatrix::from_rows(&[&[1., 0., 1.], &[0., 1., 1.], &[1., 1., 2.]]).unwrap();
+        assert_eq!(rank(&m, DEFAULT_TOL), 2);
+    }
+
+    #[test]
+    fn rank_of_paper_fcm() {
+        // Paper Eq. (6): H has three independent columns.
+        let h = DenseMatrix::from_rows(&[
+            &[1., 0., 0.],
+            &[1., 0., 0.],
+            &[1., 1., 0.],
+            &[0., 0., 0.],
+            &[0., 0., 1.],
+            &[1., 1., 1.],
+        ])
+        .unwrap();
+        assert_eq!(rank(&h, DEFAULT_TOL), 3);
+    }
+
+    #[test]
+    fn span_membership_detects_fig3_counterexample() {
+        // Paper Fig. 3 / Eq. (8): the deviated column h2' = h1 - h2 + h3,
+        // so the anomaly is undetectable. Columns of H (6 rules, 3 flows):
+        let h = DenseMatrix::from_rows(&[
+            &[1., 0., 0.],
+            &[1., 0., 0.],
+            &[1., 1., 0.],
+            &[0., 0., 1.],
+            &[0., 0., 1.],
+            &[1., 1., 1.],
+        ])
+        .unwrap();
+        // H' column 2 (flow b deviated): matches r1?, from Eq. 8 H' col 1 is
+        // (0,1,0,... ) — actually the deviated *first* flow: H' col0 = (1,1,0,1,1,1).
+        let h_dev = [1., 1., 0., 1., 1., 1.];
+        assert!(in_column_span(&h, &h_dev, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn span_membership_detects_fig2_anomaly_as_detectable() {
+        // Paper Fig. 2 / Eq. (6): deviated column (1,1,0,1,1,1) vs FCM with
+        // rule r4 unused — there the anomaly IS detectable.
+        let h = DenseMatrix::from_rows(&[
+            &[1., 0., 0.],
+            &[1., 0., 0.],
+            &[1., 1., 0.],
+            &[0., 0., 0.],
+            &[0., 0., 1.],
+            &[1., 1., 1.],
+        ])
+        .unwrap();
+        let h_dev = [1., 1., 0., 1., 1., 1.];
+        assert!(!in_column_span(&h, &h_dev, DEFAULT_TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "span test")]
+    fn span_test_panics_on_length_mismatch() {
+        let a = DenseMatrix::identity(2);
+        in_column_span(&a, &[1.0; 3], DEFAULT_TOL);
+    }
+
+    #[test]
+    fn span_tester_agrees_with_rank_test() {
+        let h = DenseMatrix::from_rows(&[
+            &[1., 0., 0.],
+            &[1., 0., 0.],
+            &[1., 1., 0.],
+            &[0., 0., 1.],
+            &[0., 0., 1.],
+            &[1., 1., 1.],
+        ])
+        .unwrap();
+        let tester = SpanTester::new(&h, DEFAULT_TOL);
+        assert_eq!(tester.rank(), rank(&h, DEFAULT_TOL));
+        // Fig. 3 deviated column: in span.
+        let dev = [1., 1., 0., 1., 1., 1.];
+        assert_eq!(tester.contains(&dev), in_column_span(&h, &dev, DEFAULT_TOL));
+        assert!(tester.contains(&dev));
+        // Arbitrary off-span vector.
+        let off = [1., 0., 0., 0., 0., 0.];
+        assert_eq!(tester.contains(&off), in_column_span(&h, &off, DEFAULT_TOL));
+        assert!(!tester.contains(&off));
+        // Zero vector is always in the span.
+        assert!(tester.contains(&[0.0; 6]));
+    }
+
+    #[test]
+    fn span_tester_absorb_grows_the_space() {
+        let a = DenseMatrix::from_rows(&[&[1., 0.], &[0., 1.], &[0., 0.]]).unwrap();
+        let mut tester = SpanTester::new(&a, DEFAULT_TOL);
+        assert!(!tester.contains(&[0., 0., 1.]));
+        tester.absorb(&[0., 0., 2.]);
+        assert_eq!(tester.rank(), 3);
+        assert!(tester.contains(&[5., -3., 7.]));
+        // Absorbing a dependent vector is a no-op.
+        tester.absorb(&[1., 1., 1.]);
+        assert_eq!(tester.rank(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn span_tester_validates_query_length() {
+        let a = DenseMatrix::identity(2);
+        SpanTester::new(&a, DEFAULT_TOL).contains(&[1.0; 3]);
+    }
+
+    #[test]
+    fn near_dependent_column_respects_tolerance() {
+        let m = DenseMatrix::from_rows(&[&[1., 1. + 1e-13], &[1., 1.]]).unwrap();
+        // With default tolerance the tiny perturbation is below threshold.
+        assert_eq!(rank(&m, 1e-9), 1);
+        // With an absurdly small tolerance it counts as full rank.
+        assert_eq!(rank(&m, 1e-16), 2);
+    }
+}

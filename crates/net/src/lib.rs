@@ -1,0 +1,34 @@
+//! Network topology model and generators for the FOCES reproduction.
+//!
+//! The paper evaluates FOCES on four topologies (Table I): the Stanford
+//! backbone, FatTree(4), BCube(1,4), and DCell(1,4), emulated in Mininet.
+//! This crate provides the same topologies as in-memory graphs:
+//!
+//! * [`Topology`] — switches, hosts, bidirectional links with per-node port
+//!   numbering, BFS shortest paths with deterministic tie-breaking;
+//! * [`generators`] — constructors for the four paper topologies plus
+//!   parameterized families (`fattree(k)`, `bcube(n, level)`,
+//!   `dcell(n, level)`) used by the scalability experiment (Fig. 12 uses
+//!   FatTree(8)).
+//!
+//! Hosts in BCube and DCell forward traffic themselves; following the
+//! paper's switch counts (BCube(1,4) = 24 switches for 16 hosts), each host
+//! is modeled as a *host proxy switch* with the actual host hanging off it.
+//!
+//! # Example
+//!
+//! ```
+//! use foces_net::generators::fattree;
+//!
+//! let topo = fattree(4);
+//! assert_eq!(topo.switch_count(), 20); // 4 core + 8 agg + 8 edge
+//! assert_eq!(topo.host_count(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+mod topology;
+
+pub use topology::{Adjacency, HostId, Node, Port, SwitchId, SwitchRole, Topology, TopologyError};

@@ -1,0 +1,558 @@
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a switch within a [`Topology`] (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub usize);
+
+/// Identifier of a host within a [`Topology`] (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub usize);
+
+/// A port number local to a node. Ports are assigned densely in link
+/// insertion order, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub usize);
+
+/// A node in the topology: either a switch or a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Node {
+    /// A forwarding switch.
+    Switch(SwitchId),
+    /// An end host (traffic source/sink; never forwards).
+    Host(HostId),
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Switch(SwitchId(i)) => write!(f, "s{i}"),
+            Node::Host(HostId(i)) => write!(f, "h{i}"),
+        }
+    }
+}
+
+/// Structural role of a switch, recorded by the generators so experiments
+/// can target e.g. "a random aggregation switch".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum SwitchRole {
+    /// Core layer (FatTree) or top-level switch.
+    Core,
+    /// Aggregation layer (FatTree).
+    Aggregation,
+    /// Edge/ToR layer — hosts attach here.
+    Edge,
+    /// A mini-switch inside a BCube/DCell cell.
+    Cell,
+    /// A proxy switch standing in for a forwarding host (BCube/DCell).
+    HostProxy,
+    /// Backbone router (Stanford-like WAN).
+    Backbone,
+    /// No specific role recorded.
+    #[default]
+    Unspecified,
+}
+
+/// Errors from topology construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A referenced node does not exist in this topology.
+    UnknownNode(String),
+    /// A link would connect a node to itself.
+    SelfLoop(String),
+    /// A host was asked to carry more than one link.
+    HostDegreeExceeded(HostId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            TopologyError::HostDegreeExceeded(HostId(h)) => {
+                write!(f, "host h{h} already has a link; hosts are single-homed")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// One endpoint's view of a link: the local port, the neighbor, and the
+/// neighbor's port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adjacency {
+    /// Local port the link is attached to.
+    pub local_port: Port,
+    /// The node on the other end.
+    pub neighbor: Node,
+    /// The port on the other end.
+    pub neighbor_port: Port,
+}
+
+/// An undirected network topology of switches and hosts.
+///
+/// Links are bidirectional and identified by `(node, port)` endpoints; hosts
+/// are single-homed (exactly one link), matching the paper's experiment
+/// setup where each host attaches to one switch.
+///
+/// # Example
+///
+/// ```
+/// use foces_net::{Node, Topology};
+///
+/// # fn main() -> Result<(), foces_net::TopologyError> {
+/// let mut t = Topology::new();
+/// let s0 = t.add_switch("s0");
+/// let s1 = t.add_switch("s1");
+/// let h0 = t.add_host();
+/// let h1 = t.add_host();
+/// t.connect(Node::Switch(s0), Node::Switch(s1))?;
+/// t.connect(Node::Host(h0), Node::Switch(s0))?;
+/// t.connect(Node::Host(h1), Node::Switch(s1))?;
+/// let path = t.shortest_path(Node::Host(h0), Node::Host(h1)).unwrap();
+/// assert_eq!(path.len(), 4); // h0, s0, s1, h1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    switch_labels: Vec<String>,
+    switch_roles: Vec<SwitchRole>,
+    host_count: usize,
+    /// adjacency per node: switches first (index = id), hosts after
+    /// (index = switch_count + host id). Rebuilt indices on the fly.
+    switch_adj: Vec<Vec<Adjacency>>,
+    host_adj: Vec<Vec<Adjacency>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a switch with a human-readable label, returning its id.
+    pub fn add_switch(&mut self, label: impl Into<String>) -> SwitchId {
+        self.switch_labels.push(label.into());
+        self.switch_roles.push(SwitchRole::Unspecified);
+        self.switch_adj.push(Vec::new());
+        SwitchId(self.switch_labels.len() - 1)
+    }
+
+    /// Adds a switch with an explicit role.
+    pub fn add_switch_with_role(&mut self, label: impl Into<String>, role: SwitchRole) -> SwitchId {
+        let id = self.add_switch(label);
+        self.switch_roles[id.0] = role;
+        id
+    }
+
+    /// Adds a host, returning its id.
+    pub fn add_host(&mut self) -> HostId {
+        self.host_count += 1;
+        self.host_adj.push(Vec::new());
+        HostId(self.host_count - 1)
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switch_labels.len()
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.host_count
+    }
+
+    /// Number of (undirected) links.
+    pub fn link_count(&self) -> usize {
+        let deg: usize = self
+            .switch_adj
+            .iter()
+            .chain(self.host_adj.iter())
+            .map(Vec::len)
+            .sum();
+        deg / 2
+    }
+
+    /// The label of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn switch_label(&self, id: SwitchId) -> &str {
+        &self.switch_labels[id.0]
+    }
+
+    /// The role of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn switch_role(&self, id: SwitchId) -> SwitchRole {
+        self.switch_roles[id.0]
+    }
+
+    /// Iterates over all switch ids.
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        (0..self.switch_count()).map(SwitchId)
+    }
+
+    /// Iterates over all host ids.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.host_count()).map(HostId)
+    }
+
+    fn check_node(&self, n: Node) -> Result<(), TopologyError> {
+        let ok = match n {
+            Node::Switch(SwitchId(i)) => i < self.switch_count(),
+            Node::Host(HostId(i)) => i < self.host_count(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownNode(n.to_string()))
+        }
+    }
+
+    /// Connects two nodes with a new bidirectional link, assigning the next
+    /// free port on each side. Returns the `(port_a, port_b)` pair.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::UnknownNode`] for out-of-range ids;
+    /// * [`TopologyError::SelfLoop`] if `a == b`;
+    /// * [`TopologyError::HostDegreeExceeded`] if a host already has a link.
+    pub fn connect(&mut self, a: Node, b: Node) -> Result<(Port, Port), TopologyError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(TopologyError::SelfLoop(a.to_string()));
+        }
+        for n in [a, b] {
+            if let Node::Host(h) = n {
+                if !self.adj(n).is_empty() {
+                    return Err(TopologyError::HostDegreeExceeded(h));
+                }
+            }
+        }
+        let pa = Port(self.adj(a).len());
+        let pb = Port(self.adj(b).len());
+        self.adj_mut(a).push(Adjacency {
+            local_port: pa,
+            neighbor: b,
+            neighbor_port: pb,
+        });
+        self.adj_mut(b).push(Adjacency {
+            local_port: pb,
+            neighbor: a,
+            neighbor_port: pa,
+        });
+        Ok((pa, pb))
+    }
+
+    /// The adjacency list of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range (use [`Topology::connect`]-returned
+    /// ids).
+    pub fn adj(&self, n: Node) -> &[Adjacency] {
+        match n {
+            Node::Switch(SwitchId(i)) => &self.switch_adj[i],
+            Node::Host(HostId(i)) => &self.host_adj[i],
+        }
+    }
+
+    fn adj_mut(&mut self, n: Node) -> &mut Vec<Adjacency> {
+        match n {
+            Node::Switch(SwitchId(i)) => &mut self.switch_adj[i],
+            Node::Host(HostId(i)) => &mut self.host_adj[i],
+        }
+    }
+
+    /// The switch a host is attached to, if connected.
+    pub fn host_attachment(&self, h: HostId) -> Option<(SwitchId, Port)> {
+        self.host_adj.get(h.0).and_then(|adj| {
+            adj.first().and_then(|a| match a.neighbor {
+                Node::Switch(s) => Some((s, a.neighbor_port)),
+                Node::Host(_) => None,
+            })
+        })
+    }
+
+    /// BFS shortest path between two nodes, **never transiting a host**
+    /// (hosts may only be endpoints). Ties are broken deterministically by
+    /// visiting neighbors in port order, so the same topology always routes
+    /// the same way — essential for reproducible experiments.
+    ///
+    /// Returns the node sequence including both endpoints, or `None` if
+    /// unreachable.
+    pub fn shortest_path(&self, from: Node, to: Node) -> Option<Vec<Node>> {
+        if self.check_node(from).is_err() || self.check_node(to).is_err() {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let idx = |n: Node| -> usize {
+            match n {
+                Node::Switch(SwitchId(i)) => i,
+                Node::Host(HostId(i)) => self.switch_count() + i,
+            }
+        };
+        let total = self.switch_count() + self.host_count();
+        let mut prev: Vec<Option<Node>> = vec![None; total];
+        let mut seen = vec![false; total];
+        let mut queue = VecDeque::new();
+        seen[idx(from)] = true;
+        queue.push_back(from);
+        'bfs: while let Some(cur) = queue.pop_front() {
+            // Hosts other than the source do not forward.
+            if matches!(cur, Node::Host(_)) && cur != from {
+                continue;
+            }
+            for a in self.adj(cur) {
+                let nxt = a.neighbor;
+                if seen[idx(nxt)] {
+                    continue;
+                }
+                seen[idx(nxt)] = true;
+                prev[idx(nxt)] = Some(cur);
+                if nxt == to {
+                    break 'bfs;
+                }
+                queue.push_back(nxt);
+            }
+        }
+        if !seen[idx(to)] {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[idx(cur)] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], from);
+        Some(path)
+    }
+
+    /// The port on `from` that leads directly to `to`, if they are adjacent.
+    pub fn port_towards(&self, from: Node, to: Node) -> Option<Port> {
+        self.adj(from)
+            .iter()
+            .find(|a| a.neighbor == to)
+            .map(|a| a.local_port)
+    }
+
+    /// Checks structural invariants: adjacency symmetry, port density,
+    /// single-homed hosts. Used by generator tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        for s in self.switches() {
+            let n = Node::Switch(s);
+            for (i, a) in self.adj(n).iter().enumerate() {
+                if a.local_port != Port(i) {
+                    return Err(TopologyError::UnknownNode(format!(
+                        "{n} port table not dense at {i}"
+                    )));
+                }
+                let back = self.adj(a.neighbor);
+                let mirrored = back.get(a.neighbor_port.0).map(|b| (b.neighbor, b.local_port));
+                if mirrored != Some((n, a.neighbor_port)) {
+                    return Err(TopologyError::UnknownNode(format!(
+                        "asymmetric link {n}:{:?} -> {}",
+                        a.local_port, a.neighbor
+                    )));
+                }
+            }
+        }
+        for h in self.hosts() {
+            if self.adj(Node::Host(h)).len() > 1 {
+                return Err(TopologyError::HostDegreeExceeded(h));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every host can reach every other host.
+    pub fn all_hosts_connected(&self) -> bool {
+        let hosts: Vec<HostId> = self.hosts().collect();
+        if hosts.len() < 2 {
+            return true;
+        }
+        let first = Node::Host(hosts[0]);
+        hosts[1..]
+            .iter()
+            .all(|&h| self.shortest_path(first, Node::Host(h)).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, Vec<SwitchId>, Vec<HostId>) {
+        // h0 - s0 - s1 - s2 - h1
+        let mut t = Topology::new();
+        let s: Vec<SwitchId> = (0..3).map(|i| t.add_switch(format!("s{i}"))).collect();
+        let h = vec![t.add_host(), t.add_host()];
+        t.connect(Node::Switch(s[0]), Node::Switch(s[1])).unwrap();
+        t.connect(Node::Switch(s[1]), Node::Switch(s[2])).unwrap();
+        t.connect(Node::Host(h[0]), Node::Switch(s[0])).unwrap();
+        t.connect(Node::Host(h[1]), Node::Switch(s[2])).unwrap();
+        (t, s, h)
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let (t, s, _) = line3();
+        assert_eq!(t.switch_count(), 3);
+        assert_eq!(t.host_count(), 2);
+        assert_eq!(t.link_count(), 4);
+        assert_eq!(t.switch_label(s[1]), "s1");
+    }
+
+    #[test]
+    fn ports_assigned_densely() {
+        let (t, s, _) = line3();
+        let adj = t.adj(Node::Switch(s[1]));
+        assert_eq!(adj.len(), 2);
+        assert_eq!(adj[0].local_port, Port(0));
+        assert_eq!(adj[1].local_port, Port(1));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let (t, s, h) = line3();
+        let p = t
+            .shortest_path(Node::Host(h[0]), Node::Host(h[1]))
+            .unwrap();
+        assert_eq!(
+            p,
+            vec![
+                Node::Host(h[0]),
+                Node::Switch(s[0]),
+                Node::Switch(s[1]),
+                Node::Switch(s[2]),
+                Node::Host(h[1])
+            ]
+        );
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let (t, _, h) = line3();
+        assert_eq!(
+            t.shortest_path(Node::Host(h[0]), Node::Host(h[0])),
+            Some(vec![Node::Host(h[0])])
+        );
+    }
+
+    #[test]
+    fn hosts_do_not_transit() {
+        // s0 - h - s1 would be the only path; must be unreachable.
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let h = t.add_host();
+        t.connect(Node::Switch(s0), Node::Host(h)).unwrap();
+        // h is single-homed: cannot even connect to s1. Use a fresh host
+        // chain to assert the constraint instead.
+        assert!(matches!(
+            t.connect(Node::Host(h), Node::Switch(s1)),
+            Err(TopologyError::HostDegreeExceeded(_))
+        ));
+        assert!(t
+            .shortest_path(Node::Switch(s0), Node::Switch(s1))
+            .is_none());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        let s = t.add_switch("s");
+        assert!(matches!(
+            t.connect(Node::Switch(s), Node::Switch(s)),
+            Err(TopologyError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut t = Topology::new();
+        let s = t.add_switch("s");
+        assert!(t
+            .connect(Node::Switch(s), Node::Switch(SwitchId(7)))
+            .is_err());
+    }
+
+    #[test]
+    fn port_towards_finds_direct_links_only() {
+        let (t, s, h) = line3();
+        assert_eq!(
+            t.port_towards(Node::Switch(s[0]), Node::Switch(s[1])),
+            Some(Port(0))
+        );
+        assert_eq!(t.port_towards(Node::Switch(s[0]), Node::Switch(s[2])), None);
+        assert!(t.port_towards(Node::Host(h[0]), Node::Switch(s[0])).is_some());
+    }
+
+    #[test]
+    fn host_attachment_reports_switch_and_port() {
+        let (t, s, h) = line3();
+        let (sw, _port) = t.host_attachment(h[1]).unwrap();
+        assert_eq!(sw, s[2]);
+    }
+
+    #[test]
+    fn validate_passes_on_wellformed() {
+        let (t, _, _) = line3();
+        t.validate().unwrap();
+        assert!(t.all_hosts_connected());
+    }
+
+    #[test]
+    fn disconnected_hosts_detected() {
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let h0 = t.add_host();
+        let h1 = t.add_host();
+        t.connect(Node::Host(h0), Node::Switch(s0)).unwrap();
+        t.connect(Node::Host(h1), Node::Switch(s1)).unwrap();
+        assert!(!t.all_hosts_connected());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Diamond: s0 -> {s1, s2} -> s3; BFS must always pick the neighbor
+        // on the lower port (s1, connected first).
+        let mut t = Topology::new();
+        let s: Vec<SwitchId> = (0..4).map(|i| t.add_switch(format!("s{i}"))).collect();
+        t.connect(Node::Switch(s[0]), Node::Switch(s[1])).unwrap();
+        t.connect(Node::Switch(s[0]), Node::Switch(s[2])).unwrap();
+        t.connect(Node::Switch(s[1]), Node::Switch(s[3])).unwrap();
+        t.connect(Node::Switch(s[2]), Node::Switch(s[3])).unwrap();
+        for _ in 0..5 {
+            let p = t
+                .shortest_path(Node::Switch(s[0]), Node::Switch(s[3]))
+                .unwrap();
+            assert_eq!(p[1], Node::Switch(s[1]));
+        }
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(Node::Switch(SwitchId(3)).to_string(), "s3");
+        assert_eq!(Node::Host(HostId(0)).to_string(), "h0");
+    }
+}

@@ -1,0 +1,89 @@
+//! Scenario: **FOCES against the per-flow and per-port baselines** — a
+//! quantitative rendition of the paper's related-work comparison (§VII).
+//!
+//! Injects a batch of path deviations and early drops on BCube(1,4) and
+//! scores three detectors on the same counter data:
+//!
+//! * FOCES (network-wide, zero dedicated rules);
+//! * a FADE-style per-flow monitor (dedicated rules; only monitored flows);
+//! * a FlowMon-style per-port checker (no rules; per-switch totals only).
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use foces::{Detector, Fcm};
+use foces_baselines::{FadeMonitor, FlowMonChecker};
+use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+use foces_dataplane::{inject_random_anomaly, Action, AnomalyKind, LossModel};
+use foces_net::generators::bcube;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials = 40;
+    // FADE monitors only 10% of flows — the realistic budget when every
+    // monitored flow costs one TCAM entry per hop.
+    let monitored_fraction = 0.10;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut foces_hits = 0;
+    let mut fade_hits = 0;
+    let mut flowmon_hits = 0;
+    let mut fade_overhead = 0;
+
+    for trial in 0..trials {
+        let topo = bcube(1, 4);
+        let flows = uniform_flows(&topo, 240_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair)?;
+        let fcm = Fcm::from_view(&dep.view);
+
+        let monitored: Vec<usize> = (0..dep.flows.len())
+            .filter(|i| i % ((1.0 / monitored_fraction) as usize) == 0)
+            .collect();
+        let fade = FadeMonitor::install(&mut dep, &monitored, 0.06);
+        fade_overhead = fade.rule_overhead();
+
+        let kind = if trial % 2 == 0 {
+            AnomalyKind::PathDeviation
+        } else {
+            AnomalyKind::EarlyDrop
+        };
+        let applied = inject_random_anomaly(&mut dep.dataplane, kind, &mut rng, &[])
+            .expect("rules exist");
+
+        let mut loss = LossModel::sampled(0.02, trial as u64);
+        dep.replay_traffic(&mut loss);
+        // FADE's dedicated rules were installed after the FCM was built, so
+        // collect exactly the FCM's own rule counters.
+        let counters = fcm.counters_from(&dep.dataplane);
+
+        if Detector::default().detect(&fcm, &counters)?.anomalous {
+            foces_hits += 1;
+        }
+        if !fade.check(&dep.dataplane).is_empty() {
+            fade_hits += 1;
+        }
+        if !FlowMonChecker::new(0.05).check(&dep.dataplane).is_empty() {
+            flowmon_hits += 1;
+        }
+        let _ = applied.modified_action == Action::Drop;
+    }
+
+    println!("detector        detected   dedicated rules");
+    println!(
+        "FOCES           {foces_hits:>3}/{trials}       0 (uses forwarding-rule counters)"
+    );
+    println!(
+        "FADE (10% mon.) {fade_hits:>3}/{trials}     {fade_overhead} extra TCAM entries"
+    );
+    println!("FlowMon         {flowmon_hits:>3}/{trials}       0 (port stats only)");
+    println!();
+    println!(
+        "FOCES checks every flow at once; FADE sees only its monitored slice; \
+         FlowMon misses re-routing deviations entirely."
+    );
+    assert!(foces_hits > fade_hits);
+    assert!(foces_hits > flowmon_hits);
+    Ok(())
+}

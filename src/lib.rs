@@ -1,0 +1,19 @@
+//! Umbrella crate for the FOCES reproduction.
+//!
+//! Re-exports every subsystem under one roof so the examples and the
+//! cross-crate integration tests can say `use foces_suite::...`; library
+//! users should depend on the individual crates (`foces`, `foces-net`, …)
+//! directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use foces as core;
+pub use foces_atpg as atpg;
+pub use foces_baselines as baselines;
+pub use foces_channel as channel;
+pub use foces_controlplane as controlplane;
+pub use foces_dataplane as dataplane;
+pub use foces_headerspace as headerspace;
+pub use foces_linalg as linalg;
+pub use foces_net as net;

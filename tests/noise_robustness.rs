@@ -1,0 +1,182 @@
+//! Noise-robustness integration tests: packet loss and counter-polling
+//! skew must not trip the threshold detector in healthy networks (the
+//! false-positive half of §IV-A), while anomalies must stay visible at the
+//! paper's moderate loss rates (the true-positive half of §VI-C/D).
+
+use foces::{threshold, Detector, Fcm};
+use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, LossModel};
+use foces_net::generators::{bcube, stanford};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn testbed(topo: foces_net::Topology) -> (Deployment, Fcm) {
+    let flows = uniform_flows(&topo, topo.host_count() as f64 * 15_000.0);
+    let dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+    let fcm = Fcm::from_view(&dep.view);
+    (dep, fcm)
+}
+
+fn round(dep: &Deployment, loss: f64, skew: f64, seed: u64) -> Vec<f64> {
+    let mut dp = dep.dataplane.clone();
+    let mut lm = if loss > 0.0 {
+        LossModel::sampled(loss, seed)
+    } else {
+        LossModel::none()
+    };
+    for f in &dep.flows {
+        dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    dp.collect_counters_skewed(skew, &mut rng)
+}
+
+#[test]
+fn healthy_false_positive_rate_is_low_at_moderate_loss() {
+    let (dep, fcm) = testbed(bcube(1, 4));
+    let detector = Detector::default();
+    for loss in [0.02, 0.05, 0.10] {
+        let mut fps = 0;
+        let rounds = 25;
+        for seed in 0..rounds {
+            let counters = round(&dep, loss, 0.02, seed);
+            if detector.detect(&fcm, &counters).unwrap().anomalous {
+                fps += 1;
+            }
+        }
+        // The ratio statistic has a genuine ~10% FP floor at the default
+        // threshold (the paper's ROC shows nonzero FP too); bound it at 20%.
+        assert!(
+            fps <= rounds / 5,
+            "loss {loss}: {fps}/{rounds} false positives"
+        );
+    }
+}
+
+#[test]
+fn anomalies_remain_visible_through_ten_percent_loss() {
+    let (dep, fcm) = testbed(bcube(1, 4));
+    let detector = Detector::default();
+    let mut detected = 0;
+    let rounds = 20;
+    for seed in 0..rounds {
+        let mut dp = dep.dataplane.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        inject_random_anomaly(&mut dp, AnomalyKind::PathDeviation, &mut rng, &[]).unwrap();
+        let mut lm = LossModel::sampled(0.10, seed + 500);
+        for f in &dep.flows {
+            dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+        }
+        let mut srng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let counters = dp.collect_counters_skewed(0.02, &mut srng);
+        if detector.detect(&fcm, &counters).unwrap().anomalous {
+            detected += 1;
+        }
+    }
+    assert!(
+        detected >= rounds * 9 / 10,
+        "only {detected}/{rounds} anomalies detected at 10% loss"
+    );
+}
+
+#[test]
+fn anomaly_index_gap_narrows_with_loss() {
+    // Fig. 7's qualitative claim: the normal/anomaly separation shrinks as
+    // loss grows (but persists at 10%).
+    let (dep, fcm) = testbed(bcube(1, 4));
+    let detector = Detector::default();
+    let mut gaps = Vec::new();
+    for loss in [0.0, 0.05, 0.10] {
+        let normal_ai = detector
+            .detect(&fcm, &round(&dep, loss, 0.02, 77))
+            .unwrap()
+            .anomaly_index;
+        let mut dp = dep.dataplane.clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        inject_random_anomaly(&mut dp, AnomalyKind::PathDeviation, &mut rng, &[]).unwrap();
+        let mut lm = if loss > 0.0 {
+            LossModel::sampled(loss, 77)
+        } else {
+            LossModel::none()
+        };
+        for f in &dep.flows {
+            dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+        }
+        let mut srng = StdRng::seed_from_u64(99);
+        let bad_ai = detector
+            .detect(&fcm, &dp.collect_counters_skewed(0.02, &mut srng))
+            .unwrap()
+            .anomaly_index;
+        assert!(bad_ai > normal_ai, "loss {loss}: no separation");
+        gaps.push(bad_ai.min(1e9) - normal_ai);
+    }
+    assert!(
+        gaps[0] > gaps[1] && gaps[1] > gaps[2],
+        "gap must narrow with loss: {gaps:?}"
+    );
+}
+
+#[test]
+fn stanford_tolerates_polling_skew_alone() {
+    // Polling skew alone occasionally nudges the index just over 4.5 (the
+    // statistic is a ratio of extremes); require the flag rate to stay low
+    // and the indices to stay near the threshold rather than exploding.
+    let (dep, fcm) = testbed(stanford());
+    let detector = Detector::default();
+    let mut flagged = 0;
+    for seed in 0..15 {
+        let counters = round(&dep, 0.0, 0.03, seed);
+        let v = detector.detect(&fcm, &counters).unwrap();
+        if v.anomalous {
+            flagged += 1;
+            assert!(v.anomaly_index < 8.0, "seed {seed}: runaway index {v}");
+        }
+    }
+    assert!(flagged <= 3, "{flagged}/15 skew-only rounds flagged");
+}
+
+#[test]
+fn threshold_derivation_matches_observed_noise_quantiles() {
+    // The folded-normal analysis says healthy residual max/median stays
+    // below ≈ 3σ / 0.675σ ≈ 4.4 with high probability. Check empirically:
+    // healthy anomaly indices under pure Gaussian-ish noise stay below the
+    // derived threshold in the vast majority of rounds.
+    let derived = threshold::derive_threshold(3.0);
+    assert!((derived - 4.45).abs() < 0.05);
+    let (dep, fcm) = testbed(bcube(1, 4));
+    let detector = Detector::with_threshold(derived);
+    let mut below = 0;
+    let rounds = 30;
+    for seed in 100..100 + rounds {
+        let counters = round(&dep, 0.03, 0.02, seed);
+        if !detector.detect(&fcm, &counters).unwrap().anomalous {
+            below += 1;
+        }
+    }
+    assert!(
+        below as f64 >= rounds as f64 * 0.9,
+        "{below}/{rounds} healthy rounds under the derived threshold"
+    );
+}
+
+#[test]
+fn deterministic_loss_is_reproducible_and_sampled_loss_converges() {
+    let (dep, fcm) = testbed(bcube(1, 4));
+    let detector = Detector::default();
+    // Deterministic (expected-value) loss: two runs give identical verdicts.
+    let run = |seed| {
+        let mut dp = dep.dataplane.clone();
+        let mut lm = LossModel::deterministic(0.08);
+        for f in &dep.flows {
+            dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+        }
+        let _ = seed;
+        detector.detect(&fcm, &dp.collect_counters()).unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a.anomaly_index.to_bits(), b.anomaly_index.to_bits());
+    // Deterministic loss along every hop is *structured* noise; the index
+    // must still stay below threshold in the healthy network.
+    assert!(!a.anomalous, "{a}");
+}

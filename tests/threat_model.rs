@@ -1,0 +1,138 @@
+//! The full threat-model pipeline over the control channel (paper §II-B):
+//! the adversary rewrites forwarding, forges its table dumps, and forges
+//! its own counters — dump auditing passes, yet FOCES detects from the
+//! (partially forged) counter vector, because the adversary cannot forge
+//! *other* switches' counters.
+
+use foces::{Detector, Fcm};
+use foces_channel::{honest_collector, ForgingAgent};
+use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
+use foces_dataplane::{Action, LossModel, Rule, RuleRef};
+use foces_net::generators::bcube;
+use foces_net::SwitchId;
+
+fn deployment() -> Deployment {
+    let topo = bcube(1, 4);
+    let flows = uniform_flows(&topo, 240_000.0);
+    provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap()
+}
+
+/// Picks a rule whose egress is another switch (not a last-hop rule) and
+/// returns it with its switch's pre-compromise table snapshot.
+fn pick_victim(dep: &Deployment) -> (RuleRef, Vec<Rule>) {
+    for r in dep.view.rule_refs() {
+        let rule = dep.view.rule(r).unwrap();
+        if let Action::Forward(port) = rule.action() {
+            let adj = &dep.view.topology().adj(foces_net::Node::Switch(r.switch))[port.0];
+            if matches!(adj.neighbor, foces_net::Node::Switch(_)) {
+                let snapshot = dep
+                    .view
+                    .table(r.switch)
+                    .iter()
+                    .map(|(_, rr)| rr.clone())
+                    .collect();
+                return (r, snapshot);
+            }
+        }
+    }
+    panic!("no eligible rule");
+}
+
+#[test]
+fn full_adversary_defeats_dump_audit_but_not_foces() {
+    let mut dep = deployment();
+    let fcm = Fcm::from_view(&dep.view);
+    let (victim, original_table) = pick_victim(&dep);
+
+    // The adversary: drop traffic at the victim rule...
+    dep.dataplane
+        .modify_rule_action(victim, Action::Drop)
+        .unwrap();
+    // ...and take over the switch's channel agent: forge dumps with the
+    // original table, and forge the victim counter to the value the
+    // controller expects (the true matched volume — which, in our counter
+    // semantics, the compromised switch indeed observes).
+    let mut dep_replayed = dep.clone();
+    dep_replayed.replay_traffic(&mut LossModel::none());
+    let expected_victim_counter =
+        dep_replayed.dataplane.counter(victim.switch, victim.index);
+
+    let mut collector = honest_collector(&dep.view);
+    let mut agent = ForgingAgent::new(victim.switch, original_table);
+    agent.forge_counter(victim.index, expected_victim_counter);
+    collector.replace_agent(Box::new(agent));
+
+    // 1. Dump audit: every switch, including the compromised one, passes.
+    let audits = collector
+        .audit_dumps(&dep_replayed.dataplane, &dep.view)
+        .unwrap();
+    assert!(
+        audits.iter().all(|a| a.consistent),
+        "forged dumps defeat table auditing"
+    );
+
+    // 2. FOCES over the channel-collected (forged) counters: detected
+    //    anyway — the starved downstream rules are on switches the
+    //    adversary does not control.
+    let counters = collector
+        .collect_counters(&dep_replayed.dataplane)
+        .unwrap();
+    let verdict = Detector::default().detect(&fcm, &counters).unwrap();
+    assert!(verdict.anomalous, "{verdict}");
+    // The adversary can forge its own counters but not its neighbours':
+    // substantial residuals must exist on switches it does not control.
+    // (The single largest residual may well sit on the victim switch — the
+    // least-squares fit splits the flow's missing volume across its whole
+    // path — so the robust claim is about off-switch evidence, not argmax.)
+    let off_switch_residual = fcm
+        .rules()
+        .iter()
+        .zip(&verdict.solve.residual)
+        .filter(|(r, _)| r.switch != victim.switch)
+        .map(|(_, d)| *d)
+        .fold(0.0_f64, f64::max);
+    assert!(
+        off_switch_residual > 100.0,
+        "uncompromised switches carry the evidence: {off_switch_residual}"
+    );
+}
+
+#[test]
+fn channel_counters_equal_direct_collection_with_honest_agents() {
+    let mut dep = deployment();
+    let mut loss = LossModel::sampled(0.03, 5);
+    dep.replay_traffic(&mut loss);
+    let collector = honest_collector(&dep.view);
+    assert_eq!(
+        collector.collect_counters(&dep.dataplane).unwrap(),
+        dep.dataplane.collect_counters()
+    );
+}
+
+#[test]
+fn forging_other_switches_counters_is_out_of_reach() {
+    // The adversary owns ONE switch; rewriting its reported counters does
+    // not touch the canonical positions of other switches' counters.
+    let mut dep = deployment();
+    dep.replay_traffic(&mut LossModel::none());
+    let truth = dep.dataplane.collect_counters();
+    let sw = SwitchId(3);
+    let snapshot: Vec<Rule> = dep.view.table(sw).iter().map(|(_, r)| r.clone()).collect();
+    let table_len = snapshot.len();
+    let mut collector = honest_collector(&dep.view);
+    let mut agent = ForgingAgent::new(sw, snapshot);
+    for i in 0..table_len {
+        agent.forge_counter(i, 0.0);
+    }
+    collector.replace_agent(Box::new(agent));
+    let forged = collector.collect_counters(&dep.dataplane).unwrap();
+    // Positions outside s3's block are untouched.
+    let fcm = Fcm::from_view(&dep.view);
+    for (i, r) in fcm.rules().iter().enumerate() {
+        if r.switch == sw {
+            assert_eq!(forged[i], 0.0);
+        } else {
+            assert_eq!(forged[i], truth[i]);
+        }
+    }
+}
