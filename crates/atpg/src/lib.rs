@@ -156,8 +156,11 @@ pub fn trace_flows(view: &ControllerView) -> Vec<LogicalFlow> {
     }
     // Deterministic order: by ingress, then egress, then header string.
     out.sort_by(|a, b| {
-        (a.ingress, a.egress, format!("{}", a.header))
-            .cmp(&(b.ingress, b.egress, format!("{}", b.header)))
+        (a.ingress, a.egress, format!("{}", a.header)).cmp(&(
+            b.ingress,
+            b.egress,
+            format!("{}", b.header),
+        ))
     });
     out
 }
@@ -316,7 +319,12 @@ mod tests {
         let mut dp = dep.dataplane.clone();
         for lf in logical.iter().take(60) {
             dp.reset_counters();
-            dp.inject(lf.ingress, lf.concrete_header(), 1.0, &mut LossModel::none());
+            dp.inject(
+                lf.ingress,
+                lf.concrete_header(),
+                1.0,
+                &mut LossModel::none(),
+            );
             for r in &lf.rules {
                 assert_eq!(
                     dp.counter(r.switch, r.index),
@@ -387,10 +395,8 @@ mod tests {
         ));
         let view = ControllerView::from_parts(topo, vec![table]);
         let traced = trace_flows(&view);
-        let from_h0: Vec<&LogicalFlow> =
-            traced.iter().filter(|f| f.ingress == h[0]).collect();
-        let from_h1: Vec<&LogicalFlow> =
-            traced.iter().filter(|f| f.ingress == h[1]).collect();
+        let from_h0: Vec<&LogicalFlow> = traced.iter().filter(|f| f.ingress == h[0]).collect();
+        let from_h1: Vec<&LogicalFlow> = traced.iter().filter(|f| f.ingress == h[1]).collect();
         assert_eq!(from_h0.len(), 1);
         assert_eq!(from_h0[0].egress, h[1], "pair rule must shadow dst rule");
         assert_eq!(from_h0[0].rules[0].index, 1);

@@ -92,13 +92,13 @@ impl FadeMonitor {
             let header = pair_header(spec.src, spec.dst);
             let mut dedicated_rules = Vec::with_capacity(path.len());
             for &switch in &path {
-                let (_, base_rule) = dep
-                    .dataplane
-                    .table(switch)
-                    .lookup(header)
-                    .unwrap_or_else(|| {
-                        panic!("no rule for monitored flow #{flow_index} at s{}", switch.0)
-                    });
+                let (_, base_rule) =
+                    dep.dataplane
+                        .table(switch)
+                        .lookup(header)
+                        .unwrap_or_else(|| {
+                            panic!("no rule for monitored flow #{flow_index} at s{}", switch.0)
+                        });
                 let action = base_rule.action();
                 let r = dep.dataplane.install(
                     switch,
@@ -120,10 +120,7 @@ impl FadeMonitor {
     /// Total dedicated rules installed — the flow-table overhead of this
     /// baseline (FOCES's is zero).
     pub fn rule_overhead(&self) -> usize {
-        self.monitored
-            .iter()
-            .map(|m| m.dedicated_rules.len())
-            .sum()
+        self.monitored.iter().map(|m| m.dedicated_rules.len()).sum()
     }
 
     /// Number of monitored flows.
@@ -224,7 +221,10 @@ mod tests {
             .unwrap();
         dep.replay_traffic(&mut LossModel::none());
         let violations = monitor.check(&dep.dataplane);
-        assert!(violations.iter().any(|v| v.flow_index == 0), "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.flow_index == 0),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -235,11 +235,7 @@ mod tests {
         let monitor = FadeMonitor::install(&mut dep, &[0], 0.02);
         let covered = dep.expected_paths[0].clone();
         let victim_flow = (0..dep.flows.len())
-            .find(|&i| {
-                dep.expected_paths[i]
-                    .iter()
-                    .all(|s| !covered.contains(s))
-            })
+            .find(|&i| dep.expected_paths[i].iter().all(|s| !covered.contains(s)))
             .expect("bcube has disjoint paths");
         let victim_switch = dep.expected_paths[victim_flow][0];
         assert!(!monitor.covers_switch(victim_switch));
@@ -300,10 +296,11 @@ mod tests {
         for s in &dep.expected_paths[0] {
             assert!(monitor.covers_switch(*s));
         }
-        assert!(!monitor.covers_switch(SwitchId(9999).min(SwitchId(
-            dep.view.topology().switch_count() - 1
-        ))) || dep.expected_paths[0]
-            .contains(&SwitchId(dep.view.topology().switch_count() - 1)));
+        assert!(
+            !monitor.covers_switch(
+                SwitchId(9999).min(SwitchId(dep.view.topology().switch_count() - 1))
+            ) || dep.expected_paths[0].contains(&SwitchId(dep.view.topology().switch_count() - 1))
+        );
     }
 
     #[test]

@@ -124,13 +124,9 @@ mod tests {
         // one switch whose totals do not balance.
         let mut dep = deployment();
         let mut rng = StdRng::seed_from_u64(2);
-        let applied = inject_random_anomaly(
-            &mut dep.dataplane,
-            AnomalyKind::EarlyDrop,
-            &mut rng,
-            &[],
-        )
-        .unwrap();
+        let applied =
+            inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[])
+                .unwrap();
         dep.replay_traffic(&mut LossModel::none());
         let violations = FlowMonChecker::new(0.001).check(&dep.dataplane);
         assert!(!violations.is_empty());
@@ -147,8 +143,7 @@ mod tests {
         // loss-calibrated tolerance misses it where FOCES would not.
         let mut dep = deployment();
         let mut rng = StdRng::seed_from_u64(2);
-        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[])
-            .unwrap();
+        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[]).unwrap();
         dep.replay_traffic(&mut LossModel::none());
         assert!(FlowMonChecker::new(0.05).check(&dep.dataplane).is_empty());
     }

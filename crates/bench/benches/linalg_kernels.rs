@@ -53,9 +53,13 @@ fn bench_cgls(c: &mut Criterion) {
         let sparse = CsrMatrix::from_dense(&dense);
         let x: Vec<f64> = (0..n).map(|i| (i % 7 + 1) as f64).collect();
         let y = sparse.matvec(&x).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(&sparse, &y), |b, (m, rhs)| {
-            b.iter(|| cgls(black_box(m), black_box(rhs), 1e-10, 2000).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&sparse, &y),
+            |b, (m, rhs)| {
+                b.iter(|| cgls(black_box(m), black_box(rhs), 1e-10, 2000).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -14,10 +14,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-fn setup(
-    flows_wanted: usize,
-    granularity: RuleGranularity,
-) -> (Fcm, SlicedFcm, Vec<f64>) {
+fn setup(flows_wanted: usize, granularity: RuleGranularity) -> (Fcm, SlicedFcm, Vec<f64>) {
     let topo = fattree(8);
     let mut flows = uniform_flows(&topo, 16256.0 * 1000.0);
     let mut rng = StdRng::seed_from_u64(7);

@@ -179,7 +179,10 @@ mod tests {
         // Snapshot the original table, then compromise the rule.
         let original: Vec<Rule> = dp.table(s0).iter().map(|(_, r)| r.clone()).collect();
         dp.modify_rule_action(
-            foces_dataplane::RuleRef { switch: s0, index: 0 },
+            foces_dataplane::RuleRef {
+                switch: s0,
+                index: 0,
+            },
             Action::Drop,
         )
         .unwrap();

@@ -4,6 +4,7 @@
 
 use crate::agent::SwitchAgent;
 use crate::message::{ControllerMsg, SwitchMsg};
+use crate::transport::{Delivery, PerfectTransport, Transport};
 use foces_controlplane::ControllerView;
 use foces_dataplane::DataPlane;
 use foces_net::SwitchId;
@@ -30,6 +31,13 @@ pub enum ChannelError {
     },
     /// A wire decode failure.
     Wire(crate::message::WireError),
+    /// The switch could not be reached (message dropped or switch
+    /// offline). Only produced when the collector runs over a faulty
+    /// [`Transport`]; the default [`PerfectTransport`] never raises it.
+    Unreachable {
+        /// The unreachable switch.
+        switch: SwitchId,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -48,6 +56,9 @@ impl fmt::Display for ChannelError {
                 write!(f, "s{}: wrong reply type", switch.0)
             }
             ChannelError::Wire(e) => write!(f, "wire error: {e}"),
+            ChannelError::Unreachable { switch } => {
+                write!(f, "s{}: unreachable", switch.0)
+            }
         }
     }
 }
@@ -82,6 +93,7 @@ pub struct DumpAudit {
 pub struct ChannelCollector {
     agents: Vec<Box<dyn SwitchAgent>>,
     next_xid: std::cell::Cell<u32>,
+    transport: std::cell::RefCell<Box<dyn Transport>>,
 }
 
 impl fmt::Debug for ChannelCollector {
@@ -92,13 +104,33 @@ impl fmt::Debug for ChannelCollector {
 
 impl ChannelCollector {
     /// Creates a collector over the given agents (one per switch, in
-    /// ascending switch order for canonical counter-vector assembly).
-    pub fn new(mut agents: Vec<Box<dyn SwitchAgent>>) -> Self {
+    /// ascending switch order for canonical counter-vector assembly),
+    /// using the ideal [`PerfectTransport`].
+    pub fn new(agents: Vec<Box<dyn SwitchAgent>>) -> Self {
+        ChannelCollector::with_transport(agents, Box::new(PerfectTransport))
+    }
+
+    /// Creates a collector whose exchanges go through `transport` — the
+    /// hook for latency/loss/offline simulation. An exchange the transport
+    /// reports as [`Delivery::Dropped`] or [`Delivery::Offline`] surfaces
+    /// as [`ChannelError::Unreachable`] (the collector itself does not
+    /// retry; retry policy belongs to the caller).
+    pub fn with_transport(
+        mut agents: Vec<Box<dyn SwitchAgent>>,
+        transport: Box<dyn Transport>,
+    ) -> Self {
         agents.sort_by_key(|a| a.switch());
         ChannelCollector {
             agents,
             next_xid: std::cell::Cell::new(1),
+            transport: std::cell::RefCell::new(transport),
         }
+    }
+
+    /// Advances the transport's simulated clock (see
+    /// [`Transport::on_epoch`]).
+    pub fn advance_epoch(&self, epoch: u64) {
+        self.transport.borrow_mut().on_epoch(epoch);
     }
 
     /// Replaces the agent for one switch (e.g. after a compromise, swap the
@@ -119,18 +151,20 @@ impl ChannelCollector {
         x
     }
 
-    /// One round-trip to one agent, through the wire format both ways.
+    /// One round-trip to one agent, through the transport (and therefore
+    /// through the wire format both ways).
     fn exchange(
         &self,
         agent: &dyn SwitchAgent,
         dp: &DataPlane,
         msg: ControllerMsg,
     ) -> Result<SwitchMsg, ChannelError> {
-        let wire_out = msg.encode();
-        let decoded_req = ControllerMsg::decode(wire_out)?;
-        let reply = agent.handle(dp, &decoded_req);
-        let wire_back = reply.encode();
-        Ok(SwitchMsg::decode(wire_back)?)
+        match self.transport.borrow_mut().exchange(dp, agent, &msg)? {
+            Delivery::Delivered { reply, .. } => Ok(reply),
+            Delivery::Dropped | Delivery::Offline => Err(ChannelError::Unreachable {
+                switch: agent.switch(),
+            }),
+        }
     }
 
     /// Polls every switch for its counters and assembles the network-wide
@@ -344,14 +378,15 @@ mod tests {
         // dump auditing passes while forwarding is compromised.
         let mut dep = deployment();
         let sw = foces_net::SwitchId(0);
-        let original: Vec<Rule> = dep
-            .view
-            .table(sw)
-            .iter()
-            .map(|(_, r)| r.clone())
-            .collect();
+        let original: Vec<Rule> = dep.view.table(sw).iter().map(|(_, r)| r.clone()).collect();
         dep.dataplane
-            .modify_rule_action(RuleRef { switch: sw, index: 0 }, Action::Drop)
+            .modify_rule_action(
+                RuleRef {
+                    switch: sw,
+                    index: 0,
+                },
+                Action::Drop,
+            )
             .unwrap();
         let mut collector = honest_collector(&dep.view);
         collector.replace_agent(Box::new(ForgingAgent::new(sw, original)));
@@ -396,6 +431,47 @@ mod tests {
         assert_eq!(*delta.last().unwrap(), 7.0);
         tracker.reset();
         assert_eq!(tracker.delta(&[5.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn dropping_transport_surfaces_unreachable() {
+        use crate::transport::{Delivery, Transport};
+
+        /// Drops every exchange aimed at one victim switch.
+        struct Blackhole {
+            victim: SwitchId,
+        }
+        impl Transport for Blackhole {
+            fn exchange(
+                &mut self,
+                dp: &DataPlane,
+                agent: &dyn SwitchAgent,
+                msg: &ControllerMsg,
+            ) -> Result<Delivery, ChannelError> {
+                if agent.switch() == self.victim {
+                    return Ok(Delivery::Dropped);
+                }
+                Ok(Delivery::Delivered {
+                    reply: crate::transport::wire_exchange(dp, agent, msg)?,
+                    latency_ms: 1.5,
+                })
+            }
+        }
+
+        let mut dep = deployment();
+        dep.replay_traffic(&mut LossModel::none());
+        let victim = foces_net::SwitchId(2);
+        let agents: Vec<Box<dyn SwitchAgent>> = dep
+            .view
+            .topology()
+            .switches()
+            .map(|s| Box::new(HonestAgent::new(s)) as Box<dyn SwitchAgent>)
+            .collect();
+        let collector = ChannelCollector::with_transport(agents, Box::new(Blackhole { victim }));
+        collector.advance_epoch(1);
+        let err = collector.collect_counters(&dep.dataplane).unwrap_err();
+        assert_eq!(err, ChannelError::Unreachable { switch: victim });
+        assert!(err.to_string().contains("unreachable"));
     }
 
     #[test]

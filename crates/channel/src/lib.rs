@@ -20,7 +20,11 @@
 //!   reassembles the network-wide counter vector in canonical (FCM row)
 //!   order, and can audit table dumps against the controller view —
 //!   demonstrating exactly why dump-auditing fails and counter analysis
-//!   (FOCES) is needed.
+//!   (FOCES) is needed;
+//! * [`transport`] — the delivery-policy hook: every exchange goes through
+//!   a [`Transport`] ([`PerfectTransport`] by default), so fault models
+//!   (latency, loss, offline switches — see `foces-runtime`) plug in
+//!   without touching the codec or the agents.
 //!
 //! # Example
 //!
@@ -56,7 +60,9 @@
 pub mod agent;
 pub mod collector;
 pub mod message;
+pub mod transport;
 
 pub use agent::{ForgingAgent, HonestAgent, SwitchAgent};
 pub use collector::{honest_collector, ChannelCollector, ChannelError, DeltaTracker, DumpAudit};
 pub use message::{ControllerMsg, SwitchMsg, WireError, WireRule};
+pub use transport::{wire_exchange, Delivery, PerfectTransport, Transport};

@@ -397,11 +397,7 @@ mod tests {
 
     #[test]
     fn wire_rule_from_live_rule() {
-        let rule = Rule::new(
-            Wildcard::any(HEADER_WIDTH),
-            5,
-            Action::Forward(Port(1)),
-        );
+        let rule = Rule::new(Wildcard::any(HEADER_WIDTH), 5, Action::Forward(Port(1)));
         let w = WireRule::from_rule(&rule, 42.0);
         assert_eq!(w.priority, 5);
         assert_eq!(w.counter, 42.0);

@@ -1,0 +1,124 @@
+//! Property tests for [`DeltaTracker`]: the layout of the counter vector
+//! can change between epochs (rules added, FCM rebuilt, switches lost),
+//! and the tracker must never difference an index against history that
+//! belonged to a *different* vector layout — in particular, after the
+//! vector shrinks and then regrows, the regrown tail must be treated as
+//! a fresh start, not differenced against the stale pre-shrink tail.
+
+use foces_channel::DeltaTracker;
+use proptest::prelude::*;
+
+fn counters(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e12, 0..max_len)
+}
+
+proptest! {
+    /// The delta vector always has the snapshot's length, regardless of
+    /// what lengths came before.
+    #[test]
+    fn output_length_tracks_the_snapshot(
+        snaps in proptest::collection::vec(counters(32), 1..8),
+    ) {
+        let mut t = DeltaTracker::new();
+        for s in &snaps {
+            prop_assert_eq!(t.delta(s).len(), s.len());
+        }
+    }
+
+    /// The first delta is the snapshot itself (no history yet).
+    #[test]
+    fn first_delta_is_the_snapshot(s in counters(64)) {
+        let mut t = DeltaTracker::new();
+        prop_assert_eq!(t.delta(&s), s);
+    }
+
+    /// With monotonically growing counters the delta is the elementwise
+    /// difference, exactly.
+    #[test]
+    fn monotone_counters_difference_exactly(
+        base in counters(32),
+        grow in proptest::collection::vec(0.0f64..1e9, 0..32),
+    ) {
+        let mut t = DeltaTracker::new();
+        t.delta(&base);
+        let n = base.len().min(grow.len());
+        let next: Vec<f64> = (0..n).map(|i| base[i] + grow[i]).collect();
+        let d = t.delta(&next);
+        for i in 0..n {
+            // (base + grow) - base rounds at the ulp of `base`.
+            let tol = 1e-9 + base[i].abs() * 1e-12;
+            prop_assert!((d[i] - grow[i]).abs() < tol, "index {i}: {} vs {}", d[i], grow[i]);
+        }
+    }
+
+    /// Shrink, then regrow: the regrown tail must equal the raw snapshot
+    /// values (fresh start), NOT the difference against the pre-shrink
+    /// tail. A tracker that kept the old tail around would report
+    /// `tail[i] - old_tail[i]` here.
+    #[test]
+    fn regrown_tail_is_fresh_not_differenced_against_stale_history(
+        head in proptest::collection::vec(0.0f64..1e9, 1..16),
+        old_tail in proptest::collection::vec(1.0f64..1e9, 1..16),
+        new_tail in proptest::collection::vec(0.0f64..1e9, 1..16),
+    ) {
+        let mut t = DeltaTracker::new();
+        let mut long = head.clone();
+        long.extend_from_slice(&old_tail);
+        t.delta(&long);          // full layout
+        t.delta(&head);          // shrink: tail rules disappeared
+        let mut regrown = head.clone();
+        regrown.extend_from_slice(&new_tail);
+        let d = t.delta(&regrown); // regrow with a fresh tail
+        prop_assert_eq!(d.len(), regrown.len());
+        // Head was unchanged between the last two snapshots → delta 0.
+        for (i, hd) in d.iter().take(head.len()).enumerate() {
+            prop_assert!(hd.abs() < 1e-9, "head index {} moved: {}", i, hd);
+        }
+        // Tail indices were absent from the previous snapshot → raw value.
+        for (i, &v) in new_tail.iter().enumerate() {
+            let j = head.len() + i;
+            prop_assert!(
+                (d[j] - v).abs() < 1e-9,
+                "tail index {j}: got {}, want fresh {v}",
+                d[j]
+            );
+        }
+    }
+
+    /// A counter that goes backwards (switch reboot) restarts from the
+    /// raw value instead of producing a negative delta.
+    #[test]
+    fn backwards_counters_restart_fresh(
+        before in 1.0f64..1e9,
+        after in 0.0f64..1e9,
+    ) {
+        prop_assume!(after < before);
+        let mut t = DeltaTracker::new();
+        t.delta(&[before]);
+        let d = t.delta(&[after]);
+        prop_assert_eq!(d, vec![after]);
+        prop_assert!(d[0] >= 0.0);
+    }
+
+    /// `reset` really forgets: the next delta is the snapshot itself.
+    #[test]
+    fn reset_forgets_all_history(a in counters(32), b in counters(32)) {
+        let mut t = DeltaTracker::new();
+        t.delta(&a);
+        t.reset();
+        prop_assert_eq!(t.delta(&b), b);
+    }
+
+    /// Deltas are never negative, whatever the snapshot sequence.
+    #[test]
+    fn deltas_are_never_negative(
+        snaps in proptest::collection::vec(counters(16), 1..10),
+    ) {
+        let mut t = DeltaTracker::new();
+        for s in &snaps {
+            for (i, d) in t.delta(s).iter().enumerate() {
+                prop_assert!(*d >= 0.0, "negative delta {} at index {}", d, i);
+            }
+        }
+    }
+}

@@ -88,4 +88,54 @@ proptest! {
         let msg = SwitchMsg::TableDumpReply { xid, rules };
         prop_assert_eq!(SwitchMsg::decode(msg.encode()).unwrap(), msg);
     }
+
+    /// Both controller → switch requests round-trip for every xid.
+    #[test]
+    fn controller_requests_round_trip(xid in any::<u32>(), dump in any::<bool>()) {
+        let msg = if dump {
+            ControllerMsg::TableDumpRequest { xid }
+        } else {
+            ControllerMsg::StatsRequest { xid }
+        };
+        prop_assert_eq!(ControllerMsg::decode(msg.encode()).unwrap(), msg);
+    }
+
+    /// Every strict prefix of a valid encoding decodes to Err (a
+    /// truncated frame is not silently accepted) and never panics.
+    #[test]
+    fn truncated_switch_frames_decode_to_err(
+        xid in any::<u32>(),
+        counters in proptest::collection::vec(0.0f64..1e15, 1..32),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let full = SwitchMsg::StatsReply { xid, counters }.encode().to_vec();
+        let keep = cut.index(full.len()); // 0..len, always a strict prefix
+        let res = SwitchMsg::decode(Bytes::from(full[..keep].to_vec()));
+        prop_assert!(res.is_err(), "prefix of {keep}/{} bytes decoded", full.len());
+    }
+
+    /// Same for controller requests: truncation is always an error.
+    #[test]
+    fn truncated_controller_frames_decode_to_err(
+        xid in any::<u32>(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let full = ControllerMsg::TableDumpRequest { xid }.encode().to_vec();
+        let keep = cut.index(full.len());
+        let res = ControllerMsg::decode(Bytes::from(full[..keep].to_vec()));
+        prop_assert!(res.is_err(), "prefix of {keep}/{} bytes decoded", full.len());
+    }
+
+    /// Cross-decoding: a switch reply fed to the controller-side decoder
+    /// (and vice versa) must return Err or a message, never panic.
+    #[test]
+    fn cross_direction_decoding_never_panics(
+        xid in any::<u32>(),
+        counters in proptest::collection::vec(0.0f64..1e9, 0..16),
+    ) {
+        let reply = SwitchMsg::StatsReply { xid, counters }.encode();
+        let _ = ControllerMsg::decode(reply);
+        let request = ControllerMsg::StatsRequest { xid }.encode();
+        let _ = SwitchMsg::decode(request);
+    }
 }

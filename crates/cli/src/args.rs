@@ -1,6 +1,6 @@
-//! A minimal argument parser: positionals plus `--key value` options and
-//! `--flag` booleans. Hand-rolled to keep the dependency set at the
-//! approved offline list (no clap).
+//! A minimal argument parser: positionals plus `--key value` /
+//! `--key=value` options and `--flag` booleans. Hand-rolled to keep the
+//! dependency set at the approved offline list (no clap).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -27,17 +27,24 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses raw arguments. `value_opts` lists the `--key` options that
-    /// take a value; any other `--name` is treated as a boolean flag.
+    /// take a value (either as the next argument or inline as
+    /// `--key=value`); any other `--name` is treated as a boolean flag.
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] when a value option is last with no value.
+    /// Returns [`ArgError`] when a value option is last with no value, or
+    /// when `=value` is attached to an option that takes none.
     pub fn parse(raw: &[String], value_opts: &[&str]) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if value_opts.contains(&name) {
+                if let Some((key, value)) = name.split_once('=') {
+                    if !value_opts.contains(&key) {
+                        return Err(ArgError(format!("--{key} does not take a value")));
+                    }
+                    out.options.insert(key.to_string(), value.to_string());
+                } else if value_opts.contains(&name) {
                     let v = it
                         .next()
                         .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
@@ -120,5 +127,41 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Args::parse(&raw("--loss"), &["loss"]).is_err());
+    }
+
+    #[test]
+    fn equals_form_parses_values() {
+        let a = Args::parse(
+            &raw("run net.foces --loss=0.05 --epochs=30 --sliced"),
+            &["loss", "epochs"],
+        )
+        .unwrap();
+        assert_eq!(a.opt("loss"), Some("0.05"));
+        assert_eq!(a.num("epochs", 0u64).unwrap(), 30);
+        assert!(a.flag("sliced"));
+        assert_eq!(a.positional(0), Some("run"));
+    }
+
+    #[test]
+    fn equals_form_keeps_value_verbatim() {
+        // Only the first '=' splits; empty values are legal.
+        let a = Args::parse(&raw("--expr=a=b --empty="), &["expr", "empty"]).unwrap();
+        assert_eq!(a.opt("expr"), Some("a=b"));
+        assert_eq!(a.opt("empty"), Some(""));
+    }
+
+    #[test]
+    fn equals_on_a_flag_is_an_error() {
+        let err = Args::parse(&raw("--sliced=yes"), &["loss"]).unwrap_err();
+        assert!(err.0.contains("--sliced"), "{err}");
+    }
+
+    #[test]
+    fn trailing_value_option_is_an_error_in_both_forms() {
+        // `--loss` with nothing after it must error; `--loss=`
+        // (explicit empty) must not.
+        assert!(Args::parse(&raw("detect net.foces --loss"), &["loss"]).is_err());
+        let ok = Args::parse(&raw("detect net.foces --loss="), &["loss"]).unwrap();
+        assert_eq!(ok.opt("loss"), Some(""));
     }
 }

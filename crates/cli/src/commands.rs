@@ -9,9 +9,8 @@ use foces::{
 };
 use foces_controlplane::scenario::Scenario;
 use foces_controlplane::Deployment;
-use foces_dataplane::{
-    inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel,
-};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel};
+use foces_runtime::{DetectionMode, EventLog, FaultScenario, RuntimeConfig, ScenarioDriver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -27,19 +26,22 @@ USAGE:
   foces topo     <scenario>                          topology & FCM statistics
   foces detect   <scenario> [--loss P] [--modify K] [--seed N] [--threshold T] [--sliced]
   foces monitor  <scenario> [--rounds N] [--attack-at R] [--repair-at R] [--loss P] [--seed N]
+  foces run      <scenario> [--epochs N] [--loss P] [--drop P] [--latency MS] [--jitter MS]
+                 [--reorder P] [--offline S --offline-from E --offline-to E]
+                 [--attack-at E] [--repair-at E] [--seed N] [--threshold T]
+                 [--workers N] [--oracle-cap N] [--log FILE.jsonl]
+                 fault-tolerant online detection over an unreliable channel
   foces audit    <scenario> [--cap N]                detectability blind spots
   foces harden   <scenario> [--budget N] [--cap N]   close blind spots with extra rules
   foces scenario <fattree|bcube|dcell|stanford|linear|ring> print a template scenario
   foces help
 
+Options accept both `--key value` and `--key=value`.
 Scenario files: see `foces scenario ring` for the format.";
 
 fn load(args: &Args) -> Result<(Scenario, Deployment), CmdError> {
-    let path = args
-        .positional(1)
-        .ok_or("missing scenario file argument")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let path = args.positional(1).ok_or("missing scenario file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let scenario = Scenario::parse(&text)?;
     let dep = scenario.provision()?;
     Ok((scenario, dep))
@@ -99,9 +101,12 @@ pub fn detect(args: &Args) -> Result<String, CmdError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = String::new();
     for _ in 0..modify {
-        if let Some(a) =
-            inject_random_anomaly(&mut dep.dataplane, AnomalyKind::PathDeviation, &mut rng, &[])
-        {
+        if let Some(a) = inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::PathDeviation,
+            &mut rng,
+            &[],
+        ) {
             writeln!(
                 out,
                 "injected: {} rewritten {} -> {}",
@@ -184,6 +189,135 @@ pub fn monitor(args: &Args) -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// `foces run <scenario> ...` — the fault-tolerant online service.
+pub fn run_service(args: &Args) -> Result<String, CmdError> {
+    let (_, dep) = load(args)?;
+    let epochs: u64 = args.num("epochs", 30)?;
+    let loss: f64 = args.num("loss", 0.02)?;
+    let drop_prob: f64 = args.num("drop", 0.0)?;
+    let latency_ms: f64 = args.num("latency", 5.0)?;
+    let jitter_ms: f64 = args.num("jitter", 0.0)?;
+    let reorder_prob: f64 = args.num("reorder", 0.0)?;
+    let seed: u64 = args.num("seed", 7)?;
+    let threshold: f64 = args.num("threshold", foces::DEFAULT_THRESHOLD)?;
+    let oracle_cap: usize = args.num("oracle-cap", 256)?;
+
+    let offline = match args.opt("offline") {
+        Some(_) => {
+            let s: usize = args.num("offline", 0)?;
+            let from: u64 = args.num("offline-from", 0)?;
+            let to: u64 = args.num("offline-to", epochs)?;
+            Some((foces_net::SwitchId(s), from, to))
+        }
+        None => None,
+    };
+    let anomaly_window = match args.opt("attack-at") {
+        Some(_) => {
+            let at: u64 = args.num("attack-at", 0)?;
+            let until: u64 = args.num("repair-at", epochs)?;
+            Some((at, until))
+        }
+        None => None,
+    };
+
+    let scenario = FaultScenario {
+        epochs,
+        loss,
+        drop_prob,
+        latency_ms,
+        jitter_ms,
+        reorder_prob,
+        offline,
+        anomaly_window,
+        anomaly_kind: AnomalyKind::PathDeviation,
+        seed,
+        anomaly_seed: seed,
+    };
+    let mut config = RuntimeConfig {
+        threshold,
+        oracle_cap,
+        ..RuntimeConfig::default()
+    };
+    if let Some(w) = args.opt("workers") {
+        config.workers = w
+            .parse()
+            .map_err(|_| format!("--workers: cannot parse {w:?}"))?;
+    }
+
+    let mut driver = ScenarioDriver::new(dep, scenario, config);
+    if let Some(path) = args.opt("log") {
+        let log = EventLog::to_file(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        driver.service_mut().set_event_log(log);
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "oracle: full-system coverage {:.1}% over {} audited deviations",
+        100.0 * driver.service().pipeline().full_coverage(),
+        driver.service().pipeline().candidate_count()
+    )?;
+    for _ in 0..epochs {
+        let epoch = driver.service().epochs();
+        let injected_before = driver.active_anomaly().map(|a| a.rule);
+        let report = driver.step()?;
+        match (injected_before, driver.active_anomaly().map(|a| a.rule)) {
+            (None, Some(rule)) => {
+                writeln!(out, "epoch {epoch:>3}: [attack on s{}]", rule.switch.0)?
+            }
+            (Some(_), None) => writeln!(out, "epoch {epoch:>3}: [repaired]")?,
+            _ => {}
+        }
+        match &report.mode {
+            DetectionMode::Full => {}
+            DetectionMode::Degraded {
+                missing, coverage, ..
+            } => {
+                let names: Vec<String> = missing.iter().map(|s| format!("s{}", s.0)).collect();
+                writeln!(
+                    out,
+                    "epoch {epoch:>3}: DEGRADED missing [{}], masked coverage {:.1}%",
+                    names.join(", "),
+                    100.0 * coverage
+                )?;
+            }
+            DetectionMode::Blind { .. } => {
+                writeln!(out, "epoch {epoch:>3}: BLIND (no usable counters)")?
+            }
+        }
+        if report.alarm_raised {
+            let ai = report
+                .verdict
+                .as_ref()
+                .map(|v| v.anomaly_index.min(1e6))
+                .unwrap_or(f64::NAN);
+            let suspects: Vec<String> = report
+                .suspects
+                .iter()
+                .take(3)
+                .map(|s| format!("s{}", s.switch.0))
+                .collect();
+            writeln!(
+                out,
+                "epoch {epoch:>3}: ALARM (AI {ai:.2}) suspects: {}",
+                suspects.join(", ")
+            )?;
+        } else if report.alarm_cleared {
+            writeln!(out, "epoch {epoch:>3}: alarm cleared")?;
+        }
+    }
+    let m = driver.service().metrics();
+    writeln!(out, "final state: {}", driver.service().state())?;
+    writeln!(
+        out,
+        "rounds: {} full / {} degraded / {} blind; {} retries, {} drops, {} stale replies",
+        m.full_rounds, m.degraded_rounds, m.blind_rounds, m.retries, m.drops, m.stale_replies
+    )?;
+    writeln!(out, "metrics: {}", m.to_json())?;
+    Ok(out)
+}
+
 /// `foces audit <scenario> [--cap N]`.
 pub fn audit(args: &Args) -> Result<String, CmdError> {
     let (_, dep) = load(args)?;
@@ -243,13 +377,15 @@ pub fn scenario_template(args: &Args) -> Result<String, CmdError> {
         "dcell" => "topology dcell 1 4\ngranularity per-pair\nall-pairs 1000\n",
         "stanford" => "topology stanford\ngranularity per-pair\nall-pairs 1000\n",
         "linear" => "topology linear 4\nflow h0 h3 1000\nflow h3 h0 1000\n",
-        "ring" => "\
+        "ring" => {
+            "\
 # A 6-switch ring with a waypointed flow taking the long way round.
 topology ring 6
 granularity per-pair
 all-pairs 500
 flow-via h0 h2 1000 s4
-",
+"
+        }
         other => return Err(format!("unknown scenario family {other:?}").into()),
     };
     Ok(format!("# foces scenario template: {family}\n{body}"))
@@ -269,12 +405,24 @@ pub fn dispatch(raw: &[String]) -> Result<String, CmdError> {
             "repair-at",
             "cap",
             "budget",
+            "epochs",
+            "drop",
+            "latency",
+            "jitter",
+            "reorder",
+            "offline",
+            "offline-from",
+            "offline-to",
+            "workers",
+            "oracle-cap",
+            "log",
         ],
     )?;
     match args.positional(0) {
         Some("topo") => topo(&args),
         Some("detect") => detect(&args),
         Some("monitor") => monitor(&args),
+        Some("run") => run_service(&args),
         Some("audit") => audit(&args),
         Some("harden") => harden_cmd(&args),
         Some("scenario") => scenario_template(&args),
@@ -366,14 +514,72 @@ mod tests {
     }
 
     #[test]
+    fn run_handles_faults_and_an_attack_cycle() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run(argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--epochs=12",
+            "--drop=0.05",
+            "--jitter=2",
+            "--attack-at=4",
+            "--repair-at=8",
+            "--seed=3",
+        ]))
+        .unwrap();
+        assert!(out.contains("oracle: full-system coverage"), "{out}");
+        assert!(out.contains("[attack on s"), "{out}");
+        assert!(out.contains("ALARM"), "{out}");
+        assert!(out.contains("[repaired]"), "{out}");
+        assert!(out.contains("final state: normal"), "{out}");
+        assert!(out.contains("\"epochs\":12"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_reports_degraded_rounds_and_writes_the_log() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let log =
+            std::env::temp_dir().join(format!("foces-cli-run-log-{}.jsonl", std::process::id()));
+        let out = run(argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--epochs=6",
+            "--loss=0",
+            "--offline=2",
+            "--offline-from=1",
+            "--offline-to=3",
+            "--log",
+            log.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("DEGRADED missing [s2]"), "{out}");
+        assert!(out.contains("masked coverage"), "{out}");
+        assert!(out.contains("final state: normal"), "{out}");
+        let lines: Vec<String> = std::fs::read_to_string(&log)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].contains("\"mode\":\"Degraded\""), "{}", lines[1]);
+        assert!(lines[0].contains("\"mode\":\"Full\""), "{}", lines[0]);
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(log);
+    }
+
+    #[test]
     fn audit_and_harden_round_trip() {
-        let path = scenario_file(
-            "topology fattree 4\ngranularity per-dest\nall-pairs 1000\n",
-        );
+        let path = scenario_file("topology fattree 4\ngranularity per-dest\nall-pairs 1000\n");
         let audit_out = run(argv(&["audit", path.to_str().unwrap()])).unwrap();
         assert!(audit_out.contains("blind spots:  224"), "{audit_out}");
-        let harden_out =
-            run(argv(&["harden", path.to_str().unwrap(), "--budget", "5000"])).unwrap();
+        let harden_out = run(argv(&[
+            "harden",
+            path.to_str().unwrap(),
+            "--budget",
+            "5000",
+        ]))
+        .unwrap();
         assert!(harden_out.contains("-> 100.0%"), "{harden_out}");
         let _ = std::fs::remove_file(path);
     }

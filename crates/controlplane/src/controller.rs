@@ -181,15 +181,20 @@ impl Deployment {
     ) -> Result<(Vec<RuleRef>, Vec<SwitchId>), ProvisionError> {
         let tree = DestinationTree::compute(self.dataplane.topology(), spec.dst)
             .ok_or(ProvisionError::UnattachedHost(spec.dst))?;
-        if self.dataplane.topology().host_attachment(spec.src).is_none() {
+        if self
+            .dataplane
+            .topology()
+            .host_attachment(spec.src)
+            .is_none()
+        {
             return Err(ProvisionError::UnattachedHost(spec.src));
         }
-        let path = tree
-            .path_from(self.dataplane.topology(), spec.src)
-            .ok_or(ProvisionError::NoRoute {
-                src: spec.src,
-                dst: spec.dst,
-            })?;
+        let path =
+            tree.path_from(self.dataplane.topology(), spec.src)
+                .ok_or(ProvisionError::NoRoute {
+                    src: spec.src,
+                    dst: spec.dst,
+                })?;
         let header = foces_dataplane::pair_header(spec.src, spec.dst);
         let mut new_rules = Vec::new();
         for &sw in &path {
@@ -265,10 +270,7 @@ impl Deployment {
         for stop in stops {
             let from = *path.last().expect("path starts non-empty");
             let segment = topo
-                .shortest_path(
-                    foces_net::Node::Switch(from),
-                    foces_net::Node::Switch(stop),
-                )
+                .shortest_path(foces_net::Node::Switch(from), foces_net::Node::Switch(stop))
                 .ok_or(ProvisionError::WaypointUnreachable { waypoint: stop })?;
             for node in segment.into_iter().skip(1) {
                 let foces_net::Node::Switch(sw) = node else {
@@ -294,10 +296,7 @@ impl Deployment {
                 Some(&next) => self
                     .dataplane
                     .topology()
-                    .port_towards(
-                        foces_net::Node::Switch(sw),
-                        foces_net::Node::Switch(next),
-                    )
+                    .port_towards(foces_net::Node::Switch(sw), foces_net::Node::Switch(next))
                     .expect("consecutive path switches are adjacent"),
                 None => dst_port,
             };
@@ -413,10 +412,7 @@ mod tests {
     use foces_net::generators::{bcube, dcell, fattree, stanford};
     use foces_net::Node;
 
-    fn deploy(
-        topo: Topology,
-        granularity: RuleGranularity,
-    ) -> Deployment {
+    fn deploy(topo: Topology, granularity: RuleGranularity) -> Deployment {
         let flows = uniform_flows(&topo, topo.host_count() as f64 * 1000.0);
         provision(topo, &flows, granularity).unwrap()
     }
@@ -464,9 +460,7 @@ mod tests {
         let mut dep = deploy(bcube(1, 4), RuleGranularity::PerDestination);
         let r = dep.view.rule_refs().next().unwrap();
         let before = dep.view.rule(r).unwrap().clone();
-        dep.dataplane
-            .modify_rule_action(r, Action::Drop)
-            .unwrap();
+        dep.dataplane.modify_rule_action(r, Action::Drop).unwrap();
         assert_eq!(dep.view.rule(r), Some(&before));
         assert_ne!(dep.dataplane.rule(r), Some(&before));
     }
@@ -551,7 +545,10 @@ mod tests {
         // Provision half the pairs up front, add the rest reactively; the
         // resulting view must install the same rule set per switch as the
         // all-at-once provisioning (order may differ).
-        for g in [RuleGranularity::PerFlowPair, RuleGranularity::PerDestination] {
+        for g in [
+            RuleGranularity::PerFlowPair,
+            RuleGranularity::PerDestination,
+        ] {
             let topo = bcube(1, 4);
             let all = uniform_flows(&topo, 240_000.0);
             let full = provision(topo.clone(), &all, g).unwrap();
@@ -574,8 +571,12 @@ mod tests {
                     .iter()
                     .map(|(_, r)| r.to_string())
                     .collect();
-                let mut b: Vec<String> =
-                    full.view.table(s).iter().map(|(_, r)| r.to_string()).collect();
+                let mut b: Vec<String> = full
+                    .view
+                    .table(s)
+                    .iter()
+                    .map(|(_, r)| r.to_string())
+                    .collect();
                 a.sort();
                 b.sort();
                 assert_eq!(a, b, "switch {s:?} tables differ ({g:?})");
@@ -630,7 +631,13 @@ mod tests {
         let (rules, path) = dep.add_flow_via(spec, &[waypoint]).unwrap();
         assert_eq!(
             path,
-            vec![SwitchId(0), SwitchId(5), SwitchId(4), SwitchId(3), SwitchId(2)],
+            vec![
+                SwitchId(0),
+                SwitchId(5),
+                SwitchId(4),
+                SwitchId(3),
+                SwitchId(2)
+            ],
             "the long way round"
         );
         assert_eq!(rules.len(), path.len());
@@ -696,11 +703,19 @@ mod tests {
         let h1 = topo.add_host();
         topo.connect(Node::Host(h0), Node::Switch(s0)).unwrap();
         topo.connect(Node::Host(h1), Node::Switch(s0)).unwrap();
-        let flows = [FlowSpec { src: h0, dst: h1, rate: 1.0 }];
+        let flows = [FlowSpec {
+            src: h0,
+            dst: h1,
+            rate: 1.0,
+        }];
         let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
         let h_orphan = HostId(99);
         assert!(dep
-            .add_flow(FlowSpec { src: h0, dst: h_orphan, rate: 1.0 })
+            .add_flow(FlowSpec {
+                src: h0,
+                dst: h_orphan,
+                rate: 1.0
+            })
             .is_err());
     }
 

@@ -181,11 +181,13 @@ mod tests {
                     continue;
                 }
                 let tree_path = tree.path_from(&t, src).unwrap();
-                let bfs_path = t
-                    .shortest_path(Node::Host(src), Node::Host(dst))
-                    .unwrap();
+                let bfs_path = t.shortest_path(Node::Host(src), Node::Host(dst)).unwrap();
                 // BFS path includes both hosts; switch count must match.
-                assert_eq!(tree_path.len(), bfs_path.len() - 2, "src {src:?} dst {dst:?}");
+                assert_eq!(
+                    tree_path.len(),
+                    bfs_path.len() - 2,
+                    "src {src:?} dst {dst:?}"
+                );
             }
         }
     }

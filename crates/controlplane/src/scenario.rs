@@ -122,9 +122,9 @@ impl Scenario {
                     topology = Some(parse_generator(&tokens[1..], line_no)?);
                 }
                 "switch" => {
-                    let name = *tokens.get(1).ok_or_else(|| {
-                        err(line_no, "switch needs a name".into())
-                    })?;
+                    let name = *tokens
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "switch needs a name".into()))?;
                     if switch_names.contains_key(name) {
                         return Err(err(line_no, format!("switch {name} redefined")));
                     }
@@ -149,9 +149,9 @@ impl Scenario {
                     used_custom = true;
                 }
                 "host" => {
-                    let name = *tokens.get(1).ok_or_else(|| {
-                        err(line_no, "host needs a switch name".into())
-                    })?;
+                    let name = *tokens
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "host needs a switch name".into()))?;
                     let &id = switch_names
                         .get(name)
                         .ok_or_else(|| err(line_no, format!("unknown switch {name}")))?;

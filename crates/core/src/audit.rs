@@ -13,9 +13,9 @@
 
 use crate::detectability::history_column;
 use crate::Fcm;
-use foces_linalg::{SpanTester, DEFAULT_TOL};
 use foces_controlplane::ControllerView;
 use foces_dataplane::{Action, RuleRef};
+use foces_linalg::{SpanTester, DEFAULT_TOL};
 use foces_net::{Node, SwitchId};
 
 /// One candidate single-hop deviation.
@@ -108,11 +108,7 @@ fn trace_concrete(
 ///
 /// `max_candidates` bounds the enumeration for large networks; pass
 /// `usize::MAX` for an exhaustive audit.
-pub fn audit_deviations(
-    view: &ControllerView,
-    fcm: &Fcm,
-    max_candidates: usize,
-) -> DeviationAudit {
+pub fn audit_deviations(view: &ControllerView, fcm: &Fcm, max_candidates: usize) -> DeviationAudit {
     let topo = view.topology();
     let mut detectable = Vec::new();
     let mut undetectable = Vec::new();

@@ -84,8 +84,7 @@ pub fn is_detectable(fcm: &Fcm, deviated_history: &[RuleRef]) -> bool {
 /// decides (see [`crate::rbg`] module docs for why the sufficient direction
 /// needs the paper's no-pivot-rule side condition).
 pub fn rbg_loop_exists(fcm: &Fcm, deviated_history: &[RuleRef]) -> bool {
-    let mut histories: Vec<&[RuleRef]> =
-        fcm.flows().iter().map(|f| f.rules.as_slice()).collect();
+    let mut histories: Vec<&[RuleRef]> = fcm.flows().iter().map(|f| f.rules.as_slice()).collect();
     histories.push(deviated_history);
     // Only switches touched by some history can have edges.
     let switches: BTreeSet<foces_net::SwitchId> = histories
@@ -160,13 +159,7 @@ mod tests {
         // unused rule 3 alone shares no rule with any flow: every
         // per-switch RBG stays a forest, certifying detectability without
         // linear algebra.
-        let h = DenseMatrix::from_rows(&[
-            &[1., 0.],
-            &[1., 0.],
-            &[0., 1.],
-            &[0., 0.],
-        ])
-        .unwrap();
+        let h = DenseMatrix::from_rows(&[&[1., 0.], &[1., 0.], &[0., 1.], &[0., 0.]]).unwrap();
         let fcm = fcm_from_dense(&h);
         let r = fcm.rules();
         let dev = [r[3]];
@@ -181,13 +174,7 @@ mod tests {
         // loop) — yet the deviated column (1,0,0,1) is NOT in the span of
         // {(1,1,0,0), (0,0,1,0)}: detectable despite the loop. This is
         // exactly why has_loop() is only a necessary condition.
-        let h = DenseMatrix::from_rows(&[
-            &[1., 0.],
-            &[1., 0.],
-            &[0., 1.],
-            &[0., 0.],
-        ])
-        .unwrap();
+        let h = DenseMatrix::from_rows(&[&[1., 0.], &[1., 0.], &[0., 1.], &[0., 0.]]).unwrap();
         let fcm = fcm_from_dense(&h);
         let r = fcm.rules();
         let dev = [r[0], r[3]];

@@ -1,4 +1,4 @@
-use crate::{EquationSystem, Fcm, FocesError, SolveOutcome, DEFAULT_THRESHOLD};
+use crate::{EquationSystem, Fcm, FocesError, MaskedFcm, SolveOutcome, DEFAULT_THRESHOLD};
 use foces_dataplane::RuleRef;
 use std::fmt;
 
@@ -159,6 +159,35 @@ impl Detector {
         Ok(self.judge(fcm, counters, solve))
     }
 
+    /// Algorithm 1 on a row-masked system (see [`Fcm::mask_rows`]): some
+    /// switches never reported this round, so only the observed sub-rows of
+    /// `H·X = Y'` are checked. `full_counters` is the full-length vector;
+    /// unobserved entries are ignored. The verdict's `worst_rule` still
+    /// names a real rule (masked rows keep their [`foces_dataplane::RuleRef`]
+    /// identity), but absence of an anomaly is a *weaker* claim than under
+    /// [`Detector::detect`] — quantify the blind spot with the
+    /// detectability oracle on `masked.fcm()`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FocesError::CounterLengthMismatch`] if `full_counters.len()`
+    ///   differs from the parent FCM's rule count;
+    /// * [`FocesError::EmptyFcm`] if the mask dropped every flow;
+    /// * [`FocesError::Solver`] from the sub-system solve.
+    pub fn detect_masked(
+        &self,
+        masked: &MaskedFcm,
+        full_counters: &[f64],
+    ) -> Result<Verdict, FocesError> {
+        if full_counters.len() != masked.parent_rule_count() {
+            return Err(FocesError::CounterLengthMismatch {
+                got: full_counters.len(),
+                expected: masked.parent_rule_count(),
+            });
+        }
+        self.detect(masked.fcm(), &masked.project(full_counters))
+    }
+
     /// Forms the verdict from a completed solve — shared with the sliced
     /// detector (Algorithm 2), which produces its own solves per slice.
     pub(crate) fn judge(&self, fcm: &Fcm, counters: &[f64], solve: SolveOutcome) -> Verdict {
@@ -257,8 +286,13 @@ mod tests {
     fn noiseless_anomaly_gives_infinite_index() {
         let (fcm, mut dep) = setup(bcube(1, 4));
         let mut rng = StdRng::seed_from_u64(3);
-        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::PathDeviation, &mut rng, &[])
-            .unwrap();
+        inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::PathDeviation,
+            &mut rng,
+            &[],
+        )
+        .unwrap();
         dep.replay_traffic(&mut LossModel::none());
         let v = Detector::default()
             .detect(&fcm, &dep.dataplane.collect_counters())
@@ -300,8 +334,13 @@ mod tests {
     fn lossy_anomalous_network_is_detected() {
         let (fcm, mut dep) = setup(bcube(1, 4));
         let mut rng = StdRng::seed_from_u64(5);
-        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::PathDeviation, &mut rng, &[])
-            .unwrap();
+        inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::PathDeviation,
+            &mut rng,
+            &[],
+        )
+        .unwrap();
         let mut loss = LossModel::sampled(0.05, 18);
         dep.replay_traffic(&mut loss);
         let v = Detector::default()
@@ -314,8 +353,7 @@ mod tests {
     fn early_drop_is_detected() {
         let (fcm, mut dep) = setup(fattree(4));
         let mut rng = StdRng::seed_from_u64(8);
-        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[])
-            .unwrap();
+        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[]).unwrap();
         dep.replay_traffic(&mut LossModel::none());
         let v = Detector::default()
             .detect(&fcm, &dep.dataplane.collect_counters())
@@ -336,18 +374,74 @@ mod tests {
         .unwrap();
         dep.replay_traffic(&mut LossModel::none());
         let det = Detector::default();
-        assert!(det
-            .detect(&fcm, &dep.dataplane.collect_counters())
-            .unwrap()
-            .anomalous);
+        assert!(
+            det.detect(&fcm, &dep.dataplane.collect_counters())
+                .unwrap()
+                .anomalous
+        );
         // Repair, reset, replay: normal again (the paper's Fig. 7 cycle).
         applied.revert(&mut dep.dataplane).unwrap();
         dep.dataplane.reset_counters();
         dep.replay_traffic(&mut LossModel::none());
-        assert!(!det
-            .detect(&fcm, &dep.dataplane.collect_counters())
-            .unwrap()
-            .anomalous);
+        assert!(
+            !det.detect(&fcm, &dep.dataplane.collect_counters())
+                .unwrap()
+                .anomalous
+        );
+    }
+
+    #[test]
+    fn masked_healthy_round_is_normal() {
+        let (fcm, mut dep) = setup_per_pair(bcube(1, 4));
+        let mut loss = LossModel::sampled(0.05, 23);
+        dep.replay_traffic(&mut loss);
+        let counters = dep.dataplane.collect_counters();
+        let victim = fcm.rules()[0].switch;
+        let observed: Vec<bool> = fcm.rules().iter().map(|r| r.switch != victim).collect();
+        let masked = fcm.mask_rows(&observed);
+        let v = Detector::default()
+            .detect_masked(&masked, &counters)
+            .unwrap();
+        assert!(!v.anomalous, "masked healthy round flagged: {v}");
+    }
+
+    #[test]
+    fn masked_round_still_detects_visible_anomaly() {
+        let (fcm, mut dep) = setup(bcube(1, 4));
+        let mut rng = StdRng::seed_from_u64(11);
+        let applied = inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::PathDeviation,
+            &mut rng,
+            &[],
+        )
+        .unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        let counters = dep.dataplane.collect_counters();
+        // Mask a switch that is NOT the compromised one: the inconsistency
+        // the deviation leaves on the remaining rows must still show.
+        let victim = fcm
+            .rules()
+            .iter()
+            .map(|r| r.switch)
+            .find(|&s| s != applied.rule.switch)
+            .unwrap();
+        let observed: Vec<bool> = fcm.rules().iter().map(|r| r.switch != victim).collect();
+        let masked = fcm.mask_rows(&observed);
+        let v = Detector::default()
+            .detect_masked(&masked, &counters)
+            .unwrap();
+        assert!(v.anomalous, "masked round missed the anomaly: {v}");
+    }
+
+    #[test]
+    fn masked_detect_validates_full_length() {
+        let (fcm, _) = setup(bcube(1, 4));
+        let masked = fcm.mask_rows(&vec![true; fcm.rule_count()]);
+        let err = Detector::default()
+            .detect_masked(&masked, &[1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, FocesError::CounterLengthMismatch { .. }));
     }
 
     #[test]
@@ -358,9 +452,7 @@ mod tests {
         let mut loss = LossModel::sampled(0.10, 3);
         dep.replay_traffic(&mut loss);
         // With an absurdly low threshold, loss noise alone trips detection.
-        let v = det
-            .detect(&fcm, &dep.dataplane.collect_counters())
-            .unwrap();
+        let v = det.detect(&fcm, &dep.dataplane.collect_counters()).unwrap();
         assert!(v.anomalous);
     }
 
@@ -377,8 +469,13 @@ mod tests {
         // median. Verify the ordering on a real anomalous round.
         let (fcm, mut dep) = setup(bcube(1, 4));
         let mut rng = StdRng::seed_from_u64(21);
-        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::PathDeviation, &mut rng, &[])
-            .unwrap();
+        inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::PathDeviation,
+            &mut rng,
+            &[],
+        )
+        .unwrap();
         let mut loss = LossModel::sampled(0.05, 5);
         dep.replay_traffic(&mut loss);
         let counters = dep.dataplane.collect_counters();

@@ -151,11 +151,7 @@ impl Fcm {
         let mut seen: HashMap<Vec<usize>, usize> = HashMap::new();
         let mut basis = Vec::new();
         for (j, f) in self.flows.iter().enumerate() {
-            let mut key: Vec<usize> = f
-                .rules
-                .iter()
-                .map(|r| self.rule_index[r])
-                .collect();
+            let mut key: Vec<usize> = f.rules.iter().map(|r| self.rule_index[r]).collect();
             key.sort_unstable();
             if seen.insert(key, j).is_none() {
                 basis.push(j);
@@ -284,6 +280,62 @@ impl Fcm {
             .expect("indices bounded by construction");
     }
 
+    /// Restricts the FCM to the **observed** rows — the degraded-detection
+    /// path for rounds where some switches never answered the statistics
+    /// poll (timed out, crashed, or partitioned off the control channel).
+    ///
+    /// `observed[i]` says whether row `i`'s counter was collected. The
+    /// masked system keeps only observed rules; every flow's column is
+    /// restricted to those rules, and flows that lose *all* their rules are
+    /// dropped (they constrain nothing observable — their count is reported
+    /// in [`MaskedFcm::dropped_flows`]). Least-squares detection on the
+    /// masked system is exactly detection on the sub-rows of `H·X = Y'`,
+    /// so verdicts remain sound; they are merely *weaker* (anything a
+    /// benign network could explain using the unobserved rows is now
+    /// unfalsifiable — quantify with the detectability oracle on the
+    /// masked FCM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed.len() != rule_count()`.
+    pub fn mask_rows(&self, observed: &[bool]) -> MaskedFcm {
+        assert_eq!(
+            observed.len(),
+            self.rule_count(),
+            "observed mask must have one entry per rule"
+        );
+        let kept_rules: Vec<RuleRef> = self
+            .rules
+            .iter()
+            .zip(observed)
+            .filter(|(_, &o)| o)
+            .map(|(&r, _)| r)
+            .collect();
+        let parent_rows: Vec<usize> = (0..self.rule_count()).filter(|&i| observed[i]).collect();
+        let keep = |r: &RuleRef| observed[self.rule_index[r]];
+        let mut dropped_flows = 0usize;
+        let sub_flows: Vec<LogicalFlow> = self
+            .flows
+            .iter()
+            .filter_map(|f| {
+                let mut g = f.clone();
+                g.rules.retain(|r| keep(r));
+                if g.rules.is_empty() {
+                    dropped_flows += 1;
+                    return None;
+                }
+                g.path.retain(|s| g.rules.iter().any(|r| r.switch == *s));
+                Some(g)
+            })
+            .collect();
+        MaskedFcm {
+            fcm: Fcm::from_parts(kept_rules, sub_flows),
+            parent_rule_count: self.rule_count(),
+            parent_rows,
+            dropped_flows,
+        }
+    }
+
     /// Collects this FCM's counter vector from a data plane, in row order.
     /// Unlike [`foces_dataplane::DataPlane::collect_counters`] this ignores
     /// rules outside the FCM's universe — e.g. dedicated measurement rules
@@ -297,6 +349,60 @@ impl Fcm {
             .iter()
             .map(|r| dp.counter(r.switch, r.index))
             .collect()
+    }
+}
+
+/// A row-masked FCM (see [`Fcm::mask_rows`]): the equation system restricted
+/// to the rows whose counters were actually observed this round.
+#[derive(Debug, Clone)]
+pub struct MaskedFcm {
+    fcm: Fcm,
+    parent_rule_count: usize,
+    parent_rows: Vec<usize>,
+    dropped_flows: usize,
+}
+
+impl MaskedFcm {
+    /// The masked sub-FCM (observed rules only).
+    pub fn fcm(&self) -> &Fcm {
+        &self.fcm
+    }
+
+    /// For each masked row, its row index in the parent FCM.
+    pub fn parent_rows(&self) -> &[usize] {
+        &self.parent_rows
+    }
+
+    /// Parent flows dropped because every one of their rules was masked.
+    pub fn dropped_flows(&self) -> usize {
+        self.dropped_flows
+    }
+
+    /// The parent FCM's rule count (the expected length of a full counter
+    /// vector handed to [`MaskedFcm::project`]).
+    pub fn parent_rule_count(&self) -> usize {
+        self.parent_rule_count
+    }
+
+    /// Number of parent rows that were masked away.
+    pub fn masked_row_count(&self) -> usize {
+        self.parent_rule_count - self.parent_rows.len()
+    }
+
+    /// Extracts the masked counter vector (observed rows, in masked row
+    /// order) from a full-length counter vector. Unobserved entries of
+    /// `full` are ignored — pass any placeholder (e.g. `0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != parent_rule_count()`.
+    pub fn project(&self, full: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            full.len(),
+            self.parent_rule_count,
+            "full counter vector must match the parent FCM"
+        );
+        self.parent_rows.iter().map(|&i| full[i]).collect()
     }
 }
 
@@ -329,7 +435,8 @@ impl fmt::Display for Fcm {
             self.rule_count(),
             self.flow_count(),
             self.nnz(),
-            100.0 * self.nnz() as f64 / (self.rule_count().max(1) * self.flow_count().max(1)) as f64
+            100.0 * self.nnz() as f64
+                / (self.rule_count().max(1) * self.flow_count().max(1)) as f64
         )
     }
 }
@@ -415,6 +522,75 @@ mod tests {
         let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
         let s = fcm.to_string();
         assert!(s.contains("240 flows"));
+    }
+
+    #[test]
+    fn mask_rows_all_observed_is_identity() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        let masked = fcm.mask_rows(&vec![true; fcm.rule_count()]);
+        assert_eq!(masked.fcm().rule_count(), fcm.rule_count());
+        assert_eq!(masked.fcm().flow_count(), fcm.flow_count());
+        assert_eq!(masked.dropped_flows(), 0);
+        assert_eq!(masked.masked_row_count(), 0);
+        let full: Vec<f64> = (0..fcm.rule_count()).map(|i| i as f64).collect();
+        assert_eq!(masked.project(&full), full);
+    }
+
+    #[test]
+    fn mask_rows_drops_one_switch() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerFlowPair);
+        let victim = fcm.rules()[0].switch;
+        let observed: Vec<bool> = fcm.rules().iter().map(|r| r.switch != victim).collect();
+        let hidden = observed.iter().filter(|&&o| !o).count();
+        assert!(hidden > 0);
+        let masked = fcm.mask_rows(&observed);
+        assert_eq!(masked.fcm().rule_count(), fcm.rule_count() - hidden);
+        assert_eq!(masked.masked_row_count(), hidden);
+        assert_eq!(masked.parent_rule_count(), fcm.rule_count());
+        // Every surviving row maps back to an observed parent row, in order.
+        assert_eq!(masked.parent_rows().len(), masked.fcm().rule_count());
+        for (&p, w) in masked
+            .parent_rows()
+            .iter()
+            .zip(masked.parent_rows().iter().skip(1))
+        {
+            assert!(p < *w);
+        }
+        for (&p, r) in masked.parent_rows().iter().zip(masked.fcm().rules()) {
+            assert_eq!(fcm.rules()[p], *r);
+            assert!(observed[p]);
+        }
+        // No surviving flow references the hidden switch, and flow counts
+        // add up: kept + dropped = parent.
+        assert!(masked
+            .fcm()
+            .flows()
+            .iter()
+            .all(|f| f.rules.iter().all(|r| r.switch != victim)));
+        assert_eq!(
+            masked.fcm().flow_count() + masked.dropped_flows(),
+            fcm.flow_count()
+        );
+    }
+
+    #[test]
+    fn mask_rows_project_selects_observed_counters() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        let observed: Vec<bool> = (0..fcm.rule_count()).map(|i| i % 3 != 1).collect();
+        let masked = fcm.mask_rows(&observed);
+        let full: Vec<f64> = (0..fcm.rule_count()).map(|i| 10.0 + i as f64).collect();
+        let sub = masked.project(&full);
+        assert_eq!(sub.len(), masked.fcm().rule_count());
+        for (k, &p) in masked.parent_rows().iter().enumerate() {
+            assert_eq!(sub[k], full[p]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "observed mask must have one entry per rule")]
+    fn mask_rows_rejects_wrong_mask_length() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        fcm.mask_rows(&vec![true; fcm.rule_count() - 1]);
     }
 
     #[test]

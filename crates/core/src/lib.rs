@@ -82,12 +82,12 @@ pub use audit::{audit_deviations, DeviationAudit, DeviationCandidate};
 pub use detectability::{is_detectable, rbg_loop_exists, undetectable_by_rank};
 pub use detector::{Detector, IndexStatistic, Verdict};
 pub use error::FocesError;
-pub use fcm::{ColumnGroups, Fcm};
+pub use fcm::{ColumnGroups, Fcm, MaskedFcm};
 pub use harden::{harden, HardeningOutcome};
 pub use localize::{localize, localize_differential, SwitchSuspicion};
 pub use monitor::{AlarmState, Monitor, MonitorConfig, MonitorReport};
 pub use rbg::Rbg;
-pub use slicing::{SlicedFcm, SlicedVerdict};
+pub use slicing::{SliceView, SlicedFcm, SlicedVerdict};
 pub use solver::{EquationSystem, SolveOutcome, SolverKind};
 
 /// The paper's default detection threshold (§IV-A): with counter noise

@@ -206,8 +206,7 @@ mod tests {
         for seed in 0..total {
             let topo = bcube(1, 4);
             let flows = uniform_flows(&topo, 240_000.0);
-            let mut dep =
-                provision(topo, &flows, RuleGranularity::PerDestination).unwrap();
+            let mut dep = provision(topo, &flows, RuleGranularity::PerDestination).unwrap();
             let sliced = SlicedFcm::from_fcm(&Fcm::from_view(&dep.view));
             let mut rng = StdRng::seed_from_u64(seed);
             let applied = inject_random_anomaly(
@@ -236,8 +235,7 @@ mod tests {
                     Node::Host(_) => None,
                 })
                 .collect();
-            let top3: Vec<foces_net::SwitchId> =
-                ranking.iter().take(3).map(|s| s.switch).collect();
+            let top3: Vec<foces_net::SwitchId> = ranking.iter().take(3).map(|s| s.switch).collect();
             if top3.contains(&culprit) || top3.iter().any(|s| neighbors.contains(s)) {
                 hits += 1;
             }
@@ -272,15 +270,13 @@ mod tests {
             for seed in 0..8 {
                 let topo = bcube(1, 4);
                 let flows = uniform_flows(&topo, 240_000.0);
-                let mut dep =
-                    provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+                let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
                 let fcm = Fcm::from_view(&dep.view);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let attack =
                     inject_random_anomaly(&mut dep.dataplane, kind, &mut rng, &[]).unwrap();
                 dep.replay_traffic(&mut LossModel::none());
-                let ranking =
-                    localize_differential(&fcm, &dep.dataplane.collect_counters(), 0.1);
+                let ranking = localize_differential(&fcm, &dep.dataplane.collect_counters(), 0.1);
                 assert_eq!(
                     ranking.first().map(|s| s.switch),
                     Some(attack.rule.switch),

@@ -229,10 +229,8 @@ impl Monitor {
                 }
             }
         };
-        let alarm_raised =
-            previous != AlarmState::Alarmed && self.state == AlarmState::Alarmed;
-        let alarm_cleared =
-            previous == AlarmState::Alarmed && self.state == AlarmState::Normal;
+        let alarm_raised = previous != AlarmState::Alarmed && self.state == AlarmState::Alarmed;
+        let alarm_cleared = previous == AlarmState::Alarmed && self.state == AlarmState::Normal;
         if self.state == AlarmState::Normal && previous != AlarmState::Normal {
             self.suspicion.clear();
         }
@@ -387,8 +385,7 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(3);
-        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[])
-            .unwrap();
+        inject_random_anomaly(&mut dep.dataplane, AnomalyKind::EarlyDrop, &mut rng, &[]).unwrap();
         let r = m.ingest(&healthy_round(&mut dep, 0)).unwrap();
         assert!(r.suspects.is_empty());
     }

@@ -236,9 +236,16 @@ pub fn pivot_rules(histories: &[&[RuleRef]]) -> Vec<PivotRule> {
     let mut occurrences: HashMap<RuleRef, Vec<Occurrence>> = HashMap::new();
     for (flow, history) in histories.iter().enumerate() {
         for (pos, &rule) in history.iter().enumerate() {
-            let pred = if pos == 0 { None } else { Some(history[pos - 1]) };
+            let pred = if pos == 0 {
+                None
+            } else {
+                Some(history[pos - 1])
+            };
             let succ = history.get(pos + 1).copied();
-            occurrences.entry(rule).or_default().push((flow, pred, succ));
+            occurrences
+                .entry(rule)
+                .or_default()
+                .push((flow, pred, succ));
         }
     }
     let mut out = Vec::new();
@@ -377,7 +384,10 @@ mod tests {
     fn flow_visiting_switch_twice_contributes_two_edges() {
         // A detour history passing the same switch twice.
         let s = SwitchId(0);
-        let r_a = RuleRef { switch: s, index: 0 };
+        let r_a = RuleRef {
+            switch: s,
+            index: 0,
+        };
         let r_mid = RuleRef {
             switch: SwitchId(1),
             index: 0,

@@ -56,7 +56,7 @@ pub struct SlicedFcm {
 /// Outcome of one sliced detection round (Algorithm 2, evaluated on every
 /// switch rather than short-circuiting, so the per-switch indices are
 /// available for localization).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlicedVerdict {
     /// `true` iff any switch's slice flagged an anomaly.
     pub anomalous: bool,
@@ -102,8 +102,7 @@ impl SlicedFcm {
     pub fn from_fcm(fcm: &Fcm) -> Self {
         let histories: Vec<&[foces_dataplane::RuleRef]> =
             fcm.flows().iter().map(|f| f.rules.as_slice()).collect();
-        let switches: BTreeSet<SwitchId> =
-            fcm.rules().iter().map(|r| r.switch).collect();
+        let switches: BTreeSet<SwitchId> = fcm.rules().iter().map(|r| r.switch).collect();
         let mut slices = Vec::new();
         for switch in switches {
             let rbg = Rbg::build(switch, &histories);
@@ -121,9 +120,7 @@ impl SlicedFcm {
                 .map(|f| {
                     let mut g = f.clone();
                     g.rules.retain(|r| rule_set.contains(r));
-                    g.path.retain(|s| {
-                        g.rules.iter().any(|r| r.switch == *s)
-                    });
+                    g.path.retain(|s| g.rules.iter().any(|r| r.switch == *s));
                     g
                 })
                 .collect();
@@ -164,6 +161,25 @@ impl SlicedFcm {
             .collect()
     }
 
+    /// The parent FCM's rule count (the expected counter-vector length).
+    pub fn parent_rule_count(&self) -> usize {
+        self.parent_rule_count
+    }
+
+    /// Borrowed views of the slices, in slice (ascending switch) order —
+    /// the unit of work for parallel sliced detection: each view carries
+    /// everything needed to solve one slice independently.
+    pub fn slice_views(&self) -> Vec<SliceView<'_>> {
+        self.slices
+            .iter()
+            .map(|s| SliceView {
+                switch: s.switch,
+                parent_rows: &s.parent_rows,
+                sub_fcm: &s.sub_fcm,
+            })
+            .collect()
+    }
+
     /// Runs Algorithm 2: applies the detector to every slice with its sub
     /// counter vector.
     ///
@@ -186,8 +202,7 @@ impl SlicedFcm {
         let mut per_switch = Vec::with_capacity(self.slices.len());
         let mut anomalous = false;
         for slice in &self.slices {
-            let sub_counters: Vec<f64> =
-                slice.parent_rows.iter().map(|&i| counters[i]).collect();
+            let sub_counters: Vec<f64> = slice.parent_rows.iter().map(|&i| counters[i]).collect();
             let verdict = detector.detect(&slice.sub_fcm, &sub_counters)?;
             anomalous |= verdict.anomalous;
             per_switch.push((slice.switch, verdict));
@@ -196,6 +211,35 @@ impl SlicedFcm {
             anomalous,
             per_switch,
         })
+    }
+}
+
+/// A borrowed view of one slice (see [`SlicedFcm::slice_views`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceView<'a> {
+    /// The switch this slice checks.
+    pub switch: SwitchId,
+    /// Row indices into the parent FCM for the slice's rules.
+    pub parent_rows: &'a [usize],
+    /// The slice's sub-FCM `H(Sᵢ)`.
+    pub sub_fcm: &'a Fcm,
+}
+
+impl SliceView<'_> {
+    /// Extracts this slice's sub counter vector `Y'(i)` from the full
+    /// vector and runs the detector on it.
+    ///
+    /// # Errors
+    ///
+    /// Solver errors from the slice solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` is shorter than the parent FCM's rule count
+    /// (callers validate once against [`SlicedFcm::parent_rule_count`]).
+    pub fn detect(&self, detector: &Detector, counters: &[f64]) -> Result<Verdict, FocesError> {
+        let sub: Vec<f64> = self.parent_rows.iter().map(|&i| counters[i]).collect();
+        detector.detect(self.sub_fcm, &sub)
     }
 }
 
@@ -209,9 +253,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup(
-        topo: foces_net::Topology,
-    ) -> (Fcm, SlicedFcm, foces_controlplane::Deployment) {
+    fn setup(topo: foces_net::Topology) -> (Fcm, SlicedFcm, foces_controlplane::Deployment) {
         let flows = uniform_flows(&topo, topo.host_count() as f64 * 15_000.0);
         let dep = provision(topo, &flows, RuleGranularity::PerDestination).unwrap();
         let fcm = Fcm::from_view(&dep.view);
@@ -305,11 +347,7 @@ mod tests {
         }
         // Total slice area is far below #slices * parent area.
         let parent_area = fcm.rule_count() * fcm.flow_count();
-        let total_slice_area: usize = sliced
-            .slice_dims()
-            .iter()
-            .map(|(_, r, f)| r * f)
-            .sum();
+        let total_slice_area: usize = sliced.slice_dims().iter().map(|(_, r, f)| r * f).sum();
         assert!(
             total_slice_area < parent_area * sliced.slice_count() / 4,
             "slices should be much smaller: {total_slice_area} vs parent {parent_area}"
@@ -331,6 +369,31 @@ mod tests {
         let switches_with_rules: BTreeSet<SwitchId> =
             fcm.rules().iter().map(|r| r.switch).collect();
         assert_eq!(sliced.slice_count(), switches_with_rules.len());
+    }
+
+    #[test]
+    fn slice_views_reproduce_detect() {
+        let (fcm, sliced, mut dep) = setup(bcube(1, 4));
+        let mut rng = StdRng::seed_from_u64(9);
+        inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::PathDeviation,
+            &mut rng,
+            &[],
+        )
+        .unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        let counters = dep.dataplane.collect_counters();
+        assert_eq!(sliced.parent_rule_count(), fcm.rule_count());
+        let detector = Detector::default();
+        let whole = sliced.detect(&detector, &counters).unwrap();
+        let views = sliced.slice_views();
+        assert_eq!(views.len(), sliced.slice_count());
+        for (view, (switch, verdict)) in views.iter().zip(&whole.per_switch) {
+            assert_eq!(view.switch, *switch);
+            let v = view.detect(&detector, &counters).unwrap();
+            assert_eq!(v, *verdict);
+        }
     }
 
     #[test]

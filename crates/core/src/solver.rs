@@ -1,4 +1,4 @@
-use crate::{Fcm, FocesError};
+use crate::{Fcm, FocesError, MaskedFcm};
 use foces_linalg::{lstsq, lstsq_sparse, DenseMatrix, LinalgError, LstsqMethod};
 
 /// Strategy for solving the flow-counter equation system.
@@ -153,6 +153,43 @@ impl EquationSystem {
             SolverKind::DenseNaive => solve_naive(fcm, counters).map_err(FocesError::from),
         }
     }
+
+    /// Row-masked solve: restricts the system to the rows marked `true` in
+    /// `observed` (switches that actually answered this round) and solves
+    /// the sub-system. `counters` is the *full-length* vector; unobserved
+    /// entries are ignored, so callers may leave stale or zero placeholders
+    /// there. Returns the mask (for row bookkeeping and oracle queries)
+    /// alongside the outcome, whose vectors are in *masked* row order —
+    /// map back with [`MaskedFcm::parent_rows`].
+    ///
+    /// # Errors
+    ///
+    /// * [`FocesError::CounterLengthMismatch`] if `counters.len()` differs
+    ///   from the full FCM's rule count;
+    /// * [`FocesError::EmptyFcm`] if masking leaves no flows (every flow
+    ///   lost all its rules — the fully-blind round);
+    /// * [`FocesError::Solver`] as for [`EquationSystem::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed.len() != fcm.rule_count()`.
+    pub fn solve_masked(
+        &self,
+        fcm: &Fcm,
+        counters: &[f64],
+        observed: &[bool],
+    ) -> Result<(MaskedFcm, SolveOutcome), FocesError> {
+        if counters.len() != fcm.rule_count() {
+            return Err(FocesError::CounterLengthMismatch {
+                got: counters.len(),
+                expected: fcm.rule_count(),
+            });
+        }
+        let masked = fcm.mask_rows(observed);
+        let sub = masked.project(counters);
+        let outcome = self.solve(masked.fcm(), &sub)?;
+        Ok((masked, outcome))
+    }
 }
 
 /// Paper-literal pipeline: `X̂ = (HᵀH)⁻¹ Hᵀ Y'` with dense, structure-blind
@@ -196,9 +233,7 @@ fn solve_direct(fcm: &Fcm, counters: &[f64]) -> Result<SolveOutcome, LinalgError
     let h_basis = fcm.sparse().select_columns(&groups.basis);
     let x_basis = match solve_basis_cholesky(&h_basis, counters) {
         Ok(x) => x,
-        Err(
-            LinalgError::NotPositiveDefinite { .. } | LinalgError::SingularTriangular { .. },
-        ) => {
+        Err(LinalgError::NotPositiveDefinite { .. } | LinalgError::SingularTriangular { .. }) => {
             // Rank-deficient basis: densify (only ever reached on small or
             // degenerate systems) and let QR report precisely.
             let dense_basis: DenseMatrix = h_basis.to_dense();
@@ -273,9 +308,7 @@ mod tests {
     use foces_dataplane::LossModel;
     use foces_net::generators::{fattree, stanford};
 
-    fn healthy_setup(
-        g: RuleGranularity,
-    ) -> (Fcm, Vec<f64>, foces_controlplane::Deployment) {
+    fn healthy_setup(g: RuleGranularity) -> (Fcm, Vec<f64>, foces_controlplane::Deployment) {
         let topo = fattree(4);
         let flows = uniform_flows(&topo, 240_000.0);
         let mut dep = provision(topo, &flows, g).unwrap();
@@ -358,6 +391,46 @@ mod tests {
         let (fcm, _, _) = healthy_setup(RuleGranularity::PerDestination);
         let err = EquationSystem::default()
             .solve(&fcm, &[1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, FocesError::CounterLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn masked_solve_matches_subsystem() {
+        let (fcm, mut counters, _) = healthy_setup(RuleGranularity::PerDestination);
+        counters[5] += 250.0;
+        let observed: Vec<bool> = (0..fcm.rule_count()).map(|i| i % 4 != 2).collect();
+        let (masked, out) = EquationSystem::default()
+            .solve_masked(&fcm, &counters, &observed)
+            .unwrap();
+        assert_eq!(out.residual.len(), masked.fcm().rule_count());
+        // Same as solving the masked sub-system by hand.
+        let by_hand = EquationSystem::default()
+            .solve(masked.fcm(), &masked.project(&counters))
+            .unwrap();
+        for (a, b) in out.residual.iter().zip(&by_hand.residual) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn masked_solve_healthy_residual_zero() {
+        let (fcm, counters, _) = healthy_setup(RuleGranularity::PerDestination);
+        // Hide one switch's rows entirely: the sub-system is still
+        // consistent, so residuals stay at round-off level.
+        let victim = fcm.rules()[0].switch;
+        let observed: Vec<bool> = fcm.rules().iter().map(|r| r.switch != victim).collect();
+        let (_, out) = EquationSystem::default()
+            .solve_masked(&fcm, &counters, &observed)
+            .unwrap();
+        assert!(out.residual.iter().all(|r| r.abs() < 1e-6));
+    }
+
+    #[test]
+    fn masked_solve_validates_full_length() {
+        let (fcm, _, _) = healthy_setup(RuleGranularity::PerDestination);
+        let err = EquationSystem::default()
+            .solve_masked(&fcm, &[0.0; 3], &vec![true; fcm.rule_count()])
             .unwrap_err();
         assert!(matches!(err, FocesError::CounterLengthMismatch { .. }));
     }

@@ -58,10 +58,7 @@ pub fn fcm_from_dense(h: &DenseMatrix) -> Fcm {
             LogicalFlow {
                 ingress: HostId(j),
                 egress: HostId(j + h.cols()),
-                header: Wildcard::exact(
-                    HEADER_WIDTH,
-                    ((j as u64) << 16) | (j + h.cols()) as u64,
-                ),
+                header: Wildcard::exact(HEADER_WIDTH, ((j as u64) << 16) | (j + h.cols()) as u64),
                 rules: flow_rules,
                 path,
             }
@@ -123,8 +120,7 @@ mod tests {
     #[test]
     fn flows_have_distinct_headers() {
         let fcm = paper_fig3_fcm();
-        let mut headers: Vec<u64> =
-            fcm.flows().iter().map(|f| f.concrete_header()).collect();
+        let mut headers: Vec<u64> = fcm.flows().iter().map(|f| f.concrete_header()).collect();
         headers.sort_unstable();
         headers.dedup();
         assert_eq!(headers.len(), 3);

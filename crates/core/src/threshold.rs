@@ -55,10 +55,7 @@ pub fn erf(x: f64) -> f64 {
 /// assert!((foces::threshold::erf(x) - 0.5).abs() < 1e-9);
 /// ```
 pub fn erf_inv(y: f64) -> f64 {
-    assert!(
-        y > -1.0 && y < 1.0,
-        "erf_inv domain is (-1, 1), got {y}"
-    );
+    assert!(y > -1.0 && y < 1.0, "erf_inv domain is (-1, 1), got {y}");
     if y == 0.0 {
         return 0.0;
     }

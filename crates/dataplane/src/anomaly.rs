@@ -81,7 +81,9 @@ pub fn inject_random_anomaly(
         .filter(|r| !exclude.contains(&r.switch))
         .filter(|r| {
             // Forward rules whose egress is another switch.
-            let Some(rule) = dp.rule(*r) else { return false };
+            let Some(rule) = dp.rule(*r) else {
+                return false;
+            };
             let Action::Forward(port) = rule.action() else {
                 return false;
             };
@@ -200,13 +202,9 @@ mod tests {
         let (mut dp, s, _) = plane();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
-            let applied = inject_random_anomaly(
-                &mut dp,
-                AnomalyKind::PathDeviation,
-                &mut rng,
-                &[s[0]],
-            )
-            .unwrap();
+            let applied =
+                inject_random_anomaly(&mut dp, AnomalyKind::PathDeviation, &mut rng, &[s[0]])
+                    .unwrap();
             assert_ne!(applied.rule.switch, s[0]);
             applied.revert(&mut dp).unwrap();
         }
@@ -227,8 +225,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..30 {
             let applied =
-                inject_random_anomaly(&mut dp, AnomalyKind::PathDeviation, &mut rng, &[])
-                    .unwrap();
+                inject_random_anomaly(&mut dp, AnomalyKind::PathDeviation, &mut rng, &[]).unwrap();
             if let Action::Forward(p) = applied.modified_action {
                 assert_ne!(Action::Forward(p), applied.original_action);
                 let adj = dp.topology().adj(Node::Switch(applied.rule.switch));

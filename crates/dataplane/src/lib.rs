@@ -85,9 +85,6 @@ pub fn dst_match(dst: foces_net::HostId) -> foces_headerspace::Wildcard {
 
 /// A match pattern for exactly the `(src, dst)` pair: the per-flow-pair
 /// rule granularity ablation.
-pub fn pair_match(
-    src: foces_net::HostId,
-    dst: foces_net::HostId,
-) -> foces_headerspace::Wildcard {
+pub fn pair_match(src: foces_net::HostId, dst: foces_net::HostId) -> foces_headerspace::Wildcard {
     foces_headerspace::Wildcard::exact(HEADER_WIDTH, pair_header(src, dst))
 }

@@ -353,11 +353,7 @@ impl DataPlane {
                     }
                 }
                 Action::Forward(port) => {
-                    let Some(adj) = self
-                        .topo
-                        .adj(Node::Switch(current))
-                        .get(port.0)
-                        .copied()
+                    let Some(adj) = self.topo.adj(Node::Switch(current)).get(port.0).copied()
                     else {
                         // Forwarding to a nonexistent port: black hole.
                         return DeliveryReport {
@@ -440,7 +436,10 @@ mod tests {
     #[test]
     fn drop_action_stops_forwarding_but_counts() {
         let (mut dp, s, h) = diamond();
-        let r = dp.install(s[0], Rule::new(Wildcard::any(HEADER_WIDTH), 0, Action::Drop));
+        let r = dp.install(
+            s[0],
+            Rule::new(Wildcard::any(HEADER_WIDTH), 0, Action::Drop),
+        );
         let rep = dp.inject(h[0], 0, 100.0, &mut LossModel::none());
         assert_eq!(rep.delivered_to, None);
         assert_eq!(dp.counter(r.switch, r.index), 100.0);
@@ -464,10 +463,8 @@ mod tests {
         let r0 = dp.install(s[0], any_fwd(0)); // intended: s0 -> s1
         dp.install(s[1], any_fwd(2)); // s1 -> h1
         dp.install(s[2], any_fwd(1)); // s2 -> s1 (benign alternate)
-        // Compromise s0: deviate to s2.
-        let old = dp
-            .modify_rule_action(r0, Action::Forward(Port(1)))
-            .unwrap();
+                                      // Compromise s0: deviate to s2.
+        let old = dp.modify_rule_action(r0, Action::Forward(Port(1))).unwrap();
         assert_eq!(old, Action::Forward(Port(0)));
         let rep = dp.inject(h[0], 0, 100.0, &mut LossModel::none());
         // Still delivered (via detour) but s2's counter now shows traffic.
@@ -565,7 +562,11 @@ mod tests {
         dp.install(s[0], any_fwd(0));
         dp.install(
             s[0],
-            Rule::new(Wildcard::exact(HEADER_WIDTH, 1), 5, Action::Forward(Port(0))),
+            Rule::new(
+                Wildcard::exact(HEADER_WIDTH, 1),
+                5,
+                Action::Forward(Port(0)),
+            ),
         );
         dp.install(s[1], any_fwd(2));
         dp.inject(h[0], 0, 1000.0, &mut LossModel::none());
@@ -607,7 +608,10 @@ mod tests {
     #[test]
     fn drop_breaks_port_conservation() {
         let (mut dp, s, h) = diamond();
-        dp.install(s[0], Rule::new(Wildcard::any(HEADER_WIDTH), 0, Action::Drop));
+        dp.install(
+            s[0],
+            Rule::new(Wildcard::any(HEADER_WIDTH), 0, Action::Drop),
+        );
         dp.inject(h[0], 0, 100.0, &mut LossModel::none());
         let rx: f64 = dp.port_rx(s[0]).iter().sum();
         let tx: f64 = dp.port_tx(s[0]).iter().sum();

@@ -32,7 +32,9 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
-    let full = std::env::var("FOCES_FULL").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("FOCES_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let mut sweep = vec![250usize, 500, 1000, 2000, 3000];
     if full {
         sweep.extend([4000, 6000, 9000, 12000]);
@@ -65,8 +67,7 @@ fn main() {
         let counters = dep.dataplane.collect_counters();
 
         // Paper baseline: the literal (HᵀH)⁻¹ dense pipeline of Eq. (4).
-        let naive_detector =
-            Detector::new(4.5, EquationSystem::new(SolverKind::DenseNaive));
+        let naive_detector = Detector::new(4.5, EquationSystem::new(SolverKind::DenseNaive));
         let t0 = Instant::now();
         let baseline_verdict = naive_detector.detect(&fcm, &counters).expect("solve");
         let baseline = t0.elapsed();
@@ -78,8 +79,7 @@ fn main() {
         let sliced_time = t0.elapsed();
 
         // Reproduction extensions: structure-aware direct and sparse CGLS.
-        let direct_detector =
-            Detector::new(4.5, EquationSystem::new(SolverKind::DirectDense));
+        let direct_detector = Detector::new(4.5, EquationSystem::new(SolverKind::DirectDense));
         let t0 = Instant::now();
         direct_detector.detect(&fcm, &counters).expect("solve");
         let direct_time = t0.elapsed();

@@ -32,12 +32,7 @@ fn main() {
         let mut applied = None;
         for round in 0..ROUNDS {
             if round == ATTACK_START {
-                applied = inject_random_anomaly(
-                    &mut dp,
-                    AnomalyKind::PathDeviation,
-                    &mut rng,
-                    &[],
-                );
+                applied = inject_random_anomaly(&mut dp, AnomalyKind::PathDeviation, &mut rng, &[]);
             }
             if round == ATTACK_END {
                 if let Some(a) = applied.take() {

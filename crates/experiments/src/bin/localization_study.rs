@@ -88,10 +88,8 @@ fn main() {
                         Node::Host(_) => None,
                     })
                     .collect();
-                let in_vicinity =
-                    |s: SwitchId| s == culprit || neighbors.contains(&s);
-                let top: Vec<SwitchId> =
-                    ranking.iter().take(3).map(|r| r.switch).collect();
+                let in_vicinity = |s: SwitchId| s == culprit || neighbors.contains(&s);
+                let top: Vec<SwitchId> = ranking.iter().take(3).map(|r| r.switch).collect();
                 if top.first() == Some(&culprit) {
                     strict1 += 1;
                 }

@@ -23,7 +23,9 @@ fn f(s: &str) -> f64 {
 }
 
 fn plot_fig7() {
-    let Some((header, rows)) = read("fig7") else { return };
+    let Some((header, rows)) = read("fig7") else {
+        return;
+    };
     let (li, ti, ai) = (
         column(&header, "loss_pct").unwrap(),
         column(&header, "time_s").unwrap(),
@@ -53,7 +55,9 @@ fn plot_fig7() {
 }
 
 fn plot_fig8() {
-    let Some((header, rows)) = read("fig8") else { return };
+    let Some((header, rows)) = read("fig8") else {
+        return;
+    };
     let (topo_i, loss_i, tp_i, fp_i) = (
         column(&header, "topology").unwrap(),
         column(&header, "loss_pct").unwrap(),
@@ -89,7 +93,9 @@ fn plot_fig8() {
 }
 
 fn plot_fig11() {
-    let Some((header, rows)) = read("fig11") else { return };
+    let Some((header, rows)) = read("fig11") else {
+        return;
+    };
     let (topo_i, m_i, t_i, a_i) = (
         column(&header, "topology").unwrap(),
         column(&header, "method").unwrap(),
@@ -123,7 +129,9 @@ fn plot_fig11() {
 }
 
 fn plot_fig12() {
-    let Some((header, rows)) = read("fig12") else { return };
+    let Some((header, rows)) = read("fig12") else {
+        return;
+    };
     let fl = column(&header, "flows").unwrap();
     let mut series = Vec::new();
     for (col, label) in [
@@ -133,10 +141,7 @@ fn plot_fig12() {
         ("cgls_ms", "CGLS"),
     ] {
         let ci = column(&header, col).unwrap();
-        let points: Vec<(f64, f64)> = rows
-            .iter()
-            .map(|r| (f(&r[fl]), f(&r[ci])))
-            .collect();
+        let points: Vec<(f64, f64)> = rows.iter().map(|r| (f(&r[fl]), f(&r[ci]))).collect();
         series.push(Series {
             label: label.to_string(),
             points,

@@ -23,14 +23,9 @@ fn main() {
         let switches = topo.switch_count();
         let hosts = topo.host_count();
         let flows = uniform_flows(&topo, 1.0);
-        let pair_dep = provision(
-            topo.clone(),
-            &flows,
-            RuleGranularity::PerFlowPair,
-        )
-        .expect("provision");
-        let dst_dep = provision(topo, &flows, RuleGranularity::PerDestination)
-            .expect("provision");
+        let pair_dep =
+            provision(topo.clone(), &flows, RuleGranularity::PerFlowPair).expect("provision");
+        let dst_dep = provision(topo, &flows, RuleGranularity::PerDestination).expect("provision");
         let fcm = Fcm::from_view(&pair_dep.view);
         println!(
             "{:<12} {:>9} {:>7} {:>7} {:>12} {:>12} {:>10}",

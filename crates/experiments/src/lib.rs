@@ -22,9 +22,7 @@ pub use report::{column, parse_csv, AsciiChart, Series};
 
 use foces::{Detector, Fcm, SlicedFcm};
 use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
-use foces_dataplane::{
-    inject_random_anomaly, AnomalyKind, AppliedAnomaly, DataPlane, LossModel,
-};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, AppliedAnomaly, DataPlane, LossModel};
 use foces_net::generators::{bcube, dcell, fattree, stanford};
 use foces_net::Topology;
 use rand::rngs::StdRng;

@@ -89,8 +89,12 @@ impl AsciiChart {
             .fold(f64::INFINITY, f64::min);
         let ty = |y: f64| -> f64 {
             if self.log_y {
-                y.max(if min_pos_y.is_finite() { min_pos_y } else { 1e-9 })
-                    .log10()
+                y.max(if min_pos_y.is_finite() {
+                    min_pos_y
+                } else {
+                    1e-9
+                })
+                .log10()
             } else {
                 y
             }
@@ -120,10 +124,10 @@ impl AsciiChart {
                     continue;
                 }
                 let yv = ty(y);
-                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let row = ((yv - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let col =
+                    ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let row =
+                    ((yv - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - row.min(self.height - 1);
                 grid[row][col.min(self.width - 1)] = glyph;
             }
@@ -161,10 +165,7 @@ impl AsciiChart {
         let x_lo = x_lo.trim_end_matches('0').trim_end_matches('.');
         let x_hi = format!("{x_max:.6}");
         let x_hi = x_hi.trim_end_matches('0').trim_end_matches('.');
-        let pad = self
-            .width
-            .saturating_sub(x_lo.len() + x_hi.len())
-            .max(1);
+        let pad = self.width.saturating_sub(x_lo.len() + x_hi.len()).max(1);
         let _ = writeln!(
             out,
             "{} {}{}{}",

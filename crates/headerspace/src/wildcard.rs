@@ -121,10 +121,7 @@ impl Wildcard {
     pub fn prefix(width: usize, bits: u64, prefix_len: usize) -> Result<Self, HeaderSpaceError> {
         assert!(width <= 64, "prefix() supports widths up to 64 bits");
         if prefix_len > width {
-            return Err(HeaderSpaceError::PrefixTooLong {
-                prefix_len,
-                width,
-            });
+            return Err(HeaderSpaceError::PrefixTooLong { prefix_len, width });
         }
         let mut w = Wildcard::any(width);
         for pos in 0..prefix_len {
@@ -232,8 +229,8 @@ impl Wildcard {
                 return None; // conflicting exact bits
             }
             out.mask[blk] = self.mask[blk] | other.mask[blk];
-            out.value[blk] = (self.value[blk] & self.mask[blk])
-                | (other.value[blk] & other.mask[blk]);
+            out.value[blk] =
+                (self.value[blk] & self.mask[blk]) | (other.value[blk] & other.mask[blk]);
         }
         Some(out)
     }
@@ -300,7 +297,10 @@ impl Wildcard {
     ///
     /// Panics if `width > 64`.
     pub fn matches_concrete(&self, bits: u64) -> bool {
-        assert!(self.width <= 64, "matches_concrete supports widths up to 64");
+        assert!(
+            self.width <= 64,
+            "matches_concrete supports widths up to 64"
+        );
         for pos in 0..self.width {
             if let Some(v) = self.bit(pos) {
                 let b = (bits >> (self.width - 1 - pos)) & 1 == 1;
@@ -449,7 +449,10 @@ mod tests {
         assert_eq!(format!("{w}"), "10**0101_1*******");
         assert!(matches!(
             Wildcard::from_str_bits("10x"),
-            Err(HeaderSpaceError::InvalidCharacter { ch: 'x', position: 2 })
+            Err(HeaderSpaceError::InvalidCharacter {
+                ch: 'x',
+                position: 2
+            })
         ));
     }
 

@@ -26,7 +26,9 @@ fn wildcard_strategy() -> impl Strategy<Value = Wildcard> {
 
 /// The set of concrete headers a wildcard denotes.
 fn denote(w: &Wildcard) -> Vec<u64> {
-    (0..(1u64 << WIDTH)).filter(|&h| w.matches_concrete(h)).collect()
+    (0..(1u64 << WIDTH))
+        .filter(|&h| w.matches_concrete(h))
+        .collect()
 }
 
 proptest! {

@@ -117,7 +117,10 @@ impl DenseMatrix {
     /// Panics if `i >= rows` or `j >= cols`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[j * self.rows + i]
     }
 
@@ -128,7 +131,10 @@ impl DenseMatrix {
     /// Panics if `i >= rows` or `j >= cols`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[j * self.rows + i] = v;
     }
 

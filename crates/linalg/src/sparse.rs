@@ -158,7 +158,10 @@ impl CsrMatrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         let range = self.indptr[i]..self.indptr[i + 1];
         match self.indices[range.clone()].binary_search(&j) {
             Ok(pos) => self.data[range.start + pos],
@@ -412,10 +415,26 @@ mod tests {
             3,
             2,
             &[
-                Triplet { row: 0, col: 0, value: 1.0 },
-                Triplet { row: 1, col: 0, value: 2.0 },
-                Triplet { row: 1, col: 1, value: 3.0 },
-                Triplet { row: 2, col: 1, value: 4.0 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    value: 1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 0,
+                    value: 2.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    value: 3.0,
+                },
+                Triplet {
+                    row: 2,
+                    col: 1,
+                    value: 4.0,
+                },
             ],
         )
         .unwrap()
@@ -427,10 +446,26 @@ mod tests {
             1,
             2,
             &[
-                Triplet { row: 0, col: 0, value: 1.0 },
-                Triplet { row: 0, col: 0, value: 2.0 },
-                Triplet { row: 0, col: 1, value: 5.0 },
-                Triplet { row: 0, col: 1, value: -5.0 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    value: 1.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    value: 2.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    value: 5.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    value: -5.0,
+                },
             ],
         )
         .unwrap();
@@ -441,7 +476,15 @@ mod tests {
 
     #[test]
     fn from_triplets_validates_bounds() {
-        let err = CsrMatrix::from_triplets(1, 1, &[Triplet { row: 1, col: 0, value: 1.0 }]);
+        let err = CsrMatrix::from_triplets(
+            1,
+            1,
+            &[Triplet {
+                row: 1,
+                col: 0,
+                value: 1.0,
+            }],
+        );
         assert!(err.is_err());
     }
 
@@ -491,8 +534,16 @@ mod tests {
             1,
             4,
             &[
-                Triplet { row: 0, col: 3, value: 3.0 },
-                Triplet { row: 0, col: 1, value: 1.0 },
+                Triplet {
+                    row: 0,
+                    col: 3,
+                    value: 3.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    value: 1.0,
+                },
             ],
         )
         .unwrap();

@@ -15,23 +15,21 @@ use proptest::prelude::*;
 fn full_rank_binary_matrix() -> impl Strategy<Value = DenseMatrix> {
     (2usize..6, 0usize..5).prop_flat_map(|(cols, extra)| {
         let rows = cols + extra + 1;
-        proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(
-            move |bits| {
-                let mut m = DenseMatrix::zeros(rows, cols);
-                for j in 0..cols {
-                    for i in 0..rows {
-                        if bits[j * rows + i] {
-                            m.set(i, j, 1.0);
-                        }
-                    }
-                    // Identity block guarantees independence.
-                    for jj in 0..cols {
-                        m.set(j, jj, if j == jj { 1.0 } else { 0.0 });
+        proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(move |bits| {
+            let mut m = DenseMatrix::zeros(rows, cols);
+            for j in 0..cols {
+                for i in 0..rows {
+                    if bits[j * rows + i] {
+                        m.set(i, j, 1.0);
                     }
                 }
-                m
-            },
-        )
+                // Identity block guarantees independence.
+                for jj in 0..cols {
+                    m.set(j, jj, if j == jj { 1.0 } else { 0.0 });
+                }
+            }
+            m
+        })
     })
 }
 

@@ -32,7 +32,10 @@ use crate::{Node, SwitchId, SwitchRole, Topology};
 /// t.validate().unwrap();
 /// ```
 pub fn fattree(k: usize) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fattree requires an even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fattree requires an even k >= 2"
+    );
     let half = k / 2;
     let mut t = Topology::new();
     let cores: Vec<SwitchId> = (0..half * half)
@@ -521,8 +524,9 @@ mod tests {
             assert_eq!(t.link_count(), t2.link_count());
         }
         // Different seeds generally give different graphs.
-        let counts: std::collections::BTreeSet<usize> =
-            (0..20).map(|s| random_connected(12, 6, s).link_count()).collect();
+        let counts: std::collections::BTreeSet<usize> = (0..20)
+            .map(|s| random_connected(12, 6, s).link_count())
+            .collect();
         assert!(counts.len() > 1);
     }
 

@@ -366,7 +366,9 @@ impl Topology {
                     )));
                 }
                 let back = self.adj(a.neighbor);
-                let mirrored = back.get(a.neighbor_port.0).map(|b| (b.neighbor, b.local_port));
+                let mirrored = back
+                    .get(a.neighbor_port.0)
+                    .map(|b| (b.neighbor, b.local_port));
                 if mirrored != Some((n, a.neighbor_port)) {
                     return Err(TopologyError::UnknownNode(format!(
                         "asymmetric link {n}:{:?} -> {}",
@@ -433,9 +435,7 @@ mod tests {
     #[test]
     fn shortest_path_endpoints_and_length() {
         let (t, s, h) = line3();
-        let p = t
-            .shortest_path(Node::Host(h[0]), Node::Host(h[1]))
-            .unwrap();
+        let p = t.shortest_path(Node::Host(h[0]), Node::Host(h[1])).unwrap();
         assert_eq!(
             p,
             vec![
@@ -503,7 +503,9 @@ mod tests {
             Some(Port(0))
         );
         assert_eq!(t.port_towards(Node::Switch(s[0]), Node::Switch(s[2])), None);
-        assert!(t.port_towards(Node::Host(h[0]), Node::Switch(s[0])).is_some());
+        assert!(t
+            .port_towards(Node::Host(h[0]), Node::Switch(s[0]))
+            .is_some());
     }
 
     #[test]

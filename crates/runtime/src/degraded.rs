@@ -1,0 +1,344 @@
+//! Degraded detection: keep detecting with whatever counters arrived.
+//!
+//! When switches miss an epoch (offline, drowned in drops), the naive
+//! options are both wrong: abort the round (an attacker who can silence
+//! one switch silences FOCES) or fabricate zeros (guaranteed false
+//! alarm). The sound option follows from the algebra: deleting the
+//! missing rows of `H·X ≈ Y'` leaves a *projection* of the same linear
+//! system, so a consistent full system stays consistent and the masked
+//! detector keeps its no-false-positive structure — it just sees fewer
+//! equations ([`foces::Fcm::mask_rows`]).
+//!
+//! Fewer equations means weaker detection, and the Theorem 1 oracle
+//! quantifies exactly how much weaker: a deviation is detectable under the
+//! mask iff its *projected* deviated column leaves the span of the
+//! *projected* FCM columns. [`DegradedPipeline`] re-runs the span oracle
+//! on the masked system (cached per missing-switch set) and stamps every
+//! verdict with a [`DetectionMode`] so operators know which rounds ran
+//! with reduced — or zero ([`DetectionMode::Blind`]) — coverage.
+
+use foces::{audit_deviations, Detector, DeviationCandidate, Fcm, FocesError, MaskedFcm, Verdict};
+use foces_controlplane::ControllerView;
+use foces_linalg::{SpanTester, DEFAULT_TOL};
+use foces_net::SwitchId;
+use std::collections::HashMap;
+
+/// How much of the detector's evidence a round actually had.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectionMode {
+    /// Every switch reported: the full FCM was used.
+    Full,
+    /// Some switches were missing; detection ran on the row-masked system.
+    Degraded {
+        /// The switches whose rows were masked, ascending.
+        missing: Vec<SwitchId>,
+        /// Number of FCM rows removed by the mask.
+        masked_rows: usize,
+        /// Flows that lost *all* their rows and dropped out of the system.
+        dropped_flows: usize,
+        /// Theorem 1 coverage of the masked system over the audited
+        /// deviation candidates (≤ the full system's coverage).
+        coverage: f64,
+    },
+    /// Nothing usable arrived (or masking emptied the system): no verdict
+    /// this round.
+    Blind {
+        /// The switches whose rows were masked, ascending.
+        missing: Vec<SwitchId>,
+    },
+}
+
+impl DetectionMode {
+    /// Short label for logs: `"Full"`, `"Degraded"` or `"Blind"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectionMode::Full => "Full",
+            DetectionMode::Degraded { .. } => "Degraded",
+            DetectionMode::Blind { .. } => "Blind",
+        }
+    }
+
+    /// Is this a degraded (but not blind) round?
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DetectionMode::Degraded { .. })
+    }
+
+    /// Is this a blind round?
+    pub fn is_blind(&self) -> bool {
+        matches!(self, DetectionMode::Blind { .. })
+    }
+}
+
+/// Cached artifacts for one missing-switch set.
+struct CachedMask {
+    masked: MaskedFcm,
+    coverage: f64,
+}
+
+/// The degraded-detection layer: owns the full FCM, a fixed sample of
+/// audited deviation candidates, and a cache of masked systems keyed by
+/// the (sorted) missing-switch set.
+pub struct DegradedPipeline {
+    fcm: Fcm,
+    detector: Detector,
+    /// Audited candidates (detectable and undetectable alike), sampled
+    /// once at construction; the same set is re-classified under every
+    /// mask so coverages are comparable.
+    candidates: Vec<DeviationCandidate>,
+    full_coverage: f64,
+    cache: HashMap<Vec<SwitchId>, CachedMask>,
+}
+
+impl DegradedPipeline {
+    /// Builds the pipeline, running the full-system audit once.
+    /// `oracle_cap` bounds the candidate enumeration (the same sample is
+    /// reused for every masked re-audit; a few hundred is plenty for a
+    /// coverage estimate).
+    pub fn new(view: &ControllerView, fcm: Fcm, detector: Detector, oracle_cap: usize) -> Self {
+        let audit = audit_deviations(view, &fcm, oracle_cap);
+        let full_coverage = audit.coverage();
+        let mut candidates = audit.detectable;
+        candidates.extend(audit.undetectable);
+        DegradedPipeline {
+            fcm,
+            detector,
+            candidates,
+            full_coverage,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The full (unmasked) FCM.
+    pub fn fcm(&self) -> &Fcm {
+        &self.fcm
+    }
+
+    /// The detector in use.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Theorem 1 coverage of the *full* system over the audited sample.
+    pub fn full_coverage(&self) -> f64 {
+        self.full_coverage
+    }
+
+    /// Number of audited deviation candidates.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of distinct missing-switch sets masked so far.
+    pub fn cached_masks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Switches (ascending) that have at least one unobserved FCM row.
+    pub fn missing_from(&self, observed: &[bool]) -> Vec<SwitchId> {
+        let mut missing: Vec<SwitchId> = self
+            .fcm
+            .rules()
+            .iter()
+            .zip(observed)
+            .filter(|(_, &seen)| !seen)
+            .map(|(r, _)| r.switch)
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        missing
+    }
+
+    /// Runs one detection round over whatever was observed.
+    ///
+    /// `counters` is the full-length counter vector (entries at unobserved
+    /// rows are ignored); `observed[i]` says whether row `i`'s counter
+    /// actually arrived this epoch. Returns the verdict (absent on blind
+    /// rounds) and the round's [`DetectionMode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FocesError`] from the underlying solves.
+    pub fn detect(
+        &mut self,
+        counters: &[f64],
+        observed: &[bool],
+    ) -> Result<(Option<Verdict>, DetectionMode), FocesError> {
+        let missing = self.missing_from(observed);
+        if missing.is_empty() {
+            let verdict = self.detector.detect(&self.fcm, counters)?;
+            return Ok((Some(verdict), DetectionMode::Full));
+        }
+        if !self.cache.contains_key(&missing) {
+            let entry = self.build_mask(observed);
+            self.cache.insert(missing.clone(), entry);
+        }
+        let entry = &self.cache[&missing];
+        if entry.masked.fcm().rule_count() == 0 || entry.masked.fcm().flow_count() == 0 {
+            return Ok((None, DetectionMode::Blind { missing }));
+        }
+        let verdict = self.detector.detect_masked(&entry.masked, counters)?;
+        let mode = DetectionMode::Degraded {
+            missing,
+            masked_rows: entry.masked.masked_row_count(),
+            dropped_flows: entry.masked.dropped_flows(),
+            coverage: entry.coverage,
+        };
+        Ok((Some(verdict), mode))
+    }
+
+    /// Builds the masked system and re-consults the Theorem 1 oracle on it.
+    fn build_mask(&self, observed: &[bool]) -> CachedMask {
+        let masked = self.fcm.mask_rows(observed);
+        let coverage = self.masked_coverage(&masked);
+        CachedMask { masked, coverage }
+    }
+
+    /// Re-classifies the audited candidates against the masked system: a
+    /// deviation stays detectable iff its projected deviated column leaves
+    /// the span of the projected FCM columns. Projection can only *shrink*
+    /// the set of vectors outside the span, so this is ≤ the full coverage
+    /// on the same sample.
+    fn masked_coverage(&self, masked: &MaskedFcm) -> f64 {
+        if self.candidates.is_empty() {
+            return 1.0;
+        }
+        let sub = masked.fcm();
+        if sub.rule_count() == 0 {
+            return 0.0; // no equations left: every deviation is invisible
+        }
+        let mut tester = SpanTester::empty(sub.rule_count(), DEFAULT_TOL);
+        for j in 0..sub.flow_count() {
+            tester.absorb(&sub.column(j));
+        }
+        let mut detectable = 0usize;
+        for c in &self.candidates {
+            // Parent-space 0/1 column of the deviated history, then the
+            // mask's projection onto the observed rows.
+            let mut col = vec![0.0; self.fcm.rule_count()];
+            for r in &c.deviated_history {
+                if let Some(row) = self.fcm.rule_row(*r) {
+                    col[row] = 1.0;
+                }
+            }
+            if !tester.contains(&masked.project(&col)) {
+                detectable += 1;
+            }
+        }
+        detectable as f64 / self.candidates.len() as f64
+    }
+
+    /// Coverage of the masked system for an explicit observation mask —
+    /// exposed for audits and tests; `detect` computes and caches the same
+    /// number per missing-switch set.
+    pub fn coverage_under_mask(&self, observed: &[bool]) -> f64 {
+        self.masked_coverage(&self.fcm.mask_rows(observed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    use foces_dataplane::LossModel;
+    use foces_net::generators::bcube;
+
+    fn setup() -> (foces_controlplane::Deployment, DegradedPipeline) {
+        let topo = bcube(1, 4);
+        let flows = uniform_flows(&topo, 240_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        let fcm = Fcm::from_view(&dep.view);
+        let pipeline = DegradedPipeline::new(&dep.view, fcm, Detector::default(), 300);
+        (dep, pipeline)
+    }
+
+    fn mask_without(pipeline: &DegradedPipeline, victims: &[SwitchId]) -> Vec<bool> {
+        pipeline
+            .fcm()
+            .rules()
+            .iter()
+            .map(|r| !victims.contains(&r.switch))
+            .collect()
+    }
+
+    #[test]
+    fn all_observed_is_a_full_round() {
+        let (dep, mut pipeline) = setup();
+        let counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let observed = vec![true; counters.len()];
+        let (verdict, mode) = pipeline.detect(&counters, &observed).unwrap();
+        assert_eq!(mode, DetectionMode::Full);
+        assert!(!verdict.unwrap().anomalous);
+        assert_eq!(pipeline.cached_masks(), 0, "full rounds never mask");
+    }
+
+    #[test]
+    fn missing_switch_degrades_with_reduced_oracle_coverage() {
+        let (dep, mut pipeline) = setup();
+        let counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let victim = pipeline.fcm().rules()[0].switch;
+        let observed = mask_without(&pipeline, &[victim]);
+        let (verdict, mode) = pipeline.detect(&counters, &observed).unwrap();
+        assert!(
+            !verdict.unwrap().anomalous,
+            "healthy masked round is normal"
+        );
+        let DetectionMode::Degraded {
+            missing,
+            masked_rows,
+            coverage,
+            ..
+        } = mode
+        else {
+            panic!("expected a degraded round, got {mode:?}");
+        };
+        assert_eq!(missing, vec![victim]);
+        assert!(masked_rows > 0);
+        assert!(
+            coverage <= pipeline.full_coverage() + 1e-12,
+            "projection cannot increase coverage: {} vs {}",
+            coverage,
+            pipeline.full_coverage()
+        );
+        assert!(pipeline.candidate_count() > 0);
+    }
+
+    #[test]
+    fn masked_systems_are_cached_per_missing_set() {
+        let (dep, mut pipeline) = setup();
+        let counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let victim = pipeline.fcm().rules()[0].switch;
+        let observed = mask_without(&pipeline, &[victim]);
+        pipeline.detect(&counters, &observed).unwrap();
+        pipeline.detect(&counters, &observed).unwrap();
+        assert_eq!(pipeline.cached_masks(), 1);
+        let other = pipeline
+            .fcm()
+            .rules()
+            .iter()
+            .map(|r| r.switch)
+            .find(|&s| s != victim)
+            .unwrap();
+        let observed2 = mask_without(&pipeline, &[other]);
+        pipeline.detect(&counters, &observed2).unwrap();
+        assert_eq!(pipeline.cached_masks(), 2);
+    }
+
+    #[test]
+    fn everything_missing_is_blind() {
+        let (dep, mut pipeline) = setup();
+        let counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let observed = vec![false; counters.len()];
+        let (verdict, mode) = pipeline.detect(&counters, &observed).unwrap();
+        assert!(verdict.is_none());
+        assert!(mode.is_blind());
+        assert_eq!(mode.label(), "Blind");
+    }
+
+    #[test]
+    fn coverage_under_total_mask_is_zero() {
+        let (_, pipeline) = setup();
+        let observed = vec![false; pipeline.fcm().rule_count()];
+        assert_eq!(pipeline.coverage_under_mask(&observed), 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Scenario harness: a whole deployment driven epoch by epoch.
+//!
+//! [`ScenarioDriver`] owns the [`Deployment`] *and* the
+//! [`RuntimeService`], reproducing the paper's functional test (§VI,
+//! Fig. 7) under channel faults: each epoch it resets counters, replays
+//! traffic (with optional packet loss), injects/reverts a forwarding
+//! anomaly at the configured epochs, then lets the service poll and
+//! detect. The `foces run` CLI subcommand and the cross-crate fault
+//! integration test are both thin wrappers around this type.
+
+use crate::service::{EpochReport, RuntimeConfig, RuntimeError, RuntimeService};
+use crate::transport::{FaultProfile, SimTransport};
+use foces_controlplane::Deployment;
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, AppliedAnomaly, LossModel};
+use foces_net::SwitchId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A complete fault-injection scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Detection epochs to run.
+    pub epochs: u64,
+    /// Per-packet traffic loss probability (counter noise, §V).
+    pub loss: f64,
+    /// Control-channel message drop probability.
+    pub drop_prob: f64,
+    /// Base control-channel round-trip latency, ms.
+    pub latency_ms: f64,
+    /// Uniform latency jitter on top of the base, ms.
+    pub jitter_ms: f64,
+    /// Probability of a stale (reordered) reply.
+    pub reorder_prob: f64,
+    /// A switch taken offline for part of the run, with its `[start, end)`
+    /// epoch window.
+    pub offline: Option<(SwitchId, u64, u64)>,
+    /// Epoch window `[start, end)` during which a forwarding anomaly is
+    /// active: injected entering `start`, repaired entering `end`.
+    pub anomaly_window: Option<(u64, u64)>,
+    /// The kind of anomaly to inject.
+    pub anomaly_kind: AnomalyKind,
+    /// Seed for the transport faults and per-epoch loss sampling.
+    pub seed: u64,
+    /// Seed for choosing the compromised rule.
+    pub anomaly_seed: u64,
+}
+
+impl Default for FaultScenario {
+    /// 30 epochs, 3% traffic loss, 10% message drop, 5 ms ± 3 ms latency,
+    /// no reordering, nobody offline, no anomaly.
+    fn default() -> Self {
+        FaultScenario {
+            epochs: 30,
+            loss: 0.03,
+            drop_prob: 0.10,
+            latency_ms: 5.0,
+            jitter_ms: 3.0,
+            reorder_prob: 0.0,
+            offline: None,
+            anomaly_window: None,
+            anomaly_kind: AnomalyKind::PathDeviation,
+            seed: 0,
+            anomaly_seed: 4,
+        }
+    }
+}
+
+impl FaultScenario {
+    /// The transport profile every switch gets by default.
+    fn base_profile(&self) -> FaultProfile {
+        FaultProfile {
+            latency_ms: self.latency_ms,
+            jitter_ms: self.jitter_ms,
+            drop_prob: self.drop_prob,
+            reorder_prob: self.reorder_prob,
+            offline: Vec::new(),
+        }
+    }
+
+    /// Builds the seeded transport, including the offline window.
+    pub fn transport(&self) -> SimTransport {
+        let mut t = SimTransport::new(self.seed, self.base_profile());
+        if let Some((victim, start, end)) = self.offline {
+            let mut p = self.base_profile();
+            p.offline = vec![(start, end)];
+            t.set_profile(victim, p);
+        }
+        t
+    }
+}
+
+/// Drives one deployment through a [`FaultScenario`].
+pub struct ScenarioDriver {
+    dep: Deployment,
+    service: RuntimeService,
+    scenario: FaultScenario,
+    inject_rng: StdRng,
+    applied: Option<AppliedAnomaly>,
+}
+
+impl ScenarioDriver {
+    /// Builds the driver: honest agents over a [`SimTransport`] configured
+    /// from `scenario`, service configured from `config`.
+    pub fn new(dep: Deployment, scenario: FaultScenario, config: RuntimeConfig) -> Self {
+        let service = RuntimeService::with_sim_transport(&dep.view, scenario.transport(), config);
+        let inject_rng = StdRng::seed_from_u64(scenario.anomaly_seed);
+        ScenarioDriver {
+            dep,
+            service,
+            scenario,
+            inject_rng,
+            applied: None,
+        }
+    }
+
+    /// The service (metrics, event log, alarm state).
+    pub fn service(&self) -> &RuntimeService {
+        &self.service
+    }
+
+    /// Mutable service access (e.g. to install a file-backed event log
+    /// before the first epoch).
+    pub fn service_mut(&mut self) -> &mut RuntimeService {
+        &mut self.service
+    }
+
+    /// The scenario being driven.
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
+    }
+
+    /// The currently active injected anomaly, if any.
+    pub fn active_anomaly(&self) -> Option<&AppliedAnomaly> {
+        self.applied.as_ref()
+    }
+
+    /// Is `epoch` inside the anomaly window?
+    pub fn anomaly_active_at(&self, epoch: u64) -> bool {
+        self.scenario
+            .anomaly_window
+            .map(|(s, e)| s <= epoch && epoch < e)
+            .unwrap_or(false)
+    }
+
+    /// Runs one epoch: inject/repair at the window edges, reset counters,
+    /// replay traffic with fresh loss sampling, poll and detect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the service.
+    pub fn step(&mut self) -> Result<EpochReport, RuntimeError> {
+        let epoch = self.service.epochs();
+        if let Some((start, end)) = self.scenario.anomaly_window {
+            if epoch == start && self.applied.is_none() {
+                // Never compromise the offline victim: an anomaly on an
+                // unobserved switch tests masking, not detection.
+                let exclude: Vec<SwitchId> =
+                    self.scenario.offline.iter().map(|&(s, _, _)| s).collect();
+                self.applied = inject_random_anomaly(
+                    &mut self.dep.dataplane,
+                    self.scenario.anomaly_kind,
+                    &mut self.inject_rng,
+                    &exclude,
+                );
+            }
+            if epoch == end {
+                if let Some(a) = self.applied.take() {
+                    a.revert(&mut self.dep.dataplane)
+                        .expect("injected rule cannot vanish");
+                }
+            }
+        }
+        self.dep.dataplane.reset_counters();
+        let mut loss = if self.scenario.loss > 0.0 {
+            LossModel::sampled(
+                self.scenario.loss,
+                self.scenario
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(epoch),
+            )
+        } else {
+            LossModel::none()
+        };
+        self.dep.replay_traffic(&mut loss);
+        self.service.run_epoch(&self.dep.dataplane)
+    }
+
+    /// Runs the whole scenario, returning every epoch's report.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first [`RuntimeError`].
+    pub fn run(&mut self) -> Result<Vec<EpochReport>, RuntimeError> {
+        let mut reports = Vec::with_capacity(self.scenario.epochs as usize);
+        for _ in 0..self.scenario.epochs {
+            reports.push(self.step()?);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degraded::DetectionMode;
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    use foces_net::generators::ring;
+
+    fn deployment() -> Deployment {
+        let topo = ring(4);
+        let flows = uniform_flows(&topo, 12_000.0);
+        provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap()
+    }
+
+    fn quiet() -> FaultScenario {
+        FaultScenario {
+            epochs: 4,
+            loss: 0.0,
+            drop_prob: 0.0,
+            latency_ms: 1.0,
+            jitter_ms: 0.0,
+            ..FaultScenario::default()
+        }
+    }
+
+    #[test]
+    fn quiet_scenario_is_all_full_normal_rounds() {
+        let mut driver = ScenarioDriver::new(deployment(), quiet(), RuntimeConfig::default());
+        let reports = driver.run().unwrap();
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert_eq!(r.mode, DetectionMode::Full);
+            assert!(!r.anomalous());
+        }
+        assert_eq!(driver.service().metrics().epochs, 4);
+    }
+
+    #[test]
+    fn offline_window_produces_exactly_its_degraded_rounds() {
+        let mut scenario = quiet();
+        scenario.epochs = 5;
+        scenario.offline = Some((foces_net::SwitchId(1), 1, 3));
+        let mut driver = ScenarioDriver::new(deployment(), scenario, RuntimeConfig::default());
+        let reports = driver.run().unwrap();
+        let degraded: Vec<u64> = reports
+            .iter()
+            .filter(|r| r.mode.is_degraded())
+            .map(|r| r.epoch)
+            .collect();
+        assert_eq!(degraded, vec![1, 2]);
+        assert_eq!(driver.service().metrics().degraded_rounds, 2);
+    }
+
+    #[test]
+    fn same_seed_same_event_log() {
+        let make = || {
+            let mut scenario = FaultScenario {
+                epochs: 6,
+                ..FaultScenario::default()
+            };
+            scenario.seed = 99;
+            let mut d = ScenarioDriver::new(deployment(), scenario, RuntimeConfig::default());
+            d.run().unwrap();
+            d.service().log().lines().to_vec()
+        };
+        assert_eq!(make(), make(), "seeded runs must be bit-identical");
+    }
+
+    #[test]
+    fn anomaly_window_injects_and_repairs() {
+        let mut scenario = quiet();
+        scenario.epochs = 6;
+        scenario.anomaly_window = Some((2, 4));
+        let mut driver = ScenarioDriver::new(deployment(), scenario, RuntimeConfig::default());
+        for epoch in 0..6u64 {
+            driver.step().unwrap();
+            let should_be_active = (2..4).contains(&epoch);
+            assert_eq!(
+                driver.active_anomaly().is_some(),
+                should_be_active,
+                "epoch {epoch}"
+            );
+            assert_eq!(driver.anomaly_active_at(epoch), should_be_active);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! **foces-runtime** — the operational layer of the FOCES reproduction: a
+//! continuous, fault-tolerant detection service over an *unreliable*
+//! control channel.
+//!
+//! The paper's functional test (§VI, Fig. 7) polls switches "every
+//! 5 seconds" over a real control network — one where requests get lost,
+//! replies arrive late, and switches crash and come back. The rest of this
+//! workspace assumed a perfect channel; this crate removes that assumption
+//! without weakening the detector:
+//!
+//! * [`transport`] — [`SimTransport`], a seeded fault model implementing
+//!   [`foces_channel::Transport`]: per-switch latency/jitter, message
+//!   drops, stale-reply reordering, and offline/crash-restart windows.
+//!   Every delivered message still round-trips through the wire codec.
+//! * [`scheduler`] — [`EpochScheduler`] polls all agents each epoch with a
+//!   per-switch deadline and bounded exponential-backoff retries; an
+//!   unresponsive switch is *marked*, never fatal to the round.
+//! * [`degraded`] — [`DegradedPipeline`] masks the FCM rows of missing
+//!   switches ([`foces::MaskedFcm`]) and re-consults the Theorem 1
+//!   detectability oracle on the masked system, labelling every round
+//!   [`DetectionMode::Full`], [`DetectionMode::Degraded`] (with the
+//!   oracle's residual coverage) or [`DetectionMode::Blind`].
+//! * [`parallel`] — [`detect_parallel`] fans the per-switch slice solves
+//!   of a [`foces::SlicedFcm`] across a scoped worker pool
+//!   (`std::thread::scope`, no extra dependencies), with verdicts
+//!   *identical* to the sequential path.
+//! * [`metrics`] — [`RuntimeMetrics`] counters plus a JSONL [`EventLog`]
+//!   of per-epoch records.
+//! * [`service`] — [`RuntimeService`] glues the layers into one
+//!   `run_epoch` loop with [`foces::Monitor`]-style alarm hysteresis
+//!   (blind rounds freeze the alarm state instead of feeding it noise).
+//! * [`harness`] — [`ScenarioDriver`] owns a whole deployment and drives
+//!   reset → replay → (inject/revert) → poll → detect per epoch; the
+//!   `foces run` CLI subcommand and the cross-crate fault test sit on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degraded;
+pub mod harness;
+pub mod metrics;
+pub mod parallel;
+pub mod scheduler;
+pub mod service;
+pub mod transport;
+
+pub use degraded::{DegradedPipeline, DetectionMode};
+pub use harness::{FaultScenario, ScenarioDriver};
+pub use metrics::{EventLog, RuntimeMetrics};
+pub use parallel::detect_parallel;
+pub use scheduler::{EpochCollection, EpochScheduler, PollPolicy, SwitchPoll};
+pub use service::{EpochReport, RuntimeConfig, RuntimeError, RuntimeService};
+pub use transport::{FaultProfile, SimTransport};

@@ -1,0 +1,213 @@
+//! Runtime observability: aggregate counters and a JSONL event log.
+//!
+//! Everything is hand-rolled (no serde in the dependency tree): the JSON
+//! emitted here is deliberately flat — numbers, strings, and nothing
+//! nested deeper than one object per line — so a shell pipeline
+//! (`jq`, `grep`) is enough to consume it.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Aggregate counters over a service's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuntimeMetrics {
+    /// Detection epochs completed.
+    pub epochs: u64,
+    /// Individual switch polls attempted (one per switch per epoch).
+    pub polls: u64,
+    /// Exchange retries beyond each poll's first attempt.
+    pub retries: u64,
+    /// Exchanges lost to message drops.
+    pub drops: u64,
+    /// Replies discarded for stale transaction ids.
+    pub stale_replies: u64,
+    /// Polls that found the switch offline.
+    pub offline_polls: u64,
+    /// Switch-epochs that ended with no counters.
+    pub unresponsive: u64,
+    /// Rounds detected on the full system.
+    pub full_rounds: u64,
+    /// Rounds detected on a row-masked system.
+    pub degraded_rounds: u64,
+    /// Rounds with no usable data at all.
+    pub blind_rounds: u64,
+    /// Rounds whose verdict was anomalous.
+    pub anomalous_rounds: u64,
+    /// Alarm raise transitions.
+    pub alarms_raised: u64,
+    /// Alarm clear transitions.
+    pub alarms_cleared: u64,
+    /// Wall-clock spent collecting counters (scheduler sweeps), seconds.
+    pub collect_secs: f64,
+    /// Wall-clock spent building masks / assembling vectors, seconds.
+    pub build_secs: f64,
+    /// Wall-clock spent in solves (detection), seconds.
+    pub solve_secs: f64,
+    /// *Simulated* channel time accumulated across sweeps, milliseconds.
+    pub sim_channel_ms: f64,
+}
+
+impl RuntimeMetrics {
+    /// One-line JSON rendering of every counter.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let mut first = true;
+        let mut num = |s: &mut String, k: &str, v: f64| {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{k}\":{}", json_f64(v));
+        };
+        num(&mut s, "epochs", self.epochs as f64);
+        num(&mut s, "polls", self.polls as f64);
+        num(&mut s, "retries", self.retries as f64);
+        num(&mut s, "drops", self.drops as f64);
+        num(&mut s, "stale_replies", self.stale_replies as f64);
+        num(&mut s, "offline_polls", self.offline_polls as f64);
+        num(&mut s, "unresponsive", self.unresponsive as f64);
+        num(&mut s, "full_rounds", self.full_rounds as f64);
+        num(&mut s, "degraded_rounds", self.degraded_rounds as f64);
+        num(&mut s, "blind_rounds", self.blind_rounds as f64);
+        num(&mut s, "anomalous_rounds", self.anomalous_rounds as f64);
+        num(&mut s, "alarms_raised", self.alarms_raised as f64);
+        num(&mut s, "alarms_cleared", self.alarms_cleared as f64);
+        num(&mut s, "collect_secs", self.collect_secs);
+        num(&mut s, "build_secs", self.build_secs);
+        num(&mut s, "solve_secs", self.solve_secs);
+        num(&mut s, "sim_channel_ms", self.sim_channel_ms);
+        s.push('}');
+        s
+    }
+}
+
+/// Renders an `f64` as JSON (JSON has no NaN/Infinity; those become
+/// strings so a log line never goes unparseable).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Trim trailing noise: integers render without a fraction.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.6}")
+        }
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+/// Escapes a string for embedding in a JSON value.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+enum Sink {
+    Memory,
+    File(BufWriter<File>),
+}
+
+/// An append-only JSONL event log: one JSON object per line. Events are
+/// always retained in memory (bounded by the caller's run length); a file
+/// sink additionally streams each line to disk as it is recorded.
+pub struct EventLog {
+    sink: Sink,
+    lines: Vec<String>,
+}
+
+impl EventLog {
+    /// A log that only accumulates in memory.
+    pub fn in_memory() -> Self {
+        EventLog {
+            sink: Sink::Memory,
+            lines: Vec::new(),
+        }
+    }
+
+    /// A log that also streams every line to `path` (truncating it).
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the file.
+    pub fn to_file(path: &Path) -> std::io::Result<Self> {
+        Ok(EventLog {
+            sink: Sink::File(BufWriter::new(File::create(path)?)),
+            lines: Vec::new(),
+        })
+    }
+
+    /// Appends one pre-rendered JSON object line.
+    pub fn record(&mut self, json_line: String) {
+        if let Sink::File(w) = &mut self.sink {
+            // Log output is best-effort: losing a line must never take the
+            // detection loop down with it.
+            let _ = writeln!(w, "{json_line}");
+            let _ = w.flush();
+        }
+        self.lines.push(json_line);
+    }
+
+    /// All recorded lines, oldest first.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_render_as_flat_json() {
+        let m = RuntimeMetrics {
+            epochs: 3,
+            retries: 7,
+            collect_secs: 0.25,
+            ..RuntimeMetrics::default()
+        };
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"epochs\":3"));
+        assert!(j.contains("\"retries\":7"));
+        assert!(j.contains("\"collect_secs\":0.250000"));
+        assert!(!j.contains("{{"), "flat object only");
+    }
+
+    #[test]
+    fn json_escaping_and_nonfinite_floats() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(2.0), "2");
+        assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
+    }
+
+    #[test]
+    fn file_sink_streams_lines() {
+        let dir = std::env::temp_dir().join("foces-runtime-test-log");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events-{}.jsonl", std::process::id()));
+        let mut log = EventLog::to_file(&path).unwrap();
+        log.record("{\"epoch\":0}".to_string());
+        log.record("{\"epoch\":1}".to_string());
+        assert_eq!(log.lines().len(), 2);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, "{\"epoch\":0}\n{\"epoch\":1}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,433 @@
+//! The service loop: collect → assemble → detect → alarm, every epoch.
+//!
+//! [`RuntimeService`] composes the scheduler (fault-tolerant collection),
+//! the degraded pipeline (row-masked detection + oracle), the parallel
+//! slice solver (localization evidence), and [`foces::Monitor`]-style
+//! alarm hysteresis. One deliberate difference from the monitor: a
+//! [`DetectionMode::Blind`] round *freezes* the alarm state machine —
+//! silence is not evidence of health, so blind rounds neither raise nor
+//! clear anything.
+
+use crate::degraded::{DegradedPipeline, DetectionMode};
+use crate::metrics::{json_f64, json_str, EventLog, RuntimeMetrics};
+use crate::parallel::detect_parallel;
+use crate::scheduler::{EpochScheduler, PollPolicy};
+use crate::transport::SimTransport;
+use foces::{
+    localize, AlarmState, Detector, Fcm, FocesError, SlicedFcm, SlicedVerdict, SwitchSuspicion,
+    Verdict, DEFAULT_THRESHOLD,
+};
+use foces_channel::{ChannelError, SwitchAgent, Transport};
+use foces_controlplane::ControllerView;
+use foces_dataplane::DataPlane;
+use std::fmt;
+use std::time::Instant;
+
+/// Anything that can end a round with an error (channel protocol
+/// violations or solver failures). Unresponsive switches are *not*
+/// errors — they degrade the round instead.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Wire-level protocol violation on the control channel.
+    Channel(ChannelError),
+    /// Detection-side failure (length mismatch, solver breakdown).
+    Detection(FocesError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Channel(e) => write!(f, "control channel: {e}"),
+            RuntimeError::Detection(e) => write!(f, "detection: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ChannelError> for RuntimeError {
+    fn from(e: ChannelError) -> Self {
+        RuntimeError::Channel(e)
+    }
+}
+
+impl From<FocesError> for RuntimeError {
+    fn from(e: FocesError) -> Self {
+        RuntimeError::Detection(e)
+    }
+}
+
+/// Tunables for [`RuntimeService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Per-switch poll policy (deadline, retries, backoff).
+    pub policy: PollPolicy,
+    /// Anomaly-index threshold (paper default 4.5).
+    pub threshold: f64,
+    /// Consecutive anomalous rounds before raising the alarm.
+    pub raise_after: u32,
+    /// Consecutive normal rounds before clearing a raised alarm.
+    pub clear_after: u32,
+    /// Cap on the detectability-oracle candidate sample.
+    pub oracle_cap: usize,
+    /// Worker threads for the parallel slice solve (≤ 1 = sequential).
+    pub workers: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            policy: PollPolicy::default(),
+            threshold: DEFAULT_THRESHOLD,
+            raise_after: 2,
+            clear_after: 2,
+            oracle_cap: 256,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Everything one epoch produced.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// The epoch number (0-based).
+    pub epoch: u64,
+    /// How much evidence the round had.
+    pub mode: DetectionMode,
+    /// The whole-network verdict (absent on blind rounds).
+    pub verdict: Option<Verdict>,
+    /// Per-switch sliced verdicts (full rounds only; solved in parallel).
+    pub sliced: Option<SlicedVerdict>,
+    /// Alarm state after this round.
+    pub state: AlarmState,
+    /// `true` exactly when this round raised the alarm.
+    pub alarm_raised: bool,
+    /// `true` exactly when this round cleared the alarm.
+    pub alarm_cleared: bool,
+    /// Localization suspects (full anomalous rounds only), strongest first.
+    pub suspects: Vec<SwitchSuspicion>,
+}
+
+impl EpochReport {
+    /// Whether this round's verdict was anomalous (blind rounds are not).
+    pub fn anomalous(&self) -> bool {
+        self.verdict.as_ref().map(|v| v.anomalous).unwrap_or(false)
+    }
+}
+
+/// The continuous, fault-tolerant detection service.
+pub struct RuntimeService {
+    pipeline: DegradedPipeline,
+    sliced: SlicedFcm,
+    scheduler: EpochScheduler,
+    config: RuntimeConfig,
+    metrics: RuntimeMetrics,
+    log: EventLog,
+    state: AlarmState,
+    consecutive_anomalous: u32,
+    consecutive_normal: u32,
+    epoch: u64,
+}
+
+impl RuntimeService {
+    /// Builds a service for `view`, polling `agents` through `transport`.
+    /// Runs the full-system detectability audit once up front.
+    pub fn new(
+        view: &ControllerView,
+        agents: Vec<Box<dyn SwitchAgent>>,
+        transport: Box<dyn Transport>,
+        config: RuntimeConfig,
+    ) -> Self {
+        let fcm = Fcm::from_view(view);
+        let sliced = SlicedFcm::from_fcm(&fcm);
+        let detector = Detector::with_threshold(config.threshold);
+        let pipeline = DegradedPipeline::new(view, fcm, detector, config.oracle_cap);
+        let scheduler = EpochScheduler::new(agents, transport, config.policy);
+        RuntimeService {
+            pipeline,
+            sliced,
+            scheduler,
+            config,
+            metrics: RuntimeMetrics::default(),
+            log: EventLog::in_memory(),
+            state: AlarmState::Normal,
+            consecutive_anomalous: 0,
+            consecutive_normal: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Convenience constructor: honest agents for every switch in the
+    /// view, polled through the given [`SimTransport`].
+    pub fn with_sim_transport(
+        view: &ControllerView,
+        transport: SimTransport,
+        config: RuntimeConfig,
+    ) -> Self {
+        let agents: Vec<Box<dyn SwitchAgent>> = view
+            .topology()
+            .switches()
+            .map(|s| Box::new(foces_channel::HonestAgent::new(s)) as Box<dyn SwitchAgent>)
+            .collect();
+        RuntimeService::new(view, agents, Box::new(transport), config)
+    }
+
+    /// Replaces the event log (e.g. with a file-backed one).
+    pub fn set_event_log(&mut self, log: EventLog) {
+        self.log = log;
+    }
+
+    /// Aggregate metrics so far.
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// The event log recorded so far.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Current alarm state.
+    pub fn state(&self) -> AlarmState {
+        self.state
+    }
+
+    /// Epochs completed.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The degraded-detection layer (FCM, oracle coverage, mask cache).
+    pub fn pipeline(&self) -> &DegradedPipeline {
+        &self.pipeline
+    }
+
+    /// Runs one full epoch: sweep, assemble, detect, alarm, log.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on wire protocol violations or solver failures —
+    /// never because switches were merely unresponsive.
+    pub fn run_epoch(&mut self, dp: &DataPlane) -> Result<EpochReport, RuntimeError> {
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        // -- Collect ----------------------------------------------------
+        let t0 = Instant::now();
+        let collection = self.scheduler.poll_epoch(dp, epoch)?;
+        self.metrics.collect_secs += t0.elapsed().as_secs_f64();
+        self.metrics.epochs += 1;
+        self.metrics.polls += collection.polls.len() as u64;
+        self.metrics.sim_channel_ms += collection.elapsed_ms;
+        for p in &collection.polls {
+            self.metrics.retries += u64::from(p.retries());
+            self.metrics.drops += u64::from(p.drops);
+            self.metrics.stale_replies += u64::from(p.stale_replies);
+            self.metrics.offline_polls += u64::from(p.offline);
+            self.metrics.unresponsive += u64::from(!p.responsive());
+        }
+
+        // -- Assemble the counter vector in FCM row order ---------------
+        let t1 = Instant::now();
+        let rules = self.pipeline.fcm().rules();
+        let mut counters = vec![0.0; rules.len()];
+        let mut observed = vec![false; rules.len()];
+        for (i, r) in rules.iter().enumerate() {
+            if let Some(c) = collection.counters_of(r.switch) {
+                if let Some(&v) = c.get(r.index) {
+                    counters[i] = v;
+                    observed[i] = true;
+                }
+            }
+        }
+        self.metrics.build_secs += t1.elapsed().as_secs_f64();
+
+        // -- Detect ------------------------------------------------------
+        let t2 = Instant::now();
+        let (verdict, mode) = self.pipeline.detect(&counters, &observed)?;
+        let sliced = if matches!(mode, DetectionMode::Full) {
+            Some(detect_parallel(
+                &self.sliced,
+                self.pipeline.detector(),
+                &counters,
+                self.config.workers,
+            )?)
+        } else {
+            None
+        };
+        self.metrics.solve_secs += t2.elapsed().as_secs_f64();
+
+        // -- Alarm hysteresis (blind rounds freeze the machine) ----------
+        let anomalous = verdict.as_ref().map(|v| v.anomalous).unwrap_or(false);
+        let previous = self.state;
+        if !mode.is_blind() {
+            if anomalous {
+                self.consecutive_anomalous += 1;
+                self.consecutive_normal = 0;
+            } else {
+                self.consecutive_normal += 1;
+                self.consecutive_anomalous = 0;
+            }
+            self.state = match previous {
+                AlarmState::Normal | AlarmState::Suspected => {
+                    if self.consecutive_anomalous >= self.config.raise_after {
+                        AlarmState::Alarmed
+                    } else if self.consecutive_anomalous > 0 {
+                        AlarmState::Suspected
+                    } else {
+                        AlarmState::Normal
+                    }
+                }
+                AlarmState::Alarmed => {
+                    if self.consecutive_normal >= self.config.clear_after {
+                        AlarmState::Normal
+                    } else {
+                        AlarmState::Alarmed
+                    }
+                }
+            };
+        }
+        let alarm_raised = previous != AlarmState::Alarmed && self.state == AlarmState::Alarmed;
+        let alarm_cleared = previous == AlarmState::Alarmed && self.state == AlarmState::Normal;
+
+        // -- Localize (full anomalous rounds) ----------------------------
+        let suspects = match (&sliced, anomalous) {
+            (Some(sv), true) => localize(sv),
+            _ => Vec::new(),
+        };
+
+        // -- Account + log -----------------------------------------------
+        match &mode {
+            DetectionMode::Full => self.metrics.full_rounds += 1,
+            DetectionMode::Degraded { .. } => self.metrics.degraded_rounds += 1,
+            DetectionMode::Blind { .. } => self.metrics.blind_rounds += 1,
+        }
+        self.metrics.anomalous_rounds += u64::from(anomalous);
+        self.metrics.alarms_raised += u64::from(alarm_raised);
+        self.metrics.alarms_cleared += u64::from(alarm_cleared);
+
+        let (missing_count, coverage) = match &mode {
+            DetectionMode::Full => (0usize, self.pipeline.full_coverage()),
+            DetectionMode::Degraded {
+                missing, coverage, ..
+            } => (missing.len(), *coverage),
+            DetectionMode::Blind { missing } => (missing.len(), 0.0),
+        };
+        let ai = verdict
+            .as_ref()
+            .map(|v| v.anomaly_index)
+            .unwrap_or(f64::NAN);
+        self.log.record(format!(
+            "{{\"epoch\":{epoch},\"mode\":{},\"missing\":{missing_count},\
+             \"anomaly_index\":{},\"anomalous\":{anomalous},\"coverage\":{},\
+             \"state\":{},\"alarm_raised\":{alarm_raised},\
+             \"alarm_cleared\":{alarm_cleared},\"sim_ms\":{}}}",
+            json_str(mode.label()),
+            json_f64(ai),
+            json_f64(coverage),
+            json_str(&self.state.to_string()),
+            json_f64(collection.elapsed_ms),
+        ));
+
+        Ok(EpochReport {
+            epoch,
+            mode,
+            verdict,
+            sliced,
+            state: self.state,
+            alarm_raised,
+            alarm_cleared,
+            suspects,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::FaultProfile;
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    use foces_dataplane::LossModel;
+    use foces_net::generators::ring;
+
+    fn deployment() -> foces_controlplane::Deployment {
+        let topo = ring(4);
+        let flows = uniform_flows(&topo, 12_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        dep
+    }
+
+    #[test]
+    fn healthy_epochs_stay_normal_and_full() {
+        let dep = deployment();
+        let transport = SimTransport::new(1, FaultProfile::default());
+        let mut svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        for _ in 0..3 {
+            let r = svc.run_epoch(&dep.dataplane).unwrap();
+            assert_eq!(r.mode, DetectionMode::Full);
+            assert!(!r.anomalous());
+            assert_eq!(r.state, AlarmState::Normal);
+            assert!(r.sliced.is_some(), "full rounds run the parallel slices");
+        }
+        let m = svc.metrics();
+        assert_eq!(m.epochs, 3);
+        assert_eq!(m.full_rounds, 3);
+        assert_eq!(m.degraded_rounds + m.blind_rounds, 0);
+        assert_eq!(svc.log().lines().len(), 3);
+        assert!(svc.log().lines()[0].contains("\"mode\":\"Full\""));
+    }
+
+    #[test]
+    fn offline_switch_degrades_the_round() {
+        let dep = deployment();
+        let victim = dep.view.topology().switches().next().unwrap();
+        let mut transport = SimTransport::new(2, FaultProfile::default());
+        transport.set_profile(
+            victim,
+            FaultProfile {
+                offline: vec![(0, 2)],
+                ..FaultProfile::default()
+            },
+        );
+        let mut svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        let r0 = svc.run_epoch(&dep.dataplane).unwrap();
+        assert!(r0.mode.is_degraded(), "epoch 0: victim offline");
+        assert!(!r0.anomalous());
+        let r2_mode = {
+            svc.run_epoch(&dep.dataplane).unwrap(); // epoch 1, still offline
+            svc.run_epoch(&dep.dataplane).unwrap().mode // epoch 2: back
+        };
+        assert_eq!(r2_mode, DetectionMode::Full);
+        let m = svc.metrics();
+        assert_eq!(m.degraded_rounds, 2);
+        assert_eq!(m.offline_polls, 2);
+        assert_eq!(m.unresponsive, 2);
+    }
+
+    #[test]
+    fn blind_rounds_freeze_the_alarm_state() {
+        let dep = deployment();
+        let transport = SimTransport::new(
+            3,
+            FaultProfile {
+                offline: vec![(0, 1)], // every switch offline in epoch 0
+                ..FaultProfile::default()
+            },
+        );
+        let mut svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        let r = svc.run_epoch(&dep.dataplane).unwrap();
+        assert!(r.mode.is_blind());
+        assert!(r.verdict.is_none());
+        assert_eq!(r.state, AlarmState::Normal);
+        assert_eq!(svc.metrics().blind_rounds, 1);
+        // The next epoch everyone is back.
+        let r1 = svc.run_epoch(&dep.dataplane).unwrap();
+        assert_eq!(r1.mode, DetectionMode::Full);
+    }
+}

@@ -1,0 +1,255 @@
+//! Seeded fault-injection transport for the control channel.
+//!
+//! [`SimTransport`] implements [`foces_channel::Transport`] with a
+//! deterministic (seeded) fault model, so every run — tests, benches, the
+//! `foces run` CLI — is reproducible. Delivery faults are *data*
+//! ([`Delivery::Dropped`] / [`Delivery::Offline`]); the wire codec is
+//! still exercised on every delivered exchange via
+//! [`foces_channel::wire_exchange`].
+
+use foces_channel::ChannelError;
+use foces_channel::{wire_exchange, ControllerMsg, Delivery, SwitchAgent, SwitchMsg, Transport};
+use foces_dataplane::DataPlane;
+use foces_net::SwitchId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Per-switch channel behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Base round-trip latency per exchange, in simulated milliseconds.
+    pub latency_ms: f64,
+    /// Uniform jitter added on top of `latency_ms` (`[0, jitter_ms)`).
+    pub jitter_ms: f64,
+    /// Probability that an exchange (request or reply) is lost in flight.
+    pub drop_prob: f64,
+    /// Probability that a *stale* reply (from an earlier exchange with this
+    /// switch) is delivered instead of the fresh one — the scheduler sees a
+    /// transaction-id mismatch and must retry.
+    pub reorder_prob: f64,
+    /// Half-open epoch windows `[start, end)` during which the switch is
+    /// offline (crashed or partitioned). Multiple windows model
+    /// crash-restart cycles.
+    pub offline: Vec<(u64, u64)>,
+}
+
+impl Default for FaultProfile {
+    /// A well-behaved 1 ms channel: no jitter, no drops, no reordering,
+    /// never offline.
+    fn default() -> Self {
+        FaultProfile {
+            latency_ms: 1.0,
+            jitter_ms: 0.0,
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            offline: Vec::new(),
+        }
+    }
+}
+
+impl FaultProfile {
+    /// Is the switch offline at `epoch`?
+    pub fn offline_at(&self, epoch: u64) -> bool {
+        self.offline.iter().any(|&(s, e)| s <= epoch && epoch < e)
+    }
+}
+
+/// A deterministic faulty channel: every switch gets the default profile
+/// unless overridden, and all randomness comes from one seeded
+/// [`StdRng`], so identical seeds replay identical fault sequences.
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    default_profile: FaultProfile,
+    per_switch: HashMap<SwitchId, FaultProfile>,
+    rng: StdRng,
+    epoch: u64,
+    /// Last fresh reply per switch, kept around to deliver out of order.
+    stale: HashMap<SwitchId, SwitchMsg>,
+}
+
+impl SimTransport {
+    /// Creates a transport where every switch follows `default_profile`.
+    pub fn new(seed: u64, default_profile: FaultProfile) -> Self {
+        SimTransport {
+            default_profile,
+            per_switch: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            epoch: 0,
+            stale: HashMap::new(),
+        }
+    }
+
+    /// Overrides the profile of one switch (e.g. an offline window for the
+    /// crash victim).
+    pub fn set_profile(&mut self, switch: SwitchId, profile: FaultProfile) {
+        self.per_switch.insert(switch, profile);
+    }
+
+    /// The profile governing `switch`.
+    pub fn profile(&self, switch: SwitchId) -> &FaultProfile {
+        self.per_switch
+            .get(&switch)
+            .unwrap_or(&self.default_profile)
+    }
+
+    /// The current simulated epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Transport for SimTransport {
+    fn exchange(
+        &mut self,
+        dp: &DataPlane,
+        agent: &dyn SwitchAgent,
+        msg: &ControllerMsg,
+    ) -> Result<Delivery, ChannelError> {
+        let sw = agent.switch();
+        let p = self.profile(sw).clone();
+        if p.offline_at(self.epoch) {
+            return Ok(Delivery::Offline);
+        }
+        if p.drop_prob > 0.0 && self.rng.gen_bool(p.drop_prob.min(1.0)) {
+            return Ok(Delivery::Dropped);
+        }
+        let fresh = wire_exchange(dp, agent, msg)?;
+        let reply = if p.reorder_prob > 0.0 && self.rng.gen_bool(p.reorder_prob.min(1.0)) {
+            // Deliver the previous reply (if any) and hold the fresh one
+            // back as the next stale candidate.
+            self.stale.insert(sw, fresh.clone()).unwrap_or(fresh)
+        } else {
+            self.stale.insert(sw, fresh.clone());
+            fresh
+        };
+        let jitter = if p.jitter_ms > 0.0 {
+            self.rng.gen_range(0.0..p.jitter_ms)
+        } else {
+            0.0
+        };
+        Ok(Delivery::Delivered {
+            reply,
+            latency_ms: p.latency_ms + jitter,
+        })
+    }
+
+    fn on_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_channel::HonestAgent;
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    use foces_dataplane::LossModel;
+    use foces_net::generators::ring;
+
+    fn deployment() -> foces_controlplane::Deployment {
+        let topo = ring(4);
+        let flows = uniform_flows(&topo, 1000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        dep
+    }
+
+    fn stats(xid: u32) -> ControllerMsg {
+        ControllerMsg::StatsRequest { xid }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_fault_sequence() {
+        let dep = deployment();
+        let agent = HonestAgent::new(foces_net::SwitchId(0));
+        let profile = FaultProfile {
+            drop_prob: 0.5,
+            jitter_ms: 3.0,
+            ..FaultProfile::default()
+        };
+        let run = |seed: u64| -> Vec<Delivery> {
+            let mut t = SimTransport::new(seed, profile.clone());
+            (0..20)
+                .map(|i| t.exchange(&dep.dataplane, &agent, &stats(i)).unwrap())
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn offline_window_tracks_epochs() {
+        let dep = deployment();
+        let sw = foces_net::SwitchId(1);
+        let agent = HonestAgent::new(sw);
+        let mut t = SimTransport::new(0, FaultProfile::default());
+        t.set_profile(
+            sw,
+            FaultProfile {
+                offline: vec![(2, 4)],
+                ..FaultProfile::default()
+            },
+        );
+        let mut saw = Vec::new();
+        for epoch in 0..6 {
+            t.on_epoch(epoch);
+            let d = t
+                .exchange(&dep.dataplane, &agent, &stats(epoch as u32))
+                .unwrap();
+            saw.push(matches!(d, Delivery::Offline));
+        }
+        assert_eq!(saw, vec![false, false, true, true, false, false]);
+        assert_eq!(t.epoch(), 5);
+    }
+
+    #[test]
+    fn reordering_delivers_a_stale_xid() {
+        let dep = deployment();
+        let agent = HonestAgent::new(foces_net::SwitchId(2));
+        let mut t = SimTransport::new(3, FaultProfile::default());
+        // First exchange primes the stale buffer; then force reordering.
+        let d0 = t.exchange(&dep.dataplane, &agent, &stats(100)).unwrap();
+        let Delivery::Delivered {
+            reply: SwitchMsg::StatsReply { xid, .. },
+            ..
+        } = d0
+        else {
+            panic!("expected delivery");
+        };
+        assert_eq!(xid, 100);
+        let p = FaultProfile {
+            reorder_prob: 1.0,
+            ..FaultProfile::default()
+        };
+        t.set_profile(agent.switch(), p);
+        let d1 = t.exchange(&dep.dataplane, &agent, &stats(101)).unwrap();
+        let Delivery::Delivered {
+            reply: SwitchMsg::StatsReply { xid, .. },
+            ..
+        } = d1
+        else {
+            panic!("expected delivery");
+        };
+        assert_eq!(xid, 100, "stale reply delivered in place of the fresh one");
+    }
+
+    #[test]
+    fn latency_includes_bounded_jitter() {
+        let dep = deployment();
+        let agent = HonestAgent::new(foces_net::SwitchId(0));
+        let profile = FaultProfile {
+            latency_ms: 5.0,
+            jitter_ms: 2.0,
+            ..FaultProfile::default()
+        };
+        let mut t = SimTransport::new(11, profile);
+        for i in 0..50 {
+            let d = t.exchange(&dep.dataplane, &agent, &stats(i)).unwrap();
+            let Delivery::Delivered { latency_ms, .. } = d else {
+                panic!("no faults configured");
+            };
+            assert!((5.0..7.0).contains(&latency_ms), "latency {latency_ms}");
+        }
+    }
+}

@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             AnomalyKind::EarlyDrop
         };
-        let applied = inject_random_anomaly(&mut dep.dataplane, kind, &mut rng, &[])
-            .expect("rules exist");
+        let applied =
+            inject_random_anomaly(&mut dep.dataplane, kind, &mut rng, &[]).expect("rules exist");
 
         let mut loss = LossModel::sampled(0.02, trial as u64);
         dep.replay_traffic(&mut loss);
@@ -71,12 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("detector        detected   dedicated rules");
-    println!(
-        "FOCES           {foces_hits:>3}/{trials}       0 (uses forwarding-rule counters)"
-    );
-    println!(
-        "FADE (10% mon.) {fade_hits:>3}/{trials}     {fade_overhead} extra TCAM entries"
-    );
+    println!("FOCES           {foces_hits:>3}/{trials}       0 (uses forwarding-rule counters)");
+    println!("FADE (10% mon.) {fade_hits:>3}/{trials}     {fade_overhead} extra TCAM entries");
     println!("FlowMon         {flowmon_hits:>3}/{trials}       0 (port stats only)");
     println!();
     println!(

@@ -13,9 +13,7 @@
 
 use foces::{AlarmState, Fcm, Monitor, MonitorConfig};
 use foces_controlplane::{provision, uniform_flows, RuleGranularity};
-use foces_dataplane::{
-    inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel,
-};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel};
 use foces_net::generators::dcell;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

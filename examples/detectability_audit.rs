@@ -40,11 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  example blind spot: flow h{}->h{} deviated at s{} toward s{} \
                  (still delivered: {})",
-                flow.ingress.0,
-                flow.egress.0,
-                c.at_switch.0,
-                c.redirected_to.0,
-                c.still_delivered
+                flow.ingress.0, flow.egress.0, c.at_switch.0, c.redirected_to.0, c.still_delivered
             );
             // Theorem 2's necessary condition must agree: undetectable
             // deviations always show a loop in some switch's RBG.

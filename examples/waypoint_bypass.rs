@@ -37,13 +37,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Policy routing (NOT shortest path): guest -> server must transit the
     // firewall. Hand-build the tables the controller installs.
-    let p01 = topo.port_towards(Node::Switch(s0), Node::Switch(s1)).unwrap();
-    let p02 = topo.port_towards(Node::Switch(s0), Node::Switch(s2)).unwrap();
-    let p10 = topo.port_towards(Node::Switch(s1), Node::Switch(s0)).unwrap();
-    let p12 = topo.port_towards(Node::Switch(s1), Node::Switch(s2)).unwrap();
-    let p21 = topo.port_towards(Node::Switch(s2), Node::Switch(s1)).unwrap();
-    let p23 = topo.port_towards(Node::Switch(s2), Node::Switch(s3)).unwrap();
-    let p32 = topo.port_towards(Node::Switch(s3), Node::Switch(s2)).unwrap();
+    let p01 = topo
+        .port_towards(Node::Switch(s0), Node::Switch(s1))
+        .unwrap();
+    let p02 = topo
+        .port_towards(Node::Switch(s0), Node::Switch(s2))
+        .unwrap();
+    let p10 = topo
+        .port_towards(Node::Switch(s1), Node::Switch(s0))
+        .unwrap();
+    let p12 = topo
+        .port_towards(Node::Switch(s1), Node::Switch(s2))
+        .unwrap();
+    let p21 = topo
+        .port_towards(Node::Switch(s2), Node::Switch(s1))
+        .unwrap();
+    let p23 = topo
+        .port_towards(Node::Switch(s2), Node::Switch(s3))
+        .unwrap();
+    let p32 = topo
+        .port_towards(Node::Switch(s3), Node::Switch(s2))
+        .unwrap();
     let p3h = topo.port_towards(Node::Switch(s3), Node::Host(h1)).unwrap();
     let p0h = topo.port_towards(Node::Switch(s0), Node::Host(h0)).unwrap();
     // Both directions transit the firewall (a typical stateful-FW policy).
@@ -64,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let view = ControllerView::from_parts(topo.clone(), tables.clone());
     let fcm = Fcm::from_view(&view);
     println!("policy path for guest->server: {:?}", fcm.flows()[0].path);
-    assert!(fcm.flows()[0].path.contains(&s1), "policy transits firewall");
+    assert!(
+        fcm.flows()[0].path.contains(&s1),
+        "policy transits firewall"
+    );
 
     // Deploy, then compromise s0: skip the firewall via the bypass link.
     let mut dp = DataPlane::new(topo);
@@ -73,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dp.install(sw, rule.clone());
         }
     }
-    let guest_rule = RuleRef { switch: s0, index: 0 };
+    let guest_rule = RuleRef {
+        switch: s0,
+        index: 0,
+    };
     dp.modify_rule_action(guest_rule, Action::Forward(p02))?;
     println!("adversary at s0 rewired the guest rule onto the bypass link");
 

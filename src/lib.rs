@@ -17,3 +17,4 @@ pub use foces_dataplane as dataplane;
 pub use foces_headerspace as headerspace;
 pub use foces_linalg as linalg;
 pub use foces_net as net;
+pub use foces_runtime as runtime;

@@ -29,7 +29,10 @@ fn deploy(topo: Topology, g: RuleGranularity) -> (Deployment, Fcm) {
 #[test]
 fn healthy_networks_pass_everywhere() {
     for (name, topo) in topologies() {
-        for g in [RuleGranularity::PerFlowPair, RuleGranularity::PerDestination] {
+        for g in [
+            RuleGranularity::PerFlowPair,
+            RuleGranularity::PerDestination,
+        ] {
             let (mut dep, fcm) = deploy(topo.clone(), g);
             dep.replay_traffic(&mut LossModel::none());
             let verdict = Detector::default()

@@ -68,8 +68,13 @@ fn incremental_fcm_detects_anomalies() {
         fcm.add_flows(vec![lf]);
     }
     let mut rng = StdRng::seed_from_u64(6);
-    inject_random_anomaly(&mut dep.dataplane, AnomalyKind::PathDeviation, &mut rng, &[])
-        .unwrap();
+    inject_random_anomaly(
+        &mut dep.dataplane,
+        AnomalyKind::PathDeviation,
+        &mut rng,
+        &[],
+    )
+    .unwrap();
     dep.replay_traffic(&mut LossModel::none());
     let v = Detector::default()
         .detect(&fcm, &fcm.counters_from(&dep.dataplane))

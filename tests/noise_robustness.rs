@@ -25,7 +25,12 @@ fn round(dep: &Deployment, loss: f64, skew: f64, seed: u64) -> Vec<f64> {
         LossModel::none()
     };
     for f in &dep.flows {
-        dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+        dp.inject(
+            f.src,
+            foces_dataplane::pair_header(f.src, f.dst),
+            f.rate,
+            &mut lm,
+        );
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
     dp.collect_counters_skewed(skew, &mut rng)
@@ -65,7 +70,12 @@ fn anomalies_remain_visible_through_ten_percent_loss() {
         inject_random_anomaly(&mut dp, AnomalyKind::PathDeviation, &mut rng, &[]).unwrap();
         let mut lm = LossModel::sampled(0.10, seed + 500);
         for f in &dep.flows {
-            dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+            dp.inject(
+                f.src,
+                foces_dataplane::pair_header(f.src, f.dst),
+                f.rate,
+                &mut lm,
+            );
         }
         let mut srng = StdRng::seed_from_u64(seed ^ 0xBEEF);
         let counters = dp.collect_counters_skewed(0.02, &mut srng);
@@ -100,7 +110,12 @@ fn anomaly_index_gap_narrows_with_loss() {
             LossModel::none()
         };
         for f in &dep.flows {
-            dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+            dp.inject(
+                f.src,
+                foces_dataplane::pair_header(f.src, f.dst),
+                f.rate,
+                &mut lm,
+            );
         }
         let mut srng = StdRng::seed_from_u64(99);
         let bad_ai = detector
@@ -168,7 +183,12 @@ fn deterministic_loss_is_reproducible_and_sampled_loss_converges() {
         let mut dp = dep.dataplane.clone();
         let mut lm = LossModel::deterministic(0.08);
         for f in &dep.flows {
-            dp.inject(f.src, foces_dataplane::pair_header(f.src, f.dst), f.rate, &mut lm);
+            dp.inject(
+                f.src,
+                foces_dataplane::pair_header(f.src, f.dst),
+                f.rate,
+                &mut lm,
+            );
         }
         let _ = seed;
         detector.detect(&fcm, &dp.collect_counters()).unwrap()

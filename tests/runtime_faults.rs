@@ -1,0 +1,193 @@
+//! Cross-crate fault-tolerance test: the full runtime service driven for
+//! dozens of epochs on the paper's BCube(1,4) testbed over a lossy,
+//! jittery control channel, with one switch crashed for part of the run
+//! and a forwarding anomaly injected in a known window.
+//!
+//! What must hold (the PR's acceptance criteria):
+//! * no epoch ever panics or aborts — unresponsive switches degrade rounds;
+//! * every missing-row round is labelled `Degraded` and carries the
+//!   masked-system detectability-oracle coverage (≤ the full coverage);
+//! * retries, drops, offline polls and degraded rounds all show up in
+//!   `RuntimeMetrics`;
+//! * the alarm is raised only inside the injected anomaly window;
+//! * the parallel slice solve returns verdicts identical to the
+//!   sequential path.
+
+use foces::{Detector, Fcm, SlicedFcm};
+use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
+use foces_dataplane::{AnomalyKind, LossModel};
+use foces_net::generators::bcube;
+use foces_net::SwitchId;
+use foces_runtime::{detect_parallel, DetectionMode, FaultScenario, RuntimeConfig, ScenarioDriver};
+
+const EPOCHS: u64 = 36;
+const OFFLINE: (u64, u64) = (8, 16);
+const ANOMALY: (u64, u64) = (20, 28);
+const VICTIM: SwitchId = SwitchId(0);
+
+fn testbed() -> Deployment {
+    let topo = bcube(1, 4);
+    let flows = uniform_flows(&topo, 240_000.0);
+    provision(topo, &flows, RuleGranularity::PerFlowPair).expect("provision bcube(1,4)")
+}
+
+fn scenario() -> FaultScenario {
+    FaultScenario {
+        epochs: EPOCHS,
+        loss: 0.03,
+        drop_prob: 0.10,
+        latency_ms: 5.0,
+        jitter_ms: 3.0,
+        reorder_prob: 0.0,
+        offline: Some((VICTIM, OFFLINE.0, OFFLINE.1)),
+        anomaly_window: Some(ANOMALY),
+        anomaly_kind: AnomalyKind::PathDeviation,
+        seed: 12,
+        anomaly_seed: 4,
+    }
+}
+
+#[test]
+fn service_survives_faults_and_alarms_only_in_the_anomaly_window() {
+    let mut driver = ScenarioDriver::new(testbed(), scenario(), RuntimeConfig::default());
+    let full_coverage = driver.service().pipeline().full_coverage();
+    assert!(driver.service().pipeline().candidate_count() > 0);
+    assert!(full_coverage > 0.0 && full_coverage <= 1.0);
+
+    // Every epoch completes: a Result-returning step, never a panic.
+    let reports = driver.run().expect("no round may fail outright");
+    assert_eq!(reports.len(), EPOCHS as usize);
+
+    // -- Degraded labelling: exactly the offline window (plus any epochs
+    // where the 10% drop rate happened to silence a switch entirely).
+    for r in &reports {
+        let in_window = (OFFLINE.0..OFFLINE.1).contains(&r.epoch);
+        if in_window {
+            let DetectionMode::Degraded {
+                missing,
+                masked_rows,
+                coverage,
+                ..
+            } = &r.mode
+            else {
+                panic!("epoch {}: victim offline but mode {:?}", r.epoch, r.mode);
+            };
+            assert!(missing.contains(&VICTIM), "epoch {}", r.epoch);
+            assert!(*masked_rows > 0);
+            // The oracle was consulted on the masked system, and masking
+            // can only lose detectability.
+            assert!(*coverage > 0.0, "masked bcube is not blind");
+            assert!(
+                *coverage <= full_coverage + 1e-12,
+                "epoch {}: masked coverage {} > full {}",
+                r.epoch,
+                coverage,
+                full_coverage
+            );
+        } else if let DetectionMode::Degraded { missing, .. } = &r.mode {
+            // Outside the window only random total-drop streaks may
+            // degrade a round — never the (healthy again) victim alone
+            // unless drops silenced it, and never a blind round.
+            assert!(!missing.is_empty(), "epoch {}", r.epoch);
+        }
+        assert!(!r.mode.is_blind(), "epoch {} went blind", r.epoch);
+        if !r.mode.is_degraded() {
+            assert!(
+                r.sliced.is_some(),
+                "full rounds carry the parallel sliced verdicts"
+            );
+        }
+    }
+
+    // -- Metrics: the channel faults are all accounted for.
+    let m = driver.service().metrics();
+    assert_eq!(m.epochs, EPOCHS);
+    assert_eq!(m.polls, EPOCHS * 24, "BCube(1,4) has 24 switches");
+    assert!(m.retries > 0, "10% drop must force retries");
+    assert!(m.drops > 0);
+    assert!(m.offline_polls >= OFFLINE.1 - OFFLINE.0);
+    assert!(m.unresponsive >= OFFLINE.1 - OFFLINE.0);
+    assert!(m.degraded_rounds >= OFFLINE.1 - OFFLINE.0);
+    assert_eq!(
+        m.full_rounds + m.degraded_rounds + m.blind_rounds,
+        EPOCHS,
+        "every round is labelled"
+    );
+    assert!(m.sim_channel_ms > 0.0, "latency+jitter accumulate");
+    assert_eq!(m.epochs as usize, driver.service().log().lines().len());
+
+    // -- Alarm discipline: raised only inside the anomaly window, cleared
+    // after the repair, and quiet the rest of the run.
+    let raised: Vec<u64> = reports
+        .iter()
+        .filter(|r| r.alarm_raised)
+        .map(|r| r.epoch)
+        .collect();
+    assert!(
+        !raised.is_empty(),
+        "the injected anomaly must raise the alarm"
+    );
+    for &e in &raised {
+        assert!(
+            (ANOMALY.0..ANOMALY.1).contains(&e),
+            "alarm raised at epoch {e}, outside the anomaly window {ANOMALY:?}"
+        );
+    }
+    let cleared: Vec<u64> = reports
+        .iter()
+        .filter(|r| r.alarm_cleared)
+        .map(|r| r.epoch)
+        .collect();
+    assert!(
+        cleared.iter().all(|&e| e >= ANOMALY.1),
+        "alarm can only clear after the repair: {cleared:?}"
+    );
+    assert_eq!(
+        driver.service().state(),
+        foces::AlarmState::Normal,
+        "repaired network ends the run quiet"
+    );
+    assert_eq!(m.alarms_raised, raised.len() as u64);
+
+    // The anomaly really was active (and detected) inside its window.
+    let anomalous_in_window = reports
+        .iter()
+        .filter(|r| (ANOMALY.0..ANOMALY.1).contains(&r.epoch) && r.anomalous())
+        .count();
+    assert!(
+        anomalous_in_window >= (ANOMALY.1 - ANOMALY.0) as usize / 2,
+        "only {anomalous_in_window} anomalous rounds inside the window"
+    );
+}
+
+#[test]
+fn parallel_slice_solving_matches_sequential_exactly() {
+    let mut dep = testbed();
+    let fcm = Fcm::from_view(&dep.view);
+    let sliced = SlicedFcm::from_fcm(&fcm);
+    let detector = Detector::default();
+    for seed in [1u64, 2, 3] {
+        dep.dataplane.reset_counters();
+        dep.replay_traffic(&mut LossModel::sampled(0.03, seed));
+        let counters = dep.dataplane.collect_counters();
+        let sequential = sliced.detect(&detector, &counters).expect("sequential");
+        for workers in [2usize, 4, 8] {
+            let parallel =
+                detect_parallel(&sliced, &detector, &counters, workers).expect("parallel");
+            assert_eq!(
+                parallel, sequential,
+                "seed {seed}, workers {workers}: parallel and sequential verdicts diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_replay_of_the_whole_scenario() {
+    let run = || {
+        let mut driver = ScenarioDriver::new(testbed(), scenario(), RuntimeConfig::default());
+        driver.run().expect("scenario");
+        driver.service().log().lines().to_vec()
+    };
+    assert_eq!(run(), run(), "same seeds, same event log, bit for bit");
+}

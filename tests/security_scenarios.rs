@@ -29,21 +29,23 @@ fn build() -> Scenario {
     let h0 = topo.add_host();
     let h1 = topo.add_host();
     let hd = topo.add_host();
-    topo.connect(Node::Switch(s[0]), Node::Switch(s[1])).unwrap();
-    topo.connect(Node::Switch(s[1]), Node::Switch(s[2])).unwrap();
-    topo.connect(Node::Switch(s[2]), Node::Switch(s[3])).unwrap();
-    topo.connect(Node::Switch(s[1]), Node::Switch(s[3])).unwrap(); // bypass link
+    topo.connect(Node::Switch(s[0]), Node::Switch(s[1]))
+        .unwrap();
+    topo.connect(Node::Switch(s[1]), Node::Switch(s[2]))
+        .unwrap();
+    topo.connect(Node::Switch(s[2]), Node::Switch(s[3]))
+        .unwrap();
+    topo.connect(Node::Switch(s[1]), Node::Switch(s[3]))
+        .unwrap(); // bypass link
     topo.connect(Node::Switch(s[1]), Node::Switch(d)).unwrap(); // stub link
     topo.connect(Node::Host(h0), Node::Switch(s[0])).unwrap();
     topo.connect(Node::Host(h1), Node::Switch(s[3])).unwrap();
     topo.connect(Node::Host(hd), Node::Switch(d)).unwrap();
 
-    let port = |a: SwitchId, b: SwitchId| {
-        topo.port_towards(Node::Switch(a), Node::Switch(b)).unwrap()
-    };
-    let hport = |a: SwitchId, hh: HostId| {
-        topo.port_towards(Node::Switch(a), Node::Host(hh)).unwrap()
-    };
+    let port =
+        |a: SwitchId, b: SwitchId| topo.port_towards(Node::Switch(a), Node::Switch(b)).unwrap();
+    let hport =
+        |a: SwitchId, hh: HostId| topo.port_towards(Node::Switch(a), Node::Host(hh)).unwrap();
 
     // Policy: h0 -> h1 along s0-s1-s2-s3; hd -> h1 via d-s1-s2-s3; and
     // h0 -> hd via s0-s1-d (so d has benign rules of its own). Reverse
@@ -51,20 +53,56 @@ fn build() -> Scenario {
     // index relies on ("majority good" assumption, §IV-A).
     let mut tables = vec![FlowTable::new(); topo.switch_count()];
     // dst h1 rules.
-    tables[s[0].0].push(Rule::new(dst_match(h1), 5, Action::Forward(port(s[0], s[1]))));
-    tables[s[1].0].push(Rule::new(dst_match(h1), 5, Action::Forward(port(s[1], s[2]))));
-    tables[s[2].0].push(Rule::new(dst_match(h1), 5, Action::Forward(port(s[2], s[3]))));
-    tables[s[3].0].push(Rule::new(dst_match(h1), 5, Action::Forward(hport(s[3], h1))));
+    tables[s[0].0].push(Rule::new(
+        dst_match(h1),
+        5,
+        Action::Forward(port(s[0], s[1])),
+    ));
+    tables[s[1].0].push(Rule::new(
+        dst_match(h1),
+        5,
+        Action::Forward(port(s[1], s[2])),
+    ));
+    tables[s[2].0].push(Rule::new(
+        dst_match(h1),
+        5,
+        Action::Forward(port(s[2], s[3])),
+    ));
+    tables[s[3].0].push(Rule::new(
+        dst_match(h1),
+        5,
+        Action::Forward(hport(s[3], h1)),
+    ));
     tables[d.0].push(Rule::new(dst_match(h1), 5, Action::Forward(port(d, s[1]))));
     // dst hd rules.
-    tables[s[0].0].push(Rule::new(dst_match(hd), 5, Action::Forward(port(s[0], s[1]))));
+    tables[s[0].0].push(Rule::new(
+        dst_match(hd),
+        5,
+        Action::Forward(port(s[0], s[1])),
+    ));
     tables[s[1].0].push(Rule::new(dst_match(hd), 5, Action::Forward(port(s[1], d))));
     tables[d.0].push(Rule::new(dst_match(hd), 5, Action::Forward(hport(d, hd))));
     // dst h0 rules (reverse direction).
-    tables[s[3].0].push(Rule::new(dst_match(h0), 5, Action::Forward(port(s[3], s[2]))));
-    tables[s[2].0].push(Rule::new(dst_match(h0), 5, Action::Forward(port(s[2], s[1]))));
-    tables[s[1].0].push(Rule::new(dst_match(h0), 5, Action::Forward(port(s[1], s[0]))));
-    tables[s[0].0].push(Rule::new(dst_match(h0), 5, Action::Forward(hport(s[0], h0))));
+    tables[s[3].0].push(Rule::new(
+        dst_match(h0),
+        5,
+        Action::Forward(port(s[3], s[2])),
+    ));
+    tables[s[2].0].push(Rule::new(
+        dst_match(h0),
+        5,
+        Action::Forward(port(s[2], s[1])),
+    ));
+    tables[s[1].0].push(Rule::new(
+        dst_match(h0),
+        5,
+        Action::Forward(port(s[1], s[0])),
+    ));
+    tables[s[0].0].push(Rule::new(
+        dst_match(h0),
+        5,
+        Action::Forward(hport(s[0], h0)),
+    ));
     tables[d.0].push(Rule::new(dst_match(h0), 5, Action::Forward(port(d, s[1]))));
 
     let view = ControllerView::from_parts(topo.clone(), tables.clone());
@@ -222,5 +260,8 @@ fn adversary_counter_faking_does_not_help() {
     let row = sc.fcm.rule_row(sc.rules_main[1]).unwrap();
     counters[row] = 2000.0;
     let v = Detector::default().detect(&sc.fcm, &counters).unwrap();
-    assert!(v.anomalous, "forged local counters cannot hide starvation: {v}");
+    assert!(
+        v.anomalous,
+        "forged local counters cannot hide starvation: {v}"
+    );
 }

@@ -25,11 +25,7 @@ use rand::SeedableRng;
 /// Traces a concrete header through the **live** data plane, returning the
 /// matched rules and whether the walk ended at the intended host without
 /// exceeding the hop budget.
-fn trace_live(
-    dp: &DataPlane,
-    src: foces_net::HostId,
-    header: u64,
-) -> (Vec<RuleRef>, bool, bool) {
+fn trace_live(dp: &DataPlane, src: foces_net::HostId, header: u64) -> (Vec<RuleRef>, bool, bool) {
     let topo = dp.topology();
     let (mut current, _) = topo.host_attachment(src).expect("attached");
     let mut history = Vec::new();

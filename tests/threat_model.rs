@@ -54,8 +54,7 @@ fn full_adversary_defeats_dump_audit_but_not_foces() {
     // semantics, the compromised switch indeed observes).
     let mut dep_replayed = dep.clone();
     dep_replayed.replay_traffic(&mut LossModel::none());
-    let expected_victim_counter =
-        dep_replayed.dataplane.counter(victim.switch, victim.index);
+    let expected_victim_counter = dep_replayed.dataplane.counter(victim.switch, victim.index);
 
     let mut collector = honest_collector(&dep.view);
     let mut agent = ForgingAgent::new(victim.switch, original_table);
@@ -74,9 +73,7 @@ fn full_adversary_defeats_dump_audit_but_not_foces() {
     // 2. FOCES over the channel-collected (forged) counters: detected
     //    anyway — the starved downstream rules are on switches the
     //    adversary does not control.
-    let counters = collector
-        .collect_counters(&dep_replayed.dataplane)
-        .unwrap();
+    let counters = collector.collect_counters(&dep_replayed.dataplane).unwrap();
     let verdict = Detector::default().detect(&fcm, &counters).unwrap();
     assert!(verdict.anomalous, "{verdict}");
     // The adversary can forge its own counters but not its neighbours':
