@@ -43,6 +43,7 @@ impl SwitchAgent for HonestAgent {
         match msg {
             ControllerMsg::StatsRequest { xid } => SwitchMsg::StatsReply {
                 xid: *xid,
+                generation: dp.table_generation(self.switch),
                 counters: (0..dp.table(self.switch).len())
                     .map(|i| dp.counter(self.switch, i))
                     .collect(),
@@ -105,8 +106,12 @@ impl SwitchAgent for ForgingAgent {
 
     fn handle(&self, dp: &DataPlane, msg: &ControllerMsg) -> SwitchMsg {
         match msg {
+            // The generation stamp is copied from the data plane even by
+            // the forging agent: claiming an unacknowledged generation
+            // would only draw the collector's attention.
             ControllerMsg::StatsRequest { xid } => SwitchMsg::StatsReply {
                 xid: *xid,
+                generation: dp.table_generation(self.switch),
                 counters: (0..dp.table(self.switch).len())
                     .map(|i| self.reported_counter(dp, i))
                     .collect(),
@@ -157,12 +162,16 @@ mod tests {
         let (mut dp, s0, h0) = plane();
         dp.inject(h0, 0, 500.0, &mut LossModel::none());
         let agent = HonestAgent::new(s0);
-        let SwitchMsg::StatsReply { counters, xid } =
-            agent.handle(&dp, &ControllerMsg::StatsRequest { xid: 9 })
+        let SwitchMsg::StatsReply {
+            counters,
+            xid,
+            generation,
+        } = agent.handle(&dp, &ControllerMsg::StatsRequest { xid: 9 })
         else {
             panic!("wrong reply type")
         };
         assert_eq!(xid, 9);
+        assert_eq!(generation, 0, "provisioning-time generation");
         assert_eq!(counters, vec![500.0]);
         let SwitchMsg::TableDumpReply { rules, .. } =
             agent.handle(&dp, &ControllerMsg::TableDumpRequest { xid: 1 })
@@ -171,6 +180,24 @@ mod tests {
         };
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].action, Action::Forward(Port(0)));
+    }
+
+    #[test]
+    fn agents_stamp_the_acknowledged_table_generation() {
+        let (mut dp, s0, _) = plane();
+        dp.set_table_generation(s0, 3);
+        let original: Vec<Rule> = dp.table(s0).iter().map(|(_, r)| r.clone()).collect();
+        for agent in [
+            Box::new(HonestAgent::new(s0)) as Box<dyn SwitchAgent>,
+            Box::new(ForgingAgent::new(s0, original)),
+        ] {
+            let SwitchMsg::StatsReply { generation, .. } =
+                agent.handle(&dp, &ControllerMsg::StatsRequest { xid: 1 })
+            else {
+                panic!("wrong reply type")
+            };
+            assert_eq!(generation, 3);
+        }
     }
 
     #[test]

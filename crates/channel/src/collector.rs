@@ -175,13 +175,34 @@ impl ChannelCollector {
     ///
     /// Returns a [`ChannelError`] on any protocol violation.
     pub fn collect_counters(&self, dp: &DataPlane) -> Result<Vec<f64>, ChannelError> {
-        let mut out = Vec::new();
+        Ok(self
+            .collect_counters_stamped(dp)?
+            .into_iter()
+            .flat_map(|reply| reply.counters)
+            .collect())
+    }
+
+    /// Like [`ChannelCollector::collect_counters`], but keeps the replies
+    /// separated per switch together with their generation stamps — the
+    /// first phase of the runtime's **two-phase read**: collect, then
+    /// compare every stamp against the FCM's build generation before
+    /// trusting the assembled vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChannelError`] on any protocol violation.
+    pub fn collect_counters_stamped(
+        &self,
+        dp: &DataPlane,
+    ) -> Result<Vec<StampedCounters>, ChannelError> {
+        let mut out = Vec::with_capacity(self.agents.len());
         for agent in &self.agents {
             let xid = self.xid();
             let reply = self.exchange(agent.as_ref(), dp, ControllerMsg::StatsRequest { xid })?;
             match reply {
                 SwitchMsg::StatsReply {
                     xid: rxid,
+                    generation,
                     counters,
                 } => {
                     if rxid != xid {
@@ -191,7 +212,11 @@ impl ChannelCollector {
                             received: rxid,
                         });
                     }
-                    out.extend(counters);
+                    out.push(StampedCounters {
+                        switch: agent.switch(),
+                        generation,
+                        counters,
+                    });
                 }
                 _ => {
                     return Err(ChannelError::WrongReplyType {
@@ -252,6 +277,18 @@ impl ChannelCollector {
     }
 }
 
+/// One switch's stats reply, with its generation stamp kept alongside the
+/// counters (see [`ChannelCollector::collect_counters_stamped`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedCounters {
+    /// The replying switch.
+    pub switch: SwitchId,
+    /// The rule-table generation the switch acknowledges.
+    pub generation: u64,
+    /// Counter values in table-index order.
+    pub counters: Vec<f64>,
+}
+
 /// Delta extraction over **cumulative** counters.
 ///
 /// Real OpenFlow counters are monotone since switch boot — the controller
@@ -286,21 +323,44 @@ impl DeltaTracker {
     }
 
     /// Differences `snapshot` against the previous one and stores it.
+    ///
+    /// Shorthand for [`DeltaTracker::delta_report`] when the caller does
+    /// not care *which* rows rebooted.
     pub fn delta(&mut self, snapshot: &[f64]) -> Vec<f64> {
-        let out = snapshot
+        self.delta_report(snapshot).deltas
+    }
+
+    /// Differences `snapshot` against the previous one and reports, per
+    /// row, whether the counter went **backwards** (reset/wraparound — a
+    /// rebooted switch, a reinstalled rule, or a u64 counter wrapping).
+    ///
+    /// A backwards row is treated as a reboot: its delta restarts from the
+    /// raw snapshot value (clamped at zero against corrupt negative
+    /// reports) instead of emitting a garbage negative difference, and its
+    /// index is listed in [`DeltaReport::resets`]. Rows beyond the previous
+    /// snapshot's length are a *layout change* (fresh rules), not a reset,
+    /// and are not listed.
+    pub fn delta_report(&mut self, snapshot: &[f64]) -> DeltaReport {
+        let mut resets = Vec::new();
+        let deltas = snapshot
             .iter()
             .enumerate()
             .map(|(i, &now)| {
-                let before = self.last.get(i).copied().unwrap_or(0.0);
-                if now >= before {
-                    now - before
-                } else {
-                    now // counter went backwards: treat as fresh start
+                let before = self.last.get(i).copied();
+                match before {
+                    Some(b) if now < b => {
+                        // Existing row went backwards: reboot semantics.
+                        resets.push(i);
+                        now.max(0.0)
+                    }
+                    Some(b) => now - b,
+                    // Row absent from the previous layout: fresh start.
+                    None => now.max(0.0),
                 }
             })
             .collect();
         self.last = snapshot.to_vec();
-        out
+        DeltaReport { deltas, resets }
     }
 
     /// Forgets history (e.g. after the FCM was rebuilt with a new rule
@@ -308,6 +368,17 @@ impl DeltaTracker {
     pub fn reset(&mut self) {
         self.last.clear();
     }
+}
+
+/// Output of [`DeltaTracker::delta_report`]: the per-interval volumes plus
+/// which rows were detected as reset/wrapped since the previous snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaReport {
+    /// Per-interval volume per row (never negative).
+    pub deltas: Vec<f64>,
+    /// Indices whose counter went backwards (ascending). These rows'
+    /// deltas restarted from the raw snapshot value.
+    pub resets: Vec<usize>,
 }
 
 /// Builds the default honest collector for a deployment: one
@@ -431,6 +502,31 @@ mod tests {
         assert_eq!(*delta.last().unwrap(), 7.0);
         tracker.reset();
         assert_eq!(tracker.delta(&[5.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn stamped_collection_surfaces_mid_epoch_churn() {
+        let mut dep = deployment();
+        dep.replay_traffic(&mut LossModel::none());
+        let collector = honest_collector(&dep.view);
+        // Before any update every stamp is the provisioning generation.
+        let stamped = collector.collect_counters_stamped(&dep.dataplane).unwrap();
+        assert!(stamped.iter().all(|s| s.generation == 0));
+        // A journaled reroute bumps exactly the updated switches' stamps.
+        let (generation, new_rules) = dep.reroute_flow_via(0, &[]).unwrap();
+        assert_eq!(generation, 1);
+        let stamped = collector.collect_counters_stamped(&dep.dataplane).unwrap();
+        let updated: Vec<SwitchId> = new_rules.iter().map(|r| r.switch).collect();
+        for s in &stamped {
+            let expected = if updated.contains(&s.switch) { 1 } else { 0 };
+            assert_eq!(s.generation, expected, "switch s{}", s.switch.0);
+        }
+        // The flat assembly still matches ground truth (reply order and
+        // lengths are unchanged by the stamps).
+        assert_eq!(
+            collector.collect_counters(&dep.dataplane).unwrap(),
+            dep.dataplane.collect_counters()
+        );
     }
 
     #[test]

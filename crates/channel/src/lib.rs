@@ -63,6 +63,9 @@ pub mod message;
 pub mod transport;
 
 pub use agent::{ForgingAgent, HonestAgent, SwitchAgent};
-pub use collector::{honest_collector, ChannelCollector, ChannelError, DeltaTracker, DumpAudit};
+pub use collector::{
+    honest_collector, ChannelCollector, ChannelError, DeltaReport, DeltaTracker, DumpAudit,
+    StampedCounters,
+};
 pub use message::{ControllerMsg, SwitchMsg, WireError, WireRule};
 pub use transport::{wire_exchange, Delivery, PerfectTransport, Transport};

@@ -87,6 +87,11 @@ pub enum SwitchMsg {
     StatsReply {
         /// Echoed transaction id.
         xid: u32,
+        /// The rule-table **generation** the switch acknowledges — the
+        /// version stamp of the last control-plane update it applied. The
+        /// collector compares it against the generation its FCM was built
+        /// from to detect mid-epoch rule churn (the two-phase read).
+        generation: u64,
         /// `counters[i]` belongs to rule index `i`.
         counters: Vec<f64>,
     },
@@ -147,9 +152,14 @@ impl SwitchMsg {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
         match self {
-            SwitchMsg::StatsReply { xid, counters } => {
+            SwitchMsg::StatsReply {
+                xid,
+                generation,
+                counters,
+            } => {
                 b.put_u8(T_STATS_REP);
                 b.put_u32(*xid);
+                b.put_u64(*generation);
                 b.put_u32(counters.len() as u32);
                 for c in counters {
                     b.put_f64(*c);
@@ -177,12 +187,17 @@ impl SwitchMsg {
         let xid = take_u32(&mut buf)?;
         let msg = match ty {
             T_STATS_REP => {
+                let generation = take_u64(&mut buf)?;
                 let n = take_u32(&mut buf)? as usize;
                 let mut counters = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
                     counters.push(take_f64(&mut buf)?);
                 }
-                SwitchMsg::StatsReply { xid, counters }
+                SwitchMsg::StatsReply {
+                    xid,
+                    generation,
+                    counters,
+                }
             }
             T_DUMP_REP => {
                 let n = take_u32(&mut buf)? as usize;
@@ -321,10 +336,12 @@ mod tests {
         let msgs = [
             SwitchMsg::StatsReply {
                 xid: 3,
+                generation: 0,
                 counters: vec![0.0, 1.5, f64::MAX],
             },
             SwitchMsg::StatsReply {
                 xid: 4,
+                generation: u64::MAX,
                 counters: vec![],
             },
             SwitchMsg::TableDumpReply {
@@ -360,6 +377,31 @@ mod tests {
     }
 
     #[test]
+    fn stats_reply_truncation_detected_inside_the_generation_stamp() {
+        let full = SwitchMsg::StatsReply {
+            xid: 9,
+            generation: 0xDEAD_BEEF_0BAD_F00D,
+            counters: vec![1.0],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(SwitchMsg::decode(full.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn generation_stamp_round_trips_at_the_extremes() {
+        for generation in [0, 1, u64::MAX / 2, u64::MAX] {
+            let msg = SwitchMsg::StatsReply {
+                xid: 1,
+                generation,
+                counters: vec![2.5],
+            };
+            assert_eq!(SwitchMsg::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
     fn trailing_bytes_rejected() {
         let mut bytes = ControllerMsg::StatsRequest { xid: 1 }.encode().to_vec();
         bytes.push(0xFF);
@@ -389,6 +431,7 @@ mod tests {
         assert!(SwitchMsg::decode(c).is_err());
         let s = SwitchMsg::StatsReply {
             xid: 1,
+            generation: 0,
             counters: vec![],
         }
         .encode();

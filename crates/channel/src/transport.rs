@@ -125,7 +125,7 @@ mod tests {
             panic!("perfect transport dropped")
         };
         assert_eq!(latency_ms, 0.0);
-        let SwitchMsg::StatsReply { xid, counters } = reply else {
+        let SwitchMsg::StatsReply { xid, counters, .. } = reply else {
             panic!("wrong reply type")
         };
         assert_eq!(xid, 5);

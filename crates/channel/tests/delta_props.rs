@@ -121,4 +121,94 @@ proptest! {
             }
         }
     }
+
+    /// `delta_report` flags exactly the rows whose counter went backwards
+    /// while present in both snapshots — reset/wraparound detection.
+    #[test]
+    fn reset_rows_are_exactly_the_backwards_rows(
+        a in proptest::collection::vec(0.0f64..1e9, 1..24),
+        b in proptest::collection::vec(0.0f64..1e9, 1..24),
+    ) {
+        let mut t = DeltaTracker::new();
+        t.delta(&a);
+        let rep = t.delta_report(&b);
+        let expected: Vec<usize> = b
+            .iter()
+            .enumerate()
+            .filter(|&(i, &now)| a.get(i).is_some_and(|&before| now < before))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(&rep.resets, &expected);
+        // Reset rows restart from the raw snapshot value.
+        for &i in &rep.resets {
+            prop_assert!((rep.deltas[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Shrink + reset interleaving: after the vector shrinks, a head row
+    /// that ALSO went backwards is still detected as a reset, while the
+    /// regrown tail is a layout change — fresh rows, never flagged.
+    #[test]
+    fn shrink_then_reset_then_regrow_flags_only_surviving_rows(
+        head in proptest::collection::vec(1.0f64..1e9, 2..12),
+        old_tail in proptest::collection::vec(0.0f64..1e9, 1..12),
+        new_tail in proptest::collection::vec(0.0f64..1e9, 1..12),
+        reset_idx in 0usize..12,
+    ) {
+        let reset_idx = reset_idx % head.len();
+        let mut t = DeltaTracker::new();
+        let mut long = head.clone();
+        long.extend_from_slice(&old_tail);
+        t.delta(&long);          // full layout
+        t.delta(&head);          // shrink: tail rules disappeared
+        // Regrow, with one surviving head row rebooted to below its
+        // previous reading.
+        let mut regrown = head.clone();
+        regrown[reset_idx] = head[reset_idx] / 2.0;
+        regrown.extend_from_slice(&new_tail);
+        let rep = t.delta_report(&regrown);
+        prop_assert_eq!(rep.deltas.len(), regrown.len());
+        // Exactly the rebooted head row is flagged; the fresh tail is not.
+        prop_assert_eq!(&rep.resets, &vec![reset_idx]);
+        prop_assert!((rep.deltas[reset_idx] - regrown[reset_idx]).abs() < 1e-9);
+        for (i, &v) in new_tail.iter().enumerate() {
+            let j = head.len() + i;
+            prop_assert!((rep.deltas[j] - v).abs() < 1e-9, "tail row {j} not fresh");
+        }
+        // Nothing is ever negative, reboots included.
+        for d in &rep.deltas {
+            prop_assert!(*d >= 0.0);
+        }
+    }
+
+    /// Interleaving `reset()` with shrinks and reboots: an explicit reset
+    /// clears history, so the next report never flags resets even when
+    /// values went backwards relative to pre-reset snapshots.
+    #[test]
+    fn explicit_reset_forgets_reset_detection_history(
+        a in proptest::collection::vec(1.0f64..1e9, 1..16),
+        b in proptest::collection::vec(0.0f64..1e9, 1..16),
+    ) {
+        let mut t = DeltaTracker::new();
+        t.delta(&a);
+        t.reset();
+        let rep = t.delta_report(&b);
+        prop_assert!(rep.resets.is_empty(), "fresh history cannot reset");
+        prop_assert_eq!(&rep.deltas, &b);
+    }
+
+    /// Corrupt negative snapshot values are clamped to zero on fresh
+    /// starts and reboots — the never-negative invariant holds even for
+    /// adversarial inputs outside the counters' domain.
+    #[test]
+    fn negative_snapshots_never_produce_negative_fresh_starts(
+        before in 1.0f64..1e9,
+        corrupt in -1e9f64..-1.0,
+    ) {
+        let mut t = DeltaTracker::new();
+        t.delta(&[before]);
+        let rep = t.delta_report(&[corrupt]);
+        prop_assert_eq!(rep.resets, vec![0]);
+        prop_assert_eq!(rep.deltas, vec![0.0]);
+    }
 }

@@ -58,10 +58,11 @@ proptest! {
     #[test]
     fn bit_flips_never_panic(
         counters in proptest::collection::vec(0.0f64..1e9, 0..16),
+        generation in any::<u64>(),
         flip_byte in 0usize..64,
         flip_bit in 0u8..8,
     ) {
-        let msg = SwitchMsg::StatsReply { xid: 7, counters };
+        let msg = SwitchMsg::StatsReply { xid: 7, generation, counters };
         let mut bytes = msg.encode().to_vec();
         let idx = flip_byte % bytes.len();
         bytes[idx] ^= 1 << flip_bit;
@@ -72,9 +73,10 @@ proptest! {
     #[test]
     fn stats_replies_round_trip(
         xid in any::<u32>(),
+        generation in any::<u64>(),
         counters in proptest::collection::vec(0.0f64..1e15, 0..64),
     ) {
-        let msg = SwitchMsg::StatsReply { xid, counters };
+        let msg = SwitchMsg::StatsReply { xid, generation, counters };
         prop_assert_eq!(SwitchMsg::decode(msg.encode()).unwrap(), msg);
     }
 
@@ -105,10 +107,13 @@ proptest! {
     #[test]
     fn truncated_switch_frames_decode_to_err(
         xid in any::<u32>(),
+        generation in any::<u64>(),
         counters in proptest::collection::vec(0.0f64..1e15, 1..32),
         cut in any::<proptest::sample::Index>(),
     ) {
-        let full = SwitchMsg::StatsReply { xid, counters }.encode().to_vec();
+        let full = SwitchMsg::StatsReply { xid, generation, counters }
+            .encode()
+            .to_vec();
         let keep = cut.index(full.len()); // 0..len, always a strict prefix
         let res = SwitchMsg::decode(Bytes::from(full[..keep].to_vec()));
         prop_assert!(res.is_err(), "prefix of {keep}/{} bytes decoded", full.len());
@@ -131,9 +136,10 @@ proptest! {
     #[test]
     fn cross_direction_decoding_never_panics(
         xid in any::<u32>(),
+        generation in any::<u64>(),
         counters in proptest::collection::vec(0.0f64..1e9, 0..16),
     ) {
-        let reply = SwitchMsg::StatsReply { xid, counters }.encode();
+        let reply = SwitchMsg::StatsReply { xid, generation, counters }.encode();
         let _ = ControllerMsg::decode(reply);
         let request = ControllerMsg::StatsRequest { xid }.encode();
         let _ = SwitchMsg::decode(request);

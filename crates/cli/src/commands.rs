@@ -18,6 +18,26 @@ use std::fmt::Write as _;
 /// A command error rendered to stderr by `main`.
 pub type CmdError = Box<dyn std::error::Error>;
 
+/// A command's rendered report plus the process exit code `main` should
+/// propagate. `0` is a clean run; `foces run` exits `2` when the service
+/// ends with an unresolved alarm, so scripts and CI can gate on it.
+#[derive(Debug)]
+pub struct CmdOutput {
+    /// Human-readable report for stdout.
+    pub report: String,
+    /// Process exit code (0 = clean).
+    pub exit_code: i32,
+}
+
+impl CmdOutput {
+    fn clean(report: String) -> Self {
+        CmdOutput {
+            report,
+            exit_code: 0,
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 foces — network-wide forwarding anomaly detection (FOCES, ICDCS 2018)
@@ -29,8 +49,11 @@ USAGE:
   foces run      <scenario> [--epochs N] [--loss P] [--drop P] [--latency MS] [--jitter MS]
                  [--reorder P] [--offline S --offline-from E --offline-to E]
                  [--attack-at E] [--repair-at E] [--seed N] [--threshold T]
+                 [--churn PERIOD] [--churn-seed N] [--alarm-window N]
+                 [--churn-suppress N] [--churn-penalty N]
                  [--workers N] [--oracle-cap N] [--log FILE.jsonl]
-                 fault-tolerant online detection over an unreliable channel
+                 fault-tolerant online detection over an unreliable channel;
+                 exits 2 if the run ends with an unresolved alarm
   foces audit    <scenario> [--cap N]                detectability blind spots
   foces harden   <scenario> [--budget N] [--cap N]   close blind spots with extra rules
   foces scenario <fattree|bcube|dcell|stanford|linear|ring> print a template scenario
@@ -190,7 +213,7 @@ pub fn monitor(args: &Args) -> Result<String, CmdError> {
 }
 
 /// `foces run <scenario> ...` — the fault-tolerant online service.
-pub fn run_service(args: &Args) -> Result<String, CmdError> {
+pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
     let (_, dep) = load(args)?;
     let epochs: u64 = args.num("epochs", 30)?;
     let loss: f64 = args.num("loss", 0.02)?;
@@ -201,6 +224,9 @@ pub fn run_service(args: &Args) -> Result<String, CmdError> {
     let seed: u64 = args.num("seed", 7)?;
     let threshold: f64 = args.num("threshold", foces::DEFAULT_THRESHOLD)?;
     let oracle_cap: usize = args.num("oracle-cap", 256)?;
+    let churn_raw: u64 = args.num("churn", 0)?;
+    let churn_period = (churn_raw > 0).then_some(churn_raw);
+    let churn_seed: u64 = args.num("churn-seed", 7)?;
 
     let offline = match args.opt("offline") {
         Some(_) => {
@@ -232,12 +258,17 @@ pub fn run_service(args: &Args) -> Result<String, CmdError> {
         anomaly_kind: AnomalyKind::PathDeviation,
         seed,
         anomaly_seed: seed,
+        churn_period,
+        churn_seed,
     };
     let mut config = RuntimeConfig {
         threshold,
         oracle_cap,
         ..RuntimeConfig::default()
     };
+    config.alarm_window = args.num("alarm-window", config.alarm_window)?;
+    config.churn_suppress = args.num("churn-suppress", config.churn_suppress)?;
+    config.churn_penalty = args.num("churn-penalty", config.churn_penalty)?;
     if let Some(w) = args.opt("workers") {
         config.workers = w
             .parse()
@@ -282,6 +313,19 @@ pub fn run_service(args: &Args) -> Result<String, CmdError> {
                     100.0 * coverage
                 )?;
             }
+            DetectionMode::Reconciled {
+                quarantined_flows,
+                masked_rows,
+                coverage,
+                ..
+            } => {
+                writeln!(
+                    out,
+                    "epoch {epoch:>3}: RECONCILED rule churn — {quarantined_flows} flows \
+                     quarantined, {masked_rows} rows masked, coverage {:.1}%",
+                    100.0 * coverage
+                )?;
+            }
             DetectionMode::Blind { .. } => {
                 writeln!(out, "epoch {epoch:>3}: BLIND (no usable counters)")?
             }
@@ -307,15 +351,43 @@ pub fn run_service(args: &Args) -> Result<String, CmdError> {
             writeln!(out, "epoch {epoch:>3}: alarm cleared")?;
         }
     }
-    let m = driver.service().metrics();
-    writeln!(out, "final state: {}", driver.service().state())?;
+    let m = *driver.service().metrics();
+    let final_state = driver.service().state();
+    writeln!(out, "final state: {final_state}")?;
     writeln!(
         out,
-        "rounds: {} full / {} degraded / {} blind; {} retries, {} drops, {} stale replies",
-        m.full_rounds, m.degraded_rounds, m.blind_rounds, m.retries, m.drops, m.stale_replies
+        "rounds: {} full / {} degraded / {} reconciled / {} blind; \
+         {} retries, {} drops, {} stale replies",
+        m.full_rounds,
+        m.degraded_rounds,
+        m.reconciled_rounds,
+        m.blind_rounds,
+        m.retries,
+        m.drops,
+        m.stale_replies
+    )?;
+    writeln!(
+        out,
+        "alarms: {} raised, {} cleared; churn: {} updates, {} flows quarantined, \
+         {} fcm rebuilds, {} suppressed raises",
+        m.alarms_raised,
+        m.alarms_cleared,
+        driver.churn_events(),
+        m.quarantined_flows,
+        m.fcm_rebuilds,
+        m.suppressed_raises
     )?;
     writeln!(out, "metrics: {}", m.to_json())?;
-    Ok(out)
+    let exit_code = if final_state == AlarmState::Normal {
+        0
+    } else {
+        writeln!(out, "exit 2: run ended with an unresolved alarm")?;
+        2
+    };
+    Ok(CmdOutput {
+        report: out,
+        exit_code,
+    })
 }
 
 /// `foces audit <scenario> [--cap N]`.
@@ -392,7 +464,7 @@ flow-via h0 h2 1000 s4
 }
 
 /// Dispatches a full argument vector (excluding `argv[0]`).
-pub fn dispatch(raw: &[String]) -> Result<String, CmdError> {
+pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
     let args = Args::parse(
         raw,
         &[
@@ -413,20 +485,25 @@ pub fn dispatch(raw: &[String]) -> Result<String, CmdError> {
             "offline",
             "offline-from",
             "offline-to",
+            "churn",
+            "churn-seed",
+            "alarm-window",
+            "churn-suppress",
+            "churn-penalty",
             "workers",
             "oracle-cap",
             "log",
         ],
     )?;
     match args.positional(0) {
-        Some("topo") => topo(&args),
-        Some("detect") => detect(&args),
-        Some("monitor") => monitor(&args),
+        Some("topo") => topo(&args).map(CmdOutput::clean),
+        Some("detect") => detect(&args).map(CmdOutput::clean),
+        Some("monitor") => monitor(&args).map(CmdOutput::clean),
         Some("run") => run_service(&args),
-        Some("audit") => audit(&args),
-        Some("harden") => harden_cmd(&args),
-        Some("scenario") => scenario_template(&args),
-        Some("help") | None => Ok(USAGE.to_string()),
+        Some("audit") => audit(&args).map(CmdOutput::clean),
+        Some("harden") => harden_cmd(&args).map(CmdOutput::clean),
+        Some("scenario") => scenario_template(&args).map(CmdOutput::clean),
+        Some("help") | None => Ok(CmdOutput::clean(USAGE.to_string())),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     }
 }
@@ -449,6 +526,10 @@ mod tests {
     }
 
     fn run(cmdline: Vec<String>) -> Result<String, CmdError> {
+        dispatch(&cmdline).map(|o| o.report)
+    }
+
+    fn run_full(cmdline: Vec<String>) -> Result<CmdOutput, CmdError> {
         dispatch(&cmdline)
     }
 
@@ -566,6 +647,55 @@ mod tests {
         assert!(lines[0].contains("\"mode\":\"Full\""), "{}", lines[0]);
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(log);
+    }
+
+    #[test]
+    fn run_with_churn_reconciles_and_exits_clean() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run_full(argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--epochs=8",
+            "--loss=0",
+            "--churn=2",
+            "--churn-seed=5",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(
+            out.report.contains("RECONCILED rule churn"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("flows quarantined"), "{}", out.report);
+        assert!(out.report.contains("alarms: 0 raised"), "{}", out.report);
+        assert!(out.report.contains("fcm rebuilds"), "{}", out.report);
+        assert!(out.report.contains("final state: normal"), "{}", out.report);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_exits_nonzero_on_unresolved_alarm() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run_full(argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--epochs=8",
+            "--loss=0",
+            "--attack-at=4",
+            "--repair-at=99",
+            "--seed=3",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 2, "{}", out.report);
+        assert!(out.report.contains("ALARM"), "{}", out.report);
+        assert!(
+            out.report
+                .contains("exit 2: run ended with an unresolved alarm"),
+            "{}",
+            out.report
+        );
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -7,7 +7,12 @@ mod commands;
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&raw) {
-        Ok(report) => print!("{report}"),
+        Ok(out) => {
+            print!("{}", out.report);
+            if out.exit_code != 0 {
+                std::process::exit(out.exit_code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -57,14 +57,67 @@ impl fmt::Display for ProvisionError {
 
 impl Error for ProvisionError {}
 
+/// What kind of mid-epoch control-plane update a journal entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum UpdateKind {
+    /// A flow was moved onto a different path (e.g. link-failure reroute).
+    Reroute,
+    /// A flow's rules were refined to a finer granularity (dedicated
+    /// per-pair rules shadowing an aggregate), without changing its path.
+    Refine,
+    /// A detectability-hardening rule was installed.
+    Hardening,
+}
+
+impl fmt::Display for UpdateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateKind::Reroute => write!(f, "reroute"),
+            UpdateKind::Refine => write!(f, "refine"),
+            UpdateKind::Hardening => write!(f, "hardening"),
+        }
+    }
+}
+
+/// One committed control-plane update: the generation it produced, and
+/// everything whose counter semantics it may have changed.
+///
+/// `touched_rules` must be **conservative**: it lists every rule whose
+/// counter can no longer be predicted by an FCM built before this update —
+/// both the rules that newly attract traffic *and* the old rules the
+/// traffic was drained away from. The runtime's reconciliation stage masks
+/// exactly these rows (and quarantines the flow columns that cross them),
+/// so an omission here would surface as a false alarm under churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRecord {
+    /// The view's generation *after* this update was applied.
+    pub generation: u64,
+    /// What kind of update this was.
+    pub kind: UpdateKind,
+    /// Every rule (old or newly installed) whose counter semantics changed.
+    pub touched_rules: Vec<RuleRef>,
+    /// Indices into [`Deployment::flows`] of the flows that were moved
+    /// (empty for updates that do not reroute traffic).
+    pub touched_flows: Vec<usize>,
+}
+
 /// The controller's record of everything it installed: topology plus a copy
 /// of every flow table. This — not the live data plane — is what FOCES's
 /// FCM generator reads, because a compromised switch forges its table dumps
 /// to match exactly this view (threat model, §II-B).
+///
+/// The view is **versioned**: every committed update bumps a monotonically
+/// increasing generation number and appends an [`UpdateRecord`] to the
+/// journal, so a detector holding an FCM built at generation `g` can ask
+/// exactly which rules changed since `g` ([`ControllerView::touched_rules_since`])
+/// and reconcile instead of discarding the epoch.
 #[derive(Debug, Clone)]
 pub struct ControllerView {
     topo: Topology,
     tables: Vec<FlowTable>,
+    generation: u64,
+    journal: Vec<UpdateRecord>,
 }
 
 impl ControllerView {
@@ -81,7 +134,61 @@ impl ControllerView {
             topo.switch_count(),
             "one flow table per switch required"
         );
-        ControllerView { topo, tables }
+        ControllerView {
+            topo,
+            tables,
+            generation: 0,
+            journal: Vec::new(),
+        }
+    }
+
+    /// The current view generation: 0 at provisioning time, bumped once per
+    /// committed update.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Every committed update, oldest first.
+    pub fn journal(&self) -> &[UpdateRecord] {
+        &self.journal
+    }
+
+    /// The journal entries committed *after* generation `since` (i.e. the
+    /// updates an FCM built at `since` has not seen).
+    pub fn journal_since(&self, since: u64) -> impl Iterator<Item = &UpdateRecord> {
+        self.journal.iter().filter(move |u| u.generation > since)
+    }
+
+    /// The union of all rules touched by updates after generation `since`,
+    /// sorted and deduplicated — the rows the reconciliation stage masks.
+    pub fn touched_rules_since(&self, since: u64) -> Vec<RuleRef> {
+        let mut rules: Vec<RuleRef> = self
+            .journal_since(since)
+            .flat_map(|u| u.touched_rules.iter().copied())
+            .collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+
+    /// Commits an update: bumps the generation and appends the journal
+    /// entry. Returns the new generation. Callers (the [`Deployment`]
+    /// update operations) are responsible for stamping the affected
+    /// switches' data-plane tables with the returned generation.
+    pub fn record_update(
+        &mut self,
+        kind: UpdateKind,
+        touched_rules: Vec<RuleRef>,
+        touched_flows: Vec<usize>,
+    ) -> u64 {
+        self.generation += 1;
+        self.journal.push(UpdateRecord {
+            generation: self.generation,
+            kind,
+            touched_rules,
+            touched_flows,
+        });
+        self.generation
     }
 
     /// The network topology as the controller knows it.
@@ -157,9 +264,18 @@ impl Deployment {
     /// [`DataPlane::reset_counters`] first when simulating successive
     /// intervals.
     pub fn replay_traffic(&mut self, loss: &mut foces_dataplane::LossModel) {
+        self.replay_traffic_scaled(loss, 1.0);
+    }
+
+    /// Replays a *fraction* of every flow's per-interval volume. Two calls
+    /// with `fraction = 0.5` around a mid-epoch control-plane update
+    /// produce counters that genuinely mix rule generations — the race the
+    /// runtime's reconciliation stage exists for.
+    pub fn replay_traffic_scaled(&mut self, loss: &mut foces_dataplane::LossModel, fraction: f64) {
         for f in &self.flows {
             let header = foces_dataplane::pair_header(f.src, f.dst);
-            self.dataplane.inject(f.src, header, f.rate, loss);
+            self.dataplane
+                .inject(f.src, header, f.rate * fraction, loss);
         }
     }
 
@@ -314,6 +430,203 @@ impl Deployment {
         self.expected_paths.push(path.clone());
         Ok((new_rules, path))
     }
+
+    /// **Journaled mid-epoch reroute** (link-failure avoidance, traffic
+    /// engineering): moves provisioned flow `flow` onto the shortest path
+    /// through `waypoints` (possibly empty — plain re-shortest-pathing) by
+    /// installing dedicated per-pair rules that out-prioritise whatever
+    /// currently carries the pair. Old rules stay installed (rule deletion
+    /// is not modelled) but go quiet for this flow.
+    ///
+    /// Commits an [`UpdateRecord`] whose `touched_rules` conservatively
+    /// covers both directions of the move: the rules on the **old** path
+    /// that matched the flow (their counters lose the flow's volume) and
+    /// every **newly installed** rule (unknown to older FCMs). The affected
+    /// switches' data-plane tables are stamped with the new generation.
+    ///
+    /// Returns the new generation and the installed rules.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Deployment::add_flow_via`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn reroute_flow_via(
+        &mut self,
+        flow: usize,
+        waypoints: &[SwitchId],
+    ) -> Result<(u64, Vec<RuleRef>), ProvisionError> {
+        let spec = self.flows[flow];
+        let topo = self.dataplane.topology();
+        let (src_sw, _) = topo
+            .host_attachment(spec.src)
+            .ok_or(ProvisionError::UnattachedHost(spec.src))?;
+        let (dst_sw, dst_port) = topo
+            .host_attachment(spec.dst)
+            .ok_or(ProvisionError::UnattachedHost(spec.dst))?;
+        let mut path: Vec<SwitchId> = vec![src_sw];
+        let mut stops: Vec<SwitchId> = waypoints.to_vec();
+        stops.push(dst_sw);
+        for stop in stops {
+            let from = *path.last().expect("path starts non-empty");
+            let segment = topo
+                .shortest_path(foces_net::Node::Switch(from), foces_net::Node::Switch(stop))
+                .ok_or(ProvisionError::WaypointUnreachable { waypoint: stop })?;
+            for node in segment.into_iter().skip(1) {
+                let foces_net::Node::Switch(sw) = node else {
+                    unreachable!("switch-to-switch paths never transit hosts");
+                };
+                path.push(sw);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &sw in &path {
+            if !seen.insert(sw) {
+                return Err(ProvisionError::NonSimplePath { switch: sw });
+            }
+        }
+        let old_path = std::mem::replace(&mut self.expected_paths[flow], path.clone());
+        // Old-path rules must be resolved BEFORE the install: on switches
+        // shared by both paths the lookup would otherwise find the new
+        // (higher-priority) rule and miss the one being drained.
+        let mut touched = self.pair_rules_on(&old_path, spec);
+        let new_rules = self.install_pair_rules_along(spec, &path, dst_port, &[&old_path, &path]);
+        touched.extend(new_rules.iter().copied());
+        touched.sort_unstable();
+        touched.dedup();
+        let generation = self
+            .view
+            .record_update(UpdateKind::Reroute, touched, vec![flow]);
+        for r in &new_rules {
+            self.dataplane.set_table_generation(r.switch, generation);
+        }
+        Ok((generation, new_rules))
+    }
+
+    /// **Journaled granularity refinement**: gives flow `flow` dedicated
+    /// per-pair rules along its *current* path, shadowing whatever
+    /// aggregate (per-destination) or shared rules carried it before. The
+    /// path does not change, but counter attribution does — the aggregate
+    /// rules lose this flow's volume — so the update is journaled exactly
+    /// like a reroute.
+    ///
+    /// Returns the new generation and the installed rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn refine_flow(&mut self, flow: usize) -> Result<(u64, Vec<RuleRef>), ProvisionError> {
+        let spec = self.flows[flow];
+        let (_, dst_port) = self
+            .dataplane
+            .topology()
+            .host_attachment(spec.dst)
+            .ok_or(ProvisionError::UnattachedHost(spec.dst))?;
+        let path = self.expected_paths[flow].clone();
+        let mut touched = self.pair_rules_on(&path, spec);
+        let new_rules = self.install_pair_rules_along(spec, &path, dst_port, &[&path]);
+        touched.extend(new_rules.iter().copied());
+        touched.sort_unstable();
+        touched.dedup();
+        let generation = self
+            .view
+            .record_update(UpdateKind::Refine, touched, vec![flow]);
+        for r in &new_rules {
+            self.dataplane.set_table_generation(r.switch, generation);
+        }
+        Ok((generation, new_rules))
+    }
+
+    /// **Journaled hardening install**: adds one rule to `switch` on both
+    /// planes in lockstep and journals it together with every existing rule
+    /// on that switch whose match region overlaps the new rule's (those may
+    /// lose traffic to it). Returns the new generation and the rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id is out of range.
+    pub fn install_hardening(&mut self, switch: SwitchId, rule: Rule) -> (u64, RuleRef) {
+        let mut touched: Vec<RuleRef> = self
+            .view
+            .table(switch)
+            .iter()
+            .filter(|(_, existing)| existing.match_fields().overlaps(rule.match_fields()))
+            .map(|(index, _)| RuleRef { switch, index })
+            .collect();
+        let r = self.dataplane.install(switch, rule.clone());
+        let view_index = self.view.tables[switch.0].push(rule);
+        debug_assert_eq!(view_index, r.index, "view and data plane in lockstep");
+        touched.push(r);
+        let generation = self
+            .view
+            .record_update(UpdateKind::Hardening, touched, Vec::new());
+        self.dataplane.set_table_generation(switch, generation);
+        (generation, r)
+    }
+
+    /// Rules in the view that currently match `spec`'s pair header on the
+    /// given path — the rules a reroute/refine drains traffic away from.
+    fn pair_rules_on(&self, path: &[SwitchId], spec: FlowSpec) -> Vec<RuleRef> {
+        let header = foces_dataplane::pair_header(spec.src, spec.dst);
+        path.iter()
+            .filter_map(|&sw| {
+                self.view
+                    .table(sw)
+                    .lookup(header)
+                    .map(|(index, _)| RuleRef { switch: sw, index })
+            })
+            .collect()
+    }
+
+    /// Installs dedicated per-pair rules for `spec` along `path` (lockstep
+    /// on both planes), at a priority strictly above every rule that
+    /// currently matches the pair on any of `priority_scopes`' switches —
+    /// so the new rules win even over previous reroutes of the same flow.
+    fn install_pair_rules_along(
+        &mut self,
+        spec: FlowSpec,
+        path: &[SwitchId],
+        dst_port: foces_net::Port,
+        priority_scopes: &[&[SwitchId]],
+    ) -> Vec<RuleRef> {
+        const REROUTE_BASE_PRIORITY: u16 = 12;
+        let header = foces_dataplane::pair_header(spec.src, spec.dst);
+        let max_prio = priority_scopes
+            .iter()
+            .flat_map(|scope| scope.iter())
+            .filter_map(|&sw| {
+                self.view
+                    .table(sw)
+                    .lookup(header)
+                    .map(|(_, r)| r.priority())
+            })
+            .max()
+            .unwrap_or(0);
+        let priority = max_prio.saturating_add(1).max(REROUTE_BASE_PRIORITY);
+        let mut new_rules = Vec::with_capacity(path.len());
+        for (i, &sw) in path.iter().enumerate() {
+            let port = match path.get(i + 1) {
+                Some(&next) => self
+                    .dataplane
+                    .topology()
+                    .port_towards(foces_net::Node::Switch(sw), foces_net::Node::Switch(next))
+                    .expect("consecutive path switches are adjacent"),
+                None => dst_port,
+            };
+            let rule = Rule::new(
+                pair_match(spec.src, spec.dst),
+                priority,
+                Action::Forward(port),
+            );
+            let r = self.dataplane.install(sw, rule.clone());
+            let view_index = self.view.tables[sw.0].push(rule);
+            debug_assert_eq!(view_index, r.index, "view and data plane in lockstep");
+            new_rules.push(r);
+        }
+        new_rules
+    }
 }
 
 /// Computes routes for all flows, compiles rules at the requested
@@ -394,6 +707,8 @@ pub fn provision(
         tables: (0..dp.topology().switch_count())
             .map(|s| dp.table(SwitchId(s)).clone())
             .collect(),
+        generation: 0,
+        journal: Vec::new(),
     };
     Ok(Deployment {
         dataplane: dp,
@@ -717,6 +1032,187 @@ mod tests {
                 rate: 1.0
             })
             .is_err());
+    }
+
+    #[test]
+    fn reroute_journals_old_and_new_rules_and_moves_traffic() {
+        let topo = foces_net::generators::ring(6);
+        let flows = uniform_flows(&topo, 30_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        let hosts: Vec<HostId> = dep.view.topology().hosts().collect();
+        let flow = dep
+            .flows
+            .iter()
+            .position(|f| f.src == hosts[0] && f.dst == hosts[2])
+            .unwrap();
+        let spec = dep.flows[flow];
+        let old_path = dep.expected_paths[flow].clone();
+        assert_eq!(old_path, vec![SwitchId(0), SwitchId(1), SwitchId(2)]);
+        let old_rules: Vec<RuleRef> = {
+            let header = foces_dataplane::pair_header(spec.src, spec.dst);
+            old_path
+                .iter()
+                .map(|&sw| {
+                    let (index, _) = dep.view.table(sw).lookup(header).unwrap();
+                    RuleRef { switch: sw, index }
+                })
+                .collect()
+        };
+
+        let (generation, new_rules) = dep.reroute_flow_via(flow, &[SwitchId(4)]).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(dep.view.generation(), 1);
+        assert_eq!(
+            dep.expected_paths[flow],
+            vec![
+                SwitchId(0),
+                SwitchId(5),
+                SwitchId(4),
+                SwitchId(3),
+                SwitchId(2)
+            ]
+        );
+        // The journal conservatively covers both the drained and the new rules.
+        let touched = dep.view.touched_rules_since(0);
+        for r in old_rules.iter().chain(&new_rules) {
+            assert!(touched.contains(r), "journal must cover {r}");
+        }
+        assert_eq!(dep.view.journal().len(), 1);
+        assert_eq!(dep.view.journal()[0].kind, UpdateKind::Reroute);
+        assert_eq!(dep.view.journal()[0].touched_flows, vec![flow]);
+        // Every switch that received a rule acknowledges the new generation.
+        for r in &new_rules {
+            assert_eq!(dep.dataplane.table_generation(r.switch), 1);
+        }
+        // Traffic follows the new path; the drained rules stay at zero.
+        dep.dataplane.reset_counters();
+        let rep = dep.dataplane.inject(
+            spec.src,
+            foces_dataplane::pair_header(spec.src, spec.dst),
+            spec.rate,
+            &mut LossModel::none(),
+        );
+        assert_eq!(rep.delivered_to, Some(spec.dst));
+        assert_eq!(rep.hops, 5, "the long way round");
+        for r in &new_rules {
+            assert_eq!(dep.dataplane.counter(r.switch, r.index), spec.rate);
+        }
+        for r in &old_rules {
+            assert_eq!(dep.dataplane.counter(r.switch, r.index), 0.0);
+        }
+    }
+
+    #[test]
+    fn rerouting_twice_out_prioritises_the_first_reroute() {
+        let topo = foces_net::generators::ring(6);
+        let flows = uniform_flows(&topo, 30_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        let hosts: Vec<HostId> = dep.view.topology().hosts().collect();
+        let flow = dep
+            .flows
+            .iter()
+            .position(|f| f.src == hosts[0] && f.dst == hosts[2])
+            .unwrap();
+        let spec = dep.flows[flow];
+        dep.reroute_flow_via(flow, &[SwitchId(4)]).unwrap();
+        // Back onto the short path: must shadow the waypoint rules.
+        let (generation, _) = dep.reroute_flow_via(flow, &[]).unwrap();
+        assert_eq!(generation, 2);
+        dep.dataplane.reset_counters();
+        let rep = dep.dataplane.inject(
+            spec.src,
+            foces_dataplane::pair_header(spec.src, spec.dst),
+            spec.rate,
+            &mut LossModel::none(),
+        );
+        assert_eq!(rep.delivered_to, Some(spec.dst));
+        assert_eq!(rep.hops, 3, "back on the short path");
+    }
+
+    #[test]
+    fn refine_gives_the_flow_dedicated_rules_without_moving_it() {
+        let mut dep = deploy(fattree(4), RuleGranularity::PerDestination);
+        let flow = 7;
+        let spec = dep.flows[flow];
+        let path_before = dep.expected_paths[flow].clone();
+        let (generation, new_rules) = dep.refine_flow(flow).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(dep.expected_paths[flow], path_before, "path unchanged");
+        assert_eq!(new_rules.len(), path_before.len(), "one rule per hop");
+        assert_eq!(dep.view.journal()[0].kind, UpdateKind::Refine);
+        dep.dataplane.reset_counters();
+        let rep = dep.dataplane.inject(
+            spec.src,
+            foces_dataplane::pair_header(spec.src, spec.dst),
+            spec.rate,
+            &mut LossModel::none(),
+        );
+        assert_eq!(rep.delivered_to, Some(spec.dst));
+        // The dedicated rules now carry the flow; the aggregates lost it.
+        for r in &new_rules {
+            assert_eq!(dep.dataplane.counter(r.switch, r.index), spec.rate);
+        }
+    }
+
+    #[test]
+    fn hardening_install_journals_overlapping_rules() {
+        let mut dep = deploy(bcube(1, 4), RuleGranularity::PerDestination);
+        let spec = dep.flows[0];
+        let sw = dep.expected_paths[0][0];
+        let shadowed = {
+            let header = foces_dataplane::pair_header(spec.src, spec.dst);
+            let (index, _) = dep.view.table(sw).lookup(header).unwrap();
+            RuleRef { switch: sw, index }
+        };
+        let rule = Rule::new(pair_match(spec.src, spec.dst), 20, Action::Drop);
+        let (generation, r) = dep.install_hardening(sw, rule);
+        assert_eq!(generation, 1);
+        assert_eq!(dep.dataplane.table_generation(sw), 1);
+        assert_eq!(dep.view.rule(r), dep.dataplane.rule(r));
+        let touched = &dep.view.journal()[0].touched_rules;
+        assert!(touched.contains(&r), "the new rule itself is journaled");
+        assert!(touched.contains(&shadowed), "the shadowed aggregate too");
+    }
+
+    #[test]
+    fn covert_modification_does_not_advance_the_generation() {
+        let mut dep = deploy(bcube(1, 4), RuleGranularity::PerDestination);
+        let r = dep.view.rule_refs().next().unwrap();
+        dep.dataplane.modify_rule_action(r, Action::Drop).unwrap();
+        assert_eq!(dep.view.generation(), 0);
+        assert_eq!(dep.dataplane.table_generation(r.switch), 0);
+    }
+
+    #[test]
+    fn scaled_replay_is_linear_in_the_fraction() {
+        let mut half = deploy(fattree(4), RuleGranularity::PerDestination);
+        let mut full = half.clone();
+        full.replay_traffic(&mut LossModel::none());
+        half.replay_traffic_scaled(&mut LossModel::none(), 0.5);
+        half.replay_traffic_scaled(&mut LossModel::none(), 0.5);
+        let a = full.dataplane.collect_counters();
+        let b = half.dataplane.collect_counters();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn touched_rules_since_sees_only_newer_updates() {
+        let topo = foces_net::generators::ring(6);
+        let flows = uniform_flows(&topo, 30_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        dep.reroute_flow_via(0, &[]).unwrap();
+        let after_first = dep.view.generation();
+        assert!(!dep.view.touched_rules_since(0).is_empty());
+        assert!(dep.view.touched_rules_since(after_first).is_empty());
+        dep.refine_flow(1).unwrap();
+        assert!(!dep.view.touched_rules_since(after_first).is_empty());
+        let all = dep.view.touched_rules_since(0);
+        let newer = dep.view.touched_rules_since(after_first);
+        for r in &newer {
+            assert!(all.contains(r));
+        }
     }
 
     #[test]

@@ -40,6 +40,8 @@ mod routing;
 pub mod scenario;
 mod spec;
 
-pub use controller::{provision, ControllerView, Deployment, ProvisionError};
+pub use controller::{
+    provision, ControllerView, Deployment, ProvisionError, UpdateKind, UpdateRecord,
+};
 pub use routing::DestinationTree;
 pub use spec::{uniform_flows, FlowSpec, RuleGranularity};

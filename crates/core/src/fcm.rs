@@ -299,10 +299,41 @@ impl Fcm {
     ///
     /// Panics if `observed.len() != rule_count()`.
     pub fn mask_rows(&self, observed: &[bool]) -> MaskedFcm {
+        self.quarantine(observed, &vec![false; self.flow_count()])
+    }
+
+    /// Restricts the FCM to the observed rows **and** evicts quarantined
+    /// flows — the churn-reconciliation path. During a mid-epoch rule
+    /// update (reroute, granularity refinement, hardening install), the
+    /// counters of the touched rules mix traffic routed under two
+    /// different generations, and the flows through those rules no longer
+    /// satisfy either generation's equation system. Masking the touched
+    /// *rows* removes the inconsistent equations; quarantining the
+    /// affected *columns* removes the unknowns whose coefficients changed
+    /// mid-epoch, so the remaining sub-system is consistent for benign
+    /// traffic and verdicts on it stay sound.
+    ///
+    /// `observed[i]` says whether row `i` is kept; `quarantined[j]` says
+    /// whether flow `j` is evicted regardless of its surviving rules.
+    /// Quarantine takes precedence: a quarantined flow counts toward
+    /// [`MaskedFcm::quarantined_flows`] even if every one of its rules
+    /// was also masked. Non-quarantined flows that lose all their rules
+    /// are dropped as in [`Fcm::mask_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed.len() != rule_count()` or
+    /// `quarantined.len() != flow_count()`.
+    pub fn quarantine(&self, observed: &[bool], quarantined: &[bool]) -> MaskedFcm {
         assert_eq!(
             observed.len(),
             self.rule_count(),
             "observed mask must have one entry per rule"
+        );
+        assert_eq!(
+            quarantined.len(),
+            self.flow_count(),
+            "quarantine mask must have one entry per flow"
         );
         let kept_rules: Vec<RuleRef> = self
             .rules
@@ -314,26 +345,74 @@ impl Fcm {
         let parent_rows: Vec<usize> = (0..self.rule_count()).filter(|&i| observed[i]).collect();
         let keep = |r: &RuleRef| observed[self.rule_index[r]];
         let mut dropped_flows = 0usize;
-        let sub_flows: Vec<LogicalFlow> = self
-            .flows
-            .iter()
-            .filter_map(|f| {
-                let mut g = f.clone();
-                g.rules.retain(|r| keep(r));
-                if g.rules.is_empty() {
-                    dropped_flows += 1;
-                    return None;
-                }
-                g.path.retain(|s| g.rules.iter().any(|r| r.switch == *s));
-                Some(g)
-            })
-            .collect();
+        let mut quarantined_flows = 0usize;
+        let mut parent_columns = Vec::new();
+        let mut sub_flows = Vec::new();
+        for (j, f) in self.flows.iter().enumerate() {
+            if quarantined[j] {
+                quarantined_flows += 1;
+                continue;
+            }
+            let mut g = f.clone();
+            g.rules.retain(|r| keep(r));
+            if g.rules.is_empty() {
+                dropped_flows += 1;
+                continue;
+            }
+            g.path.retain(|s| g.rules.iter().any(|r| r.switch == *s));
+            parent_columns.push(j);
+            sub_flows.push(g);
+        }
         MaskedFcm {
             fcm: Fcm::from_parts(kept_rules, sub_flows),
             parent_rule_count: self.rule_count(),
             parent_rows,
+            parent_columns,
             dropped_flows,
+            quarantined_flows,
         }
+    }
+
+    /// Flow mask marking every column that traverses at least one of the
+    /// given rules — the columns a rule-update journal quarantines.
+    /// Rules outside this FCM's universe (e.g. installed after the FCM
+    /// was built) touch no column and are ignored.
+    pub fn columns_touching(&self, rules: &[RuleRef]) -> Vec<bool> {
+        let touched: std::collections::HashSet<RuleRef> = rules.iter().copied().collect();
+        self.flows
+            .iter()
+            .map(|f| f.rules.iter().any(|r| touched.contains(r)))
+            .collect()
+    }
+
+    /// Row mask marking every rule traversed by at least one of the marked
+    /// flows — the closure step of churn reconciliation. Quarantining the
+    /// flows through updated rules is not enough on its own: a quarantined
+    /// flow still contributes traffic to the *untouched* rules on its
+    /// path, so those counters mix explained and unexplained volume.
+    /// Masking this closure as well leaves a sub-system whose remaining
+    /// counters are sums over remaining columns only, hence consistent
+    /// for benign traffic. One step suffices — removing extra rows never
+    /// creates new mixed counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows.len() != flow_count()`.
+    pub fn rows_touching(&self, flows: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            flows.len(),
+            self.flow_count(),
+            "flow mask must have one entry per flow"
+        );
+        let mut mask = vec![false; self.rule_count()];
+        for (j, f) in self.flows.iter().enumerate() {
+            if flows[j] {
+                for r in &f.rules {
+                    mask[self.rule_index[r]] = true;
+                }
+            }
+        }
+        mask
     }
 
     /// Collects this FCM's counter vector from a data plane, in row order.
@@ -352,14 +431,19 @@ impl Fcm {
     }
 }
 
-/// A row-masked FCM (see [`Fcm::mask_rows`]): the equation system restricted
-/// to the rows whose counters were actually observed this round.
+/// A row-masked, optionally column-quarantined FCM (see [`Fcm::mask_rows`]
+/// and [`Fcm::quarantine`]): the equation system restricted to the rows
+/// whose counters were actually observed this round, minus any flows
+/// evicted because a mid-epoch rule update made their equations
+/// inconsistent.
 #[derive(Debug, Clone)]
 pub struct MaskedFcm {
     fcm: Fcm,
     parent_rule_count: usize,
     parent_rows: Vec<usize>,
+    parent_columns: Vec<usize>,
     dropped_flows: usize,
+    quarantined_flows: usize,
 }
 
 impl MaskedFcm {
@@ -373,9 +457,21 @@ impl MaskedFcm {
         &self.parent_rows
     }
 
+    /// For each kept column, its flow index in the parent FCM.
+    pub fn parent_columns(&self) -> &[usize] {
+        &self.parent_columns
+    }
+
     /// Parent flows dropped because every one of their rules was masked.
     pub fn dropped_flows(&self) -> usize {
         self.dropped_flows
+    }
+
+    /// Parent flows evicted by the quarantine mask (mid-epoch rule churn
+    /// made their equations mix generations). Disjoint from
+    /// [`MaskedFcm::dropped_flows`]: quarantine takes precedence.
+    pub fn quarantined_flows(&self) -> usize {
+        self.quarantined_flows
     }
 
     /// The parent FCM's rule count (the expected length of a full counter
@@ -584,6 +680,106 @@ mod tests {
         for (k, &p) in masked.parent_rows().iter().enumerate() {
             assert_eq!(sub[k], full[p]);
         }
+    }
+
+    #[test]
+    fn quarantine_evicts_exactly_the_marked_columns() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerFlowPair);
+        let observed = vec![true; fcm.rule_count()];
+        let quarantined: Vec<bool> = (0..fcm.flow_count()).map(|j| j % 5 == 0).collect();
+        let evicted = quarantined.iter().filter(|&&q| q).count();
+        let masked = fcm.quarantine(&observed, &quarantined);
+        assert_eq!(masked.quarantined_flows(), evicted);
+        assert_eq!(masked.dropped_flows(), 0);
+        assert_eq!(masked.fcm().flow_count(), fcm.flow_count() - evicted);
+        // parent_columns maps kept columns to the non-quarantined parents,
+        // in order.
+        let expected: Vec<usize> = (0..fcm.flow_count()).filter(|&j| j % 5 != 0).collect();
+        assert_eq!(masked.parent_columns(), expected.as_slice());
+        for (k, &j) in masked.parent_columns().iter().enumerate() {
+            assert_eq!(masked.fcm().flows()[k].rules, fcm.flows()[j].rules);
+        }
+    }
+
+    #[test]
+    fn quarantine_takes_precedence_over_dropping() {
+        // Hide an entire switch AND quarantine every flow through it: the
+        // flows that would have been dropped count as quarantined instead.
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerFlowPair);
+        let victim = fcm.rules()[0].switch;
+        let observed: Vec<bool> = fcm.rules().iter().map(|r| r.switch != victim).collect();
+        let via_victim: Vec<bool> = fcm
+            .flows()
+            .iter()
+            .map(|f| f.rules.iter().any(|r| r.switch == victim))
+            .collect();
+        let evicted = via_victim.iter().filter(|&&q| q).count();
+        assert!(evicted > 0);
+        let masked = fcm.quarantine(&observed, &via_victim);
+        assert_eq!(masked.quarantined_flows(), evicted);
+        assert_eq!(
+            masked.fcm().flow_count() + masked.dropped_flows() + masked.quarantined_flows(),
+            fcm.flow_count()
+        );
+    }
+
+    #[test]
+    fn mask_rows_is_quarantine_with_no_columns_marked() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        let observed: Vec<bool> = (0..fcm.rule_count()).map(|i| i % 4 != 2).collect();
+        let a = fcm.mask_rows(&observed);
+        let b = fcm.quarantine(&observed, &vec![false; fcm.flow_count()]);
+        assert_eq!(a.quarantined_flows(), 0);
+        assert_eq!(a.parent_rows(), b.parent_rows());
+        assert_eq!(a.parent_columns(), b.parent_columns());
+        assert_eq!(a.dropped_flows(), b.dropped_flows());
+        assert_eq!(a.fcm().flow_count(), b.fcm().flow_count());
+    }
+
+    #[test]
+    fn columns_touching_marks_exactly_the_traversing_flows() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerFlowPair);
+        let probe = fcm.flows()[3].rules[1];
+        let mask = fcm.columns_touching(&[probe]);
+        assert_eq!(mask.len(), fcm.flow_count());
+        for (j, f) in fcm.flows().iter().enumerate() {
+            assert_eq!(mask[j], f.rules.contains(&probe), "flow {j}");
+        }
+        assert!(mask[3]);
+        // Rules outside the universe touch nothing.
+        let foreign = RuleRef {
+            switch: foces_net::SwitchId(999),
+            index: 7,
+        };
+        assert!(fcm.columns_touching(&[foreign]).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn rows_touching_marks_exactly_the_traversed_rules() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerFlowPair);
+        let mut flows = vec![false; fcm.flow_count()];
+        flows[0] = true;
+        flows[7] = true;
+        let mask = fcm.rows_touching(&flows);
+        let expected: std::collections::HashSet<usize> = fcm.flows()[0]
+            .rules
+            .iter()
+            .chain(&fcm.flows()[7].rules)
+            .map(|&r| fcm.rule_row(r).unwrap())
+            .collect();
+        for (i, &m) in mask.iter().enumerate() {
+            assert_eq!(m, expected.contains(&i), "row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantine mask must have one entry per flow")]
+    fn quarantine_rejects_wrong_flow_mask_length() {
+        let fcm = fcm_for(fattree(4), RuleGranularity::PerDestination);
+        fcm.quarantine(
+            &vec![true; fcm.rule_count()],
+            &vec![false; fcm.flow_count() - 1],
+        );
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property tests for the masked/quarantined FCM: projecting a full
+//! expected-counter vector through a [`MaskedFcm`] must agree with the
+//! masked sub-FCM's own expected counters — for arbitrary observed-row
+//! patterns, and for arbitrary column quarantines once the quarantined
+//! volumes are zeroed. The churn-closure property at the end is the
+//! soundness argument the runtime's reconciliation path relies on: after
+//! masking updated rules, quarantining the flows through them, and
+//! masking the rows those flows still traverse, the remaining sub-system
+//! is consistent for *arbitrary* benign volumes — no zeroing needed.
+
+use foces::Fcm;
+use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+use foces_net::generators::fattree;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared FCM — construction runs provisioning + ATPG tracing, far
+/// too slow to repeat per proptest case.
+fn fcm() -> &'static Fcm {
+    static FCM: OnceLock<Fcm> = OnceLock::new();
+    FCM.get_or_init(|| {
+        let topo = fattree(4);
+        let flows = uniform_flows(&topo, 1000.0);
+        let dep = provision(topo, &flows, RuleGranularity::PerDestination).unwrap();
+        Fcm::from_view(&dep.view)
+    })
+}
+
+/// Cycles a short generated pattern out to length `n`, so strategies stay
+/// small while still exercising every index of the real FCM.
+fn cycle<T: Copy>(pattern: &[T], n: usize) -> Vec<T> {
+    (0..n).map(|i| pattern[i % pattern.len()]).collect()
+}
+
+fn assert_close(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let tol = 1e-9 + x.abs().max(y.abs()) * 1e-12;
+        assert!((x - y).abs() <= tol, "row {i}: {x} vs {y}");
+    }
+}
+
+proptest! {
+    /// Row masking alone: `project(H·X)` equals the masked sub-FCM's own
+    /// `H'·X'` for every observed-row pattern and every volume vector —
+    /// dropped flows contribute nothing to observed rows, so no volume
+    /// adjustment is needed.
+    #[test]
+    fn mask_rows_project_round_trips(
+        obs_pat in proptest::collection::vec(any::<bool>(), 1..64),
+        vol_pat in proptest::collection::vec(0.0f64..1e6, 1..64),
+    ) {
+        let fcm = fcm();
+        let observed = cycle(&obs_pat, fcm.rule_count());
+        let volumes = cycle(&vol_pat, fcm.flow_count());
+        let masked = fcm.mask_rows(&observed);
+        let projected = masked.project(&fcm.expected_counters(&volumes));
+        let kept_vol: Vec<f64> = masked
+            .parent_columns()
+            .iter()
+            .map(|&j| volumes[j])
+            .collect();
+        let direct = masked.fcm().expected_counters(&kept_vol);
+        assert_close(&projected, &direct);
+    }
+
+    /// Column quarantine obeys the same invariant once the quarantined
+    /// flows' volumes are zeroed in the full system: their columns are
+    /// gone from the sub-FCM, so the projection only matches when they
+    /// carry no traffic.
+    #[test]
+    fn quarantine_project_round_trips_with_zeroed_volumes(
+        obs_pat in proptest::collection::vec(any::<bool>(), 1..64),
+        quar_pat in proptest::collection::vec(any::<bool>(), 1..64),
+        vol_pat in proptest::collection::vec(0.0f64..1e6, 1..64),
+    ) {
+        let fcm = fcm();
+        let observed = cycle(&obs_pat, fcm.rule_count());
+        let quarantined = cycle(&quar_pat, fcm.flow_count());
+        let mut volumes = cycle(&vol_pat, fcm.flow_count());
+        for (v, &q) in volumes.iter_mut().zip(&quarantined) {
+            if q {
+                *v = 0.0;
+            }
+        }
+        let masked = fcm.quarantine(&observed, &quarantined);
+        let projected = masked.project(&fcm.expected_counters(&volumes));
+        let kept_vol: Vec<f64> = masked
+            .parent_columns()
+            .iter()
+            .map(|&j| volumes[j])
+            .collect();
+        let direct = masked.fcm().expected_counters(&kept_vol);
+        assert_close(&projected, &direct);
+    }
+
+    /// Flow accounting: kept + dropped + quarantined columns partition
+    /// the parent flows, quarantine takes precedence over dropping, and
+    /// the parent row/column maps are strictly increasing and land on
+    /// unmasked/unquarantined parents.
+    #[test]
+    fn quarantine_partitions_the_parent_flows(
+        obs_pat in proptest::collection::vec(any::<bool>(), 1..64),
+        quar_pat in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let fcm = fcm();
+        let observed = cycle(&obs_pat, fcm.rule_count());
+        let quarantined = cycle(&quar_pat, fcm.flow_count());
+        let masked = fcm.quarantine(&observed, &quarantined);
+        prop_assert_eq!(
+            masked.fcm().flow_count() + masked.dropped_flows() + masked.quarantined_flows(),
+            fcm.flow_count()
+        );
+        prop_assert_eq!(
+            masked.quarantined_flows(),
+            quarantined.iter().filter(|&&q| q).count()
+        );
+        prop_assert_eq!(masked.parent_columns().len(), masked.fcm().flow_count());
+        for w in masked.parent_columns().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &j in masked.parent_columns() {
+            prop_assert!(!quarantined[j]);
+        }
+        for w in masked.parent_rows().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &i in masked.parent_rows() {
+            prop_assert!(observed[i]);
+        }
+    }
+
+    /// The churn-closure soundness property: mask an arbitrary set of
+    /// "updated" rules, quarantine every flow through them, and also mask
+    /// the rows quarantined flows still traverse. The remaining
+    /// sub-system then satisfies `project(H·X) = H'·X'` for **arbitrary**
+    /// volumes — quarantined traffic cannot reach any surviving row, so
+    /// benign traffic never inflates residuals on the reconciled system.
+    #[test]
+    fn churn_closure_is_consistent_for_arbitrary_volumes(
+        touched_pat in proptest::collection::vec(any::<bool>(), 1..48),
+        vol_pat in proptest::collection::vec(0.0f64..1e6, 1..64),
+    ) {
+        let fcm = fcm();
+        let touched = cycle(&touched_pat, fcm.rule_count());
+        let volumes = cycle(&vol_pat, fcm.flow_count());
+        let touched_rules: Vec<_> = fcm
+            .rules()
+            .iter()
+            .zip(&touched)
+            .filter(|(_, &t)| t)
+            .map(|(&r, _)| r)
+            .collect();
+        let quarantined = fcm.columns_touching(&touched_rules);
+        let closure = fcm.rows_touching(&quarantined);
+        let observed: Vec<bool> = touched
+            .iter()
+            .zip(&closure)
+            .map(|(&t, &c)| !t && !c)
+            .collect();
+        let masked = fcm.quarantine(&observed, &quarantined);
+        let projected = masked.project(&fcm.expected_counters(&volumes));
+        let kept_vol: Vec<f64> = masked
+            .parent_columns()
+            .iter()
+            .map(|&j| volumes[j])
+            .collect();
+        let direct = masked.fcm().expected_counters(&kept_vol);
+        assert_close(&projected, &direct);
+    }
+}

@@ -108,6 +108,14 @@ pub struct DataPlane {
     /// is counted before link loss; reception after, exactly like real
     /// interface counters around a lossy link.
     port_tx: Vec<Vec<f64>>,
+    /// Per-switch rule-table **generation**: the controller's version stamp
+    /// for the switch's configuration, advanced only through legitimate
+    /// control-plane updates ([`DataPlane::set_table_generation`]). The
+    /// adversary's [`DataPlane::modify_rule_action`] deliberately leaves it
+    /// untouched: a compromised switch keeps reporting the stamp of the last
+    /// update it acknowledged, exactly like a real switch whose firmware
+    /// was tampered with below the OpenFlow layer.
+    generations: Vec<u64>,
 }
 
 impl DataPlane {
@@ -123,7 +131,29 @@ impl DataPlane {
             counters: vec![Vec::new(); n],
             port_rx: ports.clone(),
             port_tx: ports,
+            generations: vec![0; n],
         }
+    }
+
+    /// The rule-table generation a switch currently acknowledges — what an
+    /// honest agent stamps on its counter replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id is out of range.
+    pub fn table_generation(&self, switch: SwitchId) -> u64 {
+        self.generations[switch.0]
+    }
+
+    /// Stamps a switch's rule-table generation. Called by the control plane
+    /// when it commits an update to this switch; never advanced by the
+    /// adversary's covert [`DataPlane::modify_rule_action`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id is out of range.
+    pub fn set_table_generation(&mut self, switch: SwitchId, generation: u64) {
+        self.generations[switch.0] = generation;
     }
 
     /// Per-port received volumes of a switch (index = port number).

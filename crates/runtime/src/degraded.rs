@@ -19,6 +19,7 @@
 
 use foces::{audit_deviations, Detector, DeviationCandidate, Fcm, FocesError, MaskedFcm, Verdict};
 use foces_controlplane::ControllerView;
+use foces_dataplane::RuleRef;
 use foces_linalg::{SpanTester, DEFAULT_TOL};
 use foces_net::SwitchId;
 use std::collections::HashMap;
@@ -40,6 +41,26 @@ pub enum DetectionMode {
         /// deviation candidates (≤ the full system's coverage).
         coverage: f64,
     },
+    /// A mid-epoch rule update was detected (journal advanced or a reply
+    /// stamp outran the FCM's build generation): detection ran on the
+    /// row-masked **and** column-quarantined system, with the updated
+    /// rules' rows, the flows through them, and the closure rows those
+    /// flows still traverse all excluded.
+    Reconciled {
+        /// Responsive switches whose reply stamp was newer than the FCM.
+        stale: Vec<SwitchId>,
+        /// Switches that never answered (missing rows, as in `Degraded`).
+        missing: Vec<SwitchId>,
+        /// FCM rows removed (unobserved + journaled + closure).
+        masked_rows: usize,
+        /// Flows evicted because a journaled rule sits on their path.
+        quarantined_flows: usize,
+        /// Flows that lost all remaining rows and dropped out.
+        dropped_flows: usize,
+        /// Theorem 1 coverage of the reconciled system (quarantined flows
+        /// count as undetectable).
+        coverage: f64,
+    },
     /// Nothing usable arrived (or masking emptied the system): no verdict
     /// this round.
     Blind {
@@ -49,11 +70,13 @@ pub enum DetectionMode {
 }
 
 impl DetectionMode {
-    /// Short label for logs: `"Full"`, `"Degraded"` or `"Blind"`.
+    /// Short label for logs: `"Full"`, `"Degraded"`, `"Reconciled"` or
+    /// `"Blind"`.
     pub fn label(&self) -> &'static str {
         match self {
             DetectionMode::Full => "Full",
             DetectionMode::Degraded { .. } => "Degraded",
+            DetectionMode::Reconciled { .. } => "Reconciled",
             DetectionMode::Blind { .. } => "Blind",
         }
     }
@@ -61,6 +84,11 @@ impl DetectionMode {
     /// Is this a degraded (but not blind) round?
     pub fn is_degraded(&self) -> bool {
         matches!(self, DetectionMode::Degraded { .. })
+    }
+
+    /// Is this a churn-reconciled round?
+    pub fn is_reconciled(&self) -> bool {
+        matches!(self, DetectionMode::Reconciled { .. })
     }
 
     /// Is this a blind round?
@@ -87,6 +115,9 @@ pub struct DegradedPipeline {
     candidates: Vec<DeviationCandidate>,
     full_coverage: f64,
     cache: HashMap<Vec<SwitchId>, CachedMask>,
+    /// Reconciled systems, keyed by (missing switches, journaled rules) —
+    /// a rolling-update schedule revisits the same touched set many times.
+    reconcile_cache: HashMap<(Vec<SwitchId>, Vec<RuleRef>), CachedMask>,
 }
 
 impl DegradedPipeline {
@@ -105,6 +136,7 @@ impl DegradedPipeline {
             candidates,
             full_coverage,
             cache: HashMap::new(),
+            reconcile_cache: HashMap::new(),
         }
     }
 
@@ -186,6 +218,92 @@ impl DegradedPipeline {
         Ok((Some(verdict), mode))
     }
 
+    /// Runs one churn-reconciled detection round.
+    ///
+    /// Called instead of [`DegradedPipeline::detect`] when the epoch
+    /// witnessed a rule update: `touched_rules` is the journal's touched
+    /// set since the FCM's build generation, and `stale` the switches
+    /// whose reply stamps outran it. The reconciled system removes, on
+    /// top of the unobserved rows:
+    ///
+    /// 1. the journaled rules' rows (their counters mix generations),
+    /// 2. every flow through a journaled rule (its equations changed), and
+    /// 3. the closure rows those quarantined flows still traverse (their
+    ///    counters mix explained and quarantined volume).
+    ///
+    /// What remains is a sub-system consistent for benign traffic (see
+    /// the churn-closure property test in `foces`'s `mask_props`), so a
+    /// verdict on it is sound — merely weaker, which the quarantine-aware
+    /// coverage quantifies: a deviation candidate on a quarantined flow
+    /// counts as undetectable outright.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FocesError`] from the underlying solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` / `observed` are not parent-FCM length.
+    pub fn detect_reconciled(
+        &mut self,
+        counters: &[f64],
+        observed: &[bool],
+        touched_rules: &[RuleRef],
+        stale: Vec<SwitchId>,
+    ) -> Result<(Option<Verdict>, DetectionMode), FocesError> {
+        let missing = self.missing_from(observed);
+        let mut touched_key: Vec<RuleRef> = touched_rules.to_vec();
+        touched_key.sort_unstable();
+        touched_key.dedup();
+        let key = (missing.clone(), touched_key);
+        if !self.reconcile_cache.contains_key(&key) {
+            let entry = self.build_reconciled(observed, &key.1);
+            self.reconcile_cache.insert(key.clone(), entry);
+        }
+        let entry = &self.reconcile_cache[&key];
+        if entry.masked.fcm().rule_count() == 0 || entry.masked.fcm().flow_count() == 0 {
+            return Ok((None, DetectionMode::Blind { missing }));
+        }
+        let verdict = self.detector.detect_masked(&entry.masked, counters)?;
+        let mode = DetectionMode::Reconciled {
+            stale,
+            missing,
+            masked_rows: entry.masked.masked_row_count(),
+            quarantined_flows: entry.masked.quarantined_flows(),
+            dropped_flows: entry.masked.dropped_flows(),
+            coverage: entry.coverage,
+        };
+        Ok((Some(verdict), mode))
+    }
+
+    /// Number of distinct (missing, touched) reconciliations built so far.
+    pub fn cached_reconciliations(&self) -> usize {
+        self.reconcile_cache.len()
+    }
+
+    /// Builds the row-masked + column-quarantined system for a journaled
+    /// touched set, and audits its quarantine-aware coverage.
+    fn build_reconciled(&self, observed: &[bool], touched_rules: &[RuleRef]) -> CachedMask {
+        let quarantined = self.fcm.columns_touching(touched_rules);
+        let closure = self.fcm.rows_touching(&quarantined);
+        let mut keep: Vec<bool> = observed
+            .iter()
+            .zip(&closure)
+            .map(|(&o, &c)| o && !c)
+            .collect();
+        // Journaled rules may have no traced flow (and rules installed
+        // after the FCM was built are not in the universe at all) — mask
+        // the ones we know about explicitly rather than rely on closure.
+        for r in touched_rules {
+            if let Some(row) = self.fcm.rule_row(*r) {
+                keep[row] = false;
+            }
+        }
+        let masked = self.fcm.quarantine(&keep, &quarantined);
+        let coverage = self.masked_coverage_with_quarantine(&masked, &quarantined);
+        CachedMask { masked, coverage }
+    }
+
     /// Builds the masked system and re-consults the Theorem 1 oracle on it.
     fn build_mask(&self, observed: &[bool]) -> CachedMask {
         let masked = self.fcm.mask_rows(observed);
@@ -199,6 +317,14 @@ impl DegradedPipeline {
     /// the set of vectors outside the span, so this is ≤ the full coverage
     /// on the same sample.
     fn masked_coverage(&self, masked: &MaskedFcm) -> f64 {
+        self.masked_coverage_with_quarantine(masked, &vec![false; self.fcm.flow_count()])
+    }
+
+    /// Coverage over the audited sample with a quarantine in effect: a
+    /// candidate deviating a quarantined flow is undetectable by fiat —
+    /// its column is not part of the reconciled system, so nothing
+    /// constrains it this round.
+    fn masked_coverage_with_quarantine(&self, masked: &MaskedFcm, quarantined: &[bool]) -> f64 {
         if self.candidates.is_empty() {
             return 1.0;
         }
@@ -212,6 +338,9 @@ impl DegradedPipeline {
         }
         let mut detectable = 0usize;
         for c in &self.candidates {
+            if quarantined.get(c.flow).copied().unwrap_or(false) {
+                continue;
+            }
             // Parent-space 0/1 column of the deviated history, then the
             // mask's projection onto the observed rows.
             let mut col = vec![0.0; self.fcm.rule_count()];
@@ -322,6 +451,70 @@ mod tests {
         let observed2 = mask_without(&pipeline, &[other]);
         pipeline.detect(&counters, &observed2).unwrap();
         assert_eq!(pipeline.cached_masks(), 2);
+    }
+
+    #[test]
+    fn reconciliation_quarantines_churned_rules_and_stays_normal() {
+        let (dep, mut pipeline) = setup();
+        let mut counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let observed = vec![true; counters.len()];
+        // Simulate a mid-epoch reroute of flow 0: the counters of its
+        // rules are mixed-generation readings that fit no single volume.
+        let touched = pipeline.fcm().flows()[0].rules.clone();
+        assert!(touched.len() >= 2);
+        for (k, r) in touched.iter().enumerate() {
+            let row = pipeline.fcm().rule_row(*r).unwrap();
+            counters[row] *= 0.2 + 0.6 * (k as f64 / (touched.len() - 1) as f64);
+        }
+        // The naive full-system detector false-alarms on the mix...
+        let (v, _) = pipeline.detect(&counters, &observed).unwrap();
+        assert!(
+            v.unwrap().anomalous,
+            "mixed-generation counters look like an attack"
+        );
+        // ...the reconciled system quarantines it away and stays normal.
+        let (v, mode) = pipeline
+            .detect_reconciled(&counters, &observed, &touched, vec![])
+            .unwrap();
+        assert!(!v.unwrap().anomalous);
+        let DetectionMode::Reconciled {
+            quarantined_flows,
+            masked_rows,
+            coverage,
+            stale,
+            ..
+        } = mode
+        else {
+            panic!("expected a reconciled round");
+        };
+        assert!(stale.is_empty());
+        assert!(quarantined_flows >= 1);
+        assert!(masked_rows >= touched.len());
+        assert!(coverage <= pipeline.full_coverage() + 1e-12);
+        assert_eq!(pipeline.cached_reconciliations(), 1);
+        // The same (missing, touched) key hits the cache.
+        pipeline
+            .detect_reconciled(&counters, &observed, &touched, vec![])
+            .unwrap();
+        assert_eq!(pipeline.cached_reconciliations(), 1);
+    }
+
+    #[test]
+    fn reconciled_coverage_counts_quarantined_candidates_as_misses() {
+        let (_, mut pipeline) = setup();
+        let counters = vec![0.0; pipeline.fcm().rule_count()];
+        let observed = vec![true; counters.len()];
+        // Quarantine everything: every candidate's flow is evicted, so
+        // coverage collapses to zero (or the round goes blind).
+        let touched: Vec<_> = pipeline.fcm().rules().to_vec();
+        let (_, mode) = pipeline
+            .detect_reconciled(&counters, &observed, &touched, vec![])
+            .unwrap();
+        match mode {
+            DetectionMode::Blind { .. } => {}
+            DetectionMode::Reconciled { coverage, .. } => assert_eq!(coverage, 0.0),
+            other => panic!("unexpected mode {other:?}"),
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@ use foces_controlplane::Deployment;
 use foces_dataplane::{inject_random_anomaly, AnomalyKind, AppliedAnomaly, LossModel};
 use foces_net::SwitchId;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 /// A complete fault-injection scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,13 @@ pub struct FaultScenario {
     pub anomaly_window: Option<(u64, u64)>,
     /// The kind of anomaly to inject.
     pub anomaly_kind: AnomalyKind,
+    /// Rolling-update churn: every `period` epochs (starting at `period`)
+    /// the controller reroutes a random flow **mid-epoch** — half the
+    /// traffic is replayed under the old rules, half under the new — so
+    /// the collected counters genuinely mix generations.
+    pub churn_period: Option<u64>,
+    /// Seed for choosing which flow to reroute and through where.
+    pub churn_seed: u64,
     /// Seed for the transport faults and per-epoch loss sampling.
     pub seed: u64,
     /// Seed for choosing the compromised rule.
@@ -59,6 +67,8 @@ impl Default for FaultScenario {
             offline: None,
             anomaly_window: None,
             anomaly_kind: AnomalyKind::PathDeviation,
+            churn_period: None,
+            churn_seed: 7,
             seed: 0,
             anomaly_seed: 4,
         }
@@ -95,7 +105,10 @@ pub struct ScenarioDriver {
     service: RuntimeService,
     scenario: FaultScenario,
     inject_rng: StdRng,
+    churn_rng: StdRng,
     applied: Option<AppliedAnomaly>,
+    /// Reroutes/refinements applied so far (for tests and summaries).
+    churn_events: u64,
 }
 
 impl ScenarioDriver {
@@ -104,12 +117,15 @@ impl ScenarioDriver {
     pub fn new(dep: Deployment, scenario: FaultScenario, config: RuntimeConfig) -> Self {
         let service = RuntimeService::with_sim_transport(&dep.view, scenario.transport(), config);
         let inject_rng = StdRng::seed_from_u64(scenario.anomaly_seed);
+        let churn_rng = StdRng::seed_from_u64(scenario.churn_seed);
         ScenarioDriver {
             dep,
             service,
             scenario,
             inject_rng,
+            churn_rng,
             applied: None,
+            churn_events: 0,
         }
     }
 
@@ -132,6 +148,23 @@ impl ScenarioDriver {
     /// The currently active injected anomaly, if any.
     pub fn active_anomaly(&self) -> Option<&AppliedAnomaly> {
         self.applied.as_ref()
+    }
+
+    /// The deployment being driven (view, journal, data plane).
+    pub fn deployment(&self) -> &Deployment {
+        &self.dep
+    }
+
+    /// Controller updates (reroutes/refinements) applied so far.
+    pub fn churn_events(&self) -> u64 {
+        self.churn_events
+    }
+
+    /// Is `epoch` a scheduled churn epoch?
+    pub fn churn_due_at(&self, epoch: u64) -> bool {
+        self.scenario
+            .churn_period
+            .is_some_and(|p| p > 0 && epoch > 0 && epoch.is_multiple_of(p))
     }
 
     /// Is `epoch` inside the anomaly window?
@@ -182,8 +215,43 @@ impl ScenarioDriver {
         } else {
             LossModel::none()
         };
-        self.dep.replay_traffic(&mut loss);
-        self.service.run_epoch(&self.dep.dataplane)
+        if self.churn_due_at(epoch) {
+            // Mid-epoch rolling update: half the epoch's traffic runs under
+            // the old rules, the reroute lands, the other half runs under
+            // the new ones — the counters the service collects genuinely
+            // mix generations, which is exactly what reconciliation and
+            // the generation stamps exist to absorb.
+            self.dep.replay_traffic_scaled(&mut loss, 0.5);
+            self.apply_churn();
+            self.dep.replay_traffic_scaled(&mut loss, 0.5);
+        } else {
+            self.dep.replay_traffic(&mut loss);
+        }
+        self.service.run_epoch(&self.dep.dataplane, &self.dep.view)
+    }
+
+    /// One controller update, chosen by the (seeded) churn RNG: reroute a
+    /// random flow through a random off-path waypoint, falling back to a
+    /// granularity refinement along its current path when no waypoint
+    /// admits a simple path.
+    fn apply_churn(&mut self) {
+        let flow = self.churn_rng.gen_range(0..self.dep.flows.len());
+        let path = self.dep.expected_paths[flow].clone();
+        let candidates: Vec<SwitchId> = self
+            .dep
+            .view
+            .topology()
+            .switches()
+            .filter(|s| !path.contains(s))
+            .collect();
+        let rerouted = candidates
+            .choose(&mut self.churn_rng)
+            .copied()
+            .and_then(|w| self.dep.reroute_flow_via(flow, &[w]).ok());
+        if rerouted.is_none() {
+            let _ = self.dep.refine_flow(flow);
+        }
+        self.churn_events += 1;
     }
 
     /// Runs the whole scenario, returning every epoch's report.
@@ -250,6 +318,24 @@ mod tests {
             .collect();
         assert_eq!(degraded, vec![1, 2]);
         assert_eq!(driver.service().metrics().degraded_rounds, 2);
+    }
+
+    #[test]
+    fn rolling_churn_reconciles_without_raising_alarms() {
+        let mut scenario = quiet();
+        scenario.epochs = 8;
+        scenario.churn_period = Some(2);
+        let mut driver = ScenarioDriver::new(deployment(), scenario, RuntimeConfig::default());
+        let reports = driver.run().unwrap();
+        assert!(driver.churn_events() > 0);
+        let m = *driver.service().metrics();
+        assert!(m.reconciled_rounds > 0, "churn epochs must reconcile");
+        assert!(m.fcm_rebuilds > 0, "the view moved, the FCM must follow");
+        assert_eq!(m.alarms_raised, 0, "no anomaly, no alarm");
+        for r in &reports {
+            assert!(!r.anomalous(), "epoch {}: churn is not an anomaly", r.epoch);
+            assert_eq!(r.churn, driver.churn_due_at(r.epoch));
+        }
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Alarm hysteresis: k-of-n confirmation with churn-aware suppression.
+//!
+//! The seed service raised after `raise_after` *consecutive* anomalous
+//! rounds — brittle under churn, where a reconciled round can score
+//! normal and reset the streak while a real attack is in progress, and
+//! trigger-happy right after an update, when residual inconsistency can
+//! masquerade as anomaly for a round. [`AlarmMachine`] generalizes the
+//! streak to a sliding window (raise when `raise_k` of the last `window`
+//! scored rounds were anomalous) and lets churn rounds arm a suppression
+//! timer that temporarily *raises the bar* (`raise_k + churn_penalty`)
+//! instead of discarding evidence. Blind rounds are simply not fed to the
+//! machine — silence is neither health nor attack.
+//!
+//! With `window == raise_k` (the defaults) the window degenerates to the
+//! old consecutive-streak semantics exactly.
+
+use foces::AlarmState;
+use std::collections::VecDeque;
+
+/// Tunables for [`AlarmMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HysteresisConfig {
+    /// Sliding window of scored rounds considered for raising. Clamped up
+    /// to `raise_k` (a window smaller than the quorum could never raise).
+    pub window: u32,
+    /// Anomalous rounds within the window required to raise.
+    pub raise_k: u32,
+    /// Consecutive normal rounds required to clear a raised alarm.
+    pub clear_after: u32,
+    /// Scored rounds a churn round suppresses (0 disables suppression).
+    pub churn_suppress: u32,
+    /// Extra anomalous rounds required to raise while suppressed; the
+    /// effective quorum is capped at the window size so a sustained
+    /// attack can always raise eventually.
+    pub churn_penalty: u32,
+}
+
+impl Default for HysteresisConfig {
+    /// `2`-of-`2` raise, clear after `2`, suppress `2` rounds after churn
+    /// with penalty `1` — the raise/clear halves match the seed service's
+    /// consecutive-streak defaults bit for bit on churn-free runs.
+    fn default() -> Self {
+        HysteresisConfig {
+            window: 2,
+            raise_k: 2,
+            clear_after: 2,
+            churn_suppress: 2,
+            churn_penalty: 1,
+        }
+    }
+}
+
+/// What one scored round did to the alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlarmTransition {
+    /// This round raised the alarm.
+    pub raised: bool,
+    /// This round cleared the alarm.
+    pub cleared: bool,
+    /// The window held a raising quorum but the churn-suppression penalty
+    /// held the alarm back this round.
+    pub suppressed: bool,
+}
+
+/// The k-of-n alarm state machine. Feed it every *scored* round via
+/// [`AlarmMachine::observe`]; skip blind rounds entirely (freezing the
+/// machine, exactly like the seed service froze its streaks).
+#[derive(Debug, Clone)]
+pub struct AlarmMachine {
+    config: HysteresisConfig,
+    state: AlarmState,
+    /// Most recent scored rounds, newest last, bounded by `window`.
+    recent: VecDeque<bool>,
+    consecutive_normal: u32,
+    /// Scored rounds of churn suppression still pending.
+    suppress_left: u32,
+}
+
+impl AlarmMachine {
+    /// A machine in [`AlarmState::Normal`] with an empty window.
+    pub fn new(config: HysteresisConfig) -> Self {
+        let config = HysteresisConfig {
+            window: config.window.max(config.raise_k).max(1),
+            ..config
+        };
+        AlarmMachine {
+            config,
+            state: AlarmState::Normal,
+            recent: VecDeque::with_capacity(config.window as usize),
+            consecutive_normal: 0,
+            suppress_left: 0,
+        }
+    }
+
+    /// Current alarm state.
+    pub fn state(&self) -> AlarmState {
+        self.state
+    }
+
+    /// The active (clamped) configuration.
+    pub fn config(&self) -> HysteresisConfig {
+        self.config
+    }
+
+    /// Is the churn-suppression timer currently armed?
+    pub fn suppressed(&self) -> bool {
+        self.suppress_left > 0
+    }
+
+    /// Scores one round. `anomalous` is the round's verdict; `churn` says
+    /// the round witnessed a rule update (reconciled detection), which
+    /// arms the suppression timer *before* the round is judged.
+    pub fn observe(&mut self, anomalous: bool, churn: bool) -> AlarmTransition {
+        if churn && self.config.churn_suppress > 0 {
+            self.suppress_left = self.config.churn_suppress;
+        }
+        let suppressed_now = self.suppress_left > 0;
+        self.suppress_left = self.suppress_left.saturating_sub(1);
+
+        self.recent.push_back(anomalous);
+        while self.recent.len() > self.config.window as usize {
+            self.recent.pop_front();
+        }
+        if anomalous {
+            self.consecutive_normal = 0;
+        } else {
+            self.consecutive_normal += 1;
+        }
+
+        let hits = self.recent.iter().filter(|&&a| a).count() as u32;
+        let effective_k = if suppressed_now {
+            (self.config.raise_k + self.config.churn_penalty).min(self.config.window)
+        } else {
+            self.config.raise_k
+        };
+
+        let previous = self.state;
+        let mut suppressed = false;
+        self.state = match previous {
+            AlarmState::Normal | AlarmState::Suspected => {
+                if hits >= effective_k {
+                    AlarmState::Alarmed
+                } else {
+                    suppressed = suppressed_now && hits >= self.config.raise_k;
+                    if hits > 0 {
+                        AlarmState::Suspected
+                    } else {
+                        AlarmState::Normal
+                    }
+                }
+            }
+            AlarmState::Alarmed => {
+                if self.consecutive_normal >= self.config.clear_after {
+                    // Clearing also forgets the window: post-incident
+                    // rounds start from a clean slate instead of
+                    // re-raising off stale hits.
+                    self.recent.clear();
+                    AlarmState::Normal
+                } else {
+                    AlarmState::Alarmed
+                }
+            }
+        };
+        AlarmTransition {
+            raised: previous != AlarmState::Alarmed && self.state == AlarmState::Alarmed,
+            cleared: previous == AlarmState::Alarmed && self.state == AlarmState::Normal,
+            suppressed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(m: &mut AlarmMachine, rounds: &[(bool, bool)]) -> Vec<AlarmTransition> {
+        rounds.iter().map(|&(a, c)| m.observe(a, c)).collect()
+    }
+
+    #[test]
+    fn defaults_match_consecutive_streak_semantics() {
+        let mut m = AlarmMachine::new(HysteresisConfig::default());
+        // anomalous, normal, anomalous: never two in the 2-window.
+        assert!(!m.observe(true, false).raised);
+        assert_eq!(m.state(), AlarmState::Suspected);
+        assert!(!m.observe(false, false).raised);
+        assert!(!m.observe(true, false).raised);
+        // A second consecutive anomalous round raises.
+        let t = m.observe(true, false);
+        assert!(t.raised);
+        assert_eq!(m.state(), AlarmState::Alarmed);
+        // Two consecutive normals clear.
+        assert!(!m.observe(false, false).cleared);
+        let t = m.observe(false, false);
+        assert!(t.cleared);
+        assert_eq!(m.state(), AlarmState::Normal);
+    }
+
+    #[test]
+    fn k_of_n_raises_through_an_interleaved_normal() {
+        // 2-of-3: anomalous, normal, anomalous holds a quorum.
+        let cfg = HysteresisConfig {
+            window: 3,
+            raise_k: 2,
+            churn_suppress: 0,
+            ..HysteresisConfig::default()
+        };
+        let mut m = AlarmMachine::new(cfg);
+        let t = drive(&mut m, &[(true, false), (false, false), (true, false)]);
+        assert!(!t[0].raised && !t[1].raised);
+        assert!(t[2].raised, "2-of-3 must tolerate one normal in between");
+    }
+
+    #[test]
+    fn churn_suppression_delays_but_does_not_erase_evidence() {
+        // window 3, raise 2, penalty 1: during suppression the quorum is 3.
+        let cfg = HysteresisConfig {
+            window: 3,
+            raise_k: 2,
+            clear_after: 2,
+            churn_suppress: 2,
+            churn_penalty: 1,
+        };
+        let mut m = AlarmMachine::new(cfg);
+        // Churn round scores anomalous (reconciliation residue), next
+        // round too: 2 hits would normally raise, suppression holds it.
+        let t0 = m.observe(true, true);
+        assert!(!t0.raised);
+        let t1 = m.observe(true, false);
+        assert!(!t1.raised, "suppression window still open");
+        assert!(t1.suppressed, "quorum met but penalty held it");
+        // Third anomalous round: either the timer expired or the window
+        // is saturated — the alarm must land.
+        let t2 = m.observe(true, false);
+        assert!(t2.raised, "sustained anomaly raises despite churn");
+    }
+
+    #[test]
+    fn suppression_timer_rearms_on_every_churn_round() {
+        let cfg = HysteresisConfig {
+            window: 2,
+            raise_k: 2,
+            clear_after: 1,
+            churn_suppress: 2,
+            churn_penalty: 5, // capped at the window: quorum becomes 2
+        };
+        let mut m = AlarmMachine::new(cfg);
+        assert_eq!(m.config().window, 2);
+        m.observe(false, true);
+        assert!(m.suppressed());
+        m.observe(false, false);
+        m.observe(false, false);
+        assert!(!m.suppressed(), "timer runs out without churn");
+        m.observe(false, true);
+        assert!(m.suppressed(), "new churn round re-arms");
+        // Penalty is capped at the window, so saturation still raises.
+        let t = drive(&mut m, &[(true, false), (true, false)]);
+        assert!(t[1].raised);
+    }
+
+    #[test]
+    fn clearing_forgets_the_window() {
+        let cfg = HysteresisConfig {
+            window: 4,
+            raise_k: 2,
+            clear_after: 2,
+            churn_suppress: 0,
+            churn_penalty: 0,
+        };
+        let mut m = AlarmMachine::new(cfg);
+        drive(&mut m, &[(true, false), (true, false)]);
+        assert_eq!(m.state(), AlarmState::Alarmed);
+        drive(&mut m, &[(false, false), (false, false)]);
+        assert_eq!(m.state(), AlarmState::Normal);
+        // The two old hits are gone: one fresh anomalous round only
+        // suspects, it does not re-raise off stale window contents.
+        let t = m.observe(true, false);
+        assert!(!t.raised);
+        assert_eq!(m.state(), AlarmState::Suspected);
+    }
+
+    #[test]
+    fn window_smaller_than_quorum_is_clamped() {
+        let m = AlarmMachine::new(HysteresisConfig {
+            window: 1,
+            raise_k: 3,
+            ..HysteresisConfig::default()
+        });
+        assert_eq!(m.config().window, 3);
+    }
+}

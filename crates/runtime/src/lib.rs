@@ -26,9 +26,16 @@
 //!   *identical* to the sequential path.
 //! * [`metrics`] — [`RuntimeMetrics`] counters plus a JSONL [`EventLog`]
 //!   of per-epoch records.
+//! * [`hysteresis`] — [`AlarmMachine`], k-of-n alarm confirmation with
+//!   churn-aware suppression windows (blind rounds freeze the machine
+//!   instead of feeding it noise).
 //! * [`service`] — [`RuntimeService`] glues the layers into one
-//!   `run_epoch` loop with [`foces::Monitor`]-style alarm hysteresis
-//!   (blind rounds freeze the alarm state instead of feeding it noise).
+//!   `run_epoch` loop. Every reply carries the switch's rule-table
+//!   generation; when a stamp (or the controller view's update journal)
+//!   outruns the FCM's build generation, the epoch is *reconciled* —
+//!   journaled rows masked, affected flows quarantined
+//!   ([`foces::Fcm::quarantine`]) — instead of failed, and the FCM is
+//!   rebuilt at the epoch boundary.
 //! * [`harness`] — [`ScenarioDriver`] owns a whole deployment and drives
 //!   reset → replay → (inject/revert) → poll → detect per epoch; the
 //!   `foces run` CLI subcommand and the cross-crate fault test sit on it.
@@ -38,6 +45,7 @@
 
 pub mod degraded;
 pub mod harness;
+pub mod hysteresis;
 pub mod metrics;
 pub mod parallel;
 pub mod scheduler;
@@ -46,6 +54,7 @@ pub mod transport;
 
 pub use degraded::{DegradedPipeline, DetectionMode};
 pub use harness::{FaultScenario, ScenarioDriver};
+pub use hysteresis::{AlarmMachine, AlarmTransition, HysteresisConfig};
 pub use metrics::{EventLog, RuntimeMetrics};
 pub use parallel::detect_parallel;
 pub use scheduler::{EpochCollection, EpochScheduler, PollPolicy, SwitchPoll};

@@ -31,8 +31,18 @@ pub struct RuntimeMetrics {
     pub full_rounds: u64,
     /// Rounds detected on a row-masked system.
     pub degraded_rounds: u64,
+    /// Rounds reconciled against the update journal (mid-epoch churn).
+    pub reconciled_rounds: u64,
     /// Rounds with no usable data at all.
     pub blind_rounds: u64,
+    /// Replies whose generation stamp outran the FCM's build generation.
+    pub stale_generation_replies: u64,
+    /// Flow-epochs quarantined by reconciliation (sum over rounds).
+    pub quarantined_flows: u64,
+    /// Rounds where a raise quorum was held back by churn suppression.
+    pub suppressed_raises: u64,
+    /// FCM (and slice/pipeline) rebuilds after the view moved on.
+    pub fcm_rebuilds: u64,
     /// Rounds whose verdict was anomalous.
     pub anomalous_rounds: u64,
     /// Alarm raise transitions.
@@ -70,7 +80,16 @@ impl RuntimeMetrics {
         num(&mut s, "unresponsive", self.unresponsive as f64);
         num(&mut s, "full_rounds", self.full_rounds as f64);
         num(&mut s, "degraded_rounds", self.degraded_rounds as f64);
+        num(&mut s, "reconciled_rounds", self.reconciled_rounds as f64);
         num(&mut s, "blind_rounds", self.blind_rounds as f64);
+        num(
+            &mut s,
+            "stale_generation_replies",
+            self.stale_generation_replies as f64,
+        );
+        num(&mut s, "quarantined_flows", self.quarantined_flows as f64);
+        num(&mut s, "suppressed_raises", self.suppressed_raises as f64);
+        num(&mut s, "fcm_rebuilds", self.fcm_rebuilds as f64);
         num(&mut s, "anomalous_rounds", self.anomalous_rounds as f64);
         num(&mut s, "alarms_raised", self.alarms_raised as f64);
         num(&mut s, "alarms_cleared", self.alarms_cleared as f64);

@@ -50,6 +50,12 @@ pub struct SwitchPoll {
     /// The reported per-rule counters, in table order — `None` if the
     /// switch never produced a usable reply this epoch.
     pub counters: Option<Vec<f64>>,
+    /// The rule-table generation the switch stamped on its reply — `None`
+    /// exactly when `counters` is. A stamp newer than the generation the
+    /// FCM was built at means the counters mix traffic routed under two
+    /// rule configurations (two-phase read, see
+    /// [`EpochCollection::stale_switches`]).
+    pub generation: Option<u64>,
     /// Exchange attempts made (≥ 1 unless the deadline was already spent).
     pub attempts: u32,
     /// Attempts lost to message drops.
@@ -100,6 +106,29 @@ impl EpochCollection {
         self.polls
             .iter()
             .filter(|p| !p.responsive())
+            .map(|p| p.switch)
+            .collect()
+    }
+
+    /// The generation stamp `switch` reported, if it was responsive.
+    pub fn generation_of(&self, switch: SwitchId) -> Option<u64> {
+        self.polls
+            .iter()
+            .find(|p| p.switch == switch)
+            .and_then(|p| p.generation)
+    }
+
+    /// Responsive switches whose reply carried a generation stamp *newer*
+    /// than `fcm_generation` — the second phase of the two-phase read. A
+    /// stamp records when the switch's table last changed, so an older
+    /// stamp is fine (the table predates the FCM build and has not moved),
+    /// but a newer one means the counters were collected against rules the
+    /// FCM was not built from: the epoch must be reconciled, not scored
+    /// as-is.
+    pub fn stale_switches(&self, fcm_generation: u64) -> Vec<SwitchId> {
+        self.polls
+            .iter()
+            .filter(|p| p.generation.is_some_and(|g| g > fcm_generation))
             .map(|p| p.switch)
             .collect()
     }
@@ -178,6 +207,7 @@ impl EpochScheduler {
         let mut poll = SwitchPoll {
             switch,
             counters: None,
+            generation: None,
             attempts: 0,
             drops: 0,
             stale_replies: 0,
@@ -205,9 +235,11 @@ impl EpochScheduler {
                     match reply {
                         SwitchMsg::StatsReply {
                             xid: rxid,
+                            generation,
                             counters,
                         } if rxid == xid => {
                             poll.counters = Some(counters);
+                            poll.generation = Some(generation);
                             break;
                         }
                         _ => poll.stale_replies += 1, // stale xid or wrong type
@@ -270,6 +302,38 @@ mod tests {
                 .collect();
             assert_eq!(c.counters_of(p.switch).unwrap(), expected.as_slice());
         }
+    }
+
+    #[test]
+    fn generation_stamps_surface_mid_epoch_updates() {
+        let mut dep = deployment();
+        let mut sched = EpochScheduler::new(
+            agents(&dep),
+            Box::new(PerfectTransport),
+            PollPolicy::default(),
+        );
+        let c0 = sched.poll_epoch(&dep.dataplane, 0).unwrap();
+        assert!(c0.polls.iter().all(|p| p.generation == Some(0)));
+        assert!(c0.stale_switches(0).is_empty());
+        // A controller update bumps the touched switches' table generation;
+        // the next sweep's stamps expose exactly those switches as stale
+        // relative to an FCM built at generation 0.
+        let (generation, touched) = dep.reroute_flow_via(0, &[]).unwrap();
+        assert_eq!(generation, 1);
+        let c1 = sched.poll_epoch(&dep.dataplane, 1).unwrap();
+        let stale = c1.stale_switches(0);
+        assert!(!stale.is_empty());
+        for s in &stale {
+            assert_eq!(c1.generation_of(*s), Some(1));
+            assert_eq!(dep.dataplane.table_generation(*s), 1);
+        }
+        // Every stale switch hosts at least one journaled rule.
+        for s in &stale {
+            assert!(touched.iter().any(|r| r.switch == *s));
+        }
+        // Relative to a generation-1 FCM nothing is stale: the untouched
+        // switches' older stamps mean their tables simply predate it.
+        assert!(c1.stale_switches(1).is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! clear anything.
 
 use crate::degraded::{DegradedPipeline, DetectionMode};
+use crate::hysteresis::{AlarmMachine, AlarmTransition, HysteresisConfig};
 use crate::metrics::{json_f64, json_str, EventLog, RuntimeMetrics};
 use crate::parallel::detect_parallel;
 use crate::scheduler::{EpochScheduler, PollPolicy};
@@ -64,14 +65,36 @@ pub struct RuntimeConfig {
     pub policy: PollPolicy,
     /// Anomaly-index threshold (paper default 4.5).
     pub threshold: f64,
-    /// Consecutive anomalous rounds before raising the alarm.
+    /// Anomalous rounds (within [`RuntimeConfig::alarm_window`]) before
+    /// raising the alarm.
     pub raise_after: u32,
     /// Consecutive normal rounds before clearing a raised alarm.
     pub clear_after: u32,
+    /// Sliding window of scored rounds the raise quorum is counted over.
+    /// With `alarm_window == raise_after` (the defaults) this degenerates
+    /// to the classic consecutive-streak hysteresis.
+    pub alarm_window: u32,
+    /// Scored rounds of alarm suppression armed by each churn round.
+    pub churn_suppress: u32,
+    /// Extra anomalous rounds required to raise while churn-suppressed.
+    pub churn_penalty: u32,
     /// Cap on the detectability-oracle candidate sample.
     pub oracle_cap: usize,
     /// Worker threads for the parallel slice solve (≤ 1 = sequential).
     pub workers: usize,
+}
+
+impl RuntimeConfig {
+    /// The hysteresis parameters as an [`HysteresisConfig`].
+    pub fn hysteresis(&self) -> HysteresisConfig {
+        HysteresisConfig {
+            window: self.alarm_window,
+            raise_k: self.raise_after,
+            clear_after: self.clear_after,
+            churn_suppress: self.churn_suppress,
+            churn_penalty: self.churn_penalty,
+        }
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -81,6 +104,9 @@ impl Default for RuntimeConfig {
             threshold: DEFAULT_THRESHOLD,
             raise_after: 2,
             clear_after: 2,
+            alarm_window: 2,
+            churn_suppress: 2,
+            churn_penalty: 1,
             oracle_cap: 256,
             workers: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
@@ -106,6 +132,9 @@ pub struct EpochReport {
     pub alarm_raised: bool,
     /// `true` exactly when this round cleared the alarm.
     pub alarm_cleared: bool,
+    /// Whether this round witnessed a rule update (journal advanced past
+    /// the FCM's build generation, or a reply stamp outran it).
+    pub churn: bool,
     /// Localization suspects (full anomalous rounds only), strongest first.
     pub suspects: Vec<SwitchSuspicion>,
 }
@@ -125,9 +154,9 @@ pub struct RuntimeService {
     config: RuntimeConfig,
     metrics: RuntimeMetrics,
     log: EventLog,
-    state: AlarmState,
-    consecutive_anomalous: u32,
-    consecutive_normal: u32,
+    alarm: AlarmMachine,
+    /// The controller-view generation the current FCM was built from.
+    fcm_generation: u64,
     epoch: u64,
 }
 
@@ -152,9 +181,8 @@ impl RuntimeService {
             config,
             metrics: RuntimeMetrics::default(),
             log: EventLog::in_memory(),
-            state: AlarmState::Normal,
-            consecutive_anomalous: 0,
-            consecutive_normal: 0,
+            alarm: AlarmMachine::new(config.hysteresis()),
+            fcm_generation: view.generation(),
             epoch: 0,
         }
     }
@@ -191,7 +219,12 @@ impl RuntimeService {
 
     /// Current alarm state.
     pub fn state(&self) -> AlarmState {
-        self.state
+        self.alarm.state()
+    }
+
+    /// The controller-view generation the current FCM was built from.
+    pub fn fcm_generation(&self) -> u64 {
+        self.fcm_generation
     }
 
     /// Epochs completed.
@@ -204,13 +237,22 @@ impl RuntimeService {
         &self.pipeline
     }
 
-    /// Runs one full epoch: sweep, assemble, detect, alarm, log.
+    /// Runs one full epoch: sweep, assemble, detect (reconciling against
+    /// the view's update journal when the epoch witnessed churn), alarm,
+    /// log — and finally rebuild the FCM if the view moved past it.
+    ///
+    /// `view` must be the same controller view the service was built from
+    /// (mid-run updates to it are exactly what the journal describes).
     ///
     /// # Errors
     ///
     /// [`RuntimeError`] on wire protocol violations or solver failures —
     /// never because switches were merely unresponsive.
-    pub fn run_epoch(&mut self, dp: &DataPlane) -> Result<EpochReport, RuntimeError> {
+    pub fn run_epoch(
+        &mut self,
+        dp: &DataPlane,
+        view: &ControllerView,
+    ) -> Result<EpochReport, RuntimeError> {
         let epoch = self.epoch;
         self.epoch += 1;
 
@@ -244,9 +286,20 @@ impl RuntimeService {
         }
         self.metrics.build_secs += t1.elapsed().as_secs_f64();
 
+        // -- Two-phase read: did this epoch witness a rule update? -------
+        let stale = collection.stale_switches(self.fcm_generation);
+        self.metrics.stale_generation_replies += stale.len() as u64;
+        let churn = view.generation() > self.fcm_generation || !stale.is_empty();
+
         // -- Detect ------------------------------------------------------
         let t2 = Instant::now();
-        let (verdict, mode) = self.pipeline.detect(&counters, &observed)?;
+        let (verdict, mode) = if churn {
+            let touched = view.touched_rules_since(self.fcm_generation);
+            self.pipeline
+                .detect_reconciled(&counters, &observed, &touched, stale)?
+        } else {
+            self.pipeline.detect(&counters, &observed)?
+        };
         let sliced = if matches!(mode, DetectionMode::Full) {
             Some(detect_parallel(
                 &self.sliced,
@@ -261,36 +314,14 @@ impl RuntimeService {
 
         // -- Alarm hysteresis (blind rounds freeze the machine) ----------
         let anomalous = verdict.as_ref().map(|v| v.anomalous).unwrap_or(false);
-        let previous = self.state;
-        if !mode.is_blind() {
-            if anomalous {
-                self.consecutive_anomalous += 1;
-                self.consecutive_normal = 0;
-            } else {
-                self.consecutive_normal += 1;
-                self.consecutive_anomalous = 0;
-            }
-            self.state = match previous {
-                AlarmState::Normal | AlarmState::Suspected => {
-                    if self.consecutive_anomalous >= self.config.raise_after {
-                        AlarmState::Alarmed
-                    } else if self.consecutive_anomalous > 0 {
-                        AlarmState::Suspected
-                    } else {
-                        AlarmState::Normal
-                    }
-                }
-                AlarmState::Alarmed => {
-                    if self.consecutive_normal >= self.config.clear_after {
-                        AlarmState::Normal
-                    } else {
-                        AlarmState::Alarmed
-                    }
-                }
-            };
-        }
-        let alarm_raised = previous != AlarmState::Alarmed && self.state == AlarmState::Alarmed;
-        let alarm_cleared = previous == AlarmState::Alarmed && self.state == AlarmState::Normal;
+        let transition = if mode.is_blind() {
+            AlarmTransition::default()
+        } else {
+            self.alarm.observe(anomalous, churn)
+        };
+        let alarm_raised = transition.raised;
+        let alarm_cleared = transition.cleared;
+        self.metrics.suppressed_raises += u64::from(transition.suppressed);
 
         // -- Localize (full anomalous rounds) ----------------------------
         let suspects = match (&sliced, anomalous) {
@@ -302,19 +333,27 @@ impl RuntimeService {
         match &mode {
             DetectionMode::Full => self.metrics.full_rounds += 1,
             DetectionMode::Degraded { .. } => self.metrics.degraded_rounds += 1,
+            DetectionMode::Reconciled { .. } => self.metrics.reconciled_rounds += 1,
             DetectionMode::Blind { .. } => self.metrics.blind_rounds += 1,
         }
         self.metrics.anomalous_rounds += u64::from(anomalous);
         self.metrics.alarms_raised += u64::from(alarm_raised);
         self.metrics.alarms_cleared += u64::from(alarm_cleared);
 
-        let (missing_count, coverage) = match &mode {
-            DetectionMode::Full => (0usize, self.pipeline.full_coverage()),
+        let (missing_count, quarantined, coverage) = match &mode {
+            DetectionMode::Full => (0usize, 0usize, self.pipeline.full_coverage()),
             DetectionMode::Degraded {
                 missing, coverage, ..
-            } => (missing.len(), *coverage),
-            DetectionMode::Blind { missing } => (missing.len(), 0.0),
+            } => (missing.len(), 0, *coverage),
+            DetectionMode::Reconciled {
+                missing,
+                quarantined_flows,
+                coverage,
+                ..
+            } => (missing.len(), *quarantined_flows, *coverage),
+            DetectionMode::Blind { missing } => (missing.len(), 0, 0.0),
         };
+        self.metrics.quarantined_flows += quarantined as u64;
         let ai = verdict
             .as_ref()
             .map(|v| v.anomaly_index)
@@ -322,23 +361,38 @@ impl RuntimeService {
         self.log.record(format!(
             "{{\"epoch\":{epoch},\"mode\":{},\"missing\":{missing_count},\
              \"anomaly_index\":{},\"anomalous\":{anomalous},\"coverage\":{},\
+             \"churn\":{churn},\"quarantined\":{quarantined},\
              \"state\":{},\"alarm_raised\":{alarm_raised},\
              \"alarm_cleared\":{alarm_cleared},\"sim_ms\":{}}}",
             json_str(mode.label()),
             json_f64(ai),
             json_f64(coverage),
-            json_str(&self.state.to_string()),
+            json_str(&self.alarm.state().to_string()),
             json_f64(collection.elapsed_ms),
         ));
+
+        // -- Refresh: adopt the view's new generation for the next epoch -
+        // The churn epoch itself is scored on the OLD system (its counters
+        // are mixed no matter what); from the next epoch on, counters and
+        // FCM agree again.
+        if view.generation() > self.fcm_generation {
+            let fcm = Fcm::from_view(view);
+            self.sliced = SlicedFcm::from_fcm(&fcm);
+            let detector = Detector::with_threshold(self.config.threshold);
+            self.pipeline = DegradedPipeline::new(view, fcm, detector, self.config.oracle_cap);
+            self.fcm_generation = view.generation();
+            self.metrics.fcm_rebuilds += 1;
+        }
 
         Ok(EpochReport {
             epoch,
             mode,
             verdict,
             sliced,
-            state: self.state,
+            state: self.alarm.state(),
             alarm_raised,
             alarm_cleared,
+            churn,
             suspects,
         })
     }
@@ -367,7 +421,7 @@ mod tests {
         let mut svc =
             RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
         for _ in 0..3 {
-            let r = svc.run_epoch(&dep.dataplane).unwrap();
+            let r = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
             assert_eq!(r.mode, DetectionMode::Full);
             assert!(!r.anomalous());
             assert_eq!(r.state, AlarmState::Normal);
@@ -395,18 +449,64 @@ mod tests {
         );
         let mut svc =
             RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
-        let r0 = svc.run_epoch(&dep.dataplane).unwrap();
+        let r0 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
         assert!(r0.mode.is_degraded(), "epoch 0: victim offline");
         assert!(!r0.anomalous());
         let r2_mode = {
-            svc.run_epoch(&dep.dataplane).unwrap(); // epoch 1, still offline
-            svc.run_epoch(&dep.dataplane).unwrap().mode // epoch 2: back
+            svc.run_epoch(&dep.dataplane, &dep.view).unwrap(); // epoch 1, still offline
+            svc.run_epoch(&dep.dataplane, &dep.view).unwrap().mode // epoch 2: back
         };
         assert_eq!(r2_mode, DetectionMode::Full);
         let m = svc.metrics();
         assert_eq!(m.degraded_rounds, 2);
         assert_eq!(m.offline_polls, 2);
         assert_eq!(m.unresponsive, 2);
+    }
+
+    #[test]
+    fn churn_epoch_is_reconciled_then_the_fcm_is_rebuilt() {
+        let topo = ring(4);
+        let flows = uniform_flows(&topo, 12_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        let transport = SimTransport::new(1, FaultProfile::default());
+        let mut svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        assert_eq!(svc.fcm_generation(), 0);
+
+        // Epoch 0: quiet, full.
+        dep.dataplane.reset_counters();
+        dep.replay_traffic(&mut LossModel::none());
+        let r0 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+        assert_eq!(r0.mode, DetectionMode::Full);
+        assert!(!r0.churn);
+
+        // Epoch 1: a reroute lands mid-epoch — half the traffic runs under
+        // each generation, so the counters fit neither system alone.
+        dep.dataplane.reset_counters();
+        dep.replay_traffic_scaled(&mut LossModel::none(), 0.5);
+        dep.reroute_flow_via(0, &[]).unwrap();
+        dep.replay_traffic_scaled(&mut LossModel::none(), 0.5);
+        let r1 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+        assert!(r1.churn);
+        assert!(r1.mode.is_reconciled(), "got {:?}", r1.mode);
+        assert!(!r1.anomalous(), "reconciliation absorbs the churn");
+        let m = svc.metrics();
+        assert_eq!(m.reconciled_rounds, 1);
+        assert!(m.stale_generation_replies > 0);
+        assert!(m.quarantined_flows >= 1);
+        assert_eq!(m.fcm_rebuilds, 1);
+        assert_eq!(svc.fcm_generation(), 1);
+        assert!(svc.log().lines()[1].contains("\"mode\":\"Reconciled\""));
+        assert!(svc.log().lines()[1].contains("\"churn\":true"));
+
+        // Epoch 2: the rebuilt FCM matches the new paths — full and quiet.
+        dep.dataplane.reset_counters();
+        dep.replay_traffic(&mut LossModel::none());
+        let r2 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+        assert_eq!(r2.mode, DetectionMode::Full);
+        assert!(!r2.churn);
+        assert!(!r2.anomalous());
+        assert_eq!(r2.state, AlarmState::Normal);
     }
 
     #[test]
@@ -421,13 +521,13 @@ mod tests {
         );
         let mut svc =
             RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
-        let r = svc.run_epoch(&dep.dataplane).unwrap();
+        let r = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
         assert!(r.mode.is_blind());
         assert!(r.verdict.is_none());
         assert_eq!(r.state, AlarmState::Normal);
         assert_eq!(svc.metrics().blind_rounds, 1);
         // The next epoch everyone is back.
-        let r1 = svc.run_epoch(&dep.dataplane).unwrap();
+        let r1 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
         assert_eq!(r1.mode, DetectionMode::Full);
     }
 }

@@ -44,6 +44,8 @@ fn scenario() -> FaultScenario {
         anomaly_kind: AnomalyKind::PathDeviation,
         seed: 12,
         anomaly_seed: 4,
+        churn_period: None,
+        churn_seed: 7,
     }
 }
 
