@@ -11,6 +11,7 @@ use foces_controlplane::scenario::Scenario;
 use foces_controlplane::Deployment;
 use foces_dataplane::{inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel};
 use foces_runtime::{DetectionMode, EventLog, FaultScenario, RuntimeConfig, ScenarioDriver};
+use foces_verify::verify_view;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -20,7 +21,9 @@ pub type CmdError = Box<dyn std::error::Error>;
 
 /// A command's rendered report plus the process exit code `main` should
 /// propagate. `0` is a clean run; `foces run` exits `2` when the service
-/// ends with an unresolved alarm, so scripts and CI can gate on it.
+/// ends with an unresolved alarm, and `foces audit` exits `3` when static
+/// verification finds rule-table violations, so scripts and CI can gate
+/// on it.
 #[derive(Debug)]
 pub struct CmdOutput {
     /// Human-readable report for stdout.
@@ -54,7 +57,9 @@ USAGE:
                  [--workers N] [--oracle-cap N] [--log FILE.jsonl]
                  fault-tolerant online detection over an unreliable channel;
                  exits 2 if the run ends with an unresolved alarm
-  foces audit    <scenario> [--cap N]                detectability blind spots
+  foces audit    <scenario> [--cap N] [--json]       static rule-table verification
+                 (loops, blackholes, shadowed rules, FCM consistency) plus
+                 detectability blind spots; exits 3 on static violations
   foces harden   <scenario> [--budget N] [--cap N]   close blind spots with extra rules
   foces scenario <fattree|bcube|dcell|stanford|linear|ring> print a template scenario
   foces help
@@ -390,29 +395,62 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
     })
 }
 
-/// `foces audit <scenario> [--cap N]`.
-pub fn audit(args: &Args) -> Result<String, CmdError> {
+/// `foces audit <scenario> [--cap N] [--json]` — static rule-table
+/// verification (loops, blackholes, shadowing, FCM consistency) followed
+/// by the detectability blind-spot analysis. Exits `3` when verification
+/// finds violations; `--json` renders everything as JSONL for pipelines.
+pub fn audit(args: &Args) -> Result<CmdOutput, CmdError> {
     let (_, dep) = load(args)?;
     let cap: usize = args.num("cap", usize::MAX)?;
     let fcm = Fcm::from_view(&dep.view);
+    let verification = verify_view(&dep.view);
     let report = audit_deviations(&dep.view, &fcm, cap);
     let mut out = String::new();
-    writeln!(out, "candidates:   {}", report.total())?;
-    writeln!(out, "detectable:   {}", report.detectable.len())?;
-    writeln!(out, "blind spots:  {}", report.undetectable.len())?;
-    writeln!(out, "coverage:     {:.1}%", 100.0 * report.coverage())?;
-    for c in report.undetectable.iter().take(10) {
-        let flow = &fcm.flows()[c.flow];
+    if args.flag("json") {
+        for line in verification.to_json_lines() {
+            writeln!(out, "{line}")?;
+        }
         writeln!(
             out,
-            "  blind: flow h{}->h{} deviated at s{} toward s{} (delivered: {})",
-            flow.ingress.0, flow.egress.0, c.at_switch.0, c.redirected_to.0, c.still_delivered
+            "{{\"event\":\"detectability\",\"candidates\":{},\"detectable\":{},\
+             \"blind\":{},\"coverage\":{:.6}}}",
+            report.total(),
+            report.detectable.len(),
+            report.undetectable.len(),
+            report.coverage()
         )?;
+    } else {
+        writeln!(out, "static check: {}", verification.summary())?;
+        for f in verification.findings.iter().take(10) {
+            writeln!(out, "  {f}")?;
+        }
+        if verification.findings.len() > 10 {
+            writeln!(out, "  ... and {} more", verification.findings.len() - 10)?;
+        }
+        writeln!(out, "candidates:   {}", report.total())?;
+        writeln!(out, "detectable:   {}", report.detectable.len())?;
+        writeln!(out, "blind spots:  {}", report.undetectable.len())?;
+        writeln!(out, "coverage:     {:.1}%", 100.0 * report.coverage())?;
+        for c in report.undetectable.iter().take(10) {
+            let flow = &fcm.flows()[c.flow];
+            writeln!(
+                out,
+                "  blind: flow h{}->h{} deviated at s{} toward s{} (delivered: {})",
+                flow.ingress.0, flow.egress.0, c.at_switch.0, c.redirected_to.0, c.still_delivered
+            )?;
+        }
+        if report.undetectable.len() > 10 {
+            writeln!(out, "  ... and {} more", report.undetectable.len() - 10)?;
+        }
+        if !verification.is_clean() {
+            writeln!(out, "exit 3: static verification found violations")?;
+        }
     }
-    if report.undetectable.len() > 10 {
-        writeln!(out, "  ... and {} more", report.undetectable.len() - 10)?;
-    }
-    Ok(out)
+    let exit_code = if verification.is_clean() { 0 } else { 3 };
+    Ok(CmdOutput {
+        report: out,
+        exit_code,
+    })
 }
 
 /// `foces harden <scenario> [--budget N] [--cap N]`.
@@ -500,7 +538,7 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
         Some("detect") => detect(&args).map(CmdOutput::clean),
         Some("monitor") => monitor(&args).map(CmdOutput::clean),
         Some("run") => run_service(&args),
-        Some("audit") => audit(&args).map(CmdOutput::clean),
+        Some("audit") => audit(&args),
         Some("harden") => harden_cmd(&args).map(CmdOutput::clean),
         Some("scenario") => scenario_template(&args).map(CmdOutput::clean),
         Some("help") | None => Ok(CmdOutput::clean(USAGE.to_string())),
@@ -701,7 +739,10 @@ mod tests {
     #[test]
     fn audit_and_harden_round_trip() {
         let path = scenario_file("topology fattree 4\ngranularity per-dest\nall-pairs 1000\n");
-        let audit_out = run(argv(&["audit", path.to_str().unwrap()])).unwrap();
+        let audit_out = run_full(argv(&["audit", path.to_str().unwrap()])).unwrap();
+        assert_eq!(audit_out.exit_code, 0, "{}", audit_out.report);
+        let audit_out = audit_out.report;
+        assert!(audit_out.contains("static check: clean"), "{audit_out}");
         assert!(audit_out.contains("blind spots:  224"), "{audit_out}");
         let harden_out = run(argv(&[
             "harden",
@@ -711,6 +752,43 @@ mod tests {
         ]))
         .unwrap();
         assert!(harden_out.contains("-> 100.0%"), "{harden_out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn audit_exits_3_on_shadowed_rules() {
+        // The waypointed pair rules (priority 12) fully cover the plain
+        // per-pair shortest-path rules (priority 10) for the same pair at
+        // the shared endpoints of both paths: dead rules, exit 3.
+        let path = scenario_file(
+            "topology ring 6\ngranularity per-pair\nall-pairs 500\nflow-via h0 h2 1000 s4\n",
+        );
+        let out = run_full(argv(&["audit", path.to_str().unwrap()])).unwrap();
+        assert_eq!(out.exit_code, 3, "{}", out.report);
+        assert!(out.report.contains("[shadowed]"), "{}", out.report);
+        assert!(
+            out.report
+                .contains("exit 3: static verification found violations"),
+            "{}",
+            out.report
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn audit_json_renders_jsonl() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run_full(argv(&["audit", path.to_str().unwrap(), "--json"])).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        let lines: Vec<&str> = out.report.lines().collect();
+        assert_eq!(lines.len(), 2, "{}", out.report);
+        assert!(lines[0].contains("\"event\":\"verify\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"clean\":true"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"event\":\"detectability\""),
+            "{}",
+            lines[1]
+        );
         let _ = std::fs::remove_file(path);
     }
 

@@ -10,7 +10,11 @@
 //!   rule's match field;
 //! * **subset tests** — is one region contained in another (used when
 //!   higher-priority rules shadow lower ones);
-//! * **rewrite** — apply a rule's set-field actions to a symbolic header.
+//! * **rewrite** — apply a rule's set-field actions to a symbolic header;
+//! * **subtraction** — the residual of a region after removing others
+//!   ([`Wildcard::difference`], [`Wildcard::subtract_all`], [`covers`]),
+//!   the exact-coverage oracle behind static rule-table verification
+//!   (dead-rule detection, loop/blackhole counterexamples).
 //!
 //! The [`Wildcard`] type implements all three over an arbitrary bit width,
 //! packed two-planes-per-bit into `u64` blocks (a `mask` plane marking exact
@@ -37,4 +41,4 @@
 
 mod wildcard;
 
-pub use wildcard::{HeaderSpaceError, Wildcard};
+pub use wildcard::{covers, HeaderSpaceError, Wildcard};

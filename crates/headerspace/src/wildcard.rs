@@ -268,6 +268,62 @@ impl Wildcard {
         self.intersect(other).is_some()
     }
 
+    /// Set difference `self \ other` as a union of **pairwise-disjoint**
+    /// wildcards (the standard header-space subtraction): one piece per
+    /// position where `other` pins a bit that `self` leaves free, each
+    /// piece agreeing with `other` on the earlier free positions and
+    /// differing at its own. An empty result means `self ⊆ other`; a
+    /// disjoint `other` returns `self` unchanged as the single piece.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn difference(&self, other: &Wildcard) -> Vec<Wildcard> {
+        assert_eq!(
+            self.width, other.width,
+            "difference: widths {} vs {}",
+            self.width, other.width
+        );
+        if !self.overlaps(other) {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::new();
+        // `base` accumulates agreement with `other` on the free positions
+        // already split off, so the emitted pieces are pairwise disjoint.
+        let mut base = self.clone();
+        for pos in 0..self.width {
+            if self.bit(pos).is_none() {
+                if let Some(v) = other.bit(pos) {
+                    let mut piece = base.clone();
+                    piece.set_bit(pos, Some(!v));
+                    out.push(piece);
+                    base.set_bit(pos, Some(v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Subtracts every region in `others` from `self`, returning the
+    /// residual as a union of pairwise-disjoint wildcards (empty ⇔ `self`
+    /// is fully covered by the union of `others`). This is the exact
+    /// emptiness test the single-negative containment heuristic in the
+    /// ATPG tracer approximates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width differs.
+    pub fn subtract_all(&self, others: &[Wildcard]) -> Vec<Wildcard> {
+        let mut pieces = vec![self.clone()];
+        for o in others {
+            if pieces.is_empty() {
+                break;
+            }
+            pieces = pieces.iter().flat_map(|p| p.difference(o)).collect();
+        }
+        pieces
+    }
+
     /// Applies a rewrite: wherever `rewrite` has an exact bit, that bit is
     /// forced in the output; wildcard positions in `rewrite` pass `self`'s
     /// bit through unchanged. This models OpenFlow set-field actions.
@@ -316,6 +372,24 @@ impl Wildcard {
     /// `f64` to avoid overflow on wide headers.
     pub fn cardinality(&self) -> f64 {
         2f64.powi((self.width - self.exact_bits()) as i32)
+    }
+
+    /// A representative concrete header of the region: every wildcard bit
+    /// resolved to `0`. Useful for turning a symbolic counterexample into
+    /// a concrete injectable packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn representative(&self) -> u64 {
+        assert!(self.width <= 64, "representative supports widths up to 64");
+        let mut h = 0u64;
+        for pos in 0..self.width {
+            if self.bit(pos) == Some(true) {
+                h |= 1 << (self.width - 1 - pos);
+            }
+        }
+        h
     }
 
     /// Returns `true` when this region is the full space (all wildcards).
@@ -368,6 +442,19 @@ impl Wildcard {
         }
         Ok(w)
     }
+}
+
+/// Tests whether the union of `cover` contains every header of `target`
+/// (`target ⊆ ∪ cover`): the residual of subtracting each cover region
+/// from `target` must be empty. This is the coverage oracle behind
+/// shadowed/dead-rule detection: a rule is dead iff the higher-priority
+/// matches jointly cover it.
+///
+/// # Panics
+///
+/// Panics if any width differs from `target`'s.
+pub fn covers(cover: &[Wildcard], target: &Wildcard) -> bool {
+    target.subtract_all(cover).is_empty()
 }
 
 fn fmt_ternary(w: &Wildcard, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -549,6 +636,91 @@ mod tests {
         let a = Wildcard::any(4);
         let b = Wildcard::any(8);
         a.intersect(&b);
+    }
+
+    /// Brute-force set semantics of a small-width wildcard.
+    fn members(w: &Wildcard) -> Vec<u64> {
+        (0..(1u64 << w.width()))
+            .filter(|&h| w.matches_concrete(h))
+            .collect()
+    }
+
+    #[test]
+    fn difference_disjoint_returns_self() {
+        let a = Wildcard::from_str_bits("1***").unwrap();
+        let b = Wildcard::from_str_bits("0***").unwrap();
+        assert_eq!(a.difference(&b), vec![a.clone()]);
+    }
+
+    #[test]
+    fn difference_of_subset_is_empty() {
+        let narrow = Wildcard::from_str_bits("101*").unwrap();
+        let wide = Wildcard::from_str_bits("10**").unwrap();
+        assert!(narrow.difference(&wide).is_empty());
+        assert!(narrow.difference(&narrow).is_empty());
+    }
+
+    #[test]
+    fn difference_pieces_are_disjoint_and_exact() {
+        for (a, b) in [
+            ("****", "10*1"),
+            ("1***", "1*00"),
+            ("**0*", "1***"),
+            ("*0*1", "00**"),
+        ] {
+            let a = Wildcard::from_str_bits(a).unwrap();
+            let b = Wildcard::from_str_bits(b).unwrap();
+            let pieces = a.difference(&b);
+            // Pairwise disjoint.
+            for (i, p) in pieces.iter().enumerate() {
+                for q in &pieces[i + 1..] {
+                    assert!(!p.overlaps(q), "{p} overlaps {q}");
+                }
+            }
+            // Union is exactly a \ b.
+            let mut got: Vec<u64> = pieces.iter().flat_map(members).collect();
+            got.sort_unstable();
+            let want: Vec<u64> = members(&a)
+                .into_iter()
+                .filter(|h| !b.matches_concrete(*h))
+                .collect();
+            assert_eq!(got, want, "{a} \\ {b}");
+        }
+    }
+
+    #[test]
+    fn subtract_all_and_covers_agree_with_brute_force() {
+        let target = Wildcard::from_str_bits("1***").unwrap();
+        let halves = [
+            Wildcard::from_str_bits("10**").unwrap(),
+            Wildcard::from_str_bits("11**").unwrap(),
+        ];
+        assert!(target.subtract_all(&halves).is_empty());
+        assert!(covers(&halves, &target));
+        // Remove one quarter: residual is exactly that quarter.
+        let partial = [
+            Wildcard::from_str_bits("10**").unwrap(),
+            Wildcard::from_str_bits("110*").unwrap(),
+        ];
+        assert!(!covers(&partial, &target));
+        let residual = target.subtract_all(&partial);
+        let mut got: Vec<u64> = residual.iter().flat_map(members).collect();
+        got.sort_unstable();
+        assert_eq!(got, members(&Wildcard::from_str_bits("111*").unwrap()));
+        // Covering nothing covers only the empty set.
+        assert!(!covers(&[], &target));
+    }
+
+    #[test]
+    fn representative_is_a_member() {
+        for s in ["10**0101", "********", "11111111", "1*0*1*0*"] {
+            let w = Wildcard::from_str_bits(s).unwrap();
+            assert!(w.matches_concrete(w.representative()), "{s}");
+        }
+        assert_eq!(
+            Wildcard::from_str_bits("1*1*").unwrap().representative(),
+            0b1010
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! on the regions it denotes. We check against a brute-force concrete-header
 //! enumeration for 8-bit headers, which is exhaustive (256 headers).
 
-use foces_headerspace::Wildcard;
+use foces_headerspace::{covers, Wildcard};
 use proptest::prelude::*;
 
 const WIDTH: usize = 8;
@@ -84,6 +84,39 @@ proptest! {
         let left = a.intersect(&b).and_then(|ab| ab.intersect(&c));
         let right = b.intersect(&c).and_then(|bc| a.intersect(&bc));
         prop_assert_eq!(left, right);
+    }
+
+    /// difference denotes set difference, with pairwise-disjoint pieces.
+    #[test]
+    fn difference_is_set_difference(a in wildcard_strategy(), b in wildcard_strategy()) {
+        let pieces = a.difference(&b);
+        for (i, p) in pieces.iter().enumerate() {
+            for q in &pieces[i + 1..] {
+                prop_assert!(!p.overlaps(q), "pieces {p} and {q} overlap");
+            }
+        }
+        let mut lhs: Vec<u64> = pieces.iter().flat_map(denote).collect();
+        lhs.sort_unstable();
+        let rhs: Vec<u64> = denote(&a).into_iter().filter(|h| !b.matches_concrete(*h)).collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// subtract_all denotes iterated set difference; covers agrees with the
+    /// brute-force union-inclusion test.
+    #[test]
+    fn subtract_all_and_covers_are_exact(
+        a in wildcard_strategy(),
+        cover in proptest::collection::vec(wildcard_strategy(), 0..4),
+    ) {
+        let residual = a.subtract_all(&cover);
+        let mut lhs: Vec<u64> = residual.iter().flat_map(denote).collect();
+        lhs.sort_unstable();
+        let rhs: Vec<u64> = denote(&a)
+            .into_iter()
+            .filter(|h| !cover.iter().any(|c| c.matches_concrete(*h)))
+            .collect();
+        prop_assert_eq!(&lhs, &rhs);
+        prop_assert_eq!(covers(&cover, &a), rhs.is_empty());
     }
 
     /// Parsing the Display form round-trips.

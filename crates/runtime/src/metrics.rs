@@ -43,6 +43,12 @@ pub struct RuntimeMetrics {
     pub suppressed_raises: u64,
     /// FCM (and slice/pipeline) rebuilds after the view moved on.
     pub fcm_rebuilds: u64,
+    /// Static verification passes (the pre-flight pass plus one re-check
+    /// after every FCM rebuild).
+    pub verify_passes: u64,
+    /// Static findings across all verification passes (loops, blackholes,
+    /// shadowed rules, FCM inconsistencies).
+    pub static_violations: u64,
     /// Rounds whose verdict was anomalous.
     pub anomalous_rounds: u64,
     /// Alarm raise transitions.
@@ -55,6 +61,8 @@ pub struct RuntimeMetrics {
     pub build_secs: f64,
     /// Wall-clock spent in solves (detection), seconds.
     pub solve_secs: f64,
+    /// Wall-clock spent in static verification passes, seconds.
+    pub verify_secs: f64,
     /// *Simulated* channel time accumulated across sweeps, milliseconds.
     pub sim_channel_ms: f64,
 }
@@ -90,12 +98,15 @@ impl RuntimeMetrics {
         num(&mut s, "quarantined_flows", self.quarantined_flows as f64);
         num(&mut s, "suppressed_raises", self.suppressed_raises as f64);
         num(&mut s, "fcm_rebuilds", self.fcm_rebuilds as f64);
+        num(&mut s, "verify_passes", self.verify_passes as f64);
+        num(&mut s, "static_violations", self.static_violations as f64);
         num(&mut s, "anomalous_rounds", self.anomalous_rounds as f64);
         num(&mut s, "alarms_raised", self.alarms_raised as f64);
         num(&mut s, "alarms_cleared", self.alarms_cleared as f64);
         num(&mut s, "collect_secs", self.collect_secs);
         num(&mut s, "build_secs", self.build_secs);
         num(&mut s, "solve_secs", self.solve_secs);
+        num(&mut s, "verify_secs", self.verify_secs);
         num(&mut s, "sim_channel_ms", self.sim_channel_ms);
         s.push('}');
         s

@@ -20,7 +20,8 @@ use foces::{
 };
 use foces_channel::{ChannelError, SwitchAgent, Transport};
 use foces_controlplane::ControllerView;
-use foces_dataplane::DataPlane;
+use foces_dataplane::{DataPlane, RuleRef};
+use foces_verify::{verify_fcm, verify_with, VerifyOptions, VerifyReport};
 use std::fmt;
 use std::time::Instant;
 
@@ -137,6 +138,12 @@ pub struct EpochReport {
     pub churn: bool,
     /// Localization suspects (full anomalous rounds only), strongest first.
     pub suspects: Vec<SwitchSuspicion>,
+    /// Whether this round ended with a static re-verification of the view
+    /// (it does exactly when the FCM was rebuilt).
+    pub verified: bool,
+    /// Outstanding findings from the most recent static verification pass
+    /// (the pre-flight pass, or the re-check after the latest rebuild).
+    pub static_violations: usize,
 }
 
 impl EpochReport {
@@ -158,6 +165,39 @@ pub struct RuntimeService {
     /// The controller-view generation the current FCM was built from.
     fcm_generation: u64,
     epoch: u64,
+    /// The most recent static verification report.
+    verification: VerifyReport,
+    /// Rules implicated by the verification's *critical* findings (loops,
+    /// blackholes, FCM inconsistencies). While non-empty, every epoch is
+    /// detected reconciled with these rows masked: traffic caught in a
+    /// statically-broken region must surface as a `static_violations`
+    /// report, not as a forwarding-anomaly alarm.
+    static_touched: Vec<RuleRef>,
+}
+
+/// Statically verifies `view` (and `fcm` against it), treating
+/// journal-drained rules as expected shadowing, and accounts the pass in
+/// `metrics`.
+fn verify_closure(view: &ControllerView, fcm: &Fcm, metrics: &mut RuntimeMetrics) -> VerifyReport {
+    let t = Instant::now();
+    let mut report = verify_with(
+        view,
+        &VerifyOptions {
+            // Rolling updates deliberately leave drained (fully shadowed)
+            // rules behind; the journal names every one of them.
+            expected_shadowed: view.touched_rules_since(0),
+            // The service already holds the FCM — check it directly
+            // instead of re-tracing the view's flows.
+            check_fcm: false,
+        },
+    );
+    report.findings.extend(verify_fcm(view, fcm));
+    report.flows_checked = fcm.flow_count();
+    report.elapsed_secs = t.elapsed().as_secs_f64();
+    metrics.verify_passes += 1;
+    metrics.static_violations += report.findings.len() as u64;
+    metrics.verify_secs += report.elapsed_secs;
+    report
 }
 
 impl RuntimeService {
@@ -170,6 +210,11 @@ impl RuntimeService {
         config: RuntimeConfig,
     ) -> Self {
         let fcm = Fcm::from_view(view);
+        // Pre-flight gate: prove the configuration sound before trusting
+        // counter equations built from it.
+        let mut metrics = RuntimeMetrics::default();
+        let verification = verify_closure(view, &fcm, &mut metrics);
+        let static_touched = verification.implicated_rules();
         let sliced = SlicedFcm::from_fcm(&fcm);
         let detector = Detector::with_threshold(config.threshold);
         let pipeline = DegradedPipeline::new(view, fcm, detector, config.oracle_cap);
@@ -179,11 +224,13 @@ impl RuntimeService {
             sliced,
             scheduler,
             config,
-            metrics: RuntimeMetrics::default(),
+            metrics,
             log: EventLog::in_memory(),
             alarm: AlarmMachine::new(config.hysteresis()),
             fcm_generation: view.generation(),
             epoch: 0,
+            verification,
+            static_touched,
         }
     }
 
@@ -235,6 +282,19 @@ impl RuntimeService {
     /// The degraded-detection layer (FCM, oracle coverage, mask cache).
     pub fn pipeline(&self) -> &DegradedPipeline {
         &self.pipeline
+    }
+
+    /// The most recent static verification report: the pre-flight pass at
+    /// construction, or the re-check after the latest FCM rebuild.
+    pub fn verification(&self) -> &VerifyReport {
+        &self.verification
+    }
+
+    /// Rules implicated by the verification's critical findings. While
+    /// non-empty, every epoch is detected reconciled with these rows
+    /// masked (see [`EpochReport::static_violations`]).
+    pub fn static_touched(&self) -> &[RuleRef] {
+        &self.static_touched
     }
 
     /// Runs one full epoch: sweep, assemble, detect (reconciling against
@@ -292,9 +352,15 @@ impl RuntimeService {
         let churn = view.generation() > self.fcm_generation || !stale.is_empty();
 
         // -- Detect ------------------------------------------------------
+        // Statically-implicated rules force the reconciled path even on
+        // quiet epochs: their counters are poisoned by configuration, not
+        // by a compromised switch, and must not feed the anomaly index.
         let t2 = Instant::now();
-        let (verdict, mode) = if churn {
-            let touched = view.touched_rules_since(self.fcm_generation);
+        let (verdict, mode) = if churn || !self.static_touched.is_empty() {
+            let mut touched = view.touched_rules_since(self.fcm_generation);
+            touched.extend(self.static_touched.iter().copied());
+            touched.sort_unstable();
+            touched.dedup();
             self.pipeline
                 .detect_reconciled(&counters, &observed, &touched, stale)?
         } else {
@@ -354,6 +420,26 @@ impl RuntimeService {
             DetectionMode::Blind { missing } => (missing.len(), 0, 0.0),
         };
         self.metrics.quarantined_flows += quarantined as u64;
+
+        // -- Refresh: adopt the view's new generation for the next epoch -
+        // The churn epoch itself is scored on the OLD system (its counters
+        // are mixed no matter what); from the next epoch on, counters and
+        // FCM agree again. Every rebuild re-verifies the churn closure: a
+        // journaled update that introduced a loop or blackhole surfaces
+        // here as a static violation, never as a forwarding-anomaly alarm.
+        let verified = view.generation() > self.fcm_generation;
+        if verified {
+            let fcm = Fcm::from_view(view);
+            self.verification = verify_closure(view, &fcm, &mut self.metrics);
+            self.static_touched = self.verification.implicated_rules();
+            self.sliced = SlicedFcm::from_fcm(&fcm);
+            let detector = Detector::with_threshold(self.config.threshold);
+            self.pipeline = DegradedPipeline::new(view, fcm, detector, self.config.oracle_cap);
+            self.fcm_generation = view.generation();
+            self.metrics.fcm_rebuilds += 1;
+        }
+        let static_violations = self.verification.findings.len();
+
         let ai = verdict
             .as_ref()
             .map(|v| v.anomaly_index)
@@ -363,26 +449,14 @@ impl RuntimeService {
              \"anomaly_index\":{},\"anomalous\":{anomalous},\"coverage\":{},\
              \"churn\":{churn},\"quarantined\":{quarantined},\
              \"state\":{},\"alarm_raised\":{alarm_raised},\
-             \"alarm_cleared\":{alarm_cleared},\"sim_ms\":{}}}",
+             \"alarm_cleared\":{alarm_cleared},\"verified\":{verified},\
+             \"static_violations\":{static_violations},\"sim_ms\":{}}}",
             json_str(mode.label()),
             json_f64(ai),
             json_f64(coverage),
             json_str(&self.alarm.state().to_string()),
             json_f64(collection.elapsed_ms),
         ));
-
-        // -- Refresh: adopt the view's new generation for the next epoch -
-        // The churn epoch itself is scored on the OLD system (its counters
-        // are mixed no matter what); from the next epoch on, counters and
-        // FCM agree again.
-        if view.generation() > self.fcm_generation {
-            let fcm = Fcm::from_view(view);
-            self.sliced = SlicedFcm::from_fcm(&fcm);
-            let detector = Detector::with_threshold(self.config.threshold);
-            self.pipeline = DegradedPipeline::new(view, fcm, detector, self.config.oracle_cap);
-            self.fcm_generation = view.generation();
-            self.metrics.fcm_rebuilds += 1;
-        }
 
         Ok(EpochReport {
             epoch,
@@ -394,6 +468,8 @@ impl RuntimeService {
             alarm_cleared,
             churn,
             suspects,
+            verified,
+            static_violations,
         })
     }
 }
@@ -507,6 +583,28 @@ mod tests {
         assert!(!r2.churn);
         assert!(!r2.anomalous());
         assert_eq!(r2.state, AlarmState::Normal);
+    }
+
+    #[test]
+    fn preflight_verification_is_clean_and_counted() {
+        let dep = deployment();
+        let transport = SimTransport::new(9, FaultProfile::default());
+        let mut svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        assert!(
+            svc.verification().is_clean(),
+            "{}",
+            svc.verification().summary()
+        );
+        assert!(svc.static_touched().is_empty());
+        assert_eq!(svc.metrics().verify_passes, 1);
+        assert_eq!(svc.metrics().static_violations, 0);
+        assert!(svc.metrics().verify_secs > 0.0);
+        let r = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+        assert!(!r.verified, "no rebuild on a quiet epoch");
+        assert_eq!(r.static_violations, 0);
+        assert!(svc.log().lines()[0].contains("\"verified\":false"));
+        assert!(svc.log().lines()[0].contains("\"static_violations\":0"));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Scheduling stress for `detect_parallel`: hammer the work-claim loop
+//! with many worker counts and repeated runs and require bit-identical
+//! verdicts against the sequential path every time.
+//!
+//! This is the plain-threads companion to the loom model
+//! (`tests/loom_model.rs`): loom proves the claim loop correct over every
+//! interleaving of a small instance; this test runs the real code on real
+//! threads enough times that a refactor which breaks slot publication or
+//! work claiming fails fast. It is also the target the CI `soundness`
+//! job runs under ThreadSanitizer.
+#![forbid(unsafe_code)]
+
+use foces::{Detector, Fcm, SlicedFcm};
+use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+use foces_dataplane::LossModel;
+use foces_net::generators::ring;
+use foces_runtime::detect_parallel;
+
+#[test]
+fn repeated_runs_with_skewed_worker_counts_stay_deterministic() {
+    let topo = ring(8);
+    let flows = uniform_flows(&topo, 240_000.0);
+    let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+    let fcm = Fcm::from_view(&dep.view);
+    let sliced = SlicedFcm::from_fcm(&fcm);
+    dep.replay_traffic(&mut LossModel::sampled(0.03, 11));
+    let counters = dep.dataplane.collect_counters();
+    let detector = Detector::default();
+    let sequential = sliced.detect(&detector, &counters).unwrap();
+    // Worker counts below, at, and far above the slice count, repeated so
+    // the OS scheduler gets many chances to produce a fresh interleaving.
+    for round in 0..25 {
+        for workers in [2, 3, 7, 8, 32] {
+            let parallel = detect_parallel(&sliced, &detector, &counters, workers).unwrap();
+            assert_eq!(
+                parallel, sequential,
+                "divergence at round {round}, workers {workers}"
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Static verification gate, end to end: a controller update that
+//! introduces a forwarding loop mid-run must surface as a *static
+//! violation* on the epoch after the journal drains — with the exact
+//! cycle and a concrete counterexample header — while the anomaly
+//! detector keeps scoring the uncompromised remainder and never raises
+//! an alarm. A broken configuration is a configuration bug, not a
+//! compromised switch.
+#![forbid(unsafe_code)]
+
+use foces::AlarmState;
+use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+use foces_dataplane::{pair_header, pair_match, Action, LossModel, Rule};
+use foces_net::generators::ring;
+use foces_net::Node;
+use foces_runtime::{DetectionMode, FaultProfile, RuntimeConfig, RuntimeService, SimTransport};
+use foces_verify::FindingKind;
+
+#[test]
+fn churn_introduced_loop_is_a_static_violation_not_an_alarm() {
+    let topo = ring(4);
+    let flows = uniform_flows(&topo, 12_000.0);
+    let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+    let transport = SimTransport::new(1, FaultProfile::default());
+    let mut svc =
+        RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+    assert!(svc.verification().is_clean(), "pre-flight must pass");
+    assert!(svc.static_touched().is_empty());
+
+    // Epoch 0: healthy, full detection.
+    dep.dataplane.reset_counters();
+    dep.replay_traffic(&mut LossModel::none());
+    let r0 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+    assert_eq!(r0.mode, DetectionMode::Full);
+    assert!(!r0.verified);
+    assert_eq!(r0.static_violations, 0);
+
+    // A controller update gone wrong: a high-priority "hardening" rule
+    // that bounces one pair back the way it came — a two-switch
+    // forwarding loop, journaled on both planes like any other update.
+    let fi = dep
+        .expected_paths
+        .iter()
+        .position(|p| p.len() >= 2)
+        .expect("ring(4) has multi-hop pairs");
+    let spec = dep.flows[fi];
+    let path = dep.expected_paths[fi].clone();
+    let back = dep
+        .view
+        .topology()
+        .port_towards(Node::Switch(path[1]), Node::Switch(path[0]))
+        .unwrap();
+    dep.install_hardening(
+        path[1],
+        Rule::new(pair_match(spec.src, spec.dst), 99, Action::Forward(back)),
+    );
+
+    // Epoch 1: the churn epoch. Reconciled detection, then the FCM
+    // rebuild re-verifies the view and finds the loop.
+    dep.dataplane.reset_counters();
+    dep.replay_traffic(&mut LossModel::none());
+    let r1 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+    assert!(
+        matches!(r1.mode, DetectionMode::Reconciled { .. }),
+        "{r1:?}"
+    );
+    assert!(r1.verified, "the rebuild must re-verify the new view");
+    assert!(r1.static_violations > 0, "the loop must be found");
+    assert!(!r1.anomalous(), "a config loop is not a forwarding anomaly");
+
+    let report = svc.verification();
+    assert!(report.loops() >= 1, "{}", report.summary());
+    let finding = report
+        .of_kind(FindingKind::ForwardingLoop)
+        .next()
+        .expect("loop finding");
+    assert_eq!(
+        finding.header,
+        Some(pair_header(spec.src, spec.dst)),
+        "the counterexample is the rerouted pair's own header"
+    );
+    assert!(
+        !svc.static_touched().is_empty(),
+        "the cycle's rules must be quarantined"
+    );
+
+    // Epoch 2: no new churn, but the poisoned rules keep forcing the
+    // reconciled path — looping counters never feed the anomaly index.
+    dep.dataplane.reset_counters();
+    dep.replay_traffic(&mut LossModel::none());
+    let r2 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+    assert!(
+        matches!(r2.mode, DetectionMode::Reconciled { .. }),
+        "{r2:?}"
+    );
+    assert!(!r2.verified, "no rebuild without a new generation");
+    assert!(r2.static_violations > 0, "the findings persist");
+    assert!(!r2.anomalous());
+    assert_eq!(r2.state, AlarmState::Normal);
+
+    let m = svc.metrics();
+    assert_eq!(m.alarms_raised, 0, "static violations never raise alarms");
+    assert!(m.verify_passes >= 2, "pre-flight plus the rebuild re-check");
+    assert!(m.static_violations > 0);
+    // The epoch log carries the verification keys on the existing lines.
+    assert!(svc.log().lines()[1].contains("\"verified\":true"));
+    assert!(!svc.log().lines()[1].contains("\"static_violations\":0"));
+}

@@ -18,3 +18,4 @@ pub use foces_headerspace as headerspace;
 pub use foces_linalg as linalg;
 pub use foces_net as net;
 pub use foces_runtime as runtime;
+pub use foces_verify as verify;
