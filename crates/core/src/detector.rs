@@ -159,6 +159,26 @@ impl Detector {
         Ok(self.judge(fcm, counters, solve))
     }
 
+    /// Runs Algorithm 1 through a warm [`crate::IncrementalSolver`],
+    /// reusing (and patching) its cached factorization of the normal
+    /// equations instead of refactorizing from scratch. The verdict is
+    /// equivalent to [`Detector::detect`]'s — the solver falls back to a
+    /// cold factorization whenever it cannot certify the patched factor —
+    /// and the returned [`crate::SolvePath`] reports which path ran.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Detector::detect`].
+    pub fn detect_warm(
+        &self,
+        fcm: &Fcm,
+        counters: &[f64],
+        warm: &mut crate::IncrementalSolver,
+    ) -> Result<(Verdict, crate::SolvePath), FocesError> {
+        let (solve, path) = warm.solve(fcm, counters)?;
+        Ok((self.judge(fcm, counters, solve), path))
+    }
+
     /// Algorithm 1 on a row-masked system (see [`Fcm::mask_rows`]): some
     /// switches never reported this round, so only the observed sub-rows of
     /// `H·X = Y'` are checked. `full_counters` is the full-length vector;

@@ -70,6 +70,7 @@ mod detector;
 mod error;
 mod fcm;
 mod harden;
+mod incremental;
 mod localize;
 mod monitor;
 pub mod rbg;
@@ -84,6 +85,7 @@ pub use detector::{Detector, IndexStatistic, Verdict};
 pub use error::FocesError;
 pub use fcm::{ColumnGroups, Fcm, MaskedFcm};
 pub use harden::{harden, HardeningOutcome};
+pub use incremental::{ColdReason, FcmDelta, IncrementalSolver, RankBudget, SolvePath};
 pub use localize::{localize, localize_differential, SwitchSuspicion};
 pub use monitor::{AlarmState, Monitor, MonitorConfig, MonitorReport};
 pub use rbg::Rbg;

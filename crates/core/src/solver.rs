@@ -102,19 +102,22 @@ impl EquationSystem {
     ///
     /// # Errors
     ///
+    /// * [`FocesError::EmptyFcm`] if the FCM has no flows — checked first:
+    ///   an empty system has no meaningful counter length to validate
+    ///   against, so reporting a length mismatch there would misdiagnose
+    ///   the real problem;
     /// * [`FocesError::CounterLengthMismatch`] if `counters.len()` differs
     ///   from the FCM's rule count;
-    /// * [`FocesError::EmptyFcm`] if the FCM has no flows;
     /// * [`FocesError::Solver`] if every solve path fails.
     pub fn solve(&self, fcm: &Fcm, counters: &[f64]) -> Result<SolveOutcome, FocesError> {
+        if fcm.flow_count() == 0 {
+            return Err(FocesError::EmptyFcm);
+        }
         if counters.len() != fcm.rule_count() {
             return Err(FocesError::CounterLengthMismatch {
                 got: counters.len(),
                 expected: fcm.rule_count(),
             });
-        }
-        if fcm.flow_count() == 0 {
-            return Err(FocesError::EmptyFcm);
         }
         match self.kind {
             SolverKind::DirectDense => match solve_direct(fcm, counters) {
@@ -164,10 +167,12 @@ impl EquationSystem {
     ///
     /// # Errors
     ///
+    /// * [`FocesError::EmptyFcm`] if the FCM has no flows to begin with
+    ///   (checked first, as in [`EquationSystem::solve`]), or if masking
+    ///   leaves none (every flow lost all its rules — the fully-blind
+    ///   round);
     /// * [`FocesError::CounterLengthMismatch`] if `counters.len()` differs
     ///   from the full FCM's rule count;
-    /// * [`FocesError::EmptyFcm`] if masking leaves no flows (every flow
-    ///   lost all its rules — the fully-blind round);
     /// * [`FocesError::Solver`] as for [`EquationSystem::solve`].
     ///
     /// # Panics
@@ -179,6 +184,9 @@ impl EquationSystem {
         counters: &[f64],
         observed: &[bool],
     ) -> Result<(MaskedFcm, SolveOutcome), FocesError> {
+        if fcm.flow_count() == 0 {
+            return Err(FocesError::EmptyFcm);
+        }
         if counters.len() != fcm.rule_count() {
             return Err(FocesError::CounterLengthMismatch {
                 got: counters.len(),
@@ -384,6 +392,115 @@ mod tests {
         let (fcm, counters, _) = healthy_setup(RuleGranularity::PerDestination);
         let out = EquationSystem::default().solve(&fcm, &counters).unwrap();
         assert!(out.residual.iter().all(|r| r.abs() < 1e-6));
+    }
+
+    fn empty_fcm() -> Fcm {
+        // Rules but no flows: the system has rows yet nothing to solve for.
+        let rules = vec![
+            foces_dataplane::RuleRef {
+                switch: foces_net::SwitchId(0),
+                index: 0,
+            },
+            foces_dataplane::RuleRef {
+                switch: foces_net::SwitchId(1),
+                index: 0,
+            },
+        ];
+        Fcm::from_parts(rules, Vec::new())
+    }
+
+    fn single_flow_fcm() -> Fcm {
+        let h = DenseMatrix::from_rows(&[&[1.], &[1.], &[0.]]).unwrap();
+        crate::testkit::fcm_from_dense(&h)
+    }
+
+    #[test]
+    fn empty_fcm_reported_before_counter_length() {
+        // An empty system must report EmptyFcm even when the counter
+        // vector is also the wrong length — the length of a vector for a
+        // system with no unknowns is not the interesting diagnosis.
+        let fcm = empty_fcm();
+        let err = EquationSystem::default().solve(&fcm, &[1.0]).unwrap_err();
+        assert!(matches!(err, FocesError::EmptyFcm), "got {err:?}");
+        // Same with a correctly sized vector.
+        let err = EquationSystem::default()
+            .solve(&fcm, &[1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, FocesError::EmptyFcm));
+    }
+
+    #[test]
+    fn empty_fcm_consistent_across_masked_and_warm_paths() {
+        let fcm = empty_fcm();
+        let err = EquationSystem::default()
+            .solve_masked(&fcm, &[0.0], &[true, true])
+            .unwrap_err();
+        assert!(matches!(err, FocesError::EmptyFcm), "masked: {err:?}");
+        let mut warm = crate::IncrementalSolver::default();
+        let err = warm.solve(&fcm, &[0.0]).unwrap_err();
+        assert!(matches!(err, FocesError::EmptyFcm), "warm: {err:?}");
+        let err = warm.solve_masked(&fcm, &[0.0], &[true, true]).unwrap_err();
+        assert!(matches!(err, FocesError::EmptyFcm), "warm masked: {err:?}");
+    }
+
+    #[test]
+    fn single_flow_solves_on_every_path() {
+        let fcm = single_flow_fcm();
+        let counters = [5.0, 5.0, 0.0];
+        let direct = EquationSystem::new(SolverKind::DirectDense)
+            .solve(&fcm, &counters)
+            .unwrap();
+        assert!((direct.volume_estimate[0] - 5.0).abs() < 1e-9);
+        assert!(direct.residual.iter().all(|r| r.abs() < 1e-9));
+
+        let (masked, masked_out) = EquationSystem::default()
+            .solve_masked(&fcm, &counters, &[true, true, false])
+            .unwrap();
+        assert_eq!(masked.fcm().flow_count(), 1);
+        assert!((masked_out.volume_estimate[0] - 5.0).abs() < 1e-9);
+
+        let mut warm = crate::IncrementalSolver::default();
+        let (warm_out, path) = warm.solve(&fcm, &counters).unwrap();
+        assert!(!path.is_warm());
+        assert!((warm_out.volume_estimate[0] - 5.0).abs() < 1e-9);
+        let (warm_out2, path2) = warm.solve(&fcm, &counters).unwrap();
+        assert!(path2.is_warm(), "second solve should reuse the factor");
+        assert!((warm_out2.volume_estimate[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_flow_length_mismatch_is_consistent() {
+        let fcm = single_flow_fcm();
+        let err = EquationSystem::default().solve(&fcm, &[1.0]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FocesError::CounterLengthMismatch {
+                    got: 1,
+                    expected: 3
+                }
+            ),
+            "got {err:?}"
+        );
+        let mut warm = crate::IncrementalSolver::default();
+        let err = warm.solve(&fcm, &[1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            FocesError::CounterLengthMismatch {
+                got: 1,
+                expected: 3
+            }
+        ));
+        let err = EquationSystem::default()
+            .solve_masked(&fcm, &[1.0], &[true, true, true])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FocesError::CounterLengthMismatch {
+                got: 1,
+                expected: 3
+            }
+        ));
     }
 
     #[test]

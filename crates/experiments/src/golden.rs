@@ -1,0 +1,198 @@
+//! Tolerance-aware comparison of experiment CSVs against golden files.
+//!
+//! The experiment binaries are seeded and deterministic, so their outputs
+//! can be pinned byte-for-byte — except for wall-clock columns (Fig. 12's
+//! `*_ms` timings) and the float formatting itself, which this module
+//! handles by parsing numeric cells and comparing with a combined
+//! absolute/relative tolerance. Structural drift (different header, extra
+//! or missing rows, a numeric cell turning into text) is always an error.
+
+use crate::parse_csv;
+
+/// Policy for comparing one experiment CSV against its golden file.
+#[derive(Debug, Clone)]
+pub struct GoldenPolicy {
+    /// Absolute slack per numeric cell.
+    pub abs_tol: f64,
+    /// Relative slack per numeric cell (scaled by the golden magnitude).
+    pub rel_tol: f64,
+    /// Header names whose cells are not compared at all (machine-dependent
+    /// columns such as wall-clock timings).
+    pub skip_columns: Vec<String>,
+}
+
+impl Default for GoldenPolicy {
+    /// Exact comparison (zero tolerance, no skipped columns).
+    fn default() -> Self {
+        GoldenPolicy {
+            abs_tol: 0.0,
+            rel_tol: 0.0,
+            skip_columns: Vec::new(),
+        }
+    }
+}
+
+impl GoldenPolicy {
+    /// Exact comparison, but ignoring every column whose name ends in
+    /// `_ms` — the convention the experiment binaries use for wall-clock
+    /// measurements.
+    pub fn ignoring_timings(header: &[String]) -> Self {
+        GoldenPolicy {
+            skip_columns: header
+                .iter()
+                .filter(|h| h.ends_with("_ms"))
+                .cloned()
+                .collect(),
+            ..GoldenPolicy::default()
+        }
+    }
+
+    fn skips(&self, column_name: Option<&String>) -> bool {
+        column_name.is_some_and(|n| self.skip_columns.contains(n))
+    }
+}
+
+/// Compares `actual` CSV text against `golden` under `policy`.
+///
+/// Returns the list of mismatches (empty means the files agree). Comments
+/// (`#` lines) and blank lines are ignored on both sides, so regenerated
+/// files may reword their commentary freely; headers and data must match.
+pub fn diff_csv(golden: &str, actual: &str, policy: &GoldenPolicy) -> Vec<String> {
+    let (gh, grows) = parse_csv(golden);
+    let (ah, arows) = parse_csv(actual);
+    let mut errs = Vec::new();
+    if gh != ah {
+        errs.push(format!("header mismatch: golden {gh:?} vs actual {ah:?}"));
+        return errs;
+    }
+    if grows.len() != arows.len() {
+        errs.push(format!(
+            "row count mismatch: golden {} vs actual {}",
+            grows.len(),
+            arows.len()
+        ));
+        return errs;
+    }
+    for (r, (grow, arow)) in grows.iter().zip(&arows).enumerate() {
+        if grow.len() != arow.len() {
+            errs.push(format!(
+                "row {r}: cell count mismatch: golden {} vs actual {}",
+                grow.len(),
+                arow.len()
+            ));
+            continue;
+        }
+        for (c, (g, a)) in grow.iter().zip(arow).enumerate() {
+            if policy.skips(gh.get(c)) {
+                continue;
+            }
+            match (g.parse::<f64>(), a.parse::<f64>()) {
+                (Ok(gv), Ok(av)) => {
+                    let tol = policy.abs_tol + policy.rel_tol * gv.abs().max(av.abs());
+                    let agree = if gv.is_finite() && av.is_finite() {
+                        (gv - av).abs() <= tol
+                    } else {
+                        // NaN never matches; infinities must match exactly.
+                        gv == av
+                    };
+                    if !agree {
+                        errs.push(format!(
+                            "row {r} col {} ({}): golden {g} vs actual {a} (tol {tol:.3e})",
+                            c,
+                            gh.get(c).map(String::as_str).unwrap_or("?"),
+                        ));
+                    }
+                }
+                _ => {
+                    if g != a {
+                        errs.push(format!(
+                            "row {r} col {} ({}): golden {g:?} vs actual {a:?}",
+                            c,
+                            gh.get(c).map(String::as_str).unwrap_or("?"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_files_agree_and_comments_are_ignored() {
+        let golden = "# old comment\na,b\n1,2.5\n";
+        let actual = "# new comment, reworded\n\na,b\n1,2.5\n";
+        assert!(diff_csv(golden, actual, &GoldenPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn numeric_drift_within_tolerance_passes_outside_fails() {
+        let golden = "x,y\n10,100.0\n";
+        let near = "x,y\n10,100.4\n";
+        let far = "x,y\n10,106.0\n";
+        let policy = GoldenPolicy {
+            rel_tol: 0.005,
+            ..GoldenPolicy::default()
+        };
+        assert!(diff_csv(golden, near, &policy).is_empty());
+        let errs = diff_csv(golden, far, &policy);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("col 1 (y)"), "{errs:?}");
+    }
+
+    #[test]
+    fn exact_default_rejects_any_numeric_change() {
+        let golden = "x\n1.000\n";
+        // Same value, different formatting: parses equal, so it passes.
+        assert!(diff_csv(golden, "x\n1.0\n", &GoldenPolicy::default()).is_empty());
+        assert_eq!(
+            diff_csv(golden, "x\n1.001\n", &GoldenPolicy::default()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn structural_drift_is_always_an_error() {
+        let golden = "a,b\n1,2\n3,4\n";
+        let policy = GoldenPolicy {
+            abs_tol: 1e9,
+            ..GoldenPolicy::default()
+        };
+        assert!(!diff_csv(golden, "a,c\n1,2\n3,4\n", &policy).is_empty());
+        assert!(!diff_csv(golden, "a,b\n1,2\n", &policy).is_empty());
+        assert!(!diff_csv(golden, "a,b\n1,2\n3,4,5\n", &policy).is_empty());
+        assert!(!diff_csv(golden, "a,b\n1,2\n3,oops\n", &policy).is_empty());
+    }
+
+    #[test]
+    fn skip_columns_ignore_machine_dependent_cells() {
+        let golden = "flows,baseline_ms,ok\n100,17.3,1\n";
+        let actual = "flows,baseline_ms,ok\n100,523.9,1\n";
+        let header: Vec<String> = ["flows", "baseline_ms", "ok"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let policy = GoldenPolicy::ignoring_timings(&header);
+        assert_eq!(policy.skip_columns, vec!["baseline_ms".to_string()]);
+        assert!(diff_csv(golden, actual, &policy).is_empty());
+        // The non-skipped columns are still enforced.
+        let broken = "flows,baseline_ms,ok\n101,17.3,1\n";
+        assert_eq!(diff_csv(golden, broken, &policy).len(), 1);
+    }
+
+    #[test]
+    fn non_finite_cells_must_match_exactly() {
+        let golden = "v\ninf\n";
+        let policy = GoldenPolicy {
+            abs_tol: 1.0,
+            ..GoldenPolicy::default()
+        };
+        assert!(diff_csv(golden, "v\ninf\n", &policy).is_empty());
+        assert!(!diff_csv(golden, "v\n1e300\n", &policy).is_empty());
+        assert!(!diff_csv("v\nNaN\n", "v\nNaN\n", &policy).is_empty());
+    }
+}

@@ -16,8 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod golden;
 mod report;
 
+pub use golden::{diff_csv, GoldenPolicy};
 pub use report::{column, parse_csv, AsciiChart, Series};
 
 use foces::{Detector, Fcm, SlicedFcm};

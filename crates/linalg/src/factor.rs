@@ -1,0 +1,455 @@
+//! Cached Cholesky factor of a Gram matrix, maintained across epochs.
+//!
+//! The FOCES detector solves the normal equations `(HᵀH) x = Hᵀy` every
+//! collection epoch. Between epochs only a handful of rules change, so the
+//! Gram matrix `G = HᵀH` changes by a few rows/columns — [`FactorCache`]
+//! owns the factor `L·Lᵀ` (and, on request, `G` itself) and patches it in
+//! place:
+//!
+//! * a **new** basis column appends a bordered row/column (`O(n²)`);
+//! * a **departed** basis column is cut out with a Givens sweep (`O(n²)`);
+//! * an **entry perturbation** is absorbed as a rank-one update/downdate.
+//!
+//! With [`FactorCache::factor`] every mutation keeps `G` and `L`
+//! consistent, so the cache can run one step of iterative refinement
+//! against its own Gram matrix and report how well-conditioned the patched
+//! factor still is. With [`FactorCache::factor_lean`] only the factor is
+//! kept — half the memory traffic per patch — and the caller verifies
+//! solutions against the original sparse system instead (the incremental
+//! solver in `foces-core` does exactly that, plus a rank budget, to decide
+//! when to stop patching and refactorize from scratch).
+
+use crate::{Cholesky, DenseMatrix, LinalgError};
+
+/// Cumulative-work bookkeeping and factor handle for incremental solving.
+///
+/// See the module docs for the maintenance operations. [`FactorCache`]
+/// deliberately knows nothing about FCMs or flows: it maintains an abstract
+/// SPD system. The mapping from FCM deltas to column edits lives in
+/// `foces-core`.
+#[derive(Debug, Clone)]
+pub struct FactorCache {
+    /// The Gram matrix the factor represents, when the caller asked for it
+    /// to be kept ([`FactorCache::factor`]). [`FactorCache::factor_lean`]
+    /// stores `None`: every patch then touches only the factor, halving
+    /// the cache's memory traffic — the right trade for callers that
+    /// verify solutions against the original sparse system instead of the
+    /// Gram copy (the incremental FOCES solver does exactly that).
+    gram: Option<DenseMatrix>,
+    chol: Cholesky,
+    /// Number of rank-one modifications absorbed since the last full
+    /// factorization (append/remove count once per column; updates and
+    /// downdates once per vector). Drives the caller's drift budget.
+    applied_rank: usize,
+}
+
+impl FactorCache {
+    /// Factors `gram` (symmetric positive definite) from scratch, keeping
+    /// the Gram matrix so [`FactorCache::solve_refined`] can refine
+    /// against it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from [`Cholesky::factor`] — notably
+    /// [`LinalgError::NotPositiveDefinite`] when `gram` is singular.
+    pub fn factor(gram: DenseMatrix) -> Result<Self, LinalgError> {
+        let chol = Cholesky::factor(&gram)?;
+        Ok(Self {
+            gram: Some(gram),
+            chol,
+            applied_rank: 0,
+        })
+    }
+
+    /// Factors `gram` and then discards it: the cache holds only the
+    /// triangular factor, so patches cost half the memory traffic.
+    /// [`FactorCache::solve_refined`] is unavailable on a lean cache —
+    /// callers are expected to check their solutions against the system
+    /// the Gram matrix was built from.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FactorCache::factor`].
+    pub fn factor_lean(gram: DenseMatrix) -> Result<Self, LinalgError> {
+        let chol = Cholesky::factor(&gram)?;
+        Ok(Self {
+            gram: None,
+            chol,
+            applied_rank: 0,
+        })
+    }
+
+    /// Dimension of the cached system.
+    pub fn dim(&self) -> usize {
+        self.chol.dim()
+    }
+
+    /// Borrows the Gram matrix the factor currently represents, or `None`
+    /// for a lean cache ([`FactorCache::factor_lean`]).
+    pub fn gram(&self) -> Option<&DenseMatrix> {
+        self.gram.as_ref()
+    }
+
+    /// Borrows the underlying Cholesky factor.
+    pub fn cholesky(&self) -> &Cholesky {
+        &self.chol
+    }
+
+    /// Rank-one modifications absorbed since the last full factorization.
+    pub fn applied_rank(&self) -> usize {
+        self.applied_rank
+    }
+
+    /// Absorbs `G ← G + v·vᵀ` into both the Gram matrix and the factor.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] on length mismatch; the cache is
+    /// untouched in that case.
+    pub fn update(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        self.chol.rank_one_update(v)?;
+        if let Some(gram) = &mut self.gram {
+            rank_one_accumulate(gram, v, 1.0);
+        }
+        self.applied_rank += 1;
+        Ok(())
+    }
+
+    /// Absorbs `G ← G − v·vᵀ`, rejecting the operation if the result would
+    /// be singular or indefinite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cholesky::rank_one_downdate`]; rejection is atomic — both
+    /// `gram` and the factor keep their previous values, so the caller can
+    /// fall back to refactorizing whatever system it actually holds.
+    pub fn downdate(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        self.chol.rank_one_downdate(v)?;
+        if let Some(gram) = &mut self.gram {
+            rank_one_accumulate(gram, v, -1.0);
+        }
+        self.applied_rank += 1;
+        Ok(())
+    }
+
+    /// Appends a new trailing row/column (`cross`, `diag`) to the system —
+    /// the Gram image of a freshly added FCM basis column.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cholesky::append_row_col`]; atomic on failure.
+    pub fn append(&mut self, cross: &[f64], diag: f64) -> Result<(), LinalgError> {
+        self.append_batch(&[cross.to_vec()], &[diag])
+    }
+
+    /// Batched append: absorbs `crosses.len()` new trailing rows/columns
+    /// with **one** factor expansion and **one** Gram reallocation.
+    /// `crosses[i]` must have length `dim + i` — each new column's cross
+    /// terms include the columns appended earlier in the same batch. This
+    /// is the shape the incremental solver produces naturally, and batching
+    /// is what keeps a churn epoch's worth of appends `O(k·n²)` instead of
+    /// `k` full-matrix copies.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cholesky::append_rows_cols`]; rejection anywhere in the
+    /// batch leaves both the Gram matrix and the factor untouched.
+    pub fn append_batch(&mut self, crosses: &[Vec<f64>], diags: &[f64]) -> Result<(), LinalgError> {
+        if crosses.is_empty() && diags.is_empty() {
+            return Ok(());
+        }
+        self.chol.append_rows_cols(crosses, diags)?;
+        let k = crosses.len();
+        if let Some(gram) = &mut self.gram {
+            let n = gram.rows();
+            let mut grown = DenseMatrix::zeros(n + k, n + k);
+            for j in 0..n {
+                grown.col_mut(j)[..n].copy_from_slice(gram.col(j));
+            }
+            for (i, (cross, &diag)) in crosses.iter().zip(diags).enumerate() {
+                let m = n + i;
+                {
+                    let col = grown.col_mut(m);
+                    col[..m].copy_from_slice(cross);
+                    col[m] = diag;
+                }
+                // Mirror the cross terms into row m (symmetry).
+                for (j, &cj) in cross.iter().enumerate() {
+                    grown.set(m, j, cj);
+                }
+            }
+            *gram = grown;
+        }
+        self.applied_rank += k;
+        Ok(())
+    }
+
+    /// Deletes row/column `j` from the system — the Gram image of a
+    /// departed FCM basis column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn remove(&mut self, j: usize) {
+        self.remove_batch(&[j]);
+    }
+
+    /// Batched removal: deletes every row/column in `positions` (strictly
+    /// ascending) with one Givens sweep over the factor and one segment-copy
+    /// compaction of the Gram matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is not strictly ascending or out of range.
+    pub fn remove_batch(&mut self, positions: &[usize]) {
+        if positions.is_empty() {
+            return;
+        }
+        // The factor validates `positions` (and panics) before the Gram
+        // matrix is touched, so a bad call leaves the cache consistent.
+        self.chol.remove_rows_cols(positions);
+        if let Some(gram) = &mut self.gram {
+            gram.delete_rows_cols_in_place(positions);
+        }
+        self.applied_rank += positions.len();
+    }
+
+    /// Solves `G x = rhs` with the cached factor (no refinement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the triangular solves.
+    pub fn solve(&self, rhs: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.chol.solve(rhs)
+    }
+
+    /// Solves `G x = rhs` and then applies one step of iterative
+    /// refinement against the cached Gram matrix, returning the refined
+    /// solution together with the *relative* residual `‖G x − rhs‖ / ‖rhs‖`
+    /// after refinement. A patched factor that has drifted numerically
+    /// shows up here as a residual the refinement step cannot pull down —
+    /// the incremental solver treats that as its cue to refactorize.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the triangular solves;
+    /// [`LinalgError::InvalidInput`] on a lean cache
+    /// ([`FactorCache::factor_lean`]), which has no Gram matrix to refine
+    /// against.
+    pub fn solve_refined(&self, rhs: &[f64]) -> Result<(Vec<f64>, f64), LinalgError> {
+        let Some(gram) = &self.gram else {
+            return Err(LinalgError::InvalidInput(
+                "solve_refined needs the cached Gram matrix; this cache was built with \
+                 factor_lean — refine against the original system instead"
+                    .to_string(),
+            ));
+        };
+        let mut x = self.chol.solve(rhs)?;
+        let mut r = residual(gram, &x, rhs)?;
+        let dx = self.chol.solve(&r)?;
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+        r = residual(gram, &x, rhs)?;
+        let rhs_norm = norm(rhs).max(f64::MIN_POSITIVE);
+        Ok((x, norm(&r) / rhs_norm))
+    }
+}
+
+/// `G ← G + sign·v·vᵀ`, exploiting symmetry.
+fn rank_one_accumulate(gram: &mut DenseMatrix, v: &[f64], sign: f64) {
+    let n = gram.rows();
+    for j in 0..n {
+        let vj = sign * v[j];
+        if vj == 0.0 {
+            continue;
+        }
+        let col = gram.col_mut(j);
+        for (i, ci) in col.iter_mut().enumerate() {
+            *ci += v[i] * vj;
+        }
+    }
+}
+
+fn residual(gram: &DenseMatrix, x: &[f64], rhs: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let gx = gram.matvec(x)?;
+    Ok(rhs.iter().zip(&gx).map(|(b, a)| b - a).collect())
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> DenseMatrix {
+        // Deterministic SPD test matrix: B·Bᵀ + n·I with a cheap LCG fill.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut b = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                b.set(i, j, next());
+            }
+        }
+        let mut g = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + n as f64);
+        }
+        g
+    }
+
+    #[test]
+    fn refined_solve_matches_direct() {
+        let g = spd(8, 3);
+        let cache = FactorCache::factor(g.clone()).unwrap();
+        let rhs: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let (x, rel) = cache.solve_refined(&rhs).unwrap();
+        assert!(rel < 1e-10, "relative residual {rel}");
+        let gx = g.matvec(&x).unwrap();
+        for (a, b) in gx.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn update_then_downdate_roundtrips() {
+        let g = spd(6, 7);
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        let v = [0.5, -1.0, 2.0, 0.0, 1.5, -0.25];
+        cache.update(&v).unwrap();
+        cache.downdate(&v).unwrap();
+        assert_eq!(cache.applied_rank(), 2);
+        assert!(cache.gram().unwrap().approx_eq(&g, 1e-9));
+        let fresh = Cholesky::factor(&g).unwrap();
+        assert!(cache.cholesky().l().approx_eq(fresh.l(), 1e-8));
+    }
+
+    #[test]
+    fn append_then_remove_roundtrips() {
+        let g = spd(5, 11);
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        let cross = [0.1, 0.2, -0.3, 0.4, -0.5];
+        cache.append(&cross, 9.0).unwrap();
+        assert_eq!(cache.dim(), 6);
+        cache.remove(5);
+        assert_eq!(cache.dim(), 5);
+        assert!(cache.gram().unwrap().approx_eq(&g, 1e-9));
+        let fresh = Cholesky::factor(&g).unwrap();
+        assert!(cache.cholesky().l().approx_eq(fresh.l(), 1e-8));
+    }
+
+    #[test]
+    fn downdate_to_singular_is_rejected_atomically() {
+        let g = spd(4, 19);
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        // Removing 2·G's first column's worth of energy along e0 makes the
+        // matrix indefinite: v·vᵀ with v = sqrt(2·g00)·e0.
+        let v = [(2.0 * g.get(0, 0)).sqrt(), 0.0, 0.0, 0.0];
+        let err = cache.downdate(&v).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        assert!(cache.gram().unwrap().approx_eq(&g, 0.0));
+        assert_eq!(cache.applied_rank(), 0);
+    }
+
+    #[test]
+    fn batched_remove_and_append_match_the_one_at_a_time_path() {
+        let g = spd(8, 31);
+        let mut batched = FactorCache::factor(g.clone()).unwrap();
+        let mut chained = FactorCache::factor(g.clone()).unwrap();
+
+        batched.remove_batch(&[2, 5, 6]);
+        for &j in [6, 5, 2].iter() {
+            chained.remove(j);
+        }
+        assert!(batched
+            .gram()
+            .unwrap()
+            .approx_eq(chained.gram().unwrap(), 0.0));
+        assert!(batched
+            .cholesky()
+            .l()
+            .approx_eq(chained.cholesky().l(), 1e-12));
+        assert_eq!(batched.applied_rank(), 3);
+
+        let c0: Vec<f64> = (0..5).map(|i| 0.1 * (i as f64) - 0.2).collect();
+        let c1: Vec<f64> = (0..6).map(|i| 0.05 * (i as f64 + 1.0)).collect();
+        batched
+            .append_batch(&[c0.clone(), c1.clone()], &[6.0, 8.0])
+            .unwrap();
+        chained.append(&c0, 6.0).unwrap();
+        chained.append(&c1, 8.0).unwrap();
+        assert_eq!(batched.dim(), 7);
+        assert!(batched
+            .gram()
+            .unwrap()
+            .approx_eq(chained.gram().unwrap(), 0.0));
+        assert!(batched
+            .cholesky()
+            .l()
+            .approx_eq(chained.cholesky().l(), 1e-12));
+        assert_eq!(batched.applied_rank(), 5);
+    }
+
+    #[test]
+    fn batched_append_rejection_leaves_the_cache_untouched() {
+        let g = spd(4, 41);
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        let c0 = vec![0.1, -0.2, 0.3, 0.0];
+        // Duplicate of c0 as seen by the expanded system: cross terms are
+        // c0 against the original columns plus the first appended diag.
+        let mut c1 = c0.clone();
+        c1.push(5.0);
+        let err = cache.append_batch(&[c0, c1], &[5.0, 5.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        assert!(cache.gram().unwrap().approx_eq(&g, 0.0));
+        assert_eq!(cache.dim(), 4);
+        assert_eq!(cache.applied_rank(), 0);
+    }
+
+    #[test]
+    fn lean_cache_patches_the_factor_without_a_gram_copy() {
+        let g = spd(6, 53);
+        let mut lean = FactorCache::factor_lean(g.clone()).unwrap();
+        let mut full = FactorCache::factor(g).unwrap();
+        assert!(lean.gram().is_none());
+
+        lean.remove_batch(&[1, 4]);
+        full.remove_batch(&[1, 4]);
+        let cross = vec![0.25, -0.5, 0.75, 0.0];
+        lean.append(&cross, 6.0).unwrap();
+        full.append(&cross, 6.0).unwrap();
+        assert!(lean.cholesky().l().approx_eq(full.cholesky().l(), 1e-12));
+        assert_eq!(lean.applied_rank(), 3);
+
+        let rhs = vec![1.0, -1.0, 2.0, 0.5, -0.25];
+        let a = lean.solve(&rhs).unwrap();
+        let b = full.solve(&rhs).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!(matches!(
+            lean.solve_refined(&rhs),
+            Err(LinalgError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn remove_interior_column_matches_fresh_factor() {
+        let g = spd(7, 23);
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        cache.remove(2);
+        let keep: Vec<usize> = (0..7).filter(|&i| i != 2).collect();
+        let sub = g.select(&keep, &keep);
+        let fresh = Cholesky::factor(&sub).unwrap();
+        assert!(cache.cholesky().l().approx_eq(fresh.l(), 1e-8));
+        assert!(cache.gram().unwrap().approx_eq(&sub, 0.0));
+    }
+}

@@ -52,6 +52,7 @@
 mod cholesky;
 mod dense;
 mod error;
+mod factor;
 mod lstsq;
 mod qr;
 mod rank;
@@ -60,6 +61,7 @@ mod sparse;
 pub use cholesky::Cholesky;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
+pub use factor::FactorCache;
 pub use lstsq::{lstsq, lstsq_sparse, LstsqMethod, LstsqSolution};
 pub use qr::Qr;
 pub use rank::{in_column_span, rank, SpanTester};

@@ -1,0 +1,190 @@
+//! Property-based tests for incremental Cholesky factor maintenance.
+//!
+//! Strategy: generate random SPD systems (Gram matrices of random dense
+//! matrices, diagonally shifted so they are safely positive definite) plus
+//! random batches of modification vectors, and check that every incremental
+//! path — rank-k update, rank-k downdate, bordered append, Givens removal —
+//! reproduces the factor a from-scratch [`Cholesky::factor`] would compute,
+//! to 1e-9. These invariants are what lets the runtime trust a factor that
+//! has been patched across many epochs instead of rebuilt.
+
+use foces_linalg::{Cholesky, DenseMatrix, FactorCache, LinalgError};
+use proptest::prelude::*;
+
+/// Strategy: a random SPD matrix `BᵀB + n·I` of side `n in 2..8`.
+fn spd_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..8).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+            let mut b = DenseMatrix::zeros(n, n);
+            for j in 0..n {
+                for i in 0..n {
+                    b.set(i, j, vals[j * n + i]);
+                }
+            }
+            let mut g = b.gram();
+            for i in 0..n {
+                g.set(i, i, g.get(i, i) + n as f64);
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: an SPD matrix plus `k in 1..4` modification vectors of
+/// matching length with entries small enough that downdating all of them
+/// cannot drive the shifted system singular.
+fn spd_with_vectors() -> impl Strategy<Value = (DenseMatrix, Vec<Vec<f64>>)> {
+    spd_matrix().prop_flat_map(|g| {
+        let n = g.rows();
+        proptest::collection::vec(proptest::collection::vec(-0.4f64..0.4, n), 1..4)
+            .prop_map(move |vs| (g.clone(), vs))
+    })
+}
+
+/// `G ± Σ v·vᵀ` computed directly, for the from-scratch reference factor.
+fn shifted_gram(g: &DenseMatrix, vs: &[Vec<f64>], sign: f64) -> DenseMatrix {
+    let mut out = g.clone();
+    for v in vs {
+        for j in 0..out.cols() {
+            for i in 0..out.rows() {
+                out.set(i, j, out.get(i, j) + sign * v[i] * v[j]);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Rank-k update of the cached factor equals the from-scratch factor
+    /// of `G + Σ v·vᵀ`.
+    #[test]
+    fn rank_k_update_matches_from_scratch(gv in spd_with_vectors()) {
+        let (g, vs) = gv;
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        for v in &vs {
+            cache.update(v).unwrap();
+        }
+        let reference = Cholesky::factor(&shifted_gram(&g, &vs, 1.0)).unwrap();
+        prop_assert!(
+            cache.cholesky().l().approx_eq(reference.l(), 1e-9),
+            "updated factor drifted from reference"
+        );
+        prop_assert!(cache.gram().unwrap().approx_eq(&shifted_gram(&g, &vs, 1.0), 1e-9));
+        prop_assert_eq!(cache.applied_rank(), vs.len());
+    }
+
+    /// Rank-k downdate equals the from-scratch factor of `G − Σ v·vᵀ`
+    /// (the vector strategy keeps the result safely positive definite).
+    #[test]
+    fn rank_k_downdate_matches_from_scratch(gv in spd_with_vectors()) {
+        let (g, vs) = gv;
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        for v in &vs {
+            cache.downdate(v).unwrap();
+        }
+        let reference = Cholesky::factor(&shifted_gram(&g, &vs, -1.0)).unwrap();
+        prop_assert!(
+            cache.cholesky().l().approx_eq(reference.l(), 1e-9),
+            "downdated factor drifted from reference"
+        );
+        prop_assert!(cache.gram().unwrap().approx_eq(&shifted_gram(&g, &vs, -1.0), 1e-9));
+    }
+
+    /// Update followed by the same downdate round-trips to the original
+    /// factor — the epoch loop's "rule touched then restored" case.
+    #[test]
+    fn update_downdate_roundtrip(gv in spd_with_vectors()) {
+        let (g, vs) = gv;
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        for v in &vs {
+            cache.update(v).unwrap();
+        }
+        for v in vs.iter().rev() {
+            cache.downdate(v).unwrap();
+        }
+        let reference = Cholesky::factor(&g).unwrap();
+        prop_assert!(cache.cholesky().l().approx_eq(reference.l(), 1e-9));
+        prop_assert!(cache.gram().unwrap().approx_eq(&g, 1e-8));
+    }
+
+    /// Downdating past singularity is rejected with
+    /// [`LinalgError::NotPositiveDefinite`] and leaves the cached factor
+    /// and Gram matrix bit-for-bit intact (atomic failure).
+    #[test]
+    fn downdate_to_singular_is_rejected(g in spd_matrix(), axis_seed in 0usize..64) {
+        let n = g.rows();
+        let axis = axis_seed % n;
+        // v·vᵀ with v = sqrt(2·g_aa)·e_a overshoots the diagonal entry, so
+        // G − v·vᵀ is indefinite regardless of the off-diagonal structure.
+        let mut v = vec![0.0; n];
+        v[axis] = (2.0 * g.get(axis, axis)).sqrt();
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        let before = cache.cholesky().l().clone();
+        let err = cache.downdate(&v).unwrap_err();
+        prop_assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }),
+            "expected NotPositiveDefinite, got {err:?}");
+        prop_assert!(cache.cholesky().l().approx_eq(&before, 0.0));
+        prop_assert!(cache.gram().unwrap().approx_eq(&g, 0.0));
+        prop_assert_eq!(cache.applied_rank(), 0);
+    }
+
+    /// Bordered append equals the from-scratch factor of the grown matrix.
+    #[test]
+    fn append_matches_from_scratch(g in spd_matrix(), cross_seed in -0.5f64..0.5) {
+        let n = g.rows();
+        let cross: Vec<f64> = (0..n).map(|i| cross_seed * (i as f64 + 1.0) / n as f64).collect();
+        let diag = n as f64 + 1.0;
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        cache.append(&cross, diag).unwrap();
+
+        let mut grown = DenseMatrix::zeros(n + 1, n + 1);
+        for (j, &cj) in cross.iter().enumerate() {
+            for i in 0..n {
+                grown.set(i, j, g.get(i, j));
+            }
+            grown.set(n, j, cj);
+            grown.set(j, n, cj);
+        }
+        grown.set(n, n, diag);
+        let reference = Cholesky::factor(&grown).unwrap();
+        prop_assert!(cache.cholesky().l().approx_eq(reference.l(), 1e-9));
+        prop_assert!(cache.gram().unwrap().approx_eq(&grown, 0.0));
+    }
+
+    /// Removing any row/column equals the from-scratch factor of the
+    /// principal submatrix.
+    #[test]
+    fn remove_matches_from_scratch(g in spd_matrix(), j_seed in 0usize..64) {
+        let n = g.rows();
+        let j = j_seed % n;
+        prop_assume!(n > 2);
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        cache.remove(j);
+        let keep: Vec<usize> = (0..n).filter(|&i| i != j).collect();
+        let sub = g.select(&keep, &keep);
+        let reference = Cholesky::factor(&sub).unwrap();
+        prop_assert!(cache.cholesky().l().approx_eq(reference.l(), 1e-9));
+        prop_assert!(cache.gram().unwrap().approx_eq(&sub, 0.0));
+    }
+
+    /// A patched factor still *solves*: after a mixed batch of updates and
+    /// an append, `solve_refined` drives the relative residual below 1e-9.
+    #[test]
+    fn patched_factor_solves_accurately(gv in spd_with_vectors()) {
+        let (g, vs) = gv;
+        let mut cache = FactorCache::factor(g.clone()).unwrap();
+        for v in &vs {
+            cache.update(v).unwrap();
+        }
+        let n = cache.dim();
+        let cross = vec![0.25; n];
+        cache.append(&cross, n as f64 + 2.0).unwrap();
+        let rhs: Vec<f64> = (0..cache.dim()).map(|i| (i as f64) - 1.0).collect();
+        let (x, rel) = cache.solve_refined(&rhs).unwrap();
+        prop_assert!(rel < 1e-9, "relative residual {rel}");
+        let gx = cache.gram().unwrap().matvec(&x).unwrap();
+        for (a, b) in gx.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

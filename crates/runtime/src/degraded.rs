@@ -17,7 +17,10 @@
 //! verdict with a [`DetectionMode`] so operators know which rounds ran
 //! with reduced — or zero ([`DetectionMode::Blind`]) — coverage.
 
-use foces::{audit_deviations, Detector, DeviationCandidate, Fcm, FocesError, MaskedFcm, Verdict};
+use foces::{
+    audit_deviations, Detector, DeviationCandidate, Fcm, FocesError, IncrementalSolver, MaskedFcm,
+    SolvePath, Verdict,
+};
 use foces_controlplane::ControllerView;
 use foces_dataplane::RuleRef;
 use foces_linalg::{SpanTester, DEFAULT_TOL};
@@ -118,6 +121,14 @@ pub struct DegradedPipeline {
     /// Reconciled systems, keyed by (missing switches, journaled rules) —
     /// a rolling-update schedule revisits the same touched set many times.
     reconcile_cache: HashMap<(Vec<SwitchId>, Vec<RuleRef>), CachedMask>,
+    /// The incremental solver backing full rounds: its cached `HᵀH = LLᵀ`
+    /// factorization is patched epoch to epoch (and across FCM rebuilds,
+    /// see [`DegradedPipeline::retarget`]) instead of refactorized.
+    warm: IncrementalSolver,
+    /// Which solve path the most recent round took (`None` on masked,
+    /// reconciled, and blind rounds — those solve projected systems and
+    /// never touch the cached factor).
+    last_path: Option<SolvePath>,
 }
 
 impl DegradedPipeline {
@@ -126,18 +137,40 @@ impl DegradedPipeline {
     /// reused for every masked re-audit; a few hundred is plenty for a
     /// coverage estimate).
     pub fn new(view: &ControllerView, fcm: Fcm, detector: Detector, oracle_cap: usize) -> Self {
-        let audit = audit_deviations(view, &fcm, oracle_cap);
-        let full_coverage = audit.coverage();
-        let mut candidates = audit.detectable;
-        candidates.extend(audit.undetectable);
-        DegradedPipeline {
+        let mut pipeline = DegradedPipeline {
             fcm,
             detector,
-            candidates,
-            full_coverage,
+            candidates: Vec::new(),
+            full_coverage: 0.0,
             cache: HashMap::new(),
             reconcile_cache: HashMap::new(),
-        }
+            warm: IncrementalSolver::default(),
+            last_path: None,
+        };
+        pipeline.reaudit(view, oracle_cap);
+        pipeline
+    }
+
+    /// Re-points the pipeline at a rebuilt FCM (after the controller view
+    /// moved past the old one): re-runs the full-system audit and drops
+    /// the mask caches, but **keeps** the incremental solver's cached
+    /// factorization. The factor is keyed by the basis columns' rule
+    /// sets, which survive a rebuild, so the next full round patches it
+    /// with the journal's delta instead of refactorizing from scratch.
+    pub fn retarget(&mut self, view: &ControllerView, fcm: Fcm, oracle_cap: usize) {
+        self.fcm = fcm;
+        self.cache.clear();
+        self.reconcile_cache.clear();
+        self.last_path = None;
+        self.reaudit(view, oracle_cap);
+    }
+
+    /// Runs the full-system Theorem 1 audit for the current FCM.
+    fn reaudit(&mut self, view: &ControllerView, oracle_cap: usize) {
+        let audit = audit_deviations(view, &self.fcm, oracle_cap);
+        self.full_coverage = audit.coverage();
+        self.candidates = audit.detectable;
+        self.candidates.extend(audit.undetectable);
     }
 
     /// The full (unmasked) FCM.
@@ -197,9 +230,13 @@ impl DegradedPipeline {
     ) -> Result<(Option<Verdict>, DetectionMode), FocesError> {
         let missing = self.missing_from(observed);
         if missing.is_empty() {
-            let verdict = self.detector.detect(&self.fcm, counters)?;
+            let (verdict, path) = self
+                .detector
+                .detect_warm(&self.fcm, counters, &mut self.warm)?;
+            self.last_path = Some(path);
             return Ok((Some(verdict), DetectionMode::Full));
         }
+        self.last_path = None;
         if !self.cache.contains_key(&missing) {
             let entry = self.build_mask(observed);
             self.cache.insert(missing.clone(), entry);
@@ -251,6 +288,7 @@ impl DegradedPipeline {
         touched_rules: &[RuleRef],
         stale: Vec<SwitchId>,
     ) -> Result<(Option<Verdict>, DetectionMode), FocesError> {
+        self.last_path = None;
         let missing = self.missing_from(observed);
         let mut touched_key: Vec<RuleRef> = touched_rules.to_vec();
         touched_key.sort_unstable();
@@ -279,6 +317,19 @@ impl DegradedPipeline {
     /// Number of distinct (missing, touched) reconciliations built so far.
     pub fn cached_reconciliations(&self) -> usize {
         self.reconcile_cache.len()
+    }
+
+    /// Which solve path the most recent round took: `Some(Warm {..})` or
+    /// `Some(Cold {..})` after a full round, `None` after a masked,
+    /// reconciled, or blind one.
+    pub fn last_solve_path(&self) -> Option<SolvePath> {
+        self.last_path
+    }
+
+    /// Whether the incremental solver currently holds a cached
+    /// factorization a future full round could patch.
+    pub fn solver_is_warm(&self) -> bool {
+        self.warm.is_warm()
     }
 
     /// Builds the row-masked + column-quarantined system for a journaled
@@ -515,6 +566,54 @@ mod tests {
             DetectionMode::Reconciled { coverage, .. } => assert_eq!(coverage, 0.0),
             other => panic!("unexpected mode {other:?}"),
         }
+    }
+
+    #[test]
+    fn retarget_preserves_the_warm_factor_across_a_rebuild() {
+        let (mut dep, mut pipeline) = setup();
+        let counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let observed = vec![true; counters.len()];
+        pipeline.detect(&counters, &observed).unwrap();
+        assert!(
+            matches!(pipeline.last_solve_path(), Some(SolvePath::Cold { .. })),
+            "first full round factors from scratch"
+        );
+        pipeline.detect(&counters, &observed).unwrap();
+        assert!(
+            pipeline.last_solve_path().is_some_and(|p| p.is_warm()),
+            "steady state reuses the factor: {:?}",
+            pipeline.last_solve_path()
+        );
+        // Reroute a flow and retarget at the rebuilt FCM: the mask caches
+        // drop but the cached factor survives and absorbs the delta.
+        dep.reroute_flow_via(0, &[]).unwrap();
+        let fcm = Fcm::from_view(&dep.view);
+        pipeline.retarget(&dep.view, fcm, 300);
+        assert!(pipeline.solver_is_warm(), "retarget keeps the factor");
+        assert_eq!(pipeline.cached_masks(), 0);
+        assert_eq!(pipeline.cached_reconciliations(), 0);
+        dep.dataplane.reset_counters();
+        dep.replay_traffic(&mut LossModel::none());
+        let counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let observed = vec![true; counters.len()];
+        let (v, mode) = pipeline.detect(&counters, &observed).unwrap();
+        assert_eq!(mode, DetectionMode::Full);
+        assert!(!v.unwrap().anomalous);
+        assert!(
+            pipeline.last_solve_path().is_some_and(|p| p.is_warm()),
+            "post-rebuild full round patches instead of refactorizing: {:?}",
+            pipeline.last_solve_path()
+        );
+    }
+
+    #[test]
+    fn masked_rounds_report_no_solve_path() {
+        let (dep, mut pipeline) = setup();
+        let counters = pipeline.fcm().counters_from(&dep.dataplane);
+        let victim = pipeline.fcm().rules()[0].switch;
+        let observed = mask_without(&pipeline, &[victim]);
+        pipeline.detect(&counters, &observed).unwrap();
+        assert_eq!(pipeline.last_solve_path(), None);
     }
 
     #[test]

@@ -49,6 +49,22 @@ pub struct RuntimeMetrics {
     /// Static findings across all verification passes (loops, blackholes,
     /// shadowed rules, FCM inconsistencies).
     pub static_violations: u64,
+    /// Full rounds solved on the warm path (cached factor patched and
+    /// reused).
+    pub warm_solves: u64,
+    /// Full rounds solved cold (first factorization, or a fallback).
+    pub cold_solves: u64,
+    /// Cold full rounds that *had* a cached factor but fell back to
+    /// refactorization (rank budget, drift cap, singularity, or
+    /// conditioning).
+    pub warm_fallbacks: u64,
+    /// Rank-one factor modifications applied across all warm solves.
+    pub factor_rank_applied: u64,
+    /// Journal-delta row churn (added + removed + retouched) accumulated
+    /// across FCM rebuilds.
+    pub delta_rows: u64,
+    /// Journal-delta column churn accumulated across FCM rebuilds.
+    pub delta_cols: u64,
     /// Rounds whose verdict was anomalous.
     pub anomalous_rounds: u64,
     /// Alarm raise transitions.
@@ -100,6 +116,16 @@ impl RuntimeMetrics {
         num(&mut s, "fcm_rebuilds", self.fcm_rebuilds as f64);
         num(&mut s, "verify_passes", self.verify_passes as f64);
         num(&mut s, "static_violations", self.static_violations as f64);
+        num(&mut s, "warm_solves", self.warm_solves as f64);
+        num(&mut s, "cold_solves", self.cold_solves as f64);
+        num(&mut s, "warm_fallbacks", self.warm_fallbacks as f64);
+        num(
+            &mut s,
+            "factor_rank_applied",
+            self.factor_rank_applied as f64,
+        );
+        num(&mut s, "delta_rows", self.delta_rows as f64);
+        num(&mut s, "delta_cols", self.delta_cols as f64);
         num(&mut s, "anomalous_rounds", self.anomalous_rounds as f64);
         num(&mut s, "alarms_raised", self.alarms_raised as f64);
         num(&mut s, "alarms_cleared", self.alarms_cleared as f64);

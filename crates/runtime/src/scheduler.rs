@@ -9,7 +9,7 @@
 //! layers decide how to detect with what arrived.
 
 use foces_channel::{ChannelError, ControllerMsg, Delivery, SwitchAgent, SwitchMsg, Transport};
-use foces_dataplane::DataPlane;
+use foces_dataplane::{DataPlane, RuleRef};
 use foces_net::SwitchId;
 
 /// Retry/deadline policy for one switch poll.
@@ -116,6 +116,25 @@ impl EpochCollection {
             .iter()
             .find(|p| p.switch == switch)
             .and_then(|p| p.generation)
+    }
+
+    /// Assembles the sweep into a counter vector in FCM row order:
+    /// `counters[i]` is the reading for `rules[i]` (0.0 when it never
+    /// arrived) and `observed[i]` says whether it actually did. This is
+    /// the collection-side half of every detection round; masking and
+    /// reconciliation downstream key off `observed`.
+    pub fn assemble(&self, rules: &[RuleRef]) -> (Vec<f64>, Vec<bool>) {
+        let mut counters = vec![0.0; rules.len()];
+        let mut observed = vec![false; rules.len()];
+        for (i, r) in rules.iter().enumerate() {
+            if let Some(c) = self.counters_of(r.switch) {
+                if let Some(&v) = c.get(r.index) {
+                    counters[i] = v;
+                    observed[i] = true;
+                }
+            }
+        }
+        (counters, observed)
     }
 
     /// Responsive switches whose reply carried a generation stamp *newer*
@@ -334,6 +353,35 @@ mod tests {
         // Relative to a generation-1 FCM nothing is stale: the untouched
         // switches' older stamps mean their tables simply predate it.
         assert!(c1.stale_switches(1).is_empty());
+    }
+
+    #[test]
+    fn assemble_orders_counters_by_fcm_rows_and_marks_gaps() {
+        let dep = deployment();
+        let fcm = foces::Fcm::from_view(&dep.view);
+        let victim = foces_net::SwitchId(1);
+        let mut t = SimTransport::new(0, FaultProfile::default());
+        t.set_profile(
+            victim,
+            FaultProfile {
+                offline: vec![(0, 10)],
+                ..FaultProfile::default()
+            },
+        );
+        let mut sched = EpochScheduler::new(agents(&dep), Box::new(t), PollPolicy::default());
+        let c = sched.poll_epoch(&dep.dataplane, 0).unwrap();
+        let (counters, observed) = c.assemble(fcm.rules());
+        assert_eq!(counters.len(), fcm.rule_count());
+        assert_eq!(observed.len(), fcm.rule_count());
+        for (i, r) in fcm.rules().iter().enumerate() {
+            if r.switch == victim {
+                assert!(!observed[i], "offline switch rows are unobserved");
+                assert_eq!(counters[i], 0.0);
+            } else {
+                assert!(observed[i]);
+                assert_eq!(counters[i], dep.dataplane.counter(r.switch, r.index));
+            }
+        }
     }
 
     #[test]

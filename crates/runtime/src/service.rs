@@ -15,8 +15,8 @@ use crate::parallel::detect_parallel;
 use crate::scheduler::{EpochScheduler, PollPolicy};
 use crate::transport::SimTransport;
 use foces::{
-    localize, AlarmState, Detector, Fcm, FocesError, SlicedFcm, SlicedVerdict, SwitchSuspicion,
-    Verdict, DEFAULT_THRESHOLD,
+    localize, AlarmState, ColdReason, Detector, Fcm, FcmDelta, FocesError, SlicedFcm,
+    SlicedVerdict, SolvePath, SwitchSuspicion, Verdict, DEFAULT_THRESHOLD,
 };
 use foces_channel::{ChannelError, SwitchAgent, Transport};
 use foces_controlplane::ControllerView;
@@ -138,6 +138,10 @@ pub struct EpochReport {
     pub churn: bool,
     /// Localization suspects (full anomalous rounds only), strongest first.
     pub suspects: Vec<SwitchSuspicion>,
+    /// Which solve path the whole-network detection took: warm (cached
+    /// factor patched) or cold (full refactorization) on full rounds,
+    /// `None` on masked, reconciled, and blind rounds.
+    pub solve_path: Option<SolvePath>,
     /// Whether this round ended with a static re-verification of the view
     /// (it does exactly when the FCM was rebuilt).
     pub verified: bool,
@@ -333,17 +337,7 @@ impl RuntimeService {
 
         // -- Assemble the counter vector in FCM row order ---------------
         let t1 = Instant::now();
-        let rules = self.pipeline.fcm().rules();
-        let mut counters = vec![0.0; rules.len()];
-        let mut observed = vec![false; rules.len()];
-        for (i, r) in rules.iter().enumerate() {
-            if let Some(c) = collection.counters_of(r.switch) {
-                if let Some(&v) = c.get(r.index) {
-                    counters[i] = v;
-                    observed[i] = true;
-                }
-            }
-        }
+        let (counters, observed) = collection.assemble(self.pipeline.fcm().rules());
         self.metrics.build_secs += t1.elapsed().as_secs_f64();
 
         // -- Two-phase read: did this epoch witness a rule update? -------
@@ -377,6 +371,22 @@ impl RuntimeService {
             None
         };
         self.metrics.solve_secs += t2.elapsed().as_secs_f64();
+
+        // -- Account the solve path (full rounds only) -------------------
+        let solve_path = self.pipeline.last_solve_path();
+        match solve_path {
+            Some(SolvePath::Warm { rank_applied }) => {
+                self.metrics.warm_solves += 1;
+                self.metrics.factor_rank_applied += rank_applied as u64;
+            }
+            Some(SolvePath::Cold { reason }) => {
+                self.metrics.cold_solves += 1;
+                if !matches!(reason, ColdReason::NoCache) {
+                    self.metrics.warm_fallbacks += 1;
+                }
+            }
+            _ => {}
+        }
 
         // -- Alarm hysteresis (blind rounds freeze the machine) ----------
         let anomalous = verdict.as_ref().map(|v| v.anomalous).unwrap_or(false);
@@ -430,11 +440,18 @@ impl RuntimeService {
         let verified = view.generation() > self.fcm_generation;
         if verified {
             let fcm = Fcm::from_view(view);
+            let delta =
+                FcmDelta::from_journal(self.pipeline.fcm(), &fcm, view, self.fcm_generation);
+            self.metrics.delta_rows +=
+                (delta.rows_added + delta.rows_removed + delta.rows_retouched) as u64;
+            self.metrics.delta_cols += delta.column_churn() as u64;
             self.verification = verify_closure(view, &fcm, &mut self.metrics);
             self.static_touched = self.verification.implicated_rules();
             self.sliced = SlicedFcm::from_fcm(&fcm);
-            let detector = Detector::with_threshold(self.config.threshold);
-            self.pipeline = DegradedPipeline::new(view, fcm, detector, self.config.oracle_cap);
+            // Retarget (not rebuild) the pipeline: the incremental
+            // solver's cached factorization survives and the next full
+            // round patches it with this delta instead of refactorizing.
+            self.pipeline.retarget(view, fcm, self.config.oracle_cap);
             self.fcm_generation = view.generation();
             self.metrics.fcm_rebuilds += 1;
         }
@@ -444,10 +461,14 @@ impl RuntimeService {
             .as_ref()
             .map(|v| v.anomaly_index)
             .unwrap_or(f64::NAN);
+        let solve_path_json = solve_path
+            .map(|p| json_str(&p.to_string()))
+            .unwrap_or_else(|| "null".to_string());
         self.log.record(format!(
             "{{\"epoch\":{epoch},\"mode\":{},\"missing\":{missing_count},\
              \"anomaly_index\":{},\"anomalous\":{anomalous},\"coverage\":{},\
              \"churn\":{churn},\"quarantined\":{quarantined},\
+             \"solve_path\":{solve_path_json},\
              \"state\":{},\"alarm_raised\":{alarm_raised},\
              \"alarm_cleared\":{alarm_cleared},\"verified\":{verified},\
              \"static_violations\":{static_violations},\"sim_ms\":{}}}",
@@ -468,6 +489,7 @@ impl RuntimeService {
             alarm_cleared,
             churn,
             suspects,
+            solve_path,
             verified,
             static_violations,
         })
@@ -509,6 +531,35 @@ mod tests {
         assert_eq!(m.degraded_rounds + m.blind_rounds, 0);
         assert_eq!(svc.log().lines().len(), 3);
         assert!(svc.log().lines()[0].contains("\"mode\":\"Full\""));
+    }
+
+    #[test]
+    fn full_rounds_go_warm_after_the_first_solve() {
+        let dep = deployment();
+        let transport = SimTransport::new(1, FaultProfile::default());
+        let mut svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        let r0 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+        assert!(
+            matches!(r0.solve_path, Some(SolvePath::Cold { .. })),
+            "first solve factors from scratch: {:?}",
+            r0.solve_path
+        );
+        for _ in 0..2 {
+            let r = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+            assert!(
+                r.solve_path.is_some_and(|p| p.is_warm()),
+                "steady state reuses the factor: {:?}",
+                r.solve_path
+            );
+        }
+        let m = svc.metrics();
+        assert_eq!(m.cold_solves, 1);
+        assert_eq!(m.warm_solves, 2);
+        assert_eq!(m.warm_fallbacks, 0);
+        assert_eq!(m.factor_rank_applied, 0, "no churn, pure reuse");
+        assert!(svc.log().lines()[0].contains("\"solve_path\":\"cold(no-cache)\""));
+        assert!(svc.log().lines()[1].contains("\"solve_path\":\"warm(rank=0)\""));
     }
 
     #[test]
@@ -575,7 +626,9 @@ mod tests {
         assert!(svc.log().lines()[1].contains("\"mode\":\"Reconciled\""));
         assert!(svc.log().lines()[1].contains("\"churn\":true"));
 
-        // Epoch 2: the rebuilt FCM matches the new paths — full and quiet.
+        // Epoch 2: the rebuilt FCM matches the new paths — full and quiet,
+        // and solved warm: the cached factor survived the rebuild and was
+        // patched with the reroute's delta instead of refactorized.
         dep.dataplane.reset_counters();
         dep.replay_traffic(&mut LossModel::none());
         let r2 = svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
@@ -583,6 +636,17 @@ mod tests {
         assert!(!r2.churn);
         assert!(!r2.anomalous());
         assert_eq!(r2.state, AlarmState::Normal);
+        assert!(
+            r2.solve_path.is_some_and(|p| p.is_warm()),
+            "factor cache survives the rebuild: {:?}",
+            r2.solve_path
+        );
+        let m = svc.metrics();
+        assert!(
+            m.delta_rows + m.delta_cols > 0,
+            "the rebuild accounted its journal delta"
+        );
+        assert_eq!(m.warm_fallbacks, 0);
     }
 
     #[test]
