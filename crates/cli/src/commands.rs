@@ -57,6 +57,13 @@ USAGE:
                  [--workers N] [--oracle-cap N] [--log FILE.jsonl]
                  fault-tolerant online detection over an unreliable channel;
                  exits 2 if the run ends with an unresolved alarm
+  foces cluster  <scenario> [--epochs N] [--shards K] [--partition per-switch|edge-cut]
+                 [--shard-deadline-ms MS] [--loss P] [--attack-at E] [--repair-at E]
+                 [--kill-shard R --kill-at E [--heal-at E]] [--seed N] [--threshold T]
+                 [--workers N] [--queue-capacity N] [--log FILE.jsonl]
+                 sharded detection: k region shards on a work-stealing pool,
+                 per-shard warm solvers, fault isolation; exits 2 if the run
+                 ends with an unresolved alarm
   foces audit    <scenario> [--cap N] [--json]       static rule-table verification
                  (loops, blackholes, shadowed rules, FCM consistency) plus
                  detectability blind spots; exits 3 on static violations
@@ -395,6 +402,163 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
     })
 }
 
+/// `foces cluster <scenario> …` — sharded detection with per-shard warm
+/// solvers, worker-fault drills, and a JSONL epoch log. Exits `2` when the
+/// run ends with an unresolved alarm, like `foces run`.
+pub fn cluster_run(args: &Args) -> Result<CmdOutput, CmdError> {
+    let (_, mut dep) = load(args)?;
+    let epochs: u64 = args.num("epochs", 30)?;
+    let shards: usize = args.num("shards", 4)?;
+    let mode = args.opt("partition").unwrap_or("edge-cut");
+    let spec = foces_net::PartitionSpec::parse(mode, shards)
+        .ok_or_else(|| format!("--partition: unknown mode {mode:?} (per-switch|edge-cut)"))?;
+    let deadline_ms: u64 = args.num("shard-deadline-ms", 0)?;
+    let loss: f64 = args.num("loss", 0.0)?;
+    let seed: u64 = args.num("seed", 7)?;
+    let threshold: f64 = args.num("threshold", foces::DEFAULT_THRESHOLD)?;
+    let attack_at: Option<u64> = args
+        .opt("attack-at")
+        .map(|_| args.num("attack-at", 0))
+        .transpose()?;
+    let repair_at: u64 = args.num("repair-at", epochs)?;
+    let kill_shard: Option<usize> = args
+        .opt("kill-shard")
+        .map(|_| args.num("kill-shard", 0))
+        .transpose()?;
+    let kill_at: u64 = args.num("kill-at", 0)?;
+    let heal_at: u64 = args.num("heal-at", epochs)?;
+
+    let fcm = Fcm::from_view(&dep.view);
+    let config = foces_cluster::ClusterConfig {
+        spec,
+        threshold,
+        workers: args.num("workers", 0)?,
+        queue_capacity: args.num("queue-capacity", 4)?,
+        shard_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        ..foces_cluster::ClusterConfig::default()
+    };
+    let mut svc = foces_cluster::ClusterService::new(fcm, dep.view.topology(), config)?;
+    if let Some(path) = args.opt("log") {
+        let log = EventLog::to_file(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        svc = svc.with_log(log);
+    }
+    if let Some(region) = kill_shard {
+        if region >= svc.partition().region_count() {
+            return Err(format!(
+                "--kill-shard: region {region} out of range (partition has {})",
+                svc.partition().region_count()
+            )
+            .into());
+        }
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "partition: {} -> {} regions, edge cut {}, balance {:.2}, {} boundary flows",
+        spec,
+        svc.partition().region_count(),
+        svc.partition().edge_cut(dep.view.topology()),
+        svc.partition().balance(),
+        svc.sharded().boundary_flows().len()
+    )?;
+
+    let mut active: Option<foces_dataplane::AppliedAnomaly> = None;
+    for epoch in 0..epochs {
+        if attack_at == Some(epoch) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            active = inject_random_anomaly(
+                &mut dep.dataplane,
+                AnomalyKind::PathDeviation,
+                &mut rng,
+                &[],
+            );
+            if let Some(a) = &active {
+                writeln!(out, "epoch {epoch:>3}: [attack on s{}]", a.rule.switch.0)?;
+            }
+        }
+        if epoch == repair_at {
+            if let Some(a) = active.take() {
+                a.revert(&mut dep.dataplane)?;
+                writeln!(out, "epoch {epoch:>3}: [repaired]")?;
+            }
+        }
+        if let Some(region) = kill_shard {
+            if epoch == kill_at {
+                svc.inject_fault(region, foces_cluster::ShardFault::Panic);
+                writeln!(out, "epoch {epoch:>3}: [shard {region} worker killed]")?;
+            }
+            if epoch == heal_at {
+                svc.clear_fault(region);
+                writeln!(out, "epoch {epoch:>3}: [shard {region} worker restarted]")?;
+            }
+        }
+
+        let counters = one_round(&mut dep, loss, seed ^ epoch);
+        let r = svc.run_epoch(&counters)?;
+        let degraded: Vec<String> = r
+            .shards
+            .iter()
+            .filter_map(|s| match &s.health {
+                foces_cluster::ShardHealth::Healthy => None,
+                foces_cluster::ShardHealth::Degraded(reason) => {
+                    Some(format!("{} ({})", s.region, reason.label()))
+                }
+            })
+            .collect();
+        if !degraded.is_empty() {
+            writeln!(
+                out,
+                "epoch {epoch:>3}: DEGRADED shards [{}], row coverage {:.1}%",
+                degraded.join(", "),
+                100.0 * r.detectability.row_coverage
+            )?;
+        }
+        if r.alarm.raised {
+            writeln!(
+                out,
+                "epoch {epoch:>3}: ALARM (AI {:.2}) regions {:?}",
+                r.max_anomaly_index.min(1e6),
+                r.flagged_regions()
+            )?;
+        } else if r.alarm.cleared {
+            writeln!(out, "epoch {epoch:>3}: alarm cleared")?;
+        }
+    }
+
+    let m = svc.metrics().clone();
+    let final_state = svc.alarm_state();
+    writeln!(out, "final state: {final_state}")?;
+    writeln!(
+        out,
+        "solves: {} warm / {} cold over {} shard-epochs; faults: {} panics, \
+         {} deadline misses, {} solver errors",
+        m.warm_solves,
+        m.cold_solves,
+        m.shard_solves,
+        m.shard_panics,
+        m.deadline_misses,
+        m.solve_errors
+    )?;
+    writeln!(
+        out,
+        "pool: {} steals, {} backpressure stalls, max queue depth {}",
+        m.steals, m.backpressure_stalls, m.max_queue_depth
+    )?;
+    writeln!(out, "metrics: {}", m.to_json())?;
+    let exit_code = if final_state == AlarmState::Normal {
+        0
+    } else {
+        writeln!(out, "exit 2: run ended with an unresolved alarm")?;
+        2
+    };
+    Ok(CmdOutput {
+        report: out,
+        exit_code,
+    })
+}
+
 /// `foces audit <scenario> [--cap N] [--json]` — static rule-table
 /// verification (loops, blackholes, shadowing, FCM consistency) followed
 /// by the detectability blind-spot analysis. Exits `3` when verification
@@ -531,6 +695,13 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
             "workers",
             "oracle-cap",
             "log",
+            "shards",
+            "partition",
+            "shard-deadline-ms",
+            "queue-capacity",
+            "kill-shard",
+            "kill-at",
+            "heal-at",
         ],
     )?;
     match args.positional(0) {
@@ -538,6 +709,7 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
         Some("detect") => detect(&args).map(CmdOutput::clean),
         Some("monitor") => monitor(&args).map(CmdOutput::clean),
         Some("run") => run_service(&args),
+        Some("cluster") => cluster_run(&args),
         Some("audit") => audit(&args),
         Some("harden") => harden_cmd(&args).map(CmdOutput::clean),
         Some("scenario") => scenario_template(&args).map(CmdOutput::clean),
@@ -733,6 +905,127 @@ mod tests {
             "{}",
             out.report
         );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cluster_runs_attack_cycle_and_exits_clean() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run_full(argv(&[
+            "cluster",
+            path.to_str().unwrap(),
+            "--epochs=12",
+            "--shards=2",
+            "--attack-at=4",
+            "--repair-at=8",
+            "--seed=3",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(
+            out.report.contains("partition: edge-cut(k=2)"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("[attack on s"), "{}", out.report);
+        assert!(out.report.contains("ALARM"), "{}", out.report);
+        assert!(out.report.contains("alarm cleared"), "{}", out.report);
+        assert!(out.report.contains("final state: normal"), "{}", out.report);
+        assert!(out.report.contains("warm /"), "{}", out.report);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cluster_isolates_a_killed_shard_and_logs() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let log = std::env::temp_dir().join(format!(
+            "foces-cli-cluster-log-{}.jsonl",
+            std::process::id()
+        ));
+        let out = run_full(argv(&[
+            "cluster",
+            path.to_str().unwrap(),
+            "--epochs=6",
+            "--shards=2",
+            "--kill-shard=0",
+            "--kill-at=2",
+            "--heal-at=4",
+            "--log",
+            log.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(
+            out.report.contains("[shard 0 worker killed]"),
+            "{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("DEGRADED shards [0 (panic)]"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("row coverage"), "{}", out.report);
+        assert!(
+            out.report.contains("[shard 0 worker restarted]"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("final state: normal"), "{}", out.report);
+        let lines: Vec<String> = std::fs::read_to_string(&log)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[2].contains("\"reason\":\"panic\""), "{}", lines[2]);
+        assert!(lines[0].contains("\"mode\":\"cluster\""), "{}", lines[0]);
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(log);
+    }
+
+    #[test]
+    fn cluster_exits_2_on_unresolved_alarm() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run_full(argv(&[
+            "cluster",
+            path.to_str().unwrap(),
+            "--epochs=8",
+            "--shards=2",
+            "--attack-at=4",
+            "--repair-at=99",
+            "--seed=3",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 2, "{}", out.report);
+        assert!(
+            out.report
+                .contains("exit 2: run ended with an unresolved alarm"),
+            "{}",
+            out.report
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cluster_rejects_bad_partition_and_region() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let e = run(argv(&[
+            "cluster",
+            path.to_str().unwrap(),
+            "--partition=voronoi",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("--partition"), "{e}");
+        let e = run(argv(&[
+            "cluster",
+            path.to_str().unwrap(),
+            "--shards=2",
+            "--kill-shard=9",
+            "--kill-at=0",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
         let _ = std::fs::remove_file(path);
     }
 

@@ -1,0 +1,138 @@
+//! Cumulative counters for a cluster run, JSON-serializable with the same
+//! hand-rolled helpers the runtime uses.
+
+use foces_runtime::metrics::{json_f64, json_str};
+
+/// Monotonic counters accumulated across [`run_epoch`] calls.
+///
+/// [`run_epoch`]: crate::ClusterService::run_epoch
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterMetrics {
+    /// Epochs driven.
+    pub epochs: u64,
+    /// Shard solves attempted (healthy or not).
+    pub shard_solves: u64,
+    /// Shard solves that took the warm (factor-reusing) path.
+    pub warm_solves: u64,
+    /// Shard solves that ran cold.
+    pub cold_solves: u64,
+    /// Shard workers that panicked.
+    pub shard_panics: u64,
+    /// Shard solves that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Shard solves that failed in the solver.
+    pub solve_errors: u64,
+    /// Epoch-shard pairs reported degraded (any reason).
+    pub degraded_shard_epochs: u64,
+    /// Tasks executed after a steal, across all epochs.
+    pub steals: u64,
+    /// Seeder stalls due to full deques (backpressure), across all epochs.
+    pub backpressure_stalls: u64,
+    /// Largest per-worker deque depth ever observed.
+    pub max_queue_depth: u64,
+    /// Epochs whose union verdict was anomalous.
+    pub anomalous_epochs: u64,
+    /// Alarms raised by the hysteresis machine.
+    pub alarms_raised: u64,
+    /// Alarms cleared.
+    pub alarms_cleared: u64,
+    /// Lowest row coverage seen in any epoch (1.0 when never degraded).
+    pub worst_row_coverage: f64,
+}
+
+impl ClusterMetrics {
+    /// Fresh counters; `worst_row_coverage` starts at 1.0.
+    pub fn new() -> Self {
+        ClusterMetrics {
+            worst_row_coverage: 1.0,
+            ..ClusterMetrics::default()
+        }
+    }
+
+    /// One-line JSON object of every counter.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let push = |k: &str, v: String, s: &mut String| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            s.push_str(&json_str(k));
+            s.push(':');
+            s.push_str(&v);
+        };
+        push("epochs", self.epochs.to_string(), &mut s);
+        push("shard_solves", self.shard_solves.to_string(), &mut s);
+        push("warm_solves", self.warm_solves.to_string(), &mut s);
+        push("cold_solves", self.cold_solves.to_string(), &mut s);
+        push("shard_panics", self.shard_panics.to_string(), &mut s);
+        push("deadline_misses", self.deadline_misses.to_string(), &mut s);
+        push("solve_errors", self.solve_errors.to_string(), &mut s);
+        push(
+            "degraded_shard_epochs",
+            self.degraded_shard_epochs.to_string(),
+            &mut s,
+        );
+        push("steals", self.steals.to_string(), &mut s);
+        push(
+            "backpressure_stalls",
+            self.backpressure_stalls.to_string(),
+            &mut s,
+        );
+        push("max_queue_depth", self.max_queue_depth.to_string(), &mut s);
+        push(
+            "anomalous_epochs",
+            self.anomalous_epochs.to_string(),
+            &mut s,
+        );
+        push("alarms_raised", self.alarms_raised.to_string(), &mut s);
+        push("alarms_cleared", self.alarms_cleared.to_string(), &mut s);
+        push(
+            "worst_row_coverage",
+            json_f64(self.worst_row_coverage),
+            &mut s,
+        );
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_every_counter_and_parses_flat() {
+        let mut m = ClusterMetrics::new();
+        m.epochs = 3;
+        m.warm_solves = 11;
+        m.worst_row_coverage = 0.75;
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "epochs",
+            "shard_solves",
+            "warm_solves",
+            "cold_solves",
+            "shard_panics",
+            "deadline_misses",
+            "solve_errors",
+            "degraded_shard_epochs",
+            "steals",
+            "backpressure_stalls",
+            "max_queue_depth",
+            "anomalous_epochs",
+            "alarms_raised",
+            "alarms_cleared",
+            "worst_row_coverage",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        assert!(j.contains("\"warm_solves\":11"));
+        assert!(j.contains("\"worst_row_coverage\":0.75"));
+    }
+
+    #[test]
+    fn fresh_metrics_report_full_coverage() {
+        assert_eq!(ClusterMetrics::new().worst_row_coverage, 1.0);
+    }
+}

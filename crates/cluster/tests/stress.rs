@@ -1,0 +1,103 @@
+//! Cluster stress drill (the CI `cluster` job's core test): 10% sampled
+//! packet loss on every link, one shard's worker permanently panicking,
+//! and a standing anomaly in a *different* shard. The dead shard must
+//! degrade — never silence the cluster — and the surviving shards must
+//! keep the alarm up through the noise.
+
+use foces::{AlarmState, Fcm};
+use foces_cluster::{ClusterConfig, ClusterService, DegradeReason, ShardFault, ShardHealth};
+use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, LossModel};
+use foces_net::generators::bcube;
+use foces_net::{partition, PartitionSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn anomaly_survives_loss_and_a_dead_shard() {
+    let topo = bcube(1, 4);
+    let spec = PartitionSpec::EdgeCut { k: 4 };
+    // Compute the partition up front (it is deterministic, so the service
+    // will cut identically) to aim the anomaly away from the shard we kill.
+    let part = partition(&topo, spec);
+    let dead_region = 0;
+    let exclude: Vec<_> = part.region(dead_region).to_vec();
+
+    let flows = uniform_flows(&topo, topo.host_count() as f64 * 15_000.0);
+    let mut dep = provision(topo, &flows, RuleGranularity::PerDestination).unwrap();
+    let fcm = Fcm::from_view(&dep.view);
+    let config = ClusterConfig {
+        spec,
+        ..ClusterConfig::default()
+    };
+    let mut svc = ClusterService::new(fcm, dep.view.topology(), config).unwrap();
+
+    // Two clean (but lossy) epochs to warm every solver.
+    for seed in 0..2u64 {
+        dep.dataplane.reset_counters();
+        dep.replay_traffic(&mut LossModel::sampled(0.10, seed));
+        let y = dep.dataplane.collect_counters();
+        svc.run_epoch(&y).unwrap();
+    }
+
+    // Kill one shard's worker for good, and plant a standing anomaly in a
+    // switch owned by a *different* shard.
+    svc.inject_fault(dead_region, ShardFault::Panic);
+    let mut rng = StdRng::seed_from_u64(42);
+    inject_random_anomaly(
+        &mut dep.dataplane,
+        AnomalyKind::PathDeviation,
+        &mut rng,
+        &exclude,
+    )
+    .unwrap();
+
+    let mut alarm_raised = false;
+    let mut anomalous_epochs = 0;
+    let rounds = 10u64;
+    for seed in 0..rounds {
+        dep.dataplane.reset_counters();
+        dep.replay_traffic(&mut LossModel::sampled(0.10, 100 + seed));
+        let y = dep.dataplane.collect_counters();
+        let r = svc.run_epoch(&y).unwrap();
+
+        // Fault isolation: exactly the killed shard degrades, by panic.
+        let degraded: Vec<_> = r.shards.iter().filter(|s| !s.health.is_healthy()).collect();
+        assert_eq!(degraded.len(), 1, "epoch {seed}: {degraded:?}");
+        assert_eq!(degraded[0].region, dead_region);
+        assert!(matches!(
+            degraded[0].health,
+            ShardHealth::Degraded(DegradeReason::Panic(_))
+        ));
+        // The blind spot is quantified, not total.
+        assert!(r.detectability.row_coverage < 1.0);
+        assert!(r.detectability.row_coverage > 0.5);
+        // Healthy shards keep their warm factors across the fault.
+        for s in r.shards.iter().filter(|s| s.health.is_healthy()) {
+            assert!(
+                s.solve_path.is_some_and(|p| p.is_warm()),
+                "epoch {seed} region {} went cold: {:?}",
+                s.region,
+                s.solve_path
+            );
+        }
+
+        // `raised` is the transition edge; lossy warm-up rounds can
+        // pre-raise, so accept a standing Alarmed state too.
+        alarm_raised |= r.alarm.raised || r.alarm_state == AlarmState::Alarmed;
+        if r.anomalous {
+            anomalous_epochs += 1;
+        }
+    }
+
+    assert!(
+        alarm_raised,
+        "surviving shards never raised through 10% loss + dead shard"
+    );
+    assert!(
+        anomalous_epochs >= rounds * 7 / 10,
+        "only {anomalous_epochs}/{rounds} epochs flagged the standing anomaly"
+    );
+    assert_eq!(svc.metrics().shard_panics, rounds);
+    assert!(svc.metrics().worst_row_coverage < 1.0);
+}

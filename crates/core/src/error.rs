@@ -17,6 +17,18 @@ pub enum FocesError {
     EmptyFcm,
     /// The underlying linear solve failed beyond all fallbacks.
     Solver(LinalgError),
+    /// A sharded FCM failed its boundary-flow reconciliation check: a flow
+    /// crossing regions is not represented consistently across the shards
+    /// it traverses.
+    ShardReconciliation {
+        /// Parent column index of the offending flow.
+        flow: usize,
+        /// Region of the shard where the inconsistency was found
+        /// (`usize::MAX` when no single shard is to blame).
+        region: usize,
+        /// What went wrong.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for FocesError {
@@ -28,6 +40,20 @@ impl fmt::Display for FocesError {
             ),
             FocesError::EmptyFcm => write!(f, "flow-counter matrix has no flows"),
             FocesError::Solver(e) => write!(f, "equation system solve failed: {e}"),
+            FocesError::ShardReconciliation {
+                flow,
+                region,
+                detail,
+            } => {
+                if *region == usize::MAX {
+                    write!(f, "shard reconciliation failed for flow {flow}: {detail}")
+                } else {
+                    write!(
+                        f,
+                        "shard reconciliation failed for flow {flow} in region {region}: {detail}"
+                    )
+                }
+            }
         }
     }
 }

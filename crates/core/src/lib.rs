@@ -74,6 +74,7 @@ mod incremental;
 mod localize;
 mod monitor;
 pub mod rbg;
+mod shard;
 mod slicing;
 mod solver;
 pub mod testkit;
@@ -89,6 +90,7 @@ pub use incremental::{ColdReason, FcmDelta, IncrementalSolver, RankBudget, Solve
 pub use localize::{localize, localize_differential, SwitchSuspicion};
 pub use monitor::{AlarmState, Monitor, MonitorConfig, MonitorReport};
 pub use rbg::Rbg;
+pub use shard::{ShardUnionVerdict, ShardView, ShardedFcm};
 pub use slicing::{SliceView, SlicedFcm, SlicedVerdict};
 pub use solver::{EquationSystem, SolveOutcome, SolverKind};
 

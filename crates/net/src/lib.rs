@@ -29,6 +29,8 @@
 #![warn(missing_docs)]
 
 pub mod generators;
+pub mod partition;
 mod topology;
 
+pub use partition::{partition, Partition, PartitionSpec};
 pub use topology::{Adjacency, HostId, Node, Port, SwitchId, SwitchRole, Topology, TopologyError};

@@ -24,6 +24,10 @@
 //!   of a [`foces::SlicedFcm`] across a scoped worker pool
 //!   (`std::thread::scope`, no extra dependencies), with verdicts
 //!   *identical* to the sequential path.
+//! * [`pool`] — [`run_tasks`], a std-only work-stealing worker pool
+//!   (bounded per-worker deques with backpressure, FIFO stealing,
+//!   per-task panic containment and deadline accounting) — the execution
+//!   engine under `foces-cluster`'s shard coordinator.
 //! * [`metrics`] — [`RuntimeMetrics`] counters plus a JSONL [`EventLog`]
 //!   of per-epoch records.
 //! * [`hysteresis`] — [`AlarmMachine`], k-of-n alarm confirmation with
@@ -48,6 +52,7 @@ pub mod harness;
 pub mod hysteresis;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 pub mod scheduler;
 pub mod service;
 pub mod transport;
@@ -57,6 +62,7 @@ pub use harness::{FaultScenario, ScenarioDriver};
 pub use hysteresis::{AlarmMachine, AlarmTransition, HysteresisConfig};
 pub use metrics::{EventLog, RuntimeMetrics};
 pub use parallel::detect_parallel;
+pub use pool::{run_tasks, PoolConfig, PoolStats, TaskOutcome, TaskRun};
 pub use scheduler::{EpochCollection, EpochScheduler, PollPolicy, SwitchPoll};
 pub use service::{EpochReport, RuntimeConfig, RuntimeError, RuntimeService};
 pub use transport::{FaultProfile, SimTransport};

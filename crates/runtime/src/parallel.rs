@@ -43,11 +43,16 @@ pub fn detect_parallel(
     if workers <= 1 || views.len() <= 1 {
         return sliced.detect(detector, counters);
     }
+    // Clamp the pool to the number of slices: `workers` usually comes
+    // straight from `available_parallelism`, which can exceed the slice
+    // count on small topologies — spawning the surplus threads would only
+    // have them fetch an out-of-range index and exit, so don't.
+    let spawn = workers.min(views.len());
     let slots: Vec<OnceLock<Result<Verdict, FocesError>>> =
         (0..views.len()).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(views.len()) {
+        for _ in 0..spawn {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(view) = views.get(i) else { break };
@@ -136,6 +141,65 @@ mod tests {
         let a = detect_parallel(&sliced, &detector, &counters, 1).unwrap();
         let b = sliced.detect(&detector, &counters).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// A hand-built FCM whose slicing yields exactly one slice: one
+    /// switch, one rule, one flow.
+    fn one_slice_fcm() -> SlicedFcm {
+        use foces_dataplane::RuleRef;
+        use foces_net::{HostId, SwitchId};
+        let rule = RuleRef {
+            switch: SwitchId(0),
+            index: 0,
+        };
+        let flow = foces_atpg::LogicalFlow {
+            ingress: HostId(0),
+            egress: HostId(1),
+            header: foces_headerspace::Wildcard::any(16),
+            rules: vec![rule],
+            path: vec![SwitchId(0)],
+        };
+        SlicedFcm::from_fcm(&Fcm::from_parts(vec![rule], vec![flow]))
+    }
+
+    #[test]
+    fn single_slice_with_many_workers_matches_sequential() {
+        // Regression: the worker count must be clamped to the slice count,
+        // not taken from the CPU count — a 1-slice system asked for 32
+        // workers must not spawn 32 threads racing one index, and must
+        // produce the sequential verdict.
+        let sliced = one_slice_fcm();
+        assert_eq!(sliced.slice_count(), 1);
+        let detector = Detector::default();
+        let counters = vec![1000.0];
+        let seq = sliced.detect(&detector, &counters).unwrap();
+        for workers in [2, 8, 32] {
+            let par = detect_parallel(&sliced, &detector, &counters, workers).unwrap();
+            assert_eq!(par, seq, "workers={workers}");
+        }
+        assert!(!seq.anomalous);
+    }
+
+    #[test]
+    fn zero_slices_with_many_workers_is_an_empty_verdict() {
+        // An FCM whose flows match no rules slices to zero sub-FCMs; the
+        // parallel path must degrade to the sequential empty verdict
+        // instead of sizing a pool for slices that do not exist.
+        let sliced = SlicedFcm::from_fcm(&Fcm::from_parts(
+            vec![foces_dataplane::RuleRef {
+                switch: foces_net::SwitchId(0),
+                index: 0,
+            }],
+            Vec::new(),
+        ));
+        assert_eq!(sliced.slice_count(), 0);
+        let detector = Detector::default();
+        let counters = vec![0.0];
+        for workers in [0, 1, 4, 64] {
+            let par = detect_parallel(&sliced, &detector, &counters, workers).unwrap();
+            assert!(!par.anomalous, "workers={workers}");
+            assert!(par.per_switch.is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Cross-crate cluster fault-isolation test: BCube(1,4) cut into 4 region
+//! shards, driven for 30 epochs with one shard's worker killed mid-run
+//! and a forwarding anomaly injected afterwards in a *different* shard.
+//!
+//! What must hold (the PR's acceptance criteria):
+//! * the killed worker degrades exactly its own shard — every other shard
+//!   keeps solving (warm) and the coordinator keeps producing verdicts;
+//! * the degraded shard produces **zero false alarms**: before the attack
+//!   no epoch is anomalous and the alarm machine never leaves `Normal`,
+//!   dead shard or not;
+//! * once the anomaly lands, detection latency stays within the
+//!   hysteresis bound (`raise_k` epochs of the attack);
+//! * the detectability report quantifies the blind spot every degraded
+//!   epoch (row coverage strictly between 0 and 1) without ever blinding
+//!   the healthy regions.
+
+use foces::{AlarmState, Fcm};
+use foces_cluster::{ClusterConfig, ClusterService, DegradeReason, ShardFault, ShardHealth};
+use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, LossModel};
+use foces_net::generators::bcube;
+use foces_net::{partition, PartitionSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPOCHS: u64 = 30;
+const KILL_AT: u64 = 10;
+const ATTACK_AT: u64 = 18;
+const DEAD_REGION: usize = 0;
+
+fn testbed() -> Deployment {
+    let topo = bcube(1, 4);
+    let flows = uniform_flows(&topo, topo.host_count() as f64 * 15_000.0);
+    provision(topo, &flows, RuleGranularity::PerDestination).expect("bcube(1,4) provisions")
+}
+
+fn counters(dep: &mut Deployment) -> Vec<f64> {
+    dep.dataplane.reset_counters();
+    dep.replay_traffic(&mut LossModel::none());
+    dep.dataplane.collect_counters()
+}
+
+#[test]
+fn killed_shard_never_false_alarms_and_detection_stays_fast() {
+    let spec = PartitionSpec::EdgeCut { k: 4 };
+    let mut dep = testbed();
+    let part = partition(dep.view.topology(), spec);
+    assert_eq!(part.region_count(), 4);
+    let exclude: Vec<_> = part.region(DEAD_REGION).to_vec();
+
+    let fcm = Fcm::from_view(&dep.view);
+    let config = ClusterConfig {
+        spec,
+        ..ClusterConfig::default()
+    };
+    let raise_k = u64::from(config.hysteresis.raise_k);
+    let mut svc = ClusterService::new(fcm, dep.view.topology(), config).unwrap();
+
+    let mut first_alarm_epoch: Option<u64> = None;
+    for epoch in 0..EPOCHS {
+        if epoch == KILL_AT {
+            svc.inject_fault(DEAD_REGION, ShardFault::Panic);
+        }
+        if epoch == ATTACK_AT {
+            let mut rng = StdRng::seed_from_u64(9);
+            inject_random_anomaly(
+                &mut dep.dataplane,
+                AnomalyKind::PathDeviation,
+                &mut rng,
+                &exclude,
+            )
+            .expect("an eligible rule outside the dead region exists");
+        }
+
+        let y = counters(&mut dep);
+        let r = svc.run_epoch(&y).unwrap();
+
+        // Fault isolation: before the kill nothing is degraded; after it,
+        // exactly the dead region is, and only by the injected panic.
+        let degraded: Vec<_> = r.shards.iter().filter(|s| !s.health.is_healthy()).collect();
+        if epoch < KILL_AT {
+            assert!(degraded.is_empty(), "epoch {epoch}: {degraded:?}");
+            assert_eq!(r.detectability.row_coverage, 1.0);
+        } else {
+            assert_eq!(degraded.len(), 1, "epoch {epoch}: {degraded:?}");
+            assert_eq!(degraded[0].region, DEAD_REGION);
+            assert!(matches!(
+                degraded[0].health,
+                ShardHealth::Degraded(DegradeReason::Panic(_))
+            ));
+            assert!(r.detectability.row_coverage < 1.0, "epoch {epoch}");
+            assert!(r.detectability.row_coverage > 0.0, "epoch {epoch}");
+            assert_eq!(r.detectability.degraded_regions, vec![DEAD_REGION]);
+        }
+
+        // Zero false alarms: lossless benign epochs stay quiet, with or
+        // without the dead shard.
+        if epoch < ATTACK_AT {
+            assert!(
+                !r.anomalous,
+                "epoch {epoch}: false positive (AI {:.2}, regions {:?})",
+                r.max_anomaly_index,
+                r.flagged_regions()
+            );
+            assert_eq!(r.alarm_state, AlarmState::Normal, "epoch {epoch}");
+        } else {
+            assert!(
+                r.anomalous,
+                "epoch {epoch}: standing anomaly not flagged (coverage {:.2})",
+                r.detectability.row_coverage
+            );
+            // The dead region cannot vouch for anything: flagged regions
+            // are healthy ones.
+            assert!(
+                !r.flagged_regions().contains(&DEAD_REGION),
+                "epoch {epoch}: degraded shard contributed a verdict"
+            );
+            if first_alarm_epoch.is_none() && r.alarm_state == AlarmState::Alarmed {
+                first_alarm_epoch = Some(epoch);
+            }
+        }
+
+        // Healthy shards stay warm from epoch 1 on, across the fault.
+        if epoch > 0 {
+            for s in r.shards.iter().filter(|s| s.health.is_healthy()) {
+                assert!(
+                    s.solve_path.is_some_and(|p| p.is_warm()),
+                    "epoch {epoch} region {} went cold: {:?}",
+                    s.region,
+                    s.solve_path
+                );
+            }
+        }
+    }
+
+    // Detection latency: the alarm must be up within the hysteresis bound
+    // of the attack epoch (raise_k anomalous epochs to reach quorum).
+    let raised_at = first_alarm_epoch.expect("alarm never raised after the attack");
+    assert!(
+        raised_at < ATTACK_AT + raise_k,
+        "alarm raised at epoch {raised_at}, outside the hysteresis bound \
+         (attack at {ATTACK_AT}, raise_k {raise_k})"
+    );
+
+    let m = svc.metrics();
+    assert_eq!(m.epochs, EPOCHS);
+    assert_eq!(m.shard_panics, EPOCHS - KILL_AT);
+    assert_eq!(m.degraded_shard_epochs, EPOCHS - KILL_AT);
+    assert_eq!(m.alarms_raised, 1);
+    assert_eq!(m.alarms_cleared, 0);
+    assert!(m.worst_row_coverage < 1.0);
+    assert_eq!(svc.log_lines().len() as u64, EPOCHS);
+}
