@@ -1,0 +1,200 @@
+//! The channel-level fault vocabulary: per-switch delivery profiles and a
+//! seeded sampler turning them into [`Delivery`](crate::Delivery)-shaped
+//! fates.
+//!
+//! Historically this logic lived in `foces-runtime`'s `SimTransport`;
+//! every transport that wanted faults re-implemented the same
+//! profile-lookup + RNG-draw dance. It now lives next to the
+//! [`Transport`](crate::Transport) trait so *all* delivery policies —
+//! the epoch-lockstep `SimTransport` and the event-driven ingest link
+//! models alike — speak one fault language: a [`FaultProfile`] per switch
+//! and a [`FaultModel`] that samples it deterministically.
+//!
+//! The sampler draws from its RNG in a **fixed order** (drop, reorder,
+//! jitter — each only when its knob is non-zero), so a given seed replays
+//! the exact same fault sequence regardless of which transport consumes
+//! it. Tests that pin byte-identical event logs rely on this.
+
+use foces_net::SwitchId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Per-switch channel behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Base round-trip latency per exchange, in simulated milliseconds.
+    pub latency_ms: f64,
+    /// Uniform jitter added on top of `latency_ms` (`[0, jitter_ms)`).
+    pub jitter_ms: f64,
+    /// Probability that an exchange (request or reply) is lost in flight.
+    pub drop_prob: f64,
+    /// Probability that a *stale* reply (from an earlier exchange with this
+    /// switch) is delivered instead of the fresh one — the scheduler sees a
+    /// transaction-id mismatch and must retry.
+    pub reorder_prob: f64,
+    /// Half-open windows `[start, end)` during which the switch is offline
+    /// (crashed or partitioned). The unit is whatever clock the consuming
+    /// transport feeds [`FaultModel::fate`]: the lockstep scheduler passes
+    /// epochs, the event-driven ingest loop passes whole simulated
+    /// milliseconds. Multiple windows model crash-restart cycles.
+    pub offline: Vec<(u64, u64)>,
+}
+
+impl Default for FaultProfile {
+    /// A well-behaved 1 ms channel: no jitter, no drops, no reordering,
+    /// never offline.
+    fn default() -> Self {
+        FaultProfile {
+            latency_ms: 1.0,
+            jitter_ms: 0.0,
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            offline: Vec::new(),
+        }
+    }
+}
+
+impl FaultProfile {
+    /// Is the switch offline at `at` (epoch or simulated-ms, see
+    /// [`FaultProfile::offline`])?
+    pub fn offline_at(&self, at: u64) -> bool {
+        self.offline.iter().any(|&(s, e)| s <= at && at < e)
+    }
+}
+
+/// The sampled fate of one exchange attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fate {
+    /// The switch is offline; retrying now cannot help.
+    Offline,
+    /// The message (request or reply) was lost in flight.
+    Dropped,
+    /// The exchange completes.
+    Deliver {
+        /// Sampled round-trip latency (base + jitter), milliseconds.
+        latency_ms: f64,
+        /// Whether a stale reply should be delivered in place of the
+        /// fresh one (the consuming transport owns the stale buffer).
+        reorder: bool,
+    },
+}
+
+/// A deterministic per-switch fault sampler: every switch follows the
+/// default profile unless overridden, and all randomness comes from one
+/// seeded [`StdRng`], so identical seeds replay identical fault sequences.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    default_profile: FaultProfile,
+    per_switch: HashMap<SwitchId, FaultProfile>,
+    rng: StdRng,
+}
+
+impl FaultModel {
+    /// Creates a sampler where every switch follows `default_profile`.
+    pub fn new(seed: u64, default_profile: FaultProfile) -> Self {
+        FaultModel {
+            default_profile,
+            per_switch: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the profile of one switch (e.g. an offline window for the
+    /// crash victim).
+    pub fn set_profile(&mut self, switch: SwitchId, profile: FaultProfile) {
+        self.per_switch.insert(switch, profile);
+    }
+
+    /// The profile governing `switch`.
+    pub fn profile(&self, switch: SwitchId) -> &FaultProfile {
+        self.per_switch
+            .get(&switch)
+            .unwrap_or(&self.default_profile)
+    }
+
+    /// Samples the fate of one exchange with `switch` at clock `at`.
+    ///
+    /// RNG draws happen in a fixed order — drop, reorder, jitter — and
+    /// each draw happens only when its knob is non-zero, so adding an
+    /// unused fault dimension never perturbs the sequence of another.
+    pub fn fate(&mut self, switch: SwitchId, at: u64) -> Fate {
+        let p = self.profile(switch).clone();
+        if p.offline_at(at) {
+            return Fate::Offline;
+        }
+        if p.drop_prob > 0.0 && self.rng.gen_bool(p.drop_prob.min(1.0)) {
+            return Fate::Dropped;
+        }
+        let reorder = p.reorder_prob > 0.0 && self.rng.gen_bool(p.reorder_prob.min(1.0));
+        let jitter = if p.jitter_ms > 0.0 {
+            self.rng.gen_range(0.0..p.jitter_ms)
+        } else {
+            0.0
+        };
+        Fate::Deliver {
+            latency_ms: p.latency_ms + jitter,
+            reorder,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fate_sequence() {
+        let profile = FaultProfile {
+            drop_prob: 0.4,
+            jitter_ms: 2.0,
+            reorder_prob: 0.2,
+            ..FaultProfile::default()
+        };
+        let run = |seed: u64| -> Vec<Fate> {
+            let mut m = FaultModel::new(seed, profile.clone());
+            (0..64).map(|i| m.fate(SwitchId(0), i)).collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds should diverge");
+    }
+
+    #[test]
+    fn offline_windows_and_overrides() {
+        let mut m = FaultModel::new(0, FaultProfile::default());
+        let victim = SwitchId(2);
+        m.set_profile(
+            victim,
+            FaultProfile {
+                offline: vec![(5, 8), (10, 11)],
+                ..FaultProfile::default()
+            },
+        );
+        assert!(matches!(m.fate(victim, 5), Fate::Offline));
+        assert!(matches!(m.fate(victim, 7), Fate::Offline));
+        assert!(matches!(m.fate(victim, 8), Fate::Deliver { .. }));
+        assert!(matches!(m.fate(victim, 10), Fate::Offline));
+        // Other switches keep the default profile.
+        assert!(matches!(m.fate(SwitchId(0), 5), Fate::Deliver { .. }));
+        assert_eq!(m.profile(victim).offline.len(), 2);
+    }
+
+    #[test]
+    fn quiet_profile_never_draws() {
+        // With every probabilistic knob at zero the RNG is never touched,
+        // so latency is exactly the base for every attempt.
+        let mut m = FaultModel::new(9, FaultProfile::default());
+        for i in 0..32 {
+            match m.fate(SwitchId(1), i) {
+                Fate::Deliver {
+                    latency_ms,
+                    reorder,
+                } => {
+                    assert_eq!(latency_ms, 1.0);
+                    assert!(!reorder);
+                }
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+    }
+}

@@ -24,7 +24,14 @@
 //! * [`transport`] — the delivery-policy hook: every exchange goes through
 //!   a [`Transport`] ([`PerfectTransport`] by default), so fault models
 //!   (latency, loss, offline switches — see `foces-runtime`) plug in
-//!   without touching the codec or the agents.
+//!   without touching the codec or the agents. Event-driven consumers use
+//!   the timestamped surface ([`Transport::exchange_at`]) instead of the
+//!   blocking one;
+//! * [`fault`] — the shared fault vocabulary: a per-switch
+//!   [`FaultProfile`] (latency/jitter/drop/reorder/offline windows) and
+//!   the seeded [`FaultModel`] sampler, consumed by both the lockstep
+//!   `SimTransport` in `foces-runtime` and the per-link channel models in
+//!   `foces-ingest`.
 //!
 //! # Example
 //!
@@ -59,6 +66,7 @@
 
 pub mod agent;
 pub mod collector;
+pub mod fault;
 pub mod message;
 pub mod transport;
 
@@ -67,5 +75,6 @@ pub use collector::{
     honest_collector, ChannelCollector, ChannelError, DeltaReport, DeltaTracker, DumpAudit,
     StampedCounters,
 };
+pub use fault::{Fate, FaultModel, FaultProfile};
 pub use message::{ControllerMsg, SwitchMsg, WireError, WireRule};
-pub use transport::{wire_exchange, Delivery, PerfectTransport, Transport};
+pub use transport::{wire_exchange, Delivery, PerfectTransport, TimedDelivery, Transport};

@@ -33,6 +33,24 @@ pub enum Delivery {
     Offline,
 }
 
+/// A [`Delivery`] stamped with the simulated instant the reply lands.
+///
+/// The asynchronous face of the channel: an event-driven consumer sends a
+/// request at `now_ms`, gets back *when* the outcome materialises, and
+/// schedules a future event instead of blocking on the exchange. Lost and
+/// offline outcomes carry the instant the sender can *know* the attempt
+/// failed (i.e. when its local timeout machinery may fire), which for
+/// simulated channels is the send instant itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedDelivery {
+    /// What happened to the exchange.
+    pub delivery: Delivery,
+    /// Absolute simulated time (ms) at which `delivery` is observable at
+    /// the controller: arrival time for a delivered reply, the send
+    /// instant for drops/offline.
+    pub at_ms: f64,
+}
+
 /// A delivery policy for controller ↔ switch exchanges.
 ///
 /// `exchange` takes `&mut self` so implementations can hold RNG state,
@@ -51,6 +69,32 @@ pub trait Transport {
         agent: &dyn SwitchAgent,
         msg: &ControllerMsg,
     ) -> Result<Delivery, ChannelError>;
+
+    /// Timestamped exchange for event-driven consumers: the request is
+    /// sent at absolute simulated time `now_ms` and the returned
+    /// [`TimedDelivery`] says when its outcome lands. The default adapts
+    /// [`Transport::exchange`] by offsetting the sampled round-trip
+    /// latency from `now_ms`; transports modelling per-link serialization
+    /// or queueing override this to make arrival depend on channel state
+    /// at the send instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] only for wire-level protocol violations.
+    fn exchange_at(
+        &mut self,
+        dp: &DataPlane,
+        agent: &dyn SwitchAgent,
+        msg: &ControllerMsg,
+        now_ms: f64,
+    ) -> Result<TimedDelivery, ChannelError> {
+        let delivery = self.exchange(dp, agent, msg)?;
+        let at_ms = match &delivery {
+            Delivery::Delivered { latency_ms, .. } => now_ms + latency_ms,
+            Delivery::Dropped | Delivery::Offline => now_ms,
+        };
+        Ok(TimedDelivery { delivery, at_ms })
+    }
 
     /// Advances simulated time to `epoch`. Time-dependent policies
     /// (offline windows, crash-restart cycles) override this; the default
@@ -133,5 +177,26 @@ mod tests {
             .map(|i| dep.dataplane.counter(sw, i))
             .collect();
         assert_eq!(counters, expected);
+    }
+
+    #[test]
+    fn default_exchange_at_offsets_latency_from_now() {
+        let topo = ring(3);
+        let flows = uniform_flows(&topo, 500.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        let agent = HonestAgent::new(foces_net::SwitchId(1));
+        let mut t = PerfectTransport;
+        let td = t
+            .exchange_at(
+                &dep.dataplane,
+                &agent,
+                &ControllerMsg::StatsRequest { xid: 9 },
+                123.5,
+            )
+            .unwrap();
+        // PerfectTransport has zero latency, so the reply lands at send time.
+        assert_eq!(td.at_ms, 123.5);
+        assert!(matches!(td.delivery, Delivery::Delivered { .. }));
     }
 }

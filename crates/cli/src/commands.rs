@@ -7,9 +7,11 @@ use foces::{
     audit_deviations, harden, localize, AlarmState, Detector, Fcm, Monitor, MonitorConfig,
     SlicedFcm,
 };
+use foces_channel::FaultProfile;
 use foces_controlplane::scenario::Scenario;
 use foces_controlplane::Deployment;
 use foces_dataplane::{inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel};
+use foces_ingest::{CadenceConfig, LinkSpec, StreamAction, StreamConfig, StreamDriver};
 use foces_runtime::{DetectionMode, EventLog, FaultScenario, RuntimeConfig, ScenarioDriver};
 use foces_verify::verify_view;
 use rand::rngs::StdRng;
@@ -54,9 +56,21 @@ USAGE:
                  [--attack-at E] [--repair-at E] [--seed N] [--threshold T]
                  [--churn PERIOD] [--churn-seed N] [--alarm-window N]
                  [--churn-suppress N] [--churn-penalty N]
+                 [--poll-deadline-ms MS] [--attempt-timeout-ms MS] [--max-attempts N]
                  [--workers N] [--oracle-cap N] [--log FILE.jsonl]
                  fault-tolerant online detection over an unreliable channel;
                  exits 2 if the run ends with an unresolved alarm
+  foces stream   <scenario> [--duration-ms MS] [--regions K] [--poll-ms MS]
+                 [--adaptive [--poll-max-ms MS]] [--link-delay MS] [--bandwidth BPM]
+                 [--queue-capacity N] [--slow-region R --slow-ms MS]
+                 [--latency MS] [--jitter MS] [--drop P] [--reorder P]
+                 [--attempt-timeout-ms MS] [--max-attempts N]
+                 [--attack-at MS] [--repair-at MS] [--churn-at MS] [--settle-ms MS]
+                 [--seed N] [--churn-seed N] [--anomaly-seed N] [--log FILE.jsonl]
+                 event-driven continuous ingestion: per-link channel models,
+                 adaptive poll cadence, per-shard detection the moment a
+                 shard's counters are complete; exits 2 if the stream ends
+                 with an unresolved alarm
   foces cluster  <scenario> [--epochs N] [--shards K] [--partition per-switch|edge-cut]
                  [--shard-deadline-ms MS] [--loss P] [--attack-at E] [--repair-at E]
                  [--kill-shard R --kill-at E [--heal-at E]] [--seed N] [--threshold T]
@@ -281,6 +295,10 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
     config.alarm_window = args.num("alarm-window", config.alarm_window)?;
     config.churn_suppress = args.num("churn-suppress", config.churn_suppress)?;
     config.churn_penalty = args.num("churn-penalty", config.churn_penalty)?;
+    config.policy.deadline_ms = args.num("poll-deadline-ms", config.policy.deadline_ms)?;
+    config.policy.attempt_timeout_ms =
+        args.num("attempt-timeout-ms", config.policy.attempt_timeout_ms)?;
+    config.policy.max_attempts = args.num("max-attempts", config.policy.max_attempts)?;
     if let Some(w) = args.opt("workers") {
         config.workers = w
             .parse()
@@ -559,6 +577,154 @@ pub fn cluster_run(args: &Args) -> Result<CmdOutput, CmdError> {
     })
 }
 
+/// `foces stream <scenario> …` — event-driven continuous ingestion over
+/// per-link channel models with shard-complete detection triggers. Exits
+/// `2` when the stream ends with an unresolved alarm, like `foces run`.
+pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
+    let (_, dep) = load(args)?;
+    let defaults = StreamConfig::default();
+    let poll_ms: f64 = args.num("poll-ms", 50.0)?;
+    let cadence = if args.flag("adaptive") {
+        CadenceConfig {
+            min_ms: poll_ms,
+            max_ms: args.num("poll-max-ms", poll_ms * 8.0)?,
+            ..CadenceConfig::default()
+        }
+    } else {
+        CadenceConfig::fixed(poll_ms)
+    };
+    let link_defaults = LinkSpec::default();
+    let link = LinkSpec {
+        propagation_ms: args.num("link-delay", link_defaults.propagation_ms)?,
+        bytes_per_ms: args.num("bandwidth", link_defaults.bytes_per_ms)?,
+        queue_capacity: args.num("queue-capacity", link_defaults.queue_capacity)?,
+    };
+    let profile = FaultProfile {
+        latency_ms: args.num("latency", 1.0)?,
+        jitter_ms: args.num("jitter", 0.0)?,
+        drop_prob: args.num("drop", 0.0)?,
+        reorder_prob: args.num("reorder", 0.0)?,
+        offline: Vec::new(),
+    };
+    let slow_region: Option<usize> = args
+        .opt("slow-region")
+        .map(|_| args.num("slow-region", 0))
+        .transpose()?;
+    let config = StreamConfig {
+        duration_ms: args.num("duration-ms", defaults.duration_ms)?,
+        regions: args.num("regions", defaults.regions)?,
+        cadence,
+        attempt_timeout_ms: args.num("attempt-timeout-ms", defaults.attempt_timeout_ms)?,
+        max_attempts: args.num("max-attempts", defaults.max_attempts)?,
+        settle_ms: args.num("settle-ms", defaults.settle_ms)?,
+        profile,
+        access: link.clone(),
+        uplink: link,
+        slow_region,
+        slow_extra_ms: args.num("slow-ms", defaults.slow_extra_ms)?,
+        seed: args.num("seed", defaults.seed)?,
+        churn_seed: args.num("churn-seed", defaults.churn_seed)?,
+        anomaly_seed: args.num("anomaly-seed", defaults.anomaly_seed)?,
+        ..defaults
+    };
+
+    let mut script: Vec<(f64, StreamAction)> = Vec::new();
+    if args.opt("attack-at").is_some() {
+        let at: f64 = args.num("attack-at", 0.0)?;
+        script.push((at, StreamAction::Inject(AnomalyKind::PathDeviation)));
+    }
+    if args.opt("repair-at").is_some() {
+        let at: f64 = args.num("repair-at", 0.0)?;
+        script.push((at, StreamAction::Revert));
+    }
+    if args.opt("churn-at").is_some() {
+        let at: f64 = args.num("churn-at", 0.0)?;
+        script.push((at, StreamAction::Churn));
+    }
+    script.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut driver = StreamDriver::new(dep, config.clone(), script);
+    if let Some(path) = args.opt("log") {
+        let log = EventLog::to_file(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        driver.install_log(log);
+    }
+    let report = driver.run()?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "stream: {} regions over {:.0} ms simulated, poll {} ({:.0}..{:.0} ms)",
+        config.regions,
+        config.duration_ms,
+        if args.flag("adaptive") {
+            "adaptive"
+        } else {
+            "fixed"
+        },
+        config.cadence.min_ms,
+        config.cadence.max_ms,
+    )?;
+    let m = report.metrics;
+    let opt_ms = |v: Option<f64>| {
+        v.map(|x| format!("{x:.2} ms"))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    writeln!(
+        out,
+        "latency: first verdict {} / all shards {} / alarm {}",
+        opt_ms(m.ttfv_ms),
+        opt_ms(m.ttav_ms),
+        opt_ms(m.alarm_latency_ms)
+    )?;
+    writeln!(
+        out,
+        "rounds: {} warm / {} cold / {} reconciled / {} degraded / {} blind \
+         over {} shard fires ({} anomalous)",
+        m.warm_rounds,
+        m.cold_rounds,
+        m.reconciled_rounds,
+        m.degraded_rounds,
+        m.blind_rounds,
+        m.shard_rounds,
+        m.anomalous_rounds
+    )?;
+    writeln!(
+        out,
+        "channel: {} polls, {} attempts, {} retries, {} drops, \
+         {} congestion drops, {} timeouts, {} stale replies",
+        m.polls, m.attempts, m.retries, m.drops, m.congestion_drops, m.timeouts, m.stale_replies
+    )?;
+    writeln!(
+        out,
+        "alarms: {} raised, {} cleared, {} suppressed; {} fcm rebuilds",
+        m.alarms_raised, m.alarms_cleared, m.suppressed_raises, m.fcm_rebuilds
+    )?;
+    let verdicts: Vec<String> = report
+        .stream_verdicts
+        .iter()
+        .map(|(r, a)| format!("{r}:{}", if *a { "ANOMALY" } else { "ok" }))
+        .collect();
+    writeln!(
+        out,
+        "verdicts: [{}], ground-truth parity: {}",
+        verdicts.join(" "),
+        report.verdict_parity()
+    )?;
+    writeln!(out, "final state: {}", report.alarm_state)?;
+    writeln!(out, "metrics: {}", m.to_json())?;
+    let exit_code = if report.alarm_state == AlarmState::Normal {
+        0
+    } else {
+        writeln!(out, "exit 2: stream ended with an unresolved alarm")?;
+        2
+    };
+    Ok(CmdOutput {
+        report: out,
+        exit_code,
+    })
+}
+
 /// `foces audit <scenario> [--cap N] [--json]` — static rule-table
 /// verification (loops, blackholes, shadowing, FCM consistency) followed
 /// by the detectability blind-spot analysis. Exits `3` when verification
@@ -702,6 +868,20 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
             "kill-shard",
             "kill-at",
             "heal-at",
+            "poll-deadline-ms",
+            "attempt-timeout-ms",
+            "max-attempts",
+            "duration-ms",
+            "regions",
+            "poll-ms",
+            "poll-max-ms",
+            "link-delay",
+            "bandwidth",
+            "slow-region",
+            "slow-ms",
+            "churn-at",
+            "settle-ms",
+            "anomaly-seed",
         ],
     )?;
     match args.positional(0) {
@@ -710,6 +890,7 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
         Some("monitor") => monitor(&args).map(CmdOutput::clean),
         Some("run") => run_service(&args),
         Some("cluster") => cluster_run(&args),
+        Some("stream") => stream_run(&args),
         Some("audit") => audit(&args),
         Some("harden") => harden_cmd(&args).map(CmdOutput::clean),
         Some("scenario") => scenario_template(&args).map(CmdOutput::clean),
@@ -905,6 +1086,87 @@ mod tests {
             "{}",
             out.report
         );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stream_runs_attack_cycle_and_exits_clean() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let log =
+            std::env::temp_dir().join(format!("foces-cli-stream-log-{}.jsonl", std::process::id()));
+        let out = run_full(argv(&[
+            "stream",
+            path.to_str().unwrap(),
+            "--duration-ms=600",
+            "--regions=2",
+            "--poll-ms=20",
+            "--adaptive",
+            "--attack-at=200",
+            "--repair-at=400",
+            "--log",
+            log.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("stream: 2 regions"), "{}", out.report);
+        assert!(out.report.contains("poll adaptive"), "{}", out.report);
+        assert!(out.report.contains("first verdict"), "{}", out.report);
+        assert!(
+            out.report.contains("alarms: 1 raised, 1 cleared"),
+            "{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("ground-truth parity: true"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("final state: normal"), "{}", out.report);
+        assert!(out.report.contains("\"ttfv_ms\":"), "{}", out.report);
+        let text = std::fs::read_to_string(&log).unwrap();
+        assert!(text.contains("\"mode\":\"stream\""), "{text}");
+        assert!(text.contains("\"event\":\"inject\""), "{text}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(log);
+    }
+
+    #[test]
+    fn stream_exits_2_on_unrepaired_attack() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run_full(argv(&[
+            "stream",
+            path.to_str().unwrap(),
+            "--duration-ms=500",
+            "--regions=2",
+            "--poll-ms=20",
+            "--attack-at=200",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 2, "{}", out.report);
+        assert!(
+            out.report
+                .contains("exit 2: stream ended with an unresolved alarm"),
+            "{}",
+            out.report
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_accepts_poll_policy_knobs() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let out = run_full(argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--epochs=4",
+            "--loss=0",
+            "--poll-deadline-ms=200",
+            "--attempt-timeout-ms=40",
+            "--max-attempts=3",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("final state: normal"), "{}", out.report);
         let _ = std::fs::remove_file(path);
     }
 

@@ -1,0 +1,173 @@
+//! Shard-complete triggers for continuous ingestion.
+//!
+//! The lockstep [`ClusterService`](crate::ClusterService) fires every
+//! shard solve at the epoch barrier, after the *slowest* switch anywhere
+//! has answered (or timed out). Event-driven ingestion (`foces-ingest`)
+//! inverts that: counters arrive one switch at a time, and a shard's
+//! solve should fire the moment **that shard's** members are all fresh —
+//! while slower shards are still collecting. [`ShardCompletion`] is the
+//! bookkeeping for that trigger: it maps switches to their shard, tracks
+//! which members have reported since the shard last fired, and says
+//! *exactly when* a shard crosses from incomplete to complete, so the
+//! caller can fire one detection per completion without polling or
+//! double-firing.
+
+use foces_net::SwitchId;
+use std::collections::HashMap;
+
+/// Per-shard freshness tracker with edge-triggered completion.
+///
+/// A shard is *complete* when every member switch has reported at least
+/// once since the shard's last [`reset`](ShardCompletion::reset) (or
+/// since construction). [`record`](ShardCompletion::record) reports the
+/// completion *edge* — it returns `Some(region)` only for the report
+/// that makes the shard complete, never for earlier or later ones.
+#[derive(Debug, Clone)]
+pub struct ShardCompletion {
+    /// Member switches per region, as given at construction.
+    members: Vec<Vec<SwitchId>>,
+    region_of: HashMap<SwitchId, usize>,
+    fresh: Vec<Vec<bool>>,
+    missing: Vec<usize>,
+    /// Completions fired per region (monotone round counters).
+    rounds: Vec<u64>,
+}
+
+impl ShardCompletion {
+    /// Builds a tracker over `members[region] = switches of that shard`.
+    ///
+    /// Each switch must belong to exactly one region (the cluster
+    /// partition guarantees this).
+    pub fn new(members: Vec<Vec<SwitchId>>) -> Self {
+        let mut region_of = HashMap::new();
+        for (r, sws) in members.iter().enumerate() {
+            for &s in sws {
+                let prev = region_of.insert(s, r);
+                assert!(prev.is_none(), "switch {s:?} in two regions");
+            }
+        }
+        let fresh: Vec<Vec<bool>> = members.iter().map(|m| vec![false; m.len()]).collect();
+        let missing = members.iter().map(Vec::len).collect();
+        let rounds = vec![0; members.len()];
+        ShardCompletion {
+            members,
+            region_of,
+            fresh,
+            missing,
+            rounds,
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shard_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The region owning `switch`, if any.
+    pub fn region_of(&self, switch: SwitchId) -> Option<usize> {
+        self.region_of.get(&switch).copied()
+    }
+
+    /// The member switches of `region`.
+    pub fn members(&self, region: usize) -> &[SwitchId] {
+        &self.members[region]
+    }
+
+    /// Completions fired so far for `region`.
+    pub fn rounds(&self, region: usize) -> u64 {
+        self.rounds[region]
+    }
+
+    /// Members of `region` still missing this round.
+    pub fn missing_members(&self, region: usize) -> Vec<SwitchId> {
+        self.members[region]
+            .iter()
+            .zip(&self.fresh[region])
+            .filter(|&(_, &f)| !f)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Records a fresh sample from `switch`.
+    ///
+    /// Returns `Some(region)` iff this report *completes* the switch's
+    /// shard (the edge). Reports from unknown switches and duplicate
+    /// reports within a round return `None`.
+    pub fn record(&mut self, switch: SwitchId) -> Option<usize> {
+        let r = *self.region_of.get(&switch)?;
+        let i = self.members[r].iter().position(|&s| s == switch)?;
+        if self.fresh[r][i] {
+            return None;
+        }
+        self.fresh[r][i] = true;
+        self.missing[r] -= 1;
+        if self.missing[r] == 0 {
+            self.rounds[r] += 1;
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Opens the next collection round for `region`: every member must
+    /// report again before the shard completes again. Callers invoke this
+    /// right after consuming a completion edge.
+    pub fn reset(&mut self, region: usize) {
+        for f in &mut self.fresh[region] {
+            *f = false;
+        }
+        self.missing[region] = self.members[region].len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw(i: usize) -> SwitchId {
+        SwitchId(i)
+    }
+
+    #[test]
+    fn completion_is_edge_triggered_per_shard() {
+        let mut c = ShardCompletion::new(vec![vec![sw(0), sw(1)], vec![sw(2)]]);
+        assert_eq!(c.shard_count(), 2);
+        assert_eq!(c.record(sw(0)), None, "half of shard 0");
+        assert_eq!(c.record(sw(2)), Some(1), "shard 1 completes alone");
+        assert_eq!(c.record(sw(1)), Some(0), "shard 0 completes second");
+        assert_eq!(c.rounds(0), 1);
+        assert_eq!(c.rounds(1), 1);
+    }
+
+    #[test]
+    fn duplicates_and_strangers_never_fire() {
+        let mut c = ShardCompletion::new(vec![vec![sw(0), sw(1)]]);
+        assert_eq!(c.record(sw(0)), None);
+        assert_eq!(c.record(sw(0)), None, "duplicate is not progress");
+        assert_eq!(c.record(sw(9)), None, "unknown switch ignored");
+        assert_eq!(c.missing_members(0), vec![sw(1)]);
+        assert_eq!(c.record(sw(1)), Some(0));
+        assert_eq!(c.record(sw(1)), None, "already complete: no re-fire");
+    }
+
+    #[test]
+    fn reset_opens_a_new_round() {
+        let mut c = ShardCompletion::new(vec![vec![sw(0), sw(1)]]);
+        c.record(sw(0));
+        assert_eq!(c.record(sw(1)), Some(0));
+        c.reset(0);
+        assert_eq!(c.missing_members(0).len(), 2);
+        c.record(sw(1));
+        assert_eq!(c.record(sw(0)), Some(0), "fires once per round");
+        assert_eq!(c.rounds(0), 2);
+    }
+
+    #[test]
+    fn region_lookup() {
+        let c = ShardCompletion::new(vec![vec![sw(3)], vec![sw(5), sw(7)]]);
+        assert_eq!(c.region_of(sw(5)), Some(1));
+        assert_eq!(c.region_of(sw(3)), Some(0));
+        assert_eq!(c.region_of(sw(4)), None);
+        assert_eq!(c.members(1), &[sw(5), sw(7)]);
+    }
+}

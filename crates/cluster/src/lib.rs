@@ -5,7 +5,7 @@
 //! solve, but the sliced detector still runs inside one process over one
 //! global snapshot. This crate adds the deployment-level partition that
 //! distributed SDN control planes use to scale out: the topology is cut
-//! into `k` **region shards** ([`foces_net::partition`]), each shard gets
+//! into `k` **region shards** ([`foces_net::partition()`]), each shard gets
 //! its own sub-FCM with explicit boundary flows ([`foces::ShardedFcm`]),
 //! and a [`ClusterService`] drives one logical worker per shard on the
 //! runtime's work-stealing pool ([`foces_runtime::pool`]):
@@ -21,6 +21,11 @@
 //! * **Everything is observable.** Per-shard solve path, queue depth,
 //!   steal flag and degraded reason land in a JSONL epoch line
 //!   ([`foces_runtime::EventLog`]), plus cumulative [`ClusterMetrics`].
+//! * **Shards can fire without a barrier.** [`ShardCompletion`] tracks
+//!   per-shard counter freshness and reports the exact completion edge,
+//!   so event-driven ingestion (`foces-ingest`) triggers each shard's
+//!   solve the moment its own members have answered instead of waiting
+//!   for the global epoch wall.
 //!
 //! The shard-union verdict is pinned against the global
 //! [`foces::Detector::detect`] by the 256-case property suite in
@@ -30,9 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod completion;
 mod metrics;
 mod service;
 
+pub use completion::ShardCompletion;
 pub use metrics::ClusterMetrics;
 pub use service::{
     ClusterConfig, ClusterEpochReport, ClusterService, DegradeReason, DetectabilityReport,

@@ -1,0 +1,144 @@
+//! Adaptive per-switch poll cadence.
+//!
+//! Lockstep collection polls every switch every epoch, so the polling
+//! budget scales with network size no matter how quiet the network is.
+//! [`PollCadence`] gives each switch its own timer: a switch whose
+//! counters keep coming back unremarkable backs off geometrically toward
+//! `max_ms` (half the controller's attention for the same coverage),
+//! while any sign of trouble — churn touching the switch's shard, an
+//! anomalous shard verdict, a timeout — snaps the interval back to
+//! `min_ms` so the stream tightens exactly where and when it matters.
+
+/// Knobs for one switch's adaptive poll timer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CadenceConfig {
+    /// Interval both the first poll and every post-activity poll use, ms.
+    pub min_ms: f64,
+    /// Ceiling the interval backs off toward while quiet, ms.
+    pub max_ms: f64,
+    /// Multiplier applied per quiet poll once the streak is long enough.
+    pub backoff: f64,
+    /// Consecutive quiet polls before backoff starts.
+    pub quiet_threshold: u32,
+}
+
+impl Default for CadenceConfig {
+    /// 50 ms when active, backing off ×1.5 toward 400 ms after 3 quiet
+    /// polls.
+    fn default() -> Self {
+        CadenceConfig {
+            min_ms: 50.0,
+            max_ms: 400.0,
+            backoff: 1.5,
+            quiet_threshold: 3,
+        }
+    }
+}
+
+impl CadenceConfig {
+    /// A fixed-interval cadence (adaptivity disabled): every poll fires
+    /// `ms` after the last.
+    pub fn fixed(ms: f64) -> Self {
+        CadenceConfig {
+            min_ms: ms,
+            max_ms: ms,
+            backoff: 1.0,
+            quiet_threshold: u32::MAX,
+        }
+    }
+}
+
+/// One switch's poll timer state.
+#[derive(Debug, Clone)]
+pub struct PollCadence {
+    config: CadenceConfig,
+    interval_ms: f64,
+    quiet_streak: u32,
+}
+
+impl PollCadence {
+    /// A timer starting at the tight (`min_ms`) interval.
+    pub fn new(config: CadenceConfig) -> Self {
+        let interval_ms = config.min_ms;
+        PollCadence {
+            config,
+            interval_ms,
+            quiet_streak: 0,
+        }
+    }
+
+    /// The interval until this switch's next poll, ms.
+    pub fn interval_ms(&self) -> f64 {
+        self.interval_ms
+    }
+
+    /// Records an uneventful poll: counters arrived, verdict clean, no
+    /// churn. After `quiet_threshold` such polls in a row the interval
+    /// backs off geometrically toward `max_ms`.
+    pub fn on_quiet(&mut self) {
+        self.quiet_streak = self.quiet_streak.saturating_add(1);
+        if self.quiet_streak >= self.config.quiet_threshold {
+            self.interval_ms = (self.interval_ms * self.config.backoff).min(self.config.max_ms);
+        }
+    }
+
+    /// Records activity near this switch (churn in its shard, anomalous
+    /// verdict, timeout): the interval snaps back to `min_ms`.
+    pub fn on_activity(&mut self) {
+        self.quiet_streak = 0;
+        self.interval_ms = self.config.min_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backs_off_only_after_the_quiet_threshold() {
+        let mut c = PollCadence::new(CadenceConfig {
+            min_ms: 10.0,
+            max_ms: 80.0,
+            backoff: 2.0,
+            quiet_threshold: 2,
+        });
+        assert_eq!(c.interval_ms(), 10.0);
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 10.0, "streak of 1 < threshold");
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 20.0);
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 40.0);
+        c.on_quiet();
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 80.0, "clamped at max");
+    }
+
+    #[test]
+    fn activity_snaps_back_to_min() {
+        let mut c = PollCadence::new(CadenceConfig {
+            min_ms: 10.0,
+            max_ms: 80.0,
+            backoff: 2.0,
+            quiet_threshold: 1,
+        });
+        c.on_quiet();
+        c.on_quiet();
+        assert!(c.interval_ms() > 10.0);
+        c.on_activity();
+        assert_eq!(c.interval_ms(), 10.0);
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 20.0, "threshold restarts after reset");
+    }
+
+    #[test]
+    fn fixed_cadence_never_moves() {
+        let mut c = PollCadence::new(CadenceConfig::fixed(25.0));
+        for _ in 0..50 {
+            c.on_quiet();
+        }
+        assert_eq!(c.interval_ms(), 25.0);
+        c.on_activity();
+        assert_eq!(c.interval_ms(), 25.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Simulated time and the time-ordered event queue.
+//!
+//! Everything in the stream pipeline is an event at an integer-microsecond
+//! [`SimTime`]: poll timers, in-flight replies, retry timeouts, scenario
+//! actions. The queue is a binary heap ordered by `(time, sequence)` —
+//! the sequence number is assigned at push, so two events scheduled for
+//! the same instant pop in **FIFO order**. That tie-break is what makes
+//! the whole stream deterministic: floats never order events (times are
+//! quantised to µs on entry), and insertion order breaks every remaining
+//! tie the same way on every run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A point in simulated time, in integer microseconds from stream start.
+///
+/// Integer micros rather than `f64` milliseconds so that ordering is
+/// total and exact — equal-time events are *exactly* equal, and the FIFO
+/// tie-break (not float noise) decides their order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Quantises fractional milliseconds to the microsecond grid
+    /// (saturating at zero for negative inputs).
+    pub fn from_ms(ms: f64) -> SimTime {
+        SimTime((ms.max(0.0) * 1000.0).round() as u64)
+    }
+
+    /// This instant as fractional milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This instant plus `ms` milliseconds.
+    pub fn after_ms(self, ms: f64) -> SimTime {
+        SimTime(self.0 + SimTime::from_ms(ms).0)
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap, we want the earliest
+// (time, seq) out first.
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+/// A deterministic time-ordered event queue.
+///
+/// Pops are nondecreasing in time; equal-time events pop in push (FIFO)
+/// order. See the [`module docs`](self) for why.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` at `at`.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.at, e.payload))
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events popped over the queue's lifetime.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..16 {
+            q.push(SimTime(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_pushes_keep_fifo_within_ties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), "first@7");
+        q.push(SimTime(3), "only@3");
+        q.push(SimTime(7), "second@7");
+        assert_eq!(q.pop(), Some((SimTime(3), "only@3")));
+        q.push(SimTime(7), "third@7");
+        assert_eq!(q.pop(), Some((SimTime(7), "first@7")));
+        assert_eq!(q.pop(), Some((SimTime(7), "second@7")));
+        assert_eq!(q.pop(), Some((SimTime(7), "third@7")));
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 4);
+    }
+
+    #[test]
+    fn sim_time_quantisation() {
+        assert_eq!(SimTime::from_ms(1.5), SimTime(1500));
+        assert_eq!(SimTime::from_ms(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime(2500).as_ms(), 2.5);
+        assert_eq!(SimTime(1000).after_ms(0.25), SimTime(1250));
+    }
+}

@@ -6,63 +6,32 @@
 //! ([`Delivery::Dropped`] / [`Delivery::Offline`]); the wire codec is
 //! still exercised on every delivered exchange via
 //! [`foces_channel::wire_exchange`].
+//!
+//! The fault *vocabulary* — [`FaultProfile`] and the seeded
+//! [`FaultModel`] sampler — lives in
+//! `foces-channel` (and is re-exported here for compatibility), so the
+//! lockstep transport and the event-driven per-link channel models in
+//! `foces-ingest` speak one fault language. `SimTransport` keeps only
+//! what is genuinely lockstep-specific: the epoch clock and the
+//! stale-reply buffer that realises [`Fate::Deliver`]'s `reorder` bit.
 
 use foces_channel::ChannelError;
-use foces_channel::{wire_exchange, ControllerMsg, Delivery, SwitchAgent, SwitchMsg, Transport};
+use foces_channel::{
+    wire_exchange, ControllerMsg, Delivery, Fate, FaultModel, SwitchAgent, SwitchMsg, Transport,
+};
 use foces_dataplane::DataPlane;
 use foces_net::SwitchId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// Per-switch channel behaviour.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FaultProfile {
-    /// Base round-trip latency per exchange, in simulated milliseconds.
-    pub latency_ms: f64,
-    /// Uniform jitter added on top of `latency_ms` (`[0, jitter_ms)`).
-    pub jitter_ms: f64,
-    /// Probability that an exchange (request or reply) is lost in flight.
-    pub drop_prob: f64,
-    /// Probability that a *stale* reply (from an earlier exchange with this
-    /// switch) is delivered instead of the fresh one — the scheduler sees a
-    /// transaction-id mismatch and must retry.
-    pub reorder_prob: f64,
-    /// Half-open epoch windows `[start, end)` during which the switch is
-    /// offline (crashed or partitioned). Multiple windows model
-    /// crash-restart cycles.
-    pub offline: Vec<(u64, u64)>,
-}
-
-impl Default for FaultProfile {
-    /// A well-behaved 1 ms channel: no jitter, no drops, no reordering,
-    /// never offline.
-    fn default() -> Self {
-        FaultProfile {
-            latency_ms: 1.0,
-            jitter_ms: 0.0,
-            drop_prob: 0.0,
-            reorder_prob: 0.0,
-            offline: Vec::new(),
-        }
-    }
-}
-
-impl FaultProfile {
-    /// Is the switch offline at `epoch`?
-    pub fn offline_at(&self, epoch: u64) -> bool {
-        self.offline.iter().any(|&(s, e)| s <= epoch && epoch < e)
-    }
-}
+pub use foces_channel::FaultProfile;
 
 /// A deterministic faulty channel: every switch gets the default profile
-/// unless overridden, and all randomness comes from one seeded
-/// [`StdRng`], so identical seeds replay identical fault sequences.
+/// unless overridden, and all randomness comes from one seeded generator
+/// (via [`FaultModel`]), so identical seeds replay identical fault
+/// sequences.
 #[derive(Debug, Clone)]
 pub struct SimTransport {
-    default_profile: FaultProfile,
-    per_switch: HashMap<SwitchId, FaultProfile>,
-    rng: StdRng,
+    model: FaultModel,
     epoch: u64,
     /// Last fresh reply per switch, kept around to deliver out of order.
     stale: HashMap<SwitchId, SwitchMsg>,
@@ -72,9 +41,7 @@ impl SimTransport {
     /// Creates a transport where every switch follows `default_profile`.
     pub fn new(seed: u64, default_profile: FaultProfile) -> Self {
         SimTransport {
-            default_profile,
-            per_switch: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            model: FaultModel::new(seed, default_profile),
             epoch: 0,
             stale: HashMap::new(),
         }
@@ -83,14 +50,12 @@ impl SimTransport {
     /// Overrides the profile of one switch (e.g. an offline window for the
     /// crash victim).
     pub fn set_profile(&mut self, switch: SwitchId, profile: FaultProfile) {
-        self.per_switch.insert(switch, profile);
+        self.model.set_profile(switch, profile);
     }
 
     /// The profile governing `switch`.
     pub fn profile(&self, switch: SwitchId) -> &FaultProfile {
-        self.per_switch
-            .get(&switch)
-            .unwrap_or(&self.default_profile)
+        self.model.profile(switch)
     }
 
     /// The current simulated epoch.
@@ -107,15 +72,16 @@ impl Transport for SimTransport {
         msg: &ControllerMsg,
     ) -> Result<Delivery, ChannelError> {
         let sw = agent.switch();
-        let p = self.profile(sw).clone();
-        if p.offline_at(self.epoch) {
-            return Ok(Delivery::Offline);
-        }
-        if p.drop_prob > 0.0 && self.rng.gen_bool(p.drop_prob.min(1.0)) {
-            return Ok(Delivery::Dropped);
-        }
+        let (latency_ms, reorder) = match self.model.fate(sw, self.epoch) {
+            Fate::Offline => return Ok(Delivery::Offline),
+            Fate::Dropped => return Ok(Delivery::Dropped),
+            Fate::Deliver {
+                latency_ms,
+                reorder,
+            } => (latency_ms, reorder),
+        };
         let fresh = wire_exchange(dp, agent, msg)?;
-        let reply = if p.reorder_prob > 0.0 && self.rng.gen_bool(p.reorder_prob.min(1.0)) {
+        let reply = if reorder {
             // Deliver the previous reply (if any) and hold the fresh one
             // back as the next stale candidate.
             self.stale.insert(sw, fresh.clone()).unwrap_or(fresh)
@@ -123,15 +89,7 @@ impl Transport for SimTransport {
             self.stale.insert(sw, fresh.clone());
             fresh
         };
-        let jitter = if p.jitter_ms > 0.0 {
-            self.rng.gen_range(0.0..p.jitter_ms)
-        } else {
-            0.0
-        };
-        Ok(Delivery::Delivered {
-            reply,
-            latency_ms: p.latency_ms + jitter,
-        })
+        Ok(Delivery::Delivered { reply, latency_ms })
     }
 
     fn on_epoch(&mut self, epoch: u64) {
@@ -176,6 +134,38 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn matches_the_shared_fault_model_sample_for_sample() {
+        // The lockstep transport must consume the channel-level fault
+        // vocabulary verbatim: same seed + same profile ⇒ the Delivery
+        // sequence mirrors FaultModel's Fate sequence one-to-one.
+        let dep = deployment();
+        let agent = HonestAgent::new(foces_net::SwitchId(0));
+        let profile = FaultProfile {
+            drop_prob: 0.35,
+            jitter_ms: 4.0,
+            ..FaultProfile::default()
+        };
+        let mut t = SimTransport::new(21, profile.clone());
+        let mut m = FaultModel::new(21, profile);
+        for i in 0..40 {
+            let d = t.exchange(&dep.dataplane, &agent, &stats(i)).unwrap();
+            match m.fate(foces_net::SwitchId(0), 0) {
+                Fate::Dropped => assert_eq!(d, Delivery::Dropped, "attempt {i}"),
+                Fate::Deliver { latency_ms, .. } => {
+                    let Delivery::Delivered {
+                        latency_ms: got, ..
+                    } = d
+                    else {
+                        panic!("attempt {i}: expected delivery");
+                    };
+                    assert_eq!(got, latency_ms, "attempt {i}");
+                }
+                Fate::Offline => panic!("no offline window configured"),
+            }
+        }
     }
 
     #[test]

@@ -12,9 +12,11 @@ pub use foces as core;
 pub use foces_atpg as atpg;
 pub use foces_baselines as baselines;
 pub use foces_channel as channel;
+pub use foces_cluster as cluster;
 pub use foces_controlplane as controlplane;
 pub use foces_dataplane as dataplane;
 pub use foces_headerspace as headerspace;
+pub use foces_ingest as ingest;
 pub use foces_linalg as linalg;
 pub use foces_net as net;
 pub use foces_runtime as runtime;

@@ -1,0 +1,199 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository is air-gapped, so the
+//! workspace vendors the subset of the criterion API its benches use:
+//! [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling it runs each benchmark body
+//! `sample_size` times (clamped to 10) and prints one line with the mean
+//! wall time — enough to smoke-run every bench target and eyeball
+//! relative cost, without upstream's plotting/analysis machinery. Passing
+//! `--test` (as `cargo test`'s bench mode does) runs each body once.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one("", name, if self.test_mode { 1 } else { 10 }, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many times each body runs (upstream: sample count; here
+    /// clamped to 10 to keep offline runs fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 10);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self {
+        run_one(&self.name, &id.into_benchmark_id().label, self.runs(), f);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_benchmark_id().label, self.runs(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports; here a no-op).
+    pub fn finish(self) {}
+
+    fn runs(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, label: &str, runs: usize, mut f: F) {
+    let mut b = Bencher { total_ns: 0, iters: 0 };
+    for _ in 0..runs {
+        f(&mut b);
+    }
+    let mean = if b.iters == 0 {
+        0
+    } else {
+        b.total_ns / b.iters as u128
+    };
+    let path = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    println!("bench {path}: mean {mean} ns over {} iters", b.iters);
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one call of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// A benchmark label, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+/// Opaque-to-the-optimizer pass-through (re-exported for compatibility;
+/// benches here import `std::hint::black_box` directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` calling each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

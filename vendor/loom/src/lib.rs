@@ -1,0 +1,35 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! The build environment for this repository is air-gapped, so this stub
+//! keeps the `cfg(loom)` soundness tests *compiling and runnable*: it
+//! re-exports the `std` concurrency primitives under loom's paths and
+//! runs each [`model`] body exactly once with real threads. That degrades
+//! the exhaustive interleaving exploration to a smoke execution — the
+//! assertions still run, but absence of failure no longer proves absence
+//! of racy interleavings. Swap the real loom back in (drop the
+//! `[patch.crates-io]` entry) on a networked machine for full checking.
+
+#![forbid(unsafe_code)]
+
+/// Runs the model body once (upstream explores all interleavings).
+pub fn model<F: FnOnce() + Send + Sync + 'static>(f: F) {
+    f();
+}
+
+/// `std::thread` under loom's path.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// `std::sync` under loom's path.
+pub mod sync {
+    pub use std::sync::{Arc, Mutex, RwLock};
+
+    /// `std::sync::atomic` under loom's path.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI32, AtomicI64, AtomicIsize, AtomicU32, AtomicU64,
+            AtomicU8, AtomicUsize, Ordering,
+        };
+    }
+}

@@ -1,0 +1,320 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The build environment for this repository is air-gapped, so the
+//! workspace vendors the subset of `rand` 0.8 it uses: a seeded,
+//! deterministic [`rngs::StdRng`], the [`Rng`] extension methods
+//! (`gen`, `gen_bool`, `gen_range`), [`SeedableRng::seed_from_u64`], and
+//! [`seq::SliceRandom`] (`choose`, `shuffle`).
+//!
+//! The generator is **xoshiro256\*\*** seeded through SplitMix64 — not
+//! bit-compatible with upstream `StdRng` (ChaCha12), but every property
+//! the workspace relies on holds: identical seeds replay identical
+//! streams, distinct seeds diverge, `gen_bool(1.0)` is always `true`,
+//! `gen_bool(0.0)` never draws `true`, and `gen_range` stays inside its
+//! bounds. Golden files checked into `results/` were regenerated under
+//! this generator and are self-consistent with it.
+
+#![forbid(unsafe_code)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw word from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32-bit word (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via SplitMix64 expansion (the
+    /// same convention as `rand_core`, though the downstream generator
+    /// differs — see the crate docs).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state);
+            let bytes = word.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly from the generator's raw stream (the
+/// `Standard` distribution of upstream `rand`).
+pub trait SampleStandard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value inside the range.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample_standard(rng);
+        let v = self.start + unit * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value of `T` from the standard distribution.
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// `p >= 1.0` always yields `true`; `p <= 0.0` never does.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]: {p}");
+        f64::sample_standard(self) < p
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_in(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator:
+    /// xoshiro256\*\* (Blackman–Vigna), seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x2545_F491_4F6C_DD1D,
+                    0x1234_5678_9ABC_DEF0,
+                    0x0F1E_2D3C_4B5A_6978,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..256 {
+            assert!(r.gen_bool(1.0));
+            assert!(!r.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1024 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let g = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&g));
+            let u = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "rate off: {hits}");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = StdRng::seed_from_u64(4);
+        let v = [10, 20, 30];
+        for _ in 0..32 {
+            assert!(v.contains(v.as_slice().choose(&mut r).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut r).is_none());
+        let mut w: Vec<u32> = (0..50).collect();
+        let orig = w.clone();
+        w.shuffle(&mut r);
+        assert_ne!(w, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+    }
+}
