@@ -1,0 +1,329 @@
+//! Coordinated counter-forging strategies — the upgraded adversary of the
+//! redteam harness.
+//!
+//! [`ForgingAgent`](crate::ForgingAgent) can overlay any per-rule value;
+//! this module decides *what values a rational adversary would choose*.
+//! Two attack postures exist:
+//!
+//! * **Fabrication** ([`FakeStrategy::Naive`]): the lie *is* the anomaly —
+//!   the switch inflates its counters with no forwarding change. This is
+//!   the baseline the liar-localization goldens measure against.
+//! * **Evasion** (the other strategies): a real forwarding anomaly exists
+//!   at the liar, and the forged counters try to *hide* it by reporting
+//!   values consistent with what the controller expects. The `magnitude`
+//!   knob (λ ∈ [0, 1]) interpolates between telling the truth (λ = 0) and
+//!   the strategy's full forgery (λ = 1); the redteam sweep's *evasion
+//!   cost* is the smallest λ that escapes detection.
+//!
+//! The planner is pure data-in/data-out — it never touches the data plane
+//! or the FCM, so the channel crate stays free of detection-side
+//! dependencies. The harness gathers [`RuleFacts`] (truth, expectation,
+//! stale snapshot, whether the rule is on the compromised path) and applies
+//! the resulting [`CollusionPlan`] to its forging agents.
+
+use crate::{ForgingAgent, SwitchAgent};
+use foces_net::SwitchId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// How a (set of) compromised switches coordinates its counter reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FakeStrategy {
+    /// Fabrication: inflate every counter (`forged = truth·(1+λ) + 1000·λ`).
+    /// Creates an inconsistency out of thin air — the detectable baseline.
+    Naive,
+    /// Evasion: scale *all* of the switch's counters by one consistent
+    /// factor chosen so their total matches the controller's expectation.
+    /// Preserves the switch's internal ratios, so per-switch sanity checks
+    /// (monotonicity, conservation across its own table) stay clean.
+    ScaleConsistent,
+    /// Evasion: report the last honest snapshot (`forged = stale`),
+    /// interpolated by λ. Costs the adversary nothing to compute but the
+    /// replayed values go stale as traffic drifts.
+    Replay,
+    /// Evasion: forge *only* the rules on the compromised flow's path
+    /// through the liar, pinning them to the controller's expectation and
+    /// telling the truth everywhere else — the minimum-touch lie.
+    PathConsistent,
+    /// Evasion: path-consistent forging applied across *several* colluding
+    /// switches (the culprit plus its neighbors), so that no single
+    /// switch's removal explains the remaining inconsistency.
+    CoverUp,
+}
+
+impl FakeStrategy {
+    /// Every strategy, in sweep order.
+    pub const ALL: [FakeStrategy; 5] = [
+        FakeStrategy::Naive,
+        FakeStrategy::ScaleConsistent,
+        FakeStrategy::Replay,
+        FakeStrategy::PathConsistent,
+        FakeStrategy::CoverUp,
+    ];
+
+    /// Whether the strategy fabricates an anomaly (vs hiding a real one).
+    pub fn is_fabrication(self) -> bool {
+        matches!(self, FakeStrategy::Naive)
+    }
+}
+
+impl fmt::Display for FakeStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FakeStrategy::Naive => "naive",
+            FakeStrategy::ScaleConsistent => "scale",
+            FakeStrategy::Replay => "replay",
+            FakeStrategy::PathConsistent => "path",
+            FakeStrategy::CoverUp => "coverup",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for FakeStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(FakeStrategy::Naive),
+            "scale" | "scale-consistent" => Ok(FakeStrategy::ScaleConsistent),
+            "replay" => Ok(FakeStrategy::Replay),
+            "path" | "path-consistent" => Ok(FakeStrategy::PathConsistent),
+            "coverup" | "cover-up" => Ok(FakeStrategy::CoverUp),
+            other => Err(format!(
+                "unknown fake strategy '{other}' (naive|scale|replay|path|coverup)"
+            )),
+        }
+    }
+}
+
+/// What the adversary knows about one rule on a compromised switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleFacts {
+    /// Rule index within the switch's table.
+    pub index: usize,
+    /// What the live register actually holds.
+    pub truth: f64,
+    /// What the controller would expect an honest switch to report
+    /// (pre-anomaly / controller-view value).
+    pub expected: f64,
+    /// The last honest snapshot the adversary kept for replay.
+    pub stale: f64,
+    /// Whether this rule lies on the compromised flow's path (the rows a
+    /// forwarding anomaly perturbs at this switch).
+    pub affected: bool,
+}
+
+/// Per-liar rule facts, keyed by switch (deterministic iteration).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollusionInputs {
+    /// Facts for every rule on every compromised switch.
+    pub rules_by_switch: BTreeMap<SwitchId, Vec<RuleFacts>>,
+}
+
+/// The planned forgeries: per switch, `(rule index, reported value)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollusionPlan {
+    /// Forgeries to install, keyed by switch.
+    pub forgeries: BTreeMap<SwitchId, Vec<(usize, f64)>>,
+}
+
+impl CollusionPlan {
+    /// Total forged rules across all switches.
+    pub fn forged_rules(&self) -> usize {
+        self.forgeries.values().map(Vec::len).sum()
+    }
+
+    /// Total absolute distortion `Σ |forged − truth|` against `inputs` —
+    /// the perturbation mass the evasion-cost metric prices.
+    pub fn distortion(&self, inputs: &CollusionInputs) -> f64 {
+        let mut total = 0.0;
+        for (s, forged) in &self.forgeries {
+            let Some(facts) = inputs.rules_by_switch.get(s) else {
+                continue;
+            };
+            for &(index, value) in forged {
+                if let Some(f) = facts.iter().find(|f| f.index == index) {
+                    total += (value - f.truth).abs();
+                }
+            }
+        }
+        total
+    }
+
+    /// Installs this switch's share of the plan into a forging agent.
+    pub fn forge_into(&self, agent: &mut ForgingAgent) {
+        if let Some(forged) = self.forgeries.get(&agent.switch()) {
+            for &(index, value) in forged {
+                agent.forge_counter(index, value);
+            }
+        }
+    }
+}
+
+/// Plans the coordinated forgery for `strategy` at interpolation `magnitude`
+/// (clamped to [0, 1]). A magnitude of 0 yields an empty plan — the
+/// adversary tells the truth.
+pub fn plan_collusion(
+    strategy: FakeStrategy,
+    magnitude: f64,
+    inputs: &CollusionInputs,
+) -> CollusionPlan {
+    let lambda = magnitude.clamp(0.0, 1.0);
+    let mut plan = CollusionPlan::default();
+    if lambda == 0.0 {
+        return plan;
+    }
+    for (&switch, facts) in &inputs.rules_by_switch {
+        let mut forged: Vec<(usize, f64)> = Vec::new();
+        match strategy {
+            FakeStrategy::Naive => {
+                // Inflate everything: an unsubtle fabrication.
+                for f in facts {
+                    forged.push((f.index, f.truth * (1.0 + lambda) + 1000.0 * lambda));
+                }
+            }
+            FakeStrategy::ScaleConsistent => {
+                let truth_total: f64 = facts.iter().map(|f| f.truth).sum();
+                let expected_total: f64 = facts.iter().map(|f| f.expected).sum();
+                let full_scale = if truth_total > 0.0 {
+                    expected_total / truth_total
+                } else {
+                    1.0
+                };
+                let scale = 1.0 + lambda * (full_scale - 1.0);
+                if (scale - 1.0).abs() > f64::EPSILON {
+                    for f in facts {
+                        forged.push((f.index, f.truth * scale));
+                    }
+                }
+            }
+            FakeStrategy::Replay => {
+                for f in facts {
+                    let value = f.truth + lambda * (f.stale - f.truth);
+                    if (value - f.truth).abs() > f64::EPSILON {
+                        forged.push((f.index, value));
+                    }
+                }
+            }
+            FakeStrategy::PathConsistent | FakeStrategy::CoverUp => {
+                // Identical per-switch math; CoverUp differs in *which*
+                // switches appear in `inputs` (culprit + accomplices).
+                for f in facts.iter().filter(|f| f.affected) {
+                    let value = f.truth + lambda * (f.expected - f.truth);
+                    if (value - f.truth).abs() > f64::EPSILON {
+                        forged.push((f.index, value));
+                    }
+                }
+            }
+        }
+        if !forged.is_empty() {
+            plan.forgeries.insert(switch, forged);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs_one(switch: SwitchId, facts: Vec<RuleFacts>) -> CollusionInputs {
+        let mut rules_by_switch = BTreeMap::new();
+        rules_by_switch.insert(switch, facts);
+        CollusionInputs { rules_by_switch }
+    }
+
+    fn facts() -> Vec<RuleFacts> {
+        vec![
+            RuleFacts {
+                index: 0,
+                truth: 100.0,
+                expected: 200.0,
+                stale: 190.0,
+                affected: true,
+            },
+            RuleFacts {
+                index: 1,
+                truth: 50.0,
+                expected: 50.0,
+                stale: 55.0,
+                affected: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn strategy_round_trips_through_strings() {
+        for s in FakeStrategy::ALL {
+            assert_eq!(s.to_string().parse::<FakeStrategy>().unwrap(), s);
+        }
+        assert!("bogus".parse::<FakeStrategy>().is_err());
+    }
+
+    #[test]
+    fn zero_magnitude_is_the_truth() {
+        let inputs = inputs_one(SwitchId(3), facts());
+        for s in FakeStrategy::ALL {
+            let plan = plan_collusion(s, 0.0, &inputs);
+            assert_eq!(plan.forged_rules(), 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn naive_inflates_every_rule() {
+        let inputs = inputs_one(SwitchId(3), facts());
+        let plan = plan_collusion(FakeStrategy::Naive, 1.0, &inputs);
+        let forged = &plan.forgeries[&SwitchId(3)];
+        assert_eq!(forged, &vec![(0, 1200.0), (1, 1100.0)]);
+    }
+
+    #[test]
+    fn path_consistent_touches_only_affected_rules() {
+        let inputs = inputs_one(SwitchId(3), facts());
+        let plan = plan_collusion(FakeStrategy::PathConsistent, 1.0, &inputs);
+        let forged = &plan.forgeries[&SwitchId(3)];
+        assert_eq!(forged, &vec![(0, 200.0)]);
+        // Half magnitude lands halfway between truth and expectation.
+        let half = plan_collusion(FakeStrategy::PathConsistent, 0.5, &inputs);
+        assert_eq!(half.forgeries[&SwitchId(3)], vec![(0, 150.0)]);
+    }
+
+    #[test]
+    fn scale_consistent_preserves_ratios() {
+        let inputs = inputs_one(SwitchId(3), facts());
+        let plan = plan_collusion(FakeStrategy::ScaleConsistent, 1.0, &inputs);
+        let forged = &plan.forgeries[&SwitchId(3)];
+        // 250/150 scale applied to both rules: ratios preserved.
+        let scale = 250.0 / 150.0;
+        assert!((forged[0].1 - 100.0 * scale).abs() < 1e-9);
+        assert!((forged[1].1 - 50.0 * scale).abs() < 1e-9);
+        assert!((forged[0].1 / forged[1].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_reports_the_stale_snapshot() {
+        let inputs = inputs_one(SwitchId(3), facts());
+        let plan = plan_collusion(FakeStrategy::Replay, 1.0, &inputs);
+        let forged = &plan.forgeries[&SwitchId(3)];
+        assert_eq!(forged, &vec![(0, 190.0), (1, 55.0)]);
+    }
+
+    #[test]
+    fn distortion_prices_the_perturbation() {
+        let inputs = inputs_one(SwitchId(3), facts());
+        let plan = plan_collusion(FakeStrategy::PathConsistent, 1.0, &inputs);
+        assert!((plan.distortion(&inputs) - 100.0).abs() < 1e-9);
+        let half = plan_collusion(FakeStrategy::PathConsistent, 0.5, &inputs);
+        assert!((half.distortion(&inputs) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitude_is_clamped() {
+        let inputs = inputs_one(SwitchId(3), facts());
+        let over = plan_collusion(FakeStrategy::PathConsistent, 7.0, &inputs);
+        assert_eq!(over.forgeries[&SwitchId(3)], vec![(0, 200.0)]);
+    }
+}

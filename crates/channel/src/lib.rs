@@ -66,11 +66,13 @@
 
 pub mod agent;
 pub mod collector;
+pub mod collusion;
 pub mod fault;
 pub mod message;
 pub mod transport;
 
 pub use agent::{ForgingAgent, HonestAgent, SwitchAgent};
+pub use collusion::{plan_collusion, CollusionInputs, CollusionPlan, FakeStrategy, RuleFacts};
 pub use collector::{
     honest_collector, ChannelCollector, ChannelError, DeltaReport, DeltaTracker, DumpAudit,
     StampedCounters,

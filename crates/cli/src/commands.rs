@@ -7,12 +7,14 @@ use foces::{
     audit_deviations, harden, localize, AlarmState, Detector, Fcm, Monitor, MonitorConfig,
     SlicedFcm,
 };
-use foces_channel::FaultProfile;
+use foces_channel::{FakeStrategy, FaultProfile};
 use foces_controlplane::scenario::Scenario;
 use foces_controlplane::Deployment;
 use foces_dataplane::{inject_random_anomaly, AnomalyKind, CollectionNoise, LossModel};
 use foces_ingest::{CadenceConfig, LinkSpec, StreamAction, StreamConfig, StreamDriver};
-use foces_runtime::{DetectionMode, EventLog, FaultScenario, RuntimeConfig, ScenarioDriver};
+use foces_runtime::{
+    ByzantineConfig, DetectionMode, EventLog, FaultScenario, RuntimeConfig, ScenarioDriver,
+};
 use foces_verify::verify_view;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,19 +60,30 @@ USAGE:
                  [--churn-suppress N] [--churn-penalty N]
                  [--poll-deadline-ms MS] [--attempt-timeout-ms MS] [--max-attempts N]
                  [--workers N] [--oracle-cap N] [--log FILE.jsonl]
+                 [--liars N --fake-at E [--confess-at E]] [--fake-strategy S]
+                 [--fake-magnitude L] [--liar-seed N]
                  fault-tolerant online detection over an unreliable channel;
-                 exits 2 if the run ends with an unresolved alarm
+                 exits 2 if the run ends with an unresolved (Byzantine) alarm
   foces stream   <scenario> [--duration-ms MS] [--regions K] [--poll-ms MS]
                  [--adaptive [--poll-max-ms MS]] [--link-delay MS] [--bandwidth BPM]
                  [--queue-capacity N] [--slow-region R --slow-ms MS]
                  [--latency MS] [--jitter MS] [--drop P] [--reorder P]
                  [--attempt-timeout-ms MS] [--max-attempts N]
                  [--attack-at MS] [--repair-at MS] [--churn-at MS] [--settle-ms MS]
+                 [--liars N --fake-at MS [--confess-at MS]] [--fake-strategy S]
+                 [--fake-magnitude L] [--liar-seed N]
                  [--seed N] [--churn-seed N] [--anomaly-seed N] [--log FILE.jsonl]
                  event-driven continuous ingestion: per-link channel models,
                  adaptive poll cadence, per-shard detection the moment a
                  shard's counters are complete; exits 2 if the stream ends
-                 with an unresolved alarm
+                 with an unresolved (Byzantine) alarm
+  foces redteam  [scenario] [--epochs N] [--fake-at E] [--liars-max K]
+                 [--strategies naive,scale,replay,path,coverup]
+                 [--magnitudes L1,L2,...] [--threshold T] [--seed N]
+                 [--liar-seed N] [--out FILE.json]
+                 adversarial sweep (strategy x liar count x fake magnitude):
+                 detection latency, localization precision/recall, and the
+                 evasion-cost curve, written to BENCH_redteam.json
   foces cluster  <scenario> [--epochs N] [--shards K] [--partition per-switch|edge-cut]
                  [--shard-deadline-ms MS] [--loss P] [--attack-at E] [--repair-at E]
                  [--kill-shard R --kill-at E [--heal-at E]] [--seed N] [--threshold T]
@@ -271,6 +284,18 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
         }
         None => None,
     };
+    let liars: usize = args.num("liars", 0)?;
+    let fake_strategy: FakeStrategy = args.num("fake-strategy", FakeStrategy::Naive)?;
+    let fake_magnitude: f64 = args.num("fake-magnitude", 1.0)?;
+    let liar_seed: u64 = args.num("liar-seed", 11)?;
+    let fake_window = match args.opt("fake-at") {
+        Some(_) => {
+            let at: u64 = args.num("fake-at", 0)?;
+            let until: u64 = args.num("confess-at", epochs)?;
+            Some((at, until))
+        }
+        None => None,
+    };
 
     let scenario = FaultScenario {
         epochs,
@@ -286,10 +311,19 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
         anomaly_seed: seed,
         churn_period,
         churn_seed,
+        liars,
+        fake_strategy,
+        fake_window,
+        fake_magnitude,
+        liar_seed,
     };
     let mut config = RuntimeConfig {
         threshold,
         oracle_cap,
+        byzantine: ByzantineConfig {
+            enabled: liars > 0,
+            ..ByzantineConfig::default()
+        },
         ..RuntimeConfig::default()
     };
     config.alarm_window = args.num("alarm-window", config.alarm_window)?;
@@ -319,6 +353,7 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
         100.0 * driver.service().pipeline().full_coverage(),
         driver.service().pipeline().candidate_count()
     )?;
+    let mut liars_active = false;
     for _ in 0..epochs {
         let epoch = driver.service().epochs();
         let injected_before = driver.active_anomaly().map(|a| a.rule);
@@ -329,6 +364,33 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
             }
             (Some(_), None) => writeln!(out, "epoch {epoch:>3}: [repaired]")?,
             _ => {}
+        }
+        match (liars_active, driver.fake_active_at(epoch)) {
+            (false, true) => {
+                liars_active = true;
+                let names: Vec<String> = driver
+                    .liar_switches()
+                    .iter()
+                    .map(|s| format!("s{}", s.0))
+                    .collect();
+                writeln!(
+                    out,
+                    "epoch {epoch:>3}: [liars compromised: {} ({fake_strategy}, λ={fake_magnitude})]",
+                    names.join(", ")
+                )?;
+            }
+            (true, false) => {
+                liars_active = false;
+                writeln!(out, "epoch {epoch:>3}: [liars confessed]")?;
+            }
+            _ => {}
+        }
+        if let Some(s) = report.localized_liar {
+            writeln!(
+                out,
+                "epoch {epoch:>3}: LOCALIZED liar s{} — counters quarantined",
+                s.0
+            )?;
         }
         match &report.mode {
             DetectionMode::Full => {}
@@ -407,11 +469,29 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
         m.fcm_rebuilds,
         m.suppressed_raises
     )?;
+    if liars > 0 {
+        writeln!(
+            out,
+            "byzantine: {} localized, {} quarantined, {} released, {} unresolved rounds; \
+             loo: {} solves via {} downdates",
+            m.liars_localized,
+            m.switch_quarantines,
+            m.quarantine_releases,
+            m.unresolved_byzantine,
+            m.loo_solves,
+            m.loo_downdates
+        )?;
+    }
     writeln!(out, "metrics: {}", m.to_json())?;
-    let exit_code = if final_state == AlarmState::Normal {
+    let byz_unresolved = driver.service().byzantine_unresolved();
+    let exit_code = if final_state == AlarmState::Normal && !byz_unresolved {
         0
     } else {
-        writeln!(out, "exit 2: run ended with an unresolved alarm")?;
+        if byz_unresolved {
+            writeln!(out, "exit 2: run ended with an unresolved Byzantine alarm")?;
+        } else {
+            writeln!(out, "exit 2: run ended with an unresolved alarm")?;
+        }
         2
     };
     Ok(CmdOutput {
@@ -610,6 +690,9 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
         .opt("slow-region")
         .map(|_| args.num("slow-region", 0))
         .transpose()?;
+    let liars: usize = args.num("liars", 0)?;
+    let fake_strategy: FakeStrategy = args.num("fake-strategy", FakeStrategy::Naive)?;
+    let fake_magnitude: f64 = args.num("fake-magnitude", 1.0)?;
     let config = StreamConfig {
         duration_ms: args.num("duration-ms", defaults.duration_ms)?,
         regions: args.num("regions", defaults.regions)?,
@@ -625,6 +708,11 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
         seed: args.num("seed", defaults.seed)?,
         churn_seed: args.num("churn-seed", defaults.churn_seed)?,
         anomaly_seed: args.num("anomaly-seed", defaults.anomaly_seed)?,
+        liar_seed: args.num("liar-seed", defaults.liar_seed)?,
+        byzantine: ByzantineConfig {
+            enabled: liars > 0,
+            ..ByzantineConfig::default()
+        },
         ..defaults
     };
 
@@ -640,6 +728,21 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
     if args.opt("churn-at").is_some() {
         let at: f64 = args.num("churn-at", 0.0)?;
         script.push((at, StreamAction::Churn));
+    }
+    if liars > 0 {
+        let at: f64 = args.num("fake-at", 0.0)?;
+        script.push((
+            at,
+            StreamAction::Compromise {
+                liars,
+                strategy: fake_strategy,
+                magnitude: fake_magnitude,
+            },
+        ));
+        if args.opt("confess-at").is_some() {
+            let at: f64 = args.num("confess-at", 0.0)?;
+            script.push((at, StreamAction::Confess));
+        }
     }
     script.sort_by(|a, b| a.0.total_cmp(&b.0));
 
@@ -700,6 +803,19 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
         "alarms: {} raised, {} cleared, {} suppressed; {} fcm rebuilds",
         m.alarms_raised, m.alarms_cleared, m.suppressed_raises, m.fcm_rebuilds
     )?;
+    if liars > 0 {
+        writeln!(
+            out,
+            "byzantine: {} localized, {} quarantined, {} released, {} unresolved rounds; \
+             loo: {} solves via {} downdates",
+            m.liars_localized,
+            m.switch_quarantines,
+            m.quarantine_releases,
+            m.unresolved_byzantine,
+            m.loo_solves,
+            m.loo_downdates
+        )?;
+    }
     let verdicts: Vec<String> = report
         .stream_verdicts
         .iter()
@@ -713,16 +829,307 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
     )?;
     writeln!(out, "final state: {}", report.alarm_state)?;
     writeln!(out, "metrics: {}", m.to_json())?;
-    let exit_code = if report.alarm_state == AlarmState::Normal {
+    let byz_unresolved = driver.byzantine_unresolved();
+    let exit_code = if report.alarm_state == AlarmState::Normal && !byz_unresolved {
         0
     } else {
-        writeln!(out, "exit 2: stream ended with an unresolved alarm")?;
+        if byz_unresolved {
+            writeln!(out, "exit 2: stream ended with an unresolved Byzantine alarm")?;
+        } else {
+            writeln!(out, "exit 2: stream ended with an unresolved alarm")?;
+        }
         2
     };
     Ok(CmdOutput {
         report: out,
         exit_code,
     })
+}
+
+/// One cell of the redteam sweep: a full scenario run under one
+/// (strategy, liar-count, magnitude) combination.
+struct RedteamCell {
+    strategy: FakeStrategy,
+    liars: usize,
+    magnitude: f64,
+    detected: bool,
+    /// Epochs from the start of forging to the first alarm raise.
+    latency_epochs: Option<u64>,
+    true_liars: Vec<foces_net::SwitchId>,
+    localized: Vec<foces_net::SwitchId>,
+    precision: Option<f64>,
+    recall: Option<f64>,
+    loo_solves: u64,
+    loo_downdates: u64,
+    switch_quarantines: u64,
+    unresolved_rounds: u64,
+    alarms_raised: u64,
+}
+
+impl RedteamCell {
+    fn to_json(&self) -> String {
+        use foces_runtime::metrics::json_f64;
+        let ids = |v: &[foces_net::SwitchId]| {
+            let inner: Vec<String> = v.iter().map(|s| s.0.to_string()).collect();
+            format!("[{}]", inner.join(","))
+        };
+        let opt_f = |v: Option<f64>| v.map(json_f64).unwrap_or_else(|| "null".into());
+        let opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"strategy\":\"{}\",\"liars\":{},\"magnitude\":{},\"detected\":{},\
+             \"latency_epochs\":{},\"true_liars\":{},\"localized\":{},\"precision\":{},\
+             \"recall\":{},\"loo_solves\":{},\"loo_downdates\":{},\"switch_quarantines\":{},\
+             \"unresolved_rounds\":{},\"alarms_raised\":{}}}",
+            self.strategy,
+            self.liars,
+            json_f64(self.magnitude),
+            self.detected,
+            opt_u(self.latency_epochs),
+            ids(&self.true_liars),
+            ids(&self.localized),
+            opt_f(self.precision),
+            opt_f(self.recall),
+            self.loo_solves,
+            self.loo_downdates,
+            self.switch_quarantines,
+            self.unresolved_rounds,
+            self.alarms_raised,
+        )
+    }
+}
+
+/// Runs one redteam cell: a fresh deployment, `liars` forging switches
+/// under `strategy` at interpolation `magnitude`, Byzantine layer on,
+/// stepped for `epochs`.
+#[allow(clippy::too_many_arguments)]
+fn redteam_cell(
+    scenario: &Scenario,
+    strategy: FakeStrategy,
+    liars: usize,
+    magnitude: f64,
+    epochs: u64,
+    fake_at: u64,
+    seed: u64,
+    liar_seed: u64,
+    threshold: f64,
+) -> Result<RedteamCell, CmdError> {
+    use std::collections::BTreeSet;
+    let dep = scenario.provision()?;
+    let fs = FaultScenario {
+        epochs,
+        loss: 0.0,
+        drop_prob: 0.0,
+        latency_ms: 1.0,
+        jitter_ms: 0.0,
+        reorder_prob: 0.0,
+        offline: None,
+        anomaly_window: None,
+        anomaly_kind: AnomalyKind::PathDeviation,
+        churn_period: None,
+        churn_seed: 7,
+        seed,
+        anomaly_seed: seed,
+        liars,
+        fake_strategy: strategy,
+        fake_window: Some((fake_at, epochs)),
+        fake_magnitude: magnitude,
+        liar_seed,
+    };
+    let config = RuntimeConfig {
+        threshold,
+        byzantine: ByzantineConfig {
+            enabled: true,
+            ..ByzantineConfig::default()
+        },
+        ..RuntimeConfig::default()
+    };
+    let mut driver = ScenarioDriver::new(dep, fs, config);
+    let mut first_alarm: Option<u64> = None;
+    let mut localized: BTreeSet<foces_net::SwitchId> = BTreeSet::new();
+    for _ in 0..epochs {
+        let epoch = driver.service().epochs();
+        let r = driver.step()?;
+        if r.alarm_raised && epoch >= fake_at && first_alarm.is_none() {
+            first_alarm = Some(epoch);
+        }
+        if let Some(s) = r.localized_liar {
+            localized.insert(s);
+        }
+    }
+    let m = *driver.service().metrics();
+    if m.loo_solves > 0 && m.loo_downdates == 0 {
+        return Err(format!(
+            "redteam invariant violated ({strategy} ×{liars} λ={magnitude}): \
+             {} leave-one-out solves took zero factor downdates (cold refactorization)",
+            m.loo_solves
+        )
+        .into());
+    }
+    let truth: BTreeSet<foces_net::SwitchId> = driver.liar_switches().iter().copied().collect();
+    let tp = localized.intersection(&truth).count();
+    Ok(RedteamCell {
+        strategy,
+        liars,
+        magnitude,
+        detected: first_alarm.is_some(),
+        latency_epochs: first_alarm.map(|e| e - fake_at),
+        true_liars: truth.into_iter().collect(),
+        localized: localized.iter().copied().collect(),
+        precision: (!localized.is_empty()).then(|| tp as f64 / localized.len() as f64),
+        recall: (liars > 0).then(|| tp as f64 / liars as f64),
+        loo_solves: m.loo_solves,
+        loo_downdates: m.loo_downdates,
+        switch_quarantines: m.switch_quarantines,
+        unresolved_rounds: m.unresolved_byzantine,
+        alarms_raised: m.alarms_raised,
+    })
+}
+
+/// `foces redteam [scenario] …` — sweeps the adversary space
+/// (strategy × liar count × fake magnitude λ), measuring detection
+/// latency, localization precision/recall, and the evasion cost (the
+/// smallest λ each strategy needs to stay above to be caught), and writes
+/// the whole grid to BENCH_redteam.json. Uses the FatTree(4) golden
+/// scenario when no file is given.
+pub fn redteam(args: &Args) -> Result<CmdOutput, CmdError> {
+    use foces_runtime::metrics::json_f64;
+    let (scenario, scenario_name) = match args.positional(1) {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            (Scenario::parse(&text)?, path.to_string())
+        }
+        None => (
+            Scenario::parse("topology fattree 4\ngranularity per-pair\nall-pairs 240000\n")?,
+            "fattree-4".to_string(),
+        ),
+    };
+    let epochs: u64 = args.num("epochs", 12)?;
+    let fake_at: u64 = args.num("fake-at", 2)?;
+    let seed: u64 = args.num("seed", 7)?;
+    let liar_seed: u64 = args.num("liar-seed", 11)?;
+    let threshold: f64 = args.num("threshold", foces::DEFAULT_THRESHOLD)?;
+    let liars_max: usize = args.num("liars-max", 2)?;
+    let magnitudes: Vec<f64> = match args.opt("magnitudes") {
+        None => vec![0.25, 0.5, 1.0],
+        Some(csv) => csv
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| format!("--magnitudes: cannot parse {t:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let strategies: Vec<FakeStrategy> = match args.opt("strategies") {
+        None => FakeStrategy::ALL.to_vec(),
+        Some(csv) => csv
+            .split(',')
+            .map(|t| t.trim().parse())
+            .collect::<Result<_, _>>()?,
+    };
+    let out_path = args.opt("out").unwrap_or("BENCH_redteam.json").to_string();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "redteam: {} on {scenario_name}, {epochs} epochs, forging from epoch {fake_at}, \
+         λ ∈ {magnitudes:?}, liars 1..={liars_max}",
+        strategies
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+    )?;
+
+    let mut cells: Vec<RedteamCell> = Vec::new();
+    for &strategy in &strategies {
+        for liars in 1..=liars_max {
+            for &magnitude in &magnitudes {
+                let cell = redteam_cell(
+                    &scenario, strategy, liars, magnitude, epochs, fake_at, seed, liar_seed,
+                    threshold,
+                )?;
+                let verdict = if cell.detected {
+                    format!(
+                        "DETECTED in {} epochs, P={} R={}",
+                        cell.latency_epochs.unwrap_or(0),
+                        cell.precision.map_or("-".into(), |p| format!("{p:.2}")),
+                        cell.recall.map_or("-".into(), |r| format!("{r:.2}")),
+                    )
+                } else {
+                    "evaded".to_string()
+                };
+                writeln!(out, "  {strategy:>7} ×{liars} λ={magnitude:<5}: {verdict}")?;
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Evasion-cost curve: per (strategy, liar count), the smallest swept λ
+    // that is still detected, and the largest that escapes.
+    let mut evasion = String::from("[");
+    let mut first = true;
+    for &strategy in &strategies {
+        for liars in 1..=liars_max {
+            let group: Vec<&RedteamCell> = cells
+                .iter()
+                .filter(|c| c.strategy == strategy && c.liars == liars)
+                .collect();
+            let min_detected = group
+                .iter()
+                .filter(|c| c.detected)
+                .map(|c| c.magnitude)
+                .fold(f64::INFINITY, f64::min);
+            let max_undetected = group
+                .iter()
+                .filter(|c| !c.detected)
+                .map(|c| c.magnitude)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !first {
+                evasion.push(',');
+            }
+            first = false;
+            let _ = write!(
+                evasion,
+                "{{\"strategy\":\"{strategy}\",\"liars\":{liars},\"min_detected_magnitude\":{},\
+                 \"max_undetected_magnitude\":{}}}",
+                if min_detected.is_finite() {
+                    json_f64(min_detected)
+                } else {
+                    "null".into()
+                },
+                if max_undetected.is_finite() {
+                    json_f64(max_undetected)
+                } else {
+                    "null".into()
+                },
+            );
+            let cost = if min_detected.is_finite() {
+                format!("caught from λ={min_detected}")
+            } else {
+                "never caught in sweep".to_string()
+            };
+            let escape = if max_undetected.is_finite() {
+                format!(", escapes at λ={max_undetected}")
+            } else {
+                String::new()
+            };
+            writeln!(out, "evasion {strategy:>7} ×{liars}: {cost}{escape}")?;
+        }
+    }
+    evasion.push(']');
+
+    let cell_json: Vec<String> = cells.iter().map(RedteamCell::to_json).collect();
+    let json = format!(
+        "{{\"bench\":\"redteam\",\"scenario\":\"{scenario_name}\",\"epochs\":{epochs},\
+         \"fake_at\":{fake_at},\"threshold\":{},\"cells\":[{}],\"evasion\":{evasion}}}\n",
+        json_f64(threshold),
+        cell_json.join(",")
+    );
+    std::fs::write(&out_path, json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    writeln!(out, "wrote {out_path} ({} cells)", cells.len())?;
+    Ok(CmdOutput::clean(out))
 }
 
 /// `foces audit <scenario> [--cap N] [--json]` — static rule-table
@@ -882,6 +1289,16 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
             "churn-at",
             "settle-ms",
             "anomaly-seed",
+            "liars",
+            "fake-strategy",
+            "fake-at",
+            "confess-at",
+            "fake-magnitude",
+            "liar-seed",
+            "liars-max",
+            "magnitudes",
+            "strategies",
+            "out",
         ],
     )?;
     match args.positional(0) {
@@ -891,6 +1308,7 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
         Some("run") => run_service(&args),
         Some("cluster") => cluster_run(&args),
         Some("stream") => stream_run(&args),
+        Some("redteam") => redteam(&args),
         Some("audit") => audit(&args),
         Some("harden") => harden_cmd(&args).map(CmdOutput::clean),
         Some("scenario") => scenario_template(&args).map(CmdOutput::clean),
@@ -1149,6 +1567,105 @@ mod tests {
             "{}",
             out.report
         );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_localizes_a_naive_liar_and_exits_clean() {
+        let path = scenario_file("topology fattree 4\ngranularity per-pair\nall-pairs 240000\n");
+        let out = run_full(argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--epochs=14",
+            "--loss=0",
+            "--latency=1",
+            "--jitter=0",
+            "--liars=1",
+            "--fake-at=2",
+            "--confess-at=9",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("[liars compromised: s"), "{}", out.report);
+        assert!(out.report.contains("LOCALIZED liar s"), "{}", out.report);
+        assert!(out.report.contains("[liars confessed]"), "{}", out.report);
+        assert!(
+            out.report.contains("byzantine: 1 localized, 1 quarantined, 1 released"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("\"liars_localized\":1"), "{}", out.report);
+        assert!(out.report.contains("final state: normal"), "{}", out.report);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stream_localizes_a_liar_with_adaptive_cadence() {
+        let path = scenario_file("topology fattree 4\ngranularity per-pair\nall-pairs 240000\n");
+        let out = run_full(argv(&[
+            "stream",
+            path.to_str().unwrap(),
+            "--duration-ms=500",
+            "--regions=2",
+            "--poll-ms=10",
+            "--adaptive",
+            "--poll-max-ms=80",
+            "--liars=1",
+            "--fake-at=40",
+            "--confess-at=260",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(
+            out.report.contains("byzantine: 1 localized, 1 quarantined, 1 released"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("\"loo_downdates\":"), "{}", out.report);
+        assert!(out.report.contains("final state: normal"), "{}", out.report);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn redteam_sweeps_and_writes_the_grid() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let json = std::env::temp_dir().join(format!(
+            "foces-cli-redteam-{}.json",
+            std::process::id()
+        ));
+        let out = run_full(argv(&[
+            "redteam",
+            path.to_str().unwrap(),
+            "--epochs=6",
+            "--liars-max=1",
+            "--strategies=naive",
+            "--magnitudes=0.5,1.0",
+            "--out",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("wrote"), "{}", out.report);
+        assert!(out.report.contains("evasion"), "{}", out.report);
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"bench\":\"redteam\""), "{text}");
+        assert!(text.contains("\"cells\":["), "{text}");
+        assert!(text.contains("\"min_detected_magnitude\":"), "{text}");
+        assert!(text.contains("\"max_undetected_magnitude\":"), "{text}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn redteam_rejects_unknown_strategy() {
+        let path = scenario_file("topology ring 5\nall-pairs 1000\n");
+        let e = run(argv(&[
+            "redteam",
+            path.to_str().unwrap(),
+            "--strategies=quantum",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown fake strategy"), "{e}");
         let _ = std::fs::remove_file(path);
     }
 

@@ -30,6 +30,8 @@ pub struct ClusterMetrics {
     pub backpressure_stalls: u64,
     /// Largest per-worker deque depth ever observed.
     pub max_queue_depth: u64,
+    /// Epochs whose healthy shard residuals fed the suspicion merge.
+    pub suspicion_epochs: u64,
     /// Epochs whose union verdict was anomalous.
     pub anomalous_epochs: u64,
     /// Alarms raised by the hysteresis machine.
@@ -80,6 +82,11 @@ impl ClusterMetrics {
         );
         push("max_queue_depth", self.max_queue_depth.to_string(), &mut s);
         push(
+            "suspicion_epochs",
+            self.suspicion_epochs.to_string(),
+            &mut s,
+        );
+        push(
             "anomalous_epochs",
             self.anomalous_epochs.to_string(),
             &mut s,
@@ -120,6 +127,7 @@ mod tests {
             "steals",
             "backpressure_stalls",
             "max_queue_depth",
+            "suspicion_epochs",
             "anomalous_epochs",
             "alarms_raised",
             "alarms_cleared",

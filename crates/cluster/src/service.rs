@@ -4,8 +4,8 @@
 
 use crate::ClusterMetrics;
 use foces::{
-    Detector, Fcm, FocesError, IncrementalSolver, RankBudget, ShardedFcm, SolvePath, Verdict,
-    DEFAULT_THRESHOLD,
+    Detector, Fcm, FocesError, IncrementalSolver, RankBudget, ShardedFcm, SolvePath,
+    SuspicionConfig, SuspicionTracker, Verdict, DEFAULT_THRESHOLD,
 };
 use foces_net::{partition, Partition, PartitionSpec, Topology};
 use foces_runtime::metrics::{json_f64, json_str};
@@ -135,6 +135,9 @@ pub struct ClusterEpochReport {
     pub alarm: AlarmTransition,
     /// Alarm state after this epoch.
     pub alarm_state: foces::AlarmState,
+    /// Highest per-switch suspicion score after this epoch's residual
+    /// attribution (0.0 on an honest network).
+    pub suspicion_max: f64,
 }
 
 impl ClusterEpochReport {
@@ -190,6 +193,11 @@ pub struct ClusterService {
     /// shard — warm factors never migrate between shards.
     solvers: Vec<Mutex<IncrementalSolver>>,
     faults: HashMap<usize, ShardFault>,
+    /// Per-switch residual attribution merged across healthy shards — the
+    /// cluster-level half of the Byzantine localization pipeline (the
+    /// runtime/ingest services own the quarantine step; the cluster
+    /// surfaces the ranking for its operator).
+    suspicion: SuspicionTracker,
     alarm: AlarmMachine,
     metrics: ClusterMetrics,
     log: EventLog,
@@ -223,6 +231,7 @@ impl ClusterService {
             sharded,
             solvers,
             faults: HashMap::new(),
+            suspicion: SuspicionTracker::new(SuspicionConfig::default()),
             metrics: ClusterMetrics::new(),
             log: EventLog::in_memory(),
             mask_cache: HashMap::new(),
@@ -260,6 +269,11 @@ impl ClusterService {
     /// Current alarm state.
     pub fn alarm_state(&self) -> foces::AlarmState {
         self.alarm.state()
+    }
+
+    /// The per-switch suspicion ranking accumulated so far.
+    pub fn suspicion(&self) -> &SuspicionTracker {
+        &self.suspicion
     }
 
     /// Injects a standing worker fault for `region`, starting next epoch.
@@ -351,6 +365,31 @@ impl ClusterService {
             shards.push(report);
         }
 
+        // Residual attribution: every healthy shard's solve already carries
+        // a per-row residual aligned with its sub-FCM, so the suspicion
+        // merge costs one pass over rows the epoch computed anyway.
+        {
+            let views = self.sharded.shard_views();
+            let mut fed = false;
+            for report in &shards {
+                if !report.health.is_healthy() {
+                    continue;
+                }
+                let Some(v) = &report.verdict else { continue };
+                let Some(view) = views.iter().find(|w| w.region == report.region) else {
+                    continue;
+                };
+                if view.sub_fcm.rule_count() == v.solve.residual.len() {
+                    self.suspicion
+                        .observe(view.sub_fcm.rules(), &v.solve.residual, v.anomalous);
+                    fed = true;
+                }
+            }
+            if fed {
+                self.metrics.suspicion_epochs += 1;
+            }
+        }
+
         let detectability = self.detectability(&shards);
         let alarm = self.alarm.observe(anomalous, false);
 
@@ -385,6 +424,7 @@ impl ClusterService {
             pool: pool_stats,
             alarm,
             alarm_state: self.alarm.state(),
+            suspicion_max: self.suspicion.max_score(),
         };
         self.log_epoch(&report);
         self.epoch += 1;
@@ -529,7 +569,8 @@ impl ClusterService {
         let _ = write!(
             line,
             "{{\"epoch\":{},\"mode\":\"cluster\",\"anomalous\":{},\"max_ai\":{},\"alarm\":{},\
-             \"raised\":{},\"cleared\":{},\"degraded\":{},\"row_coverage\":{},\
+             \"raised\":{},\"cleared\":{},\"suspicion_max\":{},\"degraded\":{},\
+             \"row_coverage\":{},\
              \"flow_coverage\":{},\"boundary_at_risk\":{},\"steals\":{},\"max_queue_depth\":{},\
              \"backpressure_stalls\":{},\"shards\":[",
             r.epoch,
@@ -538,6 +579,7 @@ impl ClusterService {
             json_str(&format!("{:?}", r.alarm_state)),
             r.alarm.raised,
             r.alarm.cleared,
+            json_f64(r.suspicion_max),
             r.detectability.degraded_regions.len(),
             json_f64(r.detectability.row_coverage),
             json_f64(r.detectability.flow_coverage),
@@ -660,6 +702,45 @@ mod tests {
         }
         assert!(raised, "a standing anomaly must raise within the window");
         assert!(svc.metrics().anomalous_epochs >= 2);
+    }
+
+    #[test]
+    fn honest_epochs_accumulate_no_suspicion() {
+        let (mut svc, mut dep) = testbed(4);
+        for _ in 0..4 {
+            let y = counters(&mut dep);
+            let r = svc.run_epoch(&y).unwrap();
+            assert_eq!(r.suspicion_max, 0.0);
+        }
+        assert_eq!(svc.suspicion().max_score(), 0.0);
+        assert_eq!(svc.metrics().suspicion_epochs, 4);
+        let last = svc.log_lines().last().unwrap();
+        assert!(last.contains("\"suspicion_max\":0"), "{last}");
+    }
+
+    #[test]
+    fn standing_anomaly_builds_a_suspicion_ranking() {
+        let (mut svc, mut dep) = testbed(4);
+        let y = counters(&mut dep);
+        svc.run_epoch(&y).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        inject_random_anomaly(
+            &mut dep.dataplane,
+            AnomalyKind::PathDeviation,
+            &mut rng,
+            &[],
+        )
+        .unwrap();
+        let mut last_max = 0.0;
+        for _ in 0..3 {
+            let y = counters(&mut dep);
+            last_max = svc.run_epoch(&y).unwrap().suspicion_max;
+        }
+        assert!(
+            last_max > 0.0,
+            "anomalous residuals must attribute suspicion to some switch"
+        );
+        assert!(!svc.suspicion().ranked().is_empty());
     }
 
     #[test]

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod byzantine;
 mod detectability;
 mod detector;
 mod error;
@@ -81,6 +82,10 @@ pub mod testkit;
 pub mod threshold;
 
 pub use audit::{audit_deviations, DeviationAudit, DeviationCandidate};
+pub use byzantine::{
+    cross_validate, k_resilient_verdict, ByzantineReport, LooOutcome, LooSolver, LooStatus,
+    ResilienceReport, ResilienceStep, SuspicionConfig, SuspicionTracker,
+};
 pub use detectability::{is_detectable, rbg_loop_exists, undetectable_by_rank};
 pub use detector::{Detector, IndexStatistic, Verdict};
 pub use error::FocesError;

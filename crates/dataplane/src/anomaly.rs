@@ -16,6 +16,14 @@ pub enum AnomalyKind {
     PathDeviation,
     /// The rule is turned into a drop: packets die before the destination.
     EarlyDrop,
+    /// The switch *lies about* the rule's counter (§II-B: "the adversary …
+    /// can modify the counters of rules at compromised switches"):
+    /// forwarding is untouched, but every collection reads a forged value
+    /// instead of the truth ([`DataPlane::fake_counter`]). This is the
+    /// Byzantine anomaly — nothing is wrong with the packets, only with the
+    /// report — and it is what the detection side's liar localization
+    /// exists to catch.
+    CounterFake,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -23,6 +31,7 @@ impl fmt::Display for AnomalyKind {
         match self {
             AnomalyKind::PathDeviation => write!(f, "path-deviation"),
             AnomalyKind::EarlyDrop => write!(f, "early-drop"),
+            AnomalyKind::CounterFake => write!(f, "counter-fake"),
         }
     }
 }
@@ -49,9 +58,47 @@ impl AppliedAnomaly {
     /// Returns [`DataPlaneError::UnknownRule`] if the rule vanished (cannot
     /// happen in practice: rules are never removed).
     pub fn revert(&self, dp: &mut DataPlane) -> Result<(), DataPlaneError> {
-        dp.modify_rule_action(self.rule, self.original_action)?;
+        match self.kind {
+            // A counter fake never touched the rule's action: reverting means
+            // the switch "confesses" — the override is dropped and collections
+            // read the live register again.
+            AnomalyKind::CounterFake => {
+                dp.clear_counter_fake(self.rule);
+            }
+            _ => {
+                dp.modify_rule_action(self.rule, self.original_action)?;
+            }
+        }
         Ok(())
     }
+}
+
+/// Installs a targeted counter fake on `rule`: forwarding is untouched, but
+/// every subsequent collection reads `reported` instead of the live register
+/// until the anomaly is [reverted](AppliedAnomaly::revert).
+///
+/// The returned record has `original_action == modified_action` — the lie is
+/// in the report, not the table.
+///
+/// # Errors
+///
+/// Returns [`DataPlaneError::UnknownRule`] if `rule` does not exist.
+pub fn inject_counter_fake(
+    dp: &mut DataPlane,
+    rule: RuleRef,
+    reported: f64,
+) -> Result<AppliedAnomaly, DataPlaneError> {
+    let action = dp
+        .rule(rule)
+        .ok_or(DataPlaneError::UnknownRule(rule))?
+        .action();
+    dp.fake_counter(rule, reported)?;
+    Ok(AppliedAnomaly {
+        rule,
+        kind: AnomalyKind::CounterFake,
+        original_action: action,
+        modified_action: action,
+    })
 }
 
 /// Randomly compromises one rule in the network, mimicking the paper's
@@ -98,7 +145,22 @@ pub fn inject_random_anomaly(
         .collect();
     let &target = eligible.choose(rng)?;
     let original_action = dp.rule(target).expect("chosen from live refs").action();
+    if kind == AnomalyKind::CounterFake {
+        // Forge an obviously-wrong value: inflate the live register and add a
+        // constant floor so the lie is visible even on an idle rule.
+        let truth = dp.true_counter(target.switch, target.index);
+        let fake = truth * rng.gen_range(1.5..3.0) + 1000.0;
+        dp.fake_counter(target, fake)
+            .expect("target taken from live rule refs");
+        return Some(AppliedAnomaly {
+            rule: target,
+            kind: AnomalyKind::CounterFake,
+            original_action,
+            modified_action: original_action,
+        });
+    }
     let modified_action = match kind {
+        AnomalyKind::CounterFake => unreachable!("handled by the early return above"),
         AnomalyKind::EarlyDrop => Action::Drop,
         AnomalyKind::PathDeviation => {
             let Action::Forward(current) = original_action else {
@@ -253,5 +315,56 @@ mod tests {
     fn kind_display() {
         assert_eq!(AnomalyKind::PathDeviation.to_string(), "path-deviation");
         assert_eq!(AnomalyKind::EarlyDrop.to_string(), "early-drop");
+        assert_eq!(AnomalyKind::CounterFake.to_string(), "counter-fake");
+    }
+
+    #[test]
+    fn counter_fake_lies_without_touching_forwarding() {
+        let (mut dp, s, h) = plane();
+        let mut rng = StdRng::seed_from_u64(6);
+        let applied =
+            inject_random_anomaly(&mut dp, AnomalyKind::CounterFake, &mut rng, &[]).unwrap();
+        assert_eq!(applied.kind, AnomalyKind::CounterFake);
+        // The table is untouched: the lie lives only in the report.
+        assert_eq!(applied.original_action, applied.modified_action);
+        assert_eq!(
+            dp.rule(applied.rule).unwrap().action(),
+            applied.original_action
+        );
+        // Forwarding still works end to end.
+        let rep = dp.inject(h[0], 0, 10.0, &mut LossModel::none());
+        assert_eq!(rep.delivered_to, Some(h[1]));
+        let _ = s;
+        // The reported counter diverges from the truth...
+        let r = applied.rule;
+        assert_ne!(dp.counter(r.switch, r.index), dp.true_counter(r.switch, r.index));
+        // ...until the switch confesses.
+        applied.revert(&mut dp).unwrap();
+        assert_eq!(dp.counter(r.switch, r.index), dp.true_counter(r.switch, r.index));
+        assert_eq!(dp.counter_fake_count(), 0);
+    }
+
+    #[test]
+    fn targeted_counter_fake_reports_chosen_value() {
+        let (mut dp, s, _) = plane();
+        let r = RuleRef {
+            switch: s[0],
+            index: 0,
+        };
+        let applied = inject_counter_fake(&mut dp, r, 424242.0).unwrap();
+        assert_eq!(dp.counter(r.switch, r.index), 424242.0);
+        assert_eq!(dp.true_counter(r.switch, r.index), 0.0);
+        applied.revert(&mut dp).unwrap();
+        assert_eq!(dp.counter(r.switch, r.index), 0.0);
+    }
+
+    #[test]
+    fn targeted_counter_fake_rejects_unknown_rule() {
+        let (mut dp, s, _) = plane();
+        let bogus = RuleRef {
+            switch: s[0],
+            index: 99,
+        };
+        assert!(inject_counter_fake(&mut dp, bogus, 1.0).is_err());
     }
 }

@@ -54,7 +54,7 @@ mod plane;
 mod rule;
 mod table;
 
-pub use anomaly::{inject_random_anomaly, AnomalyKind, AppliedAnomaly};
+pub use anomaly::{inject_counter_fake, inject_random_anomaly, AnomalyKind, AppliedAnomaly};
 pub use loss::LossModel;
 pub use plane::{CollectionNoise, DataPlane, DataPlaneError, DeliveryReport, RuleRef, MAX_HOPS};
 pub use rule::{Action, Rule, HEADER_WIDTH};

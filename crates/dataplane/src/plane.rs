@@ -116,6 +116,12 @@ pub struct DataPlane {
     /// update it acknowledged, exactly like a real switch whose firmware
     /// was tampered with below the OpenFlow layer.
     generations: Vec<u64>,
+    /// Reported-counter overrides installed by compromised switches
+    /// ([`crate::AnomalyKind::CounterFake`]): the *true* counters keep
+    /// accumulating underneath as packets flow, but every collection path
+    /// reports the forged value instead. Keyed `(switch, index)`; a BTreeMap
+    /// so iteration (and therefore any derived randomness) is deterministic.
+    counter_fakes: std::collections::BTreeMap<(usize, usize), f64>,
 }
 
 impl DataPlane {
@@ -132,6 +138,7 @@ impl DataPlane {
             port_rx: ports.clone(),
             port_tx: ports,
             generations: vec![0; n],
+            counter_fakes: std::collections::BTreeMap::new(),
         }
     }
 
@@ -242,13 +249,57 @@ impl DataPlane {
         self.tables.iter().map(FlowTable::len).sum()
     }
 
-    /// Current counter value of a rule.
+    /// Current counter value of a rule **as the switch reports it**: the
+    /// forged value while a [`crate::AnomalyKind::CounterFake`] override is
+    /// installed ([`DataPlane::fake_counter`]), the truth otherwise.
     ///
     /// # Panics
     ///
     /// Panics if the switch or index is out of range.
     pub fn counter(&self, switch: SwitchId, index: usize) -> f64 {
+        let _ = self.counters[switch.0][index]; // preserve the bounds panic
+        self.counter_fakes
+            .get(&(switch.0, index))
+            .copied()
+            .unwrap_or(self.counters[switch.0][index])
+    }
+
+    /// The ground-truth counter of a rule, bypassing any forged override —
+    /// what the packets actually did, which no adversary can rewrite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch or index is out of range.
+    pub fn true_counter(&self, switch: SwitchId, index: usize) -> f64 {
         self.counters[switch.0][index]
+    }
+
+    /// Installs a reported-counter override: from now on every collection
+    /// path reports `reported` for this rule while the true counter keeps
+    /// accumulating underneath. Overrides survive
+    /// [`DataPlane::reset_counters`] — the compromise persists across
+    /// collection windows until reverted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataPlaneError::UnknownRule`] if the reference is stale.
+    pub fn fake_counter(&mut self, r: RuleRef, reported: f64) -> Result<(), DataPlaneError> {
+        if self.rule(r).is_none() {
+            return Err(DataPlaneError::UnknownRule(r));
+        }
+        self.counter_fakes.insert((r.switch.0, r.index), reported);
+        Ok(())
+    }
+
+    /// Removes a rule's reported-counter override (the switch confesses),
+    /// returning the forged value if one was installed.
+    pub fn clear_counter_fake(&mut self, r: RuleRef) -> Option<f64> {
+        self.counter_fakes.remove(&(r.switch.0, r.index))
+    }
+
+    /// Number of rules currently reporting a forged counter.
+    pub fn counter_fake_count(&self) -> usize {
+        self.counter_fakes.len()
     }
 
     /// Zeroes every rule and port counter (start of a collection interval).
@@ -263,10 +314,11 @@ impl DataPlane {
         }
     }
 
-    /// Snapshots all counters in canonical [`DataPlane::rule_refs`] order.
+    /// Snapshots all counters in canonical [`DataPlane::rule_refs`] order,
+    /// forged overrides included (collection reads what switches *report*).
     pub fn collect_counters(&self) -> Vec<f64> {
         self.rule_refs()
-            .map(|r| self.counters[r.switch.0][r.index])
+            .map(|r| self.counter(r.switch, r.index))
             .collect()
     }
 
@@ -310,19 +362,24 @@ impl DataPlane {
     ) -> Vec<f64> {
         use rand::Rng;
         let mut out = Vec::with_capacity(self.rule_count());
-        for counters in &self.counters {
+        for (s, counters) in self.counters.iter().enumerate() {
             let switch_factor = if noise.switch_skew > 0.0 {
                 (1.0 + rng.gen_range(-noise.switch_skew..=noise.switch_skew)).max(0.0)
             } else {
                 1.0
             };
-            for &c in counters {
+            for (i, &c) in counters.iter().enumerate() {
                 let rule_factor = if noise.rule_jitter > 0.0 {
                     (1.0 + rng.gen_range(-noise.rule_jitter..=noise.rule_jitter)).max(0.0)
                 } else {
                     1.0
                 };
-                out.push(c * switch_factor * rule_factor);
+                // A forged counter is a *fabricated number*, not a noisy
+                // read of a live register: it is reported verbatim.
+                match self.counter_fakes.get(&(s, i)) {
+                    Some(&fake) => out.push(fake),
+                    None => out.push(c * switch_factor * rule_factor),
+                }
             }
         }
         out

@@ -50,6 +50,25 @@ pub struct IngestMetrics {
     pub degraded_rounds: u64,
     /// Shard rounds with nothing left to solve after quarantine.
     pub blind_rounds: u64,
+    /// Shard rounds whose residuals fed the suspicion tracker.
+    pub suspicion_rounds: u64,
+    /// Leave-one-switch-out candidate solves performed.
+    pub loo_solves: u64,
+    /// Rank-one factor downdates spent across all leave-one-out solves.
+    pub loo_downdates: u64,
+    /// Liars uniquely localized by leave-one-out cross-validation.
+    pub liars_localized: u64,
+    /// Switches placed under counter quarantine.
+    pub switch_quarantines: u64,
+    /// Quarantines lifted after a clean re-probe.
+    pub quarantine_releases: u64,
+    /// Rounds that entered the unresolved-Byzantine state (alarm up, no
+    /// single switch's removal explains it).
+    pub unresolved_byzantine: u64,
+    /// k-resilience probes run on alarm-raise rounds.
+    pub resilience_probes: u64,
+    /// Probes whose verdict flipped when suspects were silenced.
+    pub resilience_flips: u64,
     /// Shard rounds whose verdict was anomalous.
     pub anomalous_rounds: u64,
     /// Alarm raise transitions.
@@ -119,6 +138,43 @@ impl IngestMetrics {
             json_f64(self.degraded_rounds as f64),
         );
         raw(&mut s, "blind_rounds", json_f64(self.blind_rounds as f64));
+        raw(
+            &mut s,
+            "suspicion_rounds",
+            json_f64(self.suspicion_rounds as f64),
+        );
+        raw(&mut s, "loo_solves", json_f64(self.loo_solves as f64));
+        raw(&mut s, "loo_downdates", json_f64(self.loo_downdates as f64));
+        raw(
+            &mut s,
+            "liars_localized",
+            json_f64(self.liars_localized as f64),
+        );
+        raw(
+            &mut s,
+            "switch_quarantines",
+            json_f64(self.switch_quarantines as f64),
+        );
+        raw(
+            &mut s,
+            "quarantine_releases",
+            json_f64(self.quarantine_releases as f64),
+        );
+        raw(
+            &mut s,
+            "unresolved_byzantine",
+            json_f64(self.unresolved_byzantine as f64),
+        );
+        raw(
+            &mut s,
+            "resilience_probes",
+            json_f64(self.resilience_probes as f64),
+        );
+        raw(
+            &mut s,
+            "resilience_flips",
+            json_f64(self.resilience_flips as f64),
+        );
         raw(
             &mut s,
             "anomalous_rounds",

@@ -36,21 +36,23 @@ use crate::event::{EventQueue, SimTime};
 use crate::link::{IngestChannel, LinkSpec};
 use crate::metrics::IngestMetrics;
 use foces::{
-    AlarmState, Detector, Fcm, FocesError, IncrementalSolver, ShardUnionVerdict, ShardedFcm,
+    cross_validate, k_resilient_verdict, AlarmState, Detector, Fcm, FocesError, IncrementalSolver,
+    ShardUnionVerdict, ShardedFcm, SuspicionTracker,
 };
 use foces_channel::{
-    ChannelError, ControllerMsg, Delivery, FaultProfile, HonestAgent, SwitchMsg, Transport,
+    plan_collusion, ChannelError, CollusionInputs, ControllerMsg, Delivery, FakeStrategy,
+    FaultProfile, ForgingAgent, HonestAgent, RuleFacts, SwitchAgent, SwitchMsg, Transport,
 };
 use foces_cluster::ShardCompletion;
 use foces_controlplane::Deployment;
-use foces_dataplane::{inject_random_anomaly, AnomalyKind, AppliedAnomaly, LossModel};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, AppliedAnomaly, LossModel, RuleRef};
 use foces_net::{partition, Partition, PartitionSpec, SwitchId};
 use foces_runtime::metrics::{json_f64, json_str};
-use foces_runtime::{AlarmMachine, EventLog, HysteresisConfig};
+use foces_runtime::{AlarmMachine, ByzantineConfig, EventLog, HysteresisConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Everything that can go wrong inside a stream run.
@@ -98,6 +100,21 @@ pub enum StreamAction {
     /// counters genuinely mix rule generations, then schedule a
     /// [`StreamEvent::Rebuild`] `settle_ms` later.
     Churn,
+    /// Compromise `liars` switches: forging agents replace their honest
+    /// ones and (for the evasion strategies) a real early-drop anomaly is
+    /// planted at each liar for the forged counters to hide. No-op if
+    /// liars are already active.
+    Compromise {
+        /// How many switches turn Byzantine.
+        liars: usize,
+        /// How the forged reports coordinate.
+        strategy: FakeStrategy,
+        /// Forgery interpolation λ ∈ [0, 1].
+        magnitude: f64,
+    },
+    /// The liars confess: honest agents are restored and cover anomalies
+    /// repaired (no-op if nobody is lying).
+    Confess,
 }
 
 /// Tunables for one stream run.
@@ -134,6 +151,12 @@ pub struct StreamConfig {
     pub churn_seed: u64,
     /// Seed for anomaly placement.
     pub anomaly_seed: u64,
+    /// Seed for choosing which switches lie under
+    /// [`StreamAction::Compromise`].
+    pub liar_seed: u64,
+    /// Byzantine-resilience layer (suspicion, liar localization,
+    /// quarantine) — shared tunables with the lockstep runtime.
+    pub byzantine: ByzantineConfig,
 }
 
 impl Default for StreamConfig {
@@ -156,6 +179,8 @@ impl Default for StreamConfig {
             seed: 0,
             churn_seed: 7,
             anomaly_seed: 4,
+            liar_seed: 11,
+            byzantine: ByzantineConfig::default(),
         }
     }
 }
@@ -228,7 +253,7 @@ pub struct StreamDriver {
     script: Vec<(f64, StreamAction)>,
     partition: Partition,
     channel: IngestChannel,
-    agents: HashMap<SwitchId, HonestAgent>,
+    agents: HashMap<SwitchId, Box<dyn SwitchAgent>>,
     /// All switches, ascending — the deterministic iteration order.
     switches: Vec<SwitchId>,
     queue: EventQueue<StreamEvent>,
@@ -262,6 +287,22 @@ pub struct StreamDriver {
     fired: Vec<bool>,
     last_verdict: HashMap<usize, bool>,
     first_inject_at: Option<f64>,
+    /// Residual-attribution scores per switch (Byzantine layer).
+    suspicion: SuspicionTracker,
+    /// Switches whose reports are excluded from every shard solve.
+    quarantined: BTreeSet<SwitchId>,
+    /// Consecutive non-anomalous scored rounds (drives re-probe liveness).
+    quiet_rounds: u32,
+    /// Alarm up but no single switch's removal explains the conflict.
+    byz_unresolved: bool,
+    liar_rng: StdRng,
+    liars: Vec<SwitchId>,
+    forging: Vec<SwitchId>,
+    fake_strategy: FakeStrategy,
+    fake_magnitude: f64,
+    cover_anomalies: Vec<AppliedAnomaly>,
+    stale_snapshot: BTreeMap<(SwitchId, usize), f64>,
+    original_tables: BTreeMap<SwitchId, Vec<foces_dataplane::Rule>>,
 }
 
 impl StreamDriver {
@@ -300,7 +341,10 @@ impl StreamDriver {
         }
         let mut switches: Vec<SwitchId> = dep.view.topology().switches().collect();
         switches.sort_unstable();
-        let agents = switches.iter().map(|&s| (s, HonestAgent::new(s))).collect();
+        let agents = switches
+            .iter()
+            .map(|&s| (s, Box::new(HonestAgent::new(s)) as Box<dyn SwitchAgent>))
+            .collect();
         let cadence = switches
             .iter()
             .map(|&s| (s, PollCadence::new(config.cadence.clone())))
@@ -317,6 +361,8 @@ impl StreamDriver {
         let inject_rng = StdRng::seed_from_u64(config.anomaly_seed);
         let churn_rng = StdRng::seed_from_u64(config.churn_seed);
         let fired = vec![false; sharded.shard_count()];
+        let suspicion = SuspicionTracker::new(config.byzantine.suspicion);
+        let liar_rng = StdRng::seed_from_u64(config.liar_seed);
         StreamDriver {
             dep,
             config,
@@ -348,6 +394,18 @@ impl StreamDriver {
             fired,
             last_verdict: HashMap::new(),
             first_inject_at: None,
+            suspicion,
+            quarantined: BTreeSet::new(),
+            quiet_rounds: 0,
+            byz_unresolved: false,
+            liar_rng,
+            liars: Vec::new(),
+            forging: Vec::new(),
+            fake_strategy: FakeStrategy::Naive,
+            fake_magnitude: 1.0,
+            cover_anomalies: Vec::new(),
+            stale_snapshot: BTreeMap::new(),
+            original_tables: BTreeMap::new(),
         }
     }
 
@@ -377,6 +435,28 @@ impl StreamDriver {
     /// The deployment under test.
     pub fn deployment(&self) -> &Deployment {
         &self.dep
+    }
+
+    /// The Byzantine suspicion tracker (empty while the layer is off).
+    pub fn suspicion(&self) -> &SuspicionTracker {
+        &self.suspicion
+    }
+
+    /// Switches currently under counter quarantine, ascending.
+    pub fn quarantined_switches(&self) -> Vec<SwitchId> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Whether the stream is in the unresolved-Byzantine state: the alarm
+    /// is up but leave-one-out found no single switch whose removal makes
+    /// the system consistent. The CLI exits 2 when a run ends here.
+    pub fn byzantine_unresolved(&self) -> bool {
+        self.byz_unresolved
+    }
+
+    /// The switches currently lying (empty when everyone is honest).
+    pub fn liar_switches(&self) -> &[SwitchId] {
+        &self.liars
     }
 
     /// Runs the stream to `duration_ms` and reports.
@@ -458,7 +538,7 @@ impl StreamDriver {
         let agent = self.agents.get(&switch).expect("agent per switch");
         let td = self.channel.exchange_at(
             &self.dep.dataplane,
-            agent,
+            agent.as_ref(),
             &ControllerMsg::StatsRequest { xid },
             now.as_ms(),
         )?;
@@ -585,10 +665,22 @@ impl StreamDriver {
         // also carries closure rows on neighbouring regions' switches; any
         // of those not sampled yet are masked out (a sound projection),
         // never solved as fabricated zeros.
-        let sub_observed: Vec<bool> = view.parent_rows.iter().map(|&i| self.observed[i]).collect();
+        let byz = self.config.byzantine;
+        let mut sub_observed: Vec<bool> =
+            view.parent_rows.iter().map(|&i| self.observed[i]).collect();
+        // Quarantined switches' reports are withheld from every solve:
+        // clearing their observed bits routes the round through the
+        // row-masked path, sound on the remaining equations.
+        if byz.enabled && !self.quarantined.is_empty() {
+            for (i, r) in view.sub_fcm.rules().iter().enumerate() {
+                if self.quarantined.contains(&r.switch) {
+                    sub_observed[i] = false;
+                }
+            }
+        }
         let complete = sub_observed.iter().all(|&o| o);
         self.metrics.shard_rounds += 1;
-        let (kind, verdict) = if churn || !complete {
+        let (kind, verdict, scored_rules) = if churn || !complete {
             // Per-shard reconciliation, the PR-2 quarantine pattern on the
             // shard's sub-system: quarantined flows come from the *parent*
             // FCM (a flow rerouted outside this region still mixes
@@ -610,27 +702,31 @@ impl StreamDriver {
             let masked = view.sub_fcm.quarantine(&keep, &shard_q);
             if masked.fcm().rule_count() == 0 || masked.fcm().flow_count() == 0 {
                 self.metrics.blind_rounds += 1;
-                ("blind", None)
+                ("blind", None, Vec::new())
             } else if churn {
                 self.metrics.reconciled_rounds += 1;
                 let v = self.detector.detect_masked(&masked, &sub_counters)?;
-                ("reconciled", Some(v))
+                // Reconciled rounds mix rule generations: their residuals
+                // never feed suspicion.
+                ("reconciled", Some(v), Vec::new())
             } else {
                 self.metrics.degraded_rounds += 1;
+                let rules: Vec<RuleRef> = masked.fcm().rules().to_vec();
                 let v = self.detector.detect_masked(&masked, &sub_counters)?;
-                ("degraded", Some(v))
+                ("degraded", Some(v), rules)
             }
         } else {
             let solver = self.solvers.entry(region).or_default();
+            let rules: Vec<RuleRef> = view.sub_fcm.rules().to_vec();
             let (v, path) = self
                 .detector
                 .detect_warm(view.sub_fcm, &sub_counters, solver)?;
             if path.is_warm() {
                 self.metrics.warm_rounds += 1;
-                ("warm", Some(v))
+                ("warm", Some(v), rules)
             } else {
                 self.metrics.cold_rounds += 1;
-                ("cold", Some(v))
+                ("cold", Some(v), rules)
             }
         };
         let now_ms = now.as_ms();
@@ -670,6 +766,129 @@ impl StreamDriver {
             transition = Some(t);
             self.last_verdict.insert(region, anomalous);
         }
+        // -- Byzantine resilience (opt-in), on the shard's sub-system ----
+        let mut localized: Option<SwitchId> = None;
+        if byz.enabled {
+            let scorable = !scored_rules.is_empty();
+            if scorable {
+                if let Some(v) = &verdict {
+                    if scored_rules.len() == v.solve.residual.len() {
+                        self.suspicion
+                            .observe(&scored_rules, &v.solve.residual, anomalous);
+                        self.metrics.suspicion_rounds += 1;
+                    }
+                }
+            }
+            let in_shard: BTreeSet<SwitchId> =
+                view.sub_fcm.rules().iter().map(|r| r.switch).collect();
+            // While the alarm is up, cross-validate the top suspects with
+            // rows in this shard by leaving each one's equations out
+            // (factor downdates, no cold refactorization). Exactly one
+            // consistent removal = the liar.
+            if scorable && anomalous && self.alarm.state() == AlarmState::Alarmed {
+                let candidates: Vec<SwitchId> = self
+                    .suspicion
+                    .ranked()
+                    .into_iter()
+                    .filter(|(s, _)| in_shard.contains(s))
+                    .take(byz.max_candidates)
+                    .map(|(s, _)| s)
+                    .collect();
+                if !candidates.is_empty() {
+                    let threshold = self.detector.threshold();
+                    let report = if sub_observed.iter().all(|&o| o) {
+                        cross_validate(view.sub_fcm, &sub_counters, threshold, &candidates)?
+                    } else {
+                        let masked = view.sub_fcm.mask_rows(&sub_observed);
+                        let sub = masked.project(&sub_counters);
+                        cross_validate(masked.fcm(), &sub, threshold, &candidates)?
+                    };
+                    self.metrics.loo_solves += report.outcomes.len() as u64;
+                    self.metrics.loo_downdates += report.downdates as u64;
+                    if let Some(liar) = report.localized {
+                        localized = Some(liar);
+                        self.quarantined.insert(liar);
+                        self.suspicion.clear(liar);
+                        self.metrics.liars_localized += 1;
+                        self.metrics.switch_quarantines += 1;
+                        self.byz_unresolved = false;
+                    } else if report.base_anomalous {
+                        // No single removal explains the conflict: a real
+                        // forwarding anomaly (possibly covered for), not a
+                        // pure counter-fake.
+                        if !self.byz_unresolved {
+                            self.metrics.unresolved_byzantine += 1;
+                        }
+                        self.byz_unresolved = true;
+                    }
+                }
+            }
+            // On the raise round, probe whether the verdict survives
+            // silencing the top suspects (k-resilience).
+            if scorable && transition.is_some_and(|t| t.raised) && byz.resilience_k > 0 {
+                let ranked: Vec<SwitchId> = self
+                    .suspicion
+                    .ranked()
+                    .into_iter()
+                    .filter(|(s, _)| in_shard.contains(s))
+                    .map(|(s, _)| s)
+                    .collect();
+                if !ranked.is_empty() {
+                    let rep = k_resilient_verdict(
+                        &self.detector,
+                        view.sub_fcm,
+                        &sub_counters,
+                        &sub_observed,
+                        &ranked,
+                        byz.resilience_k,
+                    )?;
+                    self.metrics.resilience_probes += 1;
+                    if rep.flips_at.is_some() {
+                        self.metrics.resilience_flips += 1;
+                    }
+                }
+            }
+            // Liveness: after a quiet streak, tentatively re-admit one
+            // quarantined switch's rows (in a shard that carries them) and
+            // release it if the system stays consistent.
+            if !self.quarantined.is_empty() && verdict.is_some() {
+                if anomalous {
+                    self.quiet_rounds = 0;
+                } else {
+                    self.quiet_rounds += 1;
+                }
+                if self.quiet_rounds >= byz.reprobe_after {
+                    let candidate = self
+                        .quarantined
+                        .iter()
+                        .copied()
+                        .find(|s| in_shard.contains(s));
+                    if let Some(candidate) = candidate {
+                        self.quiet_rounds = 0;
+                        let mut probe_obs = sub_observed.clone();
+                        for (i, r) in view.sub_fcm.rules().iter().enumerate() {
+                            if r.switch == candidate {
+                                probe_obs[i] = self.observed[view.parent_rows[i]];
+                            }
+                        }
+                        let masked = view.sub_fcm.mask_rows(&probe_obs);
+                        match self.detector.detect_masked(&masked, &sub_counters) {
+                            Ok(v) if !v.anomalous => {
+                                self.quarantined.remove(&candidate);
+                                self.suspicion.clear(candidate);
+                                self.metrics.quarantine_releases += 1;
+                            }
+                            Ok(_) => {} // still lying: stay quarantined
+                            Err(FocesError::EmptyFcm) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+            if transition.is_some_and(|t| t.cleared) {
+                self.byz_unresolved = false;
+            }
+        }
         // Cadence: trouble anywhere in the shard tightens every member;
         // a clean quiet round lets them all drift toward the ceiling.
         let active = churn || anomalous;
@@ -687,7 +906,7 @@ impl StreamDriver {
             AlarmState::Alarmed => "Alarmed",
         };
         let line = format!(
-            "{{\"mode\":\"stream\",\"t_ms\":{},\"region\":{},\"round\":{},\"kind\":{},\"anomalous\":{},\"ai\":{},\"stale\":{},\"alarm\":{},\"raised\":{},\"cleared\":{}}}",
+            "{{\"mode\":\"stream\",\"t_ms\":{},\"region\":{},\"round\":{},\"kind\":{},\"anomalous\":{},\"ai\":{},\"stale\":{},\"alarm\":{},\"raised\":{},\"cleared\":{},\"suspicion_max\":{},\"liars\":{},\"localized\":{},\"byz_unresolved\":{}}}",
             json_f64(now_ms),
             region,
             self.completion.rounds(region),
@@ -698,6 +917,10 @@ impl StreamDriver {
             json_str(state),
             transition.is_some_and(|t| t.raised),
             transition.is_some_and(|t| t.cleared),
+            json_f64(self.suspicion.max_score()),
+            self.quarantined.len(),
+            localized.map_or_else(|| "null".to_string(), |s| s.0.to_string()),
+            self.byz_unresolved,
         );
         self.log.record(line);
         Ok(())
@@ -755,6 +978,177 @@ impl StreamDriver {
                     json_f64(now_ms)
                 ));
             }
+            StreamAction::Compromise {
+                liars,
+                strategy,
+                magnitude,
+            } => {
+                if self.liars.is_empty() && liars > 0 {
+                    self.fake_strategy = strategy;
+                    self.fake_magnitude = magnitude;
+                    self.compromise_switches(liars);
+                    self.log.record(format!(
+                        "{{\"mode\":\"stream\",\"t_ms\":{},\"event\":\"compromise\",\"liars\":{},\"strategy\":{}}}",
+                        json_f64(now_ms),
+                        self.liars.len(),
+                        json_str(&strategy.to_string()),
+                    ));
+                }
+            }
+            StreamAction::Confess => {
+                if !self.liars.is_empty() {
+                    self.confess();
+                    self.log.record(format!(
+                        "{{\"mode\":\"stream\",\"t_ms\":{},\"event\":\"confess\"}}",
+                        json_f64(now_ms)
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Picks the liars, snapshots their (still-honest) tables, and — for
+    /// the evasion strategies — plants the real early-drop anomaly each
+    /// liar will lie to conceal. Under [`FakeStrategy::CoverUp`] the
+    /// liar's switch neighbors join the collusion.
+    fn compromise_switches(&mut self, count: usize) {
+        let mut pool = self.switches.clone();
+        pool.shuffle(&mut self.liar_rng);
+        pool.truncate(count);
+        pool.sort_unstable();
+        self.liars = pool;
+
+        let mut forging = self.liars.clone();
+        if self.fake_strategy == FakeStrategy::CoverUp {
+            for &liar in &self.liars.clone() {
+                for adj in self.dep.view.topology().adj(foces_net::Node::Switch(liar)) {
+                    if let foces_net::Node::Switch(n) = adj.neighbor {
+                        forging.push(n);
+                    }
+                }
+            }
+            forging.sort_unstable();
+            forging.dedup();
+        }
+        // Table snapshots must predate the cover anomalies: a stealthy
+        // liar answers dumps with the rules the controller installed.
+        for &s in &forging {
+            let table: Vec<foces_dataplane::Rule> = self
+                .dep
+                .dataplane
+                .table(s)
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect();
+            self.original_tables.insert(s, table);
+        }
+        self.forging = forging;
+
+        if !self.fake_strategy.is_fabrication() {
+            // Evasion: each liar really misbehaves (drops a flow early)
+            // and the forged counters exist to hide it.
+            let all = self.switches.clone();
+            for &liar in &self.liars.clone() {
+                let exclude_rest: Vec<SwitchId> =
+                    all.iter().copied().filter(|&s| s != liar).collect();
+                if let Some(a) = inject_random_anomaly(
+                    &mut self.dep.dataplane,
+                    AnomalyKind::EarlyDrop,
+                    &mut self.liar_rng,
+                    &exclude_rest,
+                ) {
+                    self.cover_anomalies.push(a);
+                }
+            }
+        }
+        // Re-registers the window's counters under the (possibly now
+        // anomalous) forwarding state and installs the forgeries.
+        self.refresh_traffic();
+    }
+
+    /// The liars confess: honest agents come back, cover anomalies are
+    /// repaired, and all adversarial state is dropped.
+    fn confess(&mut self) {
+        for &s in &self.forging {
+            self.agents
+                .insert(s, Box::new(HonestAgent::new(s)) as Box<dyn SwitchAgent>);
+        }
+        for a in self.cover_anomalies.drain(..) {
+            a.revert(&mut self.dep.dataplane)
+                .expect("covered rule cannot vanish");
+        }
+        self.liars.clear();
+        self.forging.clear();
+        self.stale_snapshot.clear();
+        self.original_tables.clear();
+        self.refresh_traffic();
+    }
+
+    /// Plans the coordinated forgery from the live registers and installs
+    /// it into fresh forging agents. Re-run whenever the registers change
+    /// (every [`StreamDriver::refresh_traffic`]) so the lie tracks the
+    /// truth it distorts.
+    fn install_forgeries(&mut self) {
+        if self.stale_snapshot.is_empty() {
+            // First forging window: the honest registers become the stale
+            // snapshot a replay liar keeps reporting as traffic drifts.
+            for &s in &self.forging {
+                for i in 0..self.dep.dataplane.table(s).len() {
+                    self.stale_snapshot
+                        .insert((s, i), self.dep.dataplane.true_counter(s, i));
+                }
+            }
+        }
+        // The adversary's model of the controller's expectation: nominal
+        // (loss-free) flow volumes pushed through the intended routing.
+        let mut rate_of: BTreeMap<(foces_net::HostId, foces_net::HostId), f64> = BTreeMap::new();
+        for f in &self.dep.flows {
+            *rate_of.entry((f.src, f.dst)).or_insert(0.0) += f.rate;
+        }
+        let mut expected: BTreeMap<(SwitchId, usize), f64> = BTreeMap::new();
+        let mut affected: BTreeMap<(SwitchId, usize), bool> = BTreeMap::new();
+        let cover_rules: Vec<_> = self.cover_anomalies.iter().map(|a| a.rule).collect();
+        for flow in self.fcm.flows() {
+            let rate = rate_of
+                .get(&(flow.ingress, flow.egress))
+                .copied()
+                .unwrap_or(0.0);
+            let on_covered_path = flow.rules.iter().any(|r| cover_rules.contains(r));
+            for r in &flow.rules {
+                *expected.entry((r.switch, r.index)).or_insert(0.0) += rate;
+                if on_covered_path {
+                    affected.insert((r.switch, r.index), true);
+                }
+            }
+        }
+        let mut inputs = CollusionInputs::default();
+        for &s in &self.forging {
+            let facts: Vec<RuleFacts> = (0..self.dep.dataplane.table(s).len())
+                .map(|i| {
+                    let truth = self.dep.dataplane.true_counter(s, i);
+                    RuleFacts {
+                        index: i,
+                        truth,
+                        expected: expected.get(&(s, i)).copied().unwrap_or(0.0),
+                        stale: self.stale_snapshot.get(&(s, i)).copied().unwrap_or(truth),
+                        // With no cover anomaly (fabrication) every rule is
+                        // fair game; with one, only its flows' rows are.
+                        affected: if cover_rules.is_empty() {
+                            true
+                        } else {
+                            affected.get(&(s, i)).copied().unwrap_or(false)
+                        },
+                    }
+                })
+                .collect();
+            inputs.rules_by_switch.insert(s, facts);
+        }
+        let plan = plan_collusion(self.fake_strategy, self.fake_magnitude, &inputs);
+        for &s in &self.forging {
+            let table = self.original_tables.get(&s).cloned().unwrap_or_default();
+            let mut agent = ForgingAgent::new(s, table);
+            plan.forge_into(&mut agent);
+            self.agents.insert(s, Box::new(agent) as Box<dyn SwitchAgent>);
         }
     }
 
@@ -818,6 +1212,11 @@ impl StreamDriver {
     fn refresh_traffic(&mut self) {
         self.dep.dataplane.reset_counters();
         self.dep.replay_traffic(&mut LossModel::none());
+        if !self.liars.is_empty() {
+            // The registers moved: re-plan the forgery against them so the
+            // lie keeps tracking the truth it distorts.
+            self.install_forgeries();
+        }
     }
 }
 
@@ -940,6 +1339,76 @@ mod tests {
             r.verdict_parity(),
             "post-revert verdicts match ground truth"
         );
+    }
+
+    #[test]
+    fn stream_liar_is_localized_quarantined_then_released() {
+        let topo = foces_net::generators::fattree(4);
+        let flows = uniform_flows(&topo, 240_000.0);
+        let dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        let script = vec![
+            (
+                40.0,
+                StreamAction::Compromise {
+                    liars: 1,
+                    strategy: foces_channel::FakeStrategy::Naive,
+                    magnitude: 1.0,
+                },
+            ),
+            (260.0, StreamAction::Confess),
+        ];
+        let mut cfg = quiet_config();
+        cfg.duration_ms = 500.0;
+        cfg.byzantine.enabled = true;
+        let mut d = StreamDriver::new(dep, cfg, script);
+        let r = d.run().unwrap();
+        assert_eq!(r.metrics.liars_localized, 1, "{:?}", r.metrics);
+        assert_eq!(
+            r.metrics.switch_quarantines, 1,
+            "no honest switch quarantined"
+        );
+        assert!(r.metrics.loo_solves > 0);
+        assert!(
+            r.metrics.loo_downdates > 0,
+            "leave-one-out went through downdates"
+        );
+        assert_eq!(
+            r.metrics.quarantine_releases, 1,
+            "the confessed switch is re-admitted"
+        );
+        assert_eq!(r.metrics.unresolved_byzantine, 0, "a pure fabrication localizes");
+        assert!(d.quarantined_switches().is_empty());
+        assert!(!d.byzantine_unresolved());
+        assert_eq!(r.alarm_state, AlarmState::Normal);
+        let localized = d
+            .log()
+            .lines()
+            .iter()
+            .any(|l| l.contains("\"localized\":") && !l.contains("\"localized\":null"));
+        assert!(localized, "the JSONL must name the localized liar");
+    }
+
+    #[test]
+    fn honest_stream_with_byzantine_enabled_stays_clean() {
+        let script = vec![(60.0, StreamAction::Churn)];
+        let mut cfg = quiet_config();
+        cfg.byzantine.enabled = true;
+        let mut d = StreamDriver::new(deployment(), cfg, script);
+        let r = d.run().unwrap();
+        assert_eq!(r.metrics.switch_quarantines, 0);
+        assert_eq!(r.metrics.liars_localized, 0);
+        assert_eq!(r.metrics.unresolved_byzantine, 0);
+        assert_eq!(r.metrics.alarms_raised, 0);
+        assert!(
+            r.metrics.suspicion_rounds > 0,
+            "scored rounds must feed the tracker"
+        );
+        assert_eq!(
+            d.suspicion().max_score(),
+            0.0,
+            "honest rounds never add suspicion"
+        );
+        assert!(d.quarantined_switches().is_empty());
     }
 
     #[test]

@@ -10,12 +10,17 @@
 
 use crate::service::{EpochReport, RuntimeConfig, RuntimeError, RuntimeService};
 use crate::transport::{FaultProfile, SimTransport};
+use foces::Fcm;
+use foces_channel::{
+    plan_collusion, CollusionInputs, FakeStrategy, ForgingAgent, HonestAgent, RuleFacts,
+};
 use foces_controlplane::Deployment;
 use foces_dataplane::{inject_random_anomaly, AnomalyKind, AppliedAnomaly, LossModel};
 use foces_net::SwitchId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// A complete fault-injection scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +56,19 @@ pub struct FaultScenario {
     pub seed: u64,
     /// Seed for choosing the compromised rule.
     pub anomaly_seed: u64,
+    /// Number of Byzantine (counter-forging) switches. 0 = everyone honest.
+    pub liars: usize,
+    /// How the liars coordinate their forged reports.
+    pub fake_strategy: FakeStrategy,
+    /// Epoch window `[start, end)` during which the liars forge: forging
+    /// agents are installed entering `start` and the liars *confess*
+    /// (honest agents restored, cover anomalies repaired) entering `end`.
+    pub fake_window: Option<(u64, u64)>,
+    /// Forgery interpolation λ ∈ [0, 1]: 0 reports the truth, 1 the
+    /// strategy's full lie. The redteam sweep varies exactly this knob.
+    pub fake_magnitude: f64,
+    /// Seed for choosing which switches lie.
+    pub liar_seed: u64,
 }
 
 impl Default for FaultScenario {
@@ -71,6 +89,11 @@ impl Default for FaultScenario {
             churn_seed: 7,
             seed: 0,
             anomaly_seed: 4,
+            liars: 0,
+            fake_strategy: FakeStrategy::Naive,
+            fake_window: None,
+            fake_magnitude: 1.0,
+            liar_seed: 11,
         }
     }
 }
@@ -106,9 +129,24 @@ pub struct ScenarioDriver {
     scenario: FaultScenario,
     inject_rng: StdRng,
     churn_rng: StdRng,
+    liar_rng: StdRng,
     applied: Option<AppliedAnomaly>,
     /// Reroutes/refinements applied so far (for tests and summaries).
     churn_events: u64,
+    /// The compromised switches while the fake window is open.
+    liars: Vec<SwitchId>,
+    /// Every switch currently running a forging agent (the liars, plus
+    /// their accomplices under [`FakeStrategy::CoverUp`]).
+    forging: Vec<SwitchId>,
+    /// Real forwarding anomalies the evasion strategies are covering for
+    /// (one early-drop per liar), repaired when the liars confess.
+    cover_anomalies: Vec<AppliedAnomaly>,
+    /// Honest counter snapshot taken entering the fake window — the
+    /// "stale" values a replay-strategy liar keeps reporting.
+    stale_snapshot: BTreeMap<(SwitchId, usize), f64>,
+    /// Pre-compromise table snapshots (what a stealthy liar reports on
+    /// table dumps), keyed by forging switch.
+    original_tables: BTreeMap<SwitchId, Vec<foces_dataplane::Rule>>,
 }
 
 impl ScenarioDriver {
@@ -118,14 +156,21 @@ impl ScenarioDriver {
         let service = RuntimeService::with_sim_transport(&dep.view, scenario.transport(), config);
         let inject_rng = StdRng::seed_from_u64(scenario.anomaly_seed);
         let churn_rng = StdRng::seed_from_u64(scenario.churn_seed);
+        let liar_rng = StdRng::seed_from_u64(scenario.liar_seed);
         ScenarioDriver {
             dep,
             service,
             scenario,
             inject_rng,
             churn_rng,
+            liar_rng,
             applied: None,
             churn_events: 0,
+            liars: Vec::new(),
+            forging: Vec::new(),
+            cover_anomalies: Vec::new(),
+            stale_snapshot: BTreeMap::new(),
+            original_tables: BTreeMap::new(),
         }
     }
 
@@ -175,6 +220,33 @@ impl ScenarioDriver {
             .unwrap_or(false)
     }
 
+    /// Is `epoch` inside the fake (counter-forging) window?
+    pub fn fake_active_at(&self, epoch: u64) -> bool {
+        self.scenario.liars > 0
+            && self
+                .scenario
+                .fake_window
+                .map(|(s, e)| s <= epoch && epoch < e)
+                .unwrap_or(false)
+    }
+
+    /// The compromised switches while the fake window is open.
+    pub fn liar_switches(&self) -> &[SwitchId] {
+        &self.liars
+    }
+
+    /// Every switch currently running a forging agent (liars plus, under
+    /// [`FakeStrategy::CoverUp`], their colluding neighbors).
+    pub fn forging_switches(&self) -> &[SwitchId] {
+        &self.forging
+    }
+
+    /// The real forwarding anomalies the liars are covering for (empty for
+    /// the fabrication strategy).
+    pub fn cover_anomalies(&self) -> &[AppliedAnomaly] {
+        &self.cover_anomalies
+    }
+
     /// Runs one epoch: inject/repair at the window edges, reset counters,
     /// replay traffic with fresh loss sampling, poll and detect.
     ///
@@ -203,6 +275,14 @@ impl ScenarioDriver {
                 }
             }
         }
+        if let Some((start, end)) = self.scenario.fake_window {
+            if epoch == start && self.scenario.liars > 0 && self.liars.is_empty() {
+                self.compromise_switches();
+            }
+            if epoch == end && !self.liars.is_empty() {
+                self.confess();
+            }
+        }
         self.dep.dataplane.reset_counters();
         let mut loss = if self.scenario.loss > 0.0 {
             LossModel::sampled(
@@ -227,7 +307,167 @@ impl ScenarioDriver {
         } else {
             self.dep.replay_traffic(&mut loss);
         }
+        if self.fake_active_at(epoch) && !self.liars.is_empty() {
+            // The registers for this epoch are final: (re)plan the forgery
+            // against them and install it before the service polls.
+            self.install_forgeries();
+        }
         self.service.run_epoch(&self.dep.dataplane, &self.dep.view)
+    }
+
+    /// Picks the liars, snapshots their (still-honest) tables, and — for
+    /// the evasion strategies — plants the real early-drop anomaly each
+    /// liar will lie to conceal. Under [`FakeStrategy::CoverUp`] the
+    /// liar's switch neighbors join the collusion.
+    fn compromise_switches(&mut self) {
+        let exclude: Vec<SwitchId> = self.scenario.offline.iter().map(|&(s, _, _)| s).collect();
+        // Only switches that actually own rules can lie about them: on a
+        // sampled flow set (e.g. the FatTree(8) redteam bench) some
+        // switches carry no provisioned flow at all, and "compromising"
+        // one would make the scenario vacuous.
+        let mut pool: Vec<SwitchId> = self
+            .dep
+            .view
+            .topology()
+            .switches()
+            .filter(|s| !exclude.contains(s))
+            .filter(|&s| !self.dep.dataplane.table(s).is_empty())
+            .collect();
+        pool.shuffle(&mut self.liar_rng);
+        pool.truncate(self.scenario.liars);
+        pool.sort_unstable();
+        self.liars = pool;
+
+        let mut forging = self.liars.clone();
+        if self.scenario.fake_strategy == FakeStrategy::CoverUp {
+            for &liar in &self.liars.clone() {
+                for adj in self.dep.view.topology().adj(foces_net::Node::Switch(liar)) {
+                    if let foces_net::Node::Switch(n) = adj.neighbor {
+                        forging.push(n);
+                    }
+                }
+            }
+            forging.sort_unstable();
+            forging.dedup();
+        }
+        // Table snapshots must predate the cover anomalies: a stealthy
+        // liar answers dumps with the rules the controller installed.
+        for &s in &forging {
+            let table: Vec<foces_dataplane::Rule> = self
+                .dep
+                .dataplane
+                .table(s)
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect();
+            self.original_tables.insert(s, table);
+        }
+        self.forging = forging;
+
+        if !self.scenario.fake_strategy.is_fabrication() {
+            // Evasion: each liar really misbehaves (drops a flow early) and
+            // the forged counters exist to hide it.
+            let all: Vec<SwitchId> = self.dep.view.topology().switches().collect();
+            for &liar in &self.liars.clone() {
+                let exclude_rest: Vec<SwitchId> =
+                    all.iter().copied().filter(|&s| s != liar).collect();
+                if let Some(a) = inject_random_anomaly(
+                    &mut self.dep.dataplane,
+                    AnomalyKind::EarlyDrop,
+                    &mut self.liar_rng,
+                    &exclude_rest,
+                ) {
+                    self.cover_anomalies.push(a);
+                }
+            }
+        }
+    }
+
+    /// The liars confess: honest agents come back, cover anomalies are
+    /// repaired, and all adversarial state is dropped.
+    fn confess(&mut self) {
+        for &s in &self.forging {
+            self.service.replace_agent(Box::new(HonestAgent::new(s)));
+        }
+        for a in self.cover_anomalies.drain(..) {
+            a.revert(&mut self.dep.dataplane)
+                .expect("covered rule cannot vanish");
+        }
+        self.liars.clear();
+        self.forging.clear();
+        self.stale_snapshot.clear();
+        self.original_tables.clear();
+    }
+
+    /// Plans this epoch's coordinated forgery from the live registers and
+    /// installs it into fresh forging agents.
+    fn install_forgeries(&mut self) {
+        if self.stale_snapshot.is_empty() {
+            // First forging epoch: the honest registers become the stale
+            // snapshot a replay liar keeps reporting as traffic drifts.
+            for &s in &self.forging {
+                for i in 0..self.dep.dataplane.table(s).len() {
+                    self.stale_snapshot
+                        .insert((s, i), self.dep.dataplane.true_counter(s, i));
+                }
+            }
+        }
+        // The adversary's model of the controller's expectation: nominal
+        // (loss-free) flow volumes pushed through the intended routing.
+        let fcm = Fcm::from_view(&self.dep.view);
+        let mut rate_of: BTreeMap<(foces_net::HostId, foces_net::HostId), f64> = BTreeMap::new();
+        for f in &self.dep.flows {
+            *rate_of.entry((f.src, f.dst)).or_insert(0.0) += f.rate;
+        }
+        let mut expected: BTreeMap<(SwitchId, usize), f64> = BTreeMap::new();
+        let mut affected: BTreeMap<(SwitchId, usize), bool> = BTreeMap::new();
+        let cover_rules: Vec<_> = self.cover_anomalies.iter().map(|a| a.rule).collect();
+        for flow in fcm.flows() {
+            let rate = rate_of
+                .get(&(flow.ingress, flow.egress))
+                .copied()
+                .unwrap_or(0.0);
+            let on_covered_path = flow.rules.iter().any(|r| cover_rules.contains(r));
+            for r in &flow.rules {
+                *expected.entry((r.switch, r.index)).or_insert(0.0) += rate;
+                if on_covered_path {
+                    affected.insert((r.switch, r.index), true);
+                }
+            }
+        }
+        let mut inputs = CollusionInputs::default();
+        for &s in &self.forging {
+            let facts: Vec<RuleFacts> = (0..self.dep.dataplane.table(s).len())
+                .map(|i| {
+                    let truth = self.dep.dataplane.true_counter(s, i);
+                    RuleFacts {
+                        index: i,
+                        truth,
+                        expected: expected.get(&(s, i)).copied().unwrap_or(0.0),
+                        stale: self.stale_snapshot.get(&(s, i)).copied().unwrap_or(truth),
+                        // With no cover anomaly (fabrication) every rule is
+                        // fair game; with one, only its flows' rows are.
+                        affected: if cover_rules.is_empty() {
+                            true
+                        } else {
+                            affected.get(&(s, i)).copied().unwrap_or(false)
+                        },
+                    }
+                })
+                .collect();
+            inputs.rules_by_switch.insert(s, facts);
+        }
+        let plan = plan_collusion(
+            self.scenario.fake_strategy,
+            self.scenario.fake_magnitude,
+            &inputs,
+        );
+        for &s in &self.forging {
+            let table = self.original_tables.get(&s).cloned().unwrap_or_default();
+            let mut agent = ForgingAgent::new(s, table);
+            plan.forge_into(&mut agent);
+            self.service.replace_agent(Box::new(agent));
+        }
     }
 
     /// One controller update, chosen by the (seeded) churn RNG: reroute a
@@ -273,11 +513,22 @@ mod tests {
     use super::*;
     use crate::degraded::DetectionMode;
     use foces_controlplane::{provision, uniform_flows, RuleGranularity};
-    use foces_net::generators::ring;
+    use foces_net::generators::{fattree, ring};
 
     fn deployment() -> Deployment {
         let topo = ring(4);
         let flows = uniform_flows(&topo, 12_000.0);
+        provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap()
+    }
+
+    /// Liar localization needs the forgery to be *sparse* relative to the
+    /// whole system — on ring(4) one switch owns ~half the FCM rows and
+    /// least squares simply absorbs an all-rules fake. FatTree(4) gives
+    /// each switch a small row share, which is the regime the paper (and
+    /// the LOO localizer) targets.
+    fn fattree_deployment() -> Deployment {
+        let topo = fattree(4);
+        let flows = uniform_flows(&topo, 240_000.0);
         provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap()
     }
 
@@ -351,6 +602,73 @@ mod tests {
             d.service().log().lines().to_vec()
         };
         assert_eq!(make(), make(), "seeded runs must be bit-identical");
+    }
+
+    #[test]
+    fn naive_liar_is_localized_quarantined_then_released() {
+        let mut scenario = quiet();
+        scenario.epochs = 14;
+        scenario.liars = 1;
+        scenario.fake_window = Some((2, 9));
+        let mut config = RuntimeConfig::default();
+        config.byzantine.enabled = true;
+        let epochs = scenario.epochs;
+        let mut driver = ScenarioDriver::new(fattree_deployment(), scenario, config);
+        let mut liar = None;
+        let mut localized_at = None;
+        for epoch in 0..epochs {
+            let r = driver.step().unwrap();
+            if driver.fake_active_at(epoch) {
+                liar = driver.liar_switches().first().copied();
+            }
+            if let Some(s) = r.localized_liar {
+                localized_at.get_or_insert((epoch, s));
+            }
+        }
+        let (at, s) = localized_at.expect("the liar must be localized");
+        assert_eq!(Some(s), liar, "localization names the actual liar");
+        assert!(
+            at <= 2 + 4,
+            "localized within the hysteresis bound, got epoch {at}"
+        );
+        let m = *driver.service().metrics();
+        assert_eq!(m.liars_localized, 1);
+        assert_eq!(m.switch_quarantines, 1, "no honest switch quarantined");
+        assert!(m.loo_solves > 0);
+        assert!(m.loo_downdates > 0, "leave-one-out went through downdates");
+        assert_eq!(
+            m.quarantine_releases, 1,
+            "the confessed switch is re-admitted after a quiet streak"
+        );
+        assert!(driver.service().quarantined_switches().is_empty());
+        assert!(!driver.service().byzantine_unresolved());
+        assert_eq!(m.alarms_raised, m.alarms_cleared, "run ends clean");
+    }
+
+    #[test]
+    fn honest_churn_accumulates_no_suspicion_with_byzantine_enabled() {
+        let mut scenario = quiet();
+        scenario.epochs = 8;
+        scenario.churn_period = Some(2);
+        let mut config = RuntimeConfig::default();
+        config.byzantine.enabled = true;
+        let mut driver = ScenarioDriver::new(deployment(), scenario, config);
+        let reports = driver.run().unwrap();
+        for r in &reports {
+            assert!(!r.anomalous(), "epoch {}: honest churn is quiet", r.epoch);
+            assert!(r.quarantined_switches.is_empty());
+            assert!(r.localized_liar.is_none());
+            assert!(!r.byz_unresolved);
+        }
+        let m = *driver.service().metrics();
+        assert_eq!(m.switch_quarantines, 0);
+        assert_eq!(m.liars_localized, 0);
+        assert_eq!(m.unresolved_byzantine, 0);
+        assert_eq!(
+            driver.service().suspicion().max_score(),
+            0.0,
+            "honest rounds never add suspicion"
+        );
     }
 
     #[test]

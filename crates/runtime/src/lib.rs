@@ -64,5 +64,5 @@ pub use metrics::{EventLog, RuntimeMetrics};
 pub use parallel::detect_parallel;
 pub use pool::{run_tasks, PoolConfig, PoolStats, TaskOutcome, TaskRun};
 pub use scheduler::{EpochCollection, EpochScheduler, PollPolicy, SwitchPoll};
-pub use service::{EpochReport, RuntimeConfig, RuntimeError, RuntimeService};
+pub use service::{ByzantineConfig, EpochReport, RuntimeConfig, RuntimeError, RuntimeService};
 pub use transport::{FaultProfile, SimTransport};

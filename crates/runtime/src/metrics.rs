@@ -65,6 +65,25 @@ pub struct RuntimeMetrics {
     pub delta_rows: u64,
     /// Journal-delta column churn accumulated across FCM rebuilds.
     pub delta_cols: u64,
+    /// Rounds whose residuals were fed to the suspicion tracker.
+    pub suspicion_rounds: u64,
+    /// Leave-one-switch-out candidate solves performed.
+    pub loo_solves: u64,
+    /// Rank-one factor downdates spent across all leave-one-out solves.
+    pub loo_downdates: u64,
+    /// Liars uniquely localized by leave-one-out cross-validation.
+    pub liars_localized: u64,
+    /// Switches placed under counter quarantine.
+    pub switch_quarantines: u64,
+    /// Quarantines lifted after a clean re-probe.
+    pub quarantine_releases: u64,
+    /// Epochs that entered the unresolved-Byzantine state (alarm up,
+    /// no single switch's removal explains it).
+    pub unresolved_byzantine: u64,
+    /// k-resilience probes run on alarm-raise epochs.
+    pub resilience_probes: u64,
+    /// Probes whose verdict flipped when suspects were silenced.
+    pub resilience_flips: u64,
     /// Rounds whose verdict was anomalous.
     pub anomalous_rounds: u64,
     /// Alarm raise transitions.
@@ -126,6 +145,23 @@ impl RuntimeMetrics {
         );
         num(&mut s, "delta_rows", self.delta_rows as f64);
         num(&mut s, "delta_cols", self.delta_cols as f64);
+        num(&mut s, "suspicion_rounds", self.suspicion_rounds as f64);
+        num(&mut s, "loo_solves", self.loo_solves as f64);
+        num(&mut s, "loo_downdates", self.loo_downdates as f64);
+        num(&mut s, "liars_localized", self.liars_localized as f64);
+        num(&mut s, "switch_quarantines", self.switch_quarantines as f64);
+        num(
+            &mut s,
+            "quarantine_releases",
+            self.quarantine_releases as f64,
+        );
+        num(
+            &mut s,
+            "unresolved_byzantine",
+            self.unresolved_byzantine as f64,
+        );
+        num(&mut s, "resilience_probes", self.resilience_probes as f64);
+        num(&mut s, "resilience_flips", self.resilience_flips as f64);
         num(&mut s, "anomalous_rounds", self.anomalous_rounds as f64);
         num(&mut s, "alarms_raised", self.alarms_raised as f64);
         num(&mut s, "alarms_cleared", self.alarms_cleared as f64);

@@ -183,6 +183,20 @@ impl EpochScheduler {
         self.agents.iter().map(|a| a.switch()).collect()
     }
 
+    /// Swaps in a new agent for the switch it claims to be (matched by
+    /// [`SwitchAgent::switch`]), returning the displaced agent. Returns
+    /// `None` — and changes nothing — when no agent for that switch
+    /// exists. This is how a scenario compromises (or restores) a switch
+    /// mid-run without rebuilding the scheduler.
+    pub fn replace_agent(
+        &mut self,
+        agent: Box<dyn SwitchAgent>,
+    ) -> Option<Box<dyn SwitchAgent>> {
+        let s = agent.switch();
+        let pos = self.agents.iter().position(|a| a.switch() == s)?;
+        Some(std::mem::replace(&mut self.agents[pos], agent))
+    }
+
     /// The active policy.
     pub fn policy(&self) -> PollPolicy {
         self.policy

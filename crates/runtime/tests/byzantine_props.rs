@@ -1,0 +1,118 @@
+//! Property battery for the Byzantine-resilience layer's *negative*
+//! contract: an honest network — whatever the control channel and the
+//! update schedule do — must never have a switch localized as a liar or
+//! its counters quarantined.
+//!
+//! Two tiers of the guarantee:
+//! * **Lossless + churn**: with zero traffic loss, every epoch's system
+//!   is exactly consistent, so not a single round may score anomalous —
+//!   zero suspicion, zero implications, zero alarms.
+//! * **Noisy**: with traffic loss the residuals carry real noise, so
+//!   isolated anomalous rounds (and transient suspicion) are legitimate
+//!   — but the leave-one-out cross-validation must still refuse to pin
+//!   that diffuse noise on any single switch: zero localizations, zero
+//!   quarantines, always.
+
+use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
+use foces_net::generators::ring;
+use foces_runtime::{ByzantineConfig, FaultScenario, RuntimeConfig, ScenarioDriver};
+use proptest::prelude::*;
+
+const EPOCHS: u64 = 12;
+
+fn testbed() -> Deployment {
+    let topo = ring(4);
+    let flows = uniform_flows(&topo, 12_000.0);
+    provision(topo, &flows, RuleGranularity::PerFlowPair).expect("provision ring(4)")
+}
+
+fn byzantine_config() -> RuntimeConfig {
+    RuntimeConfig {
+        byzantine: ByzantineConfig {
+            enabled: true,
+            ..ByzantineConfig::default()
+        },
+        ..RuntimeConfig::default()
+    }
+}
+
+fn honest_scenario(
+    loss: f64,
+    drop_prob: f64,
+    reorder_prob: f64,
+    churn_period: Option<u64>,
+    seed: u64,
+) -> FaultScenario {
+    FaultScenario {
+        epochs: EPOCHS,
+        loss,
+        drop_prob,
+        latency_ms: 2.0,
+        jitter_ms: 1.0,
+        reorder_prob,
+        offline: None,
+        anomaly_window: None,
+        churn_period,
+        churn_seed: seed ^ 0x5bd1_e995,
+        seed,
+        liars: 0,
+        ..FaultScenario::default()
+    }
+}
+
+/// Runs the scenario to completion and returns the driver for inspection.
+fn run(scenario: FaultScenario) -> ScenarioDriver {
+    let mut driver = ScenarioDriver::new(testbed(), scenario, byzantine_config());
+    driver.run().expect("honest epochs never fail outright");
+    driver
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Lossless counters are exactly consistent: churn, message drops and
+    /// reordering may degrade rounds but can never manufacture suspicion.
+    #[test]
+    fn lossless_churning_network_accumulates_no_suspicion(
+        drop_prob in 0.0f64..0.15,
+        reorder_prob in 0.0f64..0.15,
+        churn_period in 2u64..5,
+        seed in 0u64..1_000,
+    ) {
+        let driver = run(honest_scenario(0.0, drop_prob, reorder_prob, Some(churn_period), seed));
+        let m = *driver.service().metrics();
+        prop_assert_eq!(m.alarms_raised, 0, "honest churn raised an alarm");
+        prop_assert_eq!(m.liars_localized, 0);
+        prop_assert_eq!(m.switch_quarantines, 0);
+        prop_assert_eq!(m.unresolved_byzantine, 0);
+        prop_assert_eq!(
+            driver.service().suspicion().max_score(),
+            0.0,
+            "suspicion accumulated on a lossless honest network"
+        );
+        prop_assert!(driver.service().suspicion().implicated().is_empty());
+        prop_assert!(driver.service().quarantined_switches().is_empty());
+    }
+
+    /// Traffic loss makes residual noise — isolated anomalous rounds and
+    /// transient suspicion are fair — but diffuse noise must never be
+    /// pinned on a single switch: no localization, no quarantine.
+    #[test]
+    fn noisy_honest_network_is_never_quarantined(
+        loss in 0.0f64..0.03,
+        drop_prob in 0.0f64..0.15,
+        reorder_prob in 0.0f64..0.15,
+        churn in proptest::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let churn_period = if churn { Some(3) } else { None };
+        let driver = run(honest_scenario(loss, drop_prob, reorder_prob, churn_period, seed));
+        let m = *driver.service().metrics();
+        prop_assert_eq!(
+            m.liars_localized, 0,
+            "LOO pinned honest loss noise on a switch"
+        );
+        prop_assert_eq!(m.switch_quarantines, 0, "honest switch quarantined");
+        prop_assert!(driver.service().quarantined_switches().is_empty());
+    }
+}

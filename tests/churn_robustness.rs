@@ -43,6 +43,7 @@ fn rolling_update_scenario() -> FaultScenario {
         anomaly_seed: 11,
         churn_period: Some(CHURN_PERIOD),
         churn_seed: 21,
+        ..FaultScenario::default()
     }
 }
 

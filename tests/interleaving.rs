@@ -1,0 +1,208 @@
+//! Update/collection interleaving test (ROADMAP item 5b, grounded in
+//! Tracer's observation — arXiv:2410.23763 — that consistency checking
+//! must tolerate rule updates landing *during* telemetry collection).
+//!
+//! One multi-rule update (a flow reroute through a waypoint: old-path
+//! rules drained, new-path rules installed, all journaled under one
+//! generation) is scheduled against the counter-collection epoch at
+//! every split fraction `f` — `f` of the epoch's traffic runs under the
+//! old rules, the update commits, and the remaining `1 − f` runs under
+//! the new rules. `f = 0` and `f = 1` are the degenerate schedules
+//! (update strictly before / strictly after the traffic but inside the
+//! same collection window).
+//!
+//! What must hold for **every** interleaving:
+//! * the PR-2 reconciliation (journaled rows masked, rerouted flows
+//!   quarantined, FCM rebuilt at the boundary) scores the mixed epoch —
+//!   and every epoch after it — as normal: no false alarm;
+//! * a true packet dropper on a switch the update never touches is still
+//!   caught within the hysteresis-plus-churn-suppression bound: masking
+//!   absorbs the update, not the attack.
+
+use foces::AlarmState;
+use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, LossModel};
+use foces_net::generators::fattree;
+use foces_net::SwitchId;
+use foces_runtime::{FaultProfile, RuntimeConfig, RuntimeService, SimTransport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The enumerated schedules: what fraction of the epoch's traffic the
+/// update lands after.
+const SPLITS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+const UPDATE_AT: u64 = 2;
+
+fn testbed() -> Deployment {
+    let topo = fattree(4);
+    let flows = uniform_flows(&topo, 240_000.0);
+    provision(topo, &flows, RuleGranularity::PerFlowPair).expect("provision fattree(4)")
+}
+
+fn quiet_transport() -> SimTransport {
+    SimTransport::new(
+        7,
+        FaultProfile {
+            latency_ms: 1.0,
+            jitter_ms: 0.0,
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            offline: Vec::new(),
+        },
+    )
+}
+
+/// Picks a flow and a waypoint that reroute it onto a different simple
+/// path, and returns them with every switch on the old *or* new path
+/// (the update's whole blast radius — where a dropper must not be
+/// placed for the "never touched by the update" variant to be
+/// meaningful). Same-edge-switch pairs have no reroute, so the search
+/// spans flows.
+fn planned_update(dep: &Deployment) -> (usize, SwitchId, Vec<SwitchId>) {
+    for flow in 0..dep.flows.len() {
+        let old_path = &dep.expected_paths[flow];
+        if old_path.len() < 2 {
+            continue;
+        }
+        for w in dep.dataplane.topology().switches() {
+            if old_path.contains(&w) {
+                continue;
+            }
+            let mut probe = dep.clone();
+            if probe.reroute_flow_via(flow, &[w]).is_ok() {
+                let mut blast = old_path.clone();
+                blast.extend_from_slice(&probe.expected_paths[flow]);
+                blast.sort_unstable();
+                blast.dedup();
+                return (flow, w, blast);
+            }
+        }
+    }
+    panic!("no waypoint reroutes any flow on this fabric");
+}
+
+/// Replays one epoch's traffic with the reroute committed after fraction
+/// `split` of it, then scores the epoch.
+fn interleaved_epoch(
+    dep: &mut Deployment,
+    service: &mut RuntimeService,
+    flow: usize,
+    waypoint: SwitchId,
+    split: f64,
+) -> foces_runtime::EpochReport {
+    let mut loss = LossModel::none();
+    dep.dataplane.reset_counters();
+    dep.replay_traffic_scaled(&mut loss, split);
+    dep.reroute_flow_via(flow, &[waypoint])
+        .expect("planned reroute must apply");
+    dep.replay_traffic_scaled(&mut loss, 1.0 - split);
+    service
+        .run_epoch(&dep.dataplane, &dep.view)
+        .expect("mixed-generation epochs reconcile, never fail")
+}
+
+fn clean_epoch(dep: &mut Deployment, service: &mut RuntimeService) -> foces_runtime::EpochReport {
+    let mut loss = LossModel::none();
+    dep.dataplane.reset_counters();
+    dep.replay_traffic(&mut loss);
+    service
+        .run_epoch(&dep.dataplane, &dep.view)
+        .expect("clean epochs never fail")
+}
+
+#[test]
+fn every_interleaving_of_update_and_collection_reconciles_without_alarm() {
+    for &split in &SPLITS {
+        let mut dep = testbed();
+        let (flow, waypoint, _) = planned_update(&dep);
+        let mut service =
+            RuntimeService::with_sim_transport(&dep.view, quiet_transport(), RuntimeConfig::default());
+
+        for epoch in 0..6u64 {
+            let r = if epoch == UPDATE_AT {
+                interleaved_epoch(&mut dep, &mut service, flow, waypoint, split)
+            } else {
+                clean_epoch(&mut dep, &mut service)
+            };
+            assert!(
+                !r.anomalous(),
+                "split {split}: healthy epoch {epoch} scored anomalous ({:?})",
+                r.mode
+            );
+            assert!(!r.alarm_raised, "split {split}: false alarm at epoch {epoch}");
+            if epoch == UPDATE_AT {
+                assert!(r.churn, "split {split}: the update epoch must flag churn");
+                assert!(
+                    r.mode.is_reconciled(),
+                    "split {split}: update epoch mode {:?}, want reconciled",
+                    r.mode
+                );
+            }
+        }
+        let m = *service.metrics();
+        assert_eq!(m.alarms_raised, 0, "split {split}");
+        assert!(m.fcm_rebuilds > 0, "split {split}: the FCM must follow the view");
+        assert_eq!(service.state(), AlarmState::Normal, "split {split}");
+    }
+}
+
+#[test]
+fn a_true_dropper_is_caught_under_every_interleaving() {
+    let config = RuntimeConfig::default();
+    // The dropper activates on the update epoch itself (the adversary's
+    // best moment): `raise_after` anomalous rounds, stretched by the
+    // churn-suppression slack the reconciled epoch arms.
+    let bound = UPDATE_AT
+        + u64::from(config.raise_after)
+        + u64::from(config.churn_suppress + config.churn_penalty)
+        + 1;
+    let epochs = bound + 3;
+
+    for &split in &SPLITS {
+        let mut dep = testbed();
+        let (flow, waypoint, blast) = planned_update(&dep);
+        let mut service = RuntimeService::with_sim_transport(&dep.view, quiet_transport(), config);
+
+        let mut first_raise = None;
+        for epoch in 0..epochs {
+            let r = if epoch == UPDATE_AT {
+                // The dropper activates entering the update epoch itself
+                // (the adversary's best moment to hide), on a switch the
+                // update never touches.
+                let mut rng = StdRng::seed_from_u64(41);
+                let applied = inject_random_anomaly(
+                    &mut dep.dataplane,
+                    AnomalyKind::EarlyDrop,
+                    &mut rng,
+                    &blast,
+                )
+                .expect("an eligible rule off the update's paths must exist");
+                assert!(
+                    !blast.contains(&applied.rule.switch),
+                    "dropper landed on a switch the update touches"
+                );
+                interleaved_epoch(&mut dep, &mut service, flow, waypoint, split)
+            } else {
+                clean_epoch(&mut dep, &mut service)
+            };
+            if r.alarm_raised && first_raise.is_none() {
+                first_raise = Some(epoch);
+            }
+        }
+        let first = first_raise
+            .unwrap_or_else(|| panic!("split {split}: reconciliation swallowed the dropper"));
+        assert!(
+            first >= UPDATE_AT,
+            "split {split}: alarm at {first} predates the dropper"
+        );
+        assert!(
+            first <= bound,
+            "split {split}: alarm at {first} outran the bound {bound}"
+        );
+        assert_eq!(
+            service.state(),
+            AlarmState::Alarmed,
+            "split {split}: the dropper never stops, the alarm must stand"
+        );
+    }
+}

@@ -46,6 +46,7 @@ fn scenario() -> FaultScenario {
         anomaly_seed: 4,
         churn_period: None,
         churn_seed: 7,
+        ..FaultScenario::default()
     }
 }
 
