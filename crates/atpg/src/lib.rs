@@ -35,9 +35,6 @@
 //! assert_eq!(logical.len(), 240); // one class per ordered host pair
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use foces_controlplane::ControllerView;
 use foces_dataplane::{Action, RuleRef, HEADER_WIDTH};
 use foces_headerspace::Wildcard;

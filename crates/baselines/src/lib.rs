@@ -36,9 +36,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod fade;
 mod flowmon;
 

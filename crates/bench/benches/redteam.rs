@@ -177,7 +177,10 @@ fn golden_localization(dep: Deployment, epochs: u64) -> LiarOutcome {
     );
     assert_eq!(o.recall(), 1.0, "the naive liar escaped localization");
     assert!(o.loo_solves > 0, "localization must run the LOO pass");
-    assert!(o.loo_downdates > 0, "LOO must reuse the factor via downdates");
+    assert!(
+        o.loo_downdates > 0,
+        "LOO must reuse the factor via downdates"
+    );
     o
 }
 
@@ -190,7 +193,10 @@ fn golden_honest_churn(dep: Deployment, epochs: u64) {
     };
     let mut driver = ScenarioDriver::new(dep, scenario, byzantine_config());
     driver.run().expect("honest epochs never fail");
-    assert!(driver.churn_events() > 0, "the schedule must actually churn");
+    assert!(
+        driver.churn_events() > 0,
+        "the schedule must actually churn"
+    );
     let m = *driver.service().metrics();
     assert_eq!(m.alarms_raised, 0, "honest churn raised an alarm");
     assert_eq!(m.switch_quarantines, 0, "honest switch quarantined");

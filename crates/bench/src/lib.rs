@@ -1,8 +1,5 @@
 //! Shared fixtures for the Criterion benchmarks.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
 use foces_net::Topology;
 

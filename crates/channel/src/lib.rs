@@ -61,9 +61,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod agent;
 pub mod collector;
 pub mod collusion;
@@ -72,11 +69,11 @@ pub mod message;
 pub mod transport;
 
 pub use agent::{ForgingAgent, HonestAgent, SwitchAgent};
-pub use collusion::{plan_collusion, CollusionInputs, CollusionPlan, FakeStrategy, RuleFacts};
 pub use collector::{
     honest_collector, ChannelCollector, ChannelError, DeltaReport, DeltaTracker, DumpAudit,
     StampedCounters,
 };
+pub use collusion::{plan_collusion, CollusionInputs, CollusionPlan, FakeStrategy, RuleFacts};
 pub use fault::{Fate, FaultModel, FaultProfile};
 pub use message::{ControllerMsg, SwitchMsg, WireError, WireRule};
 pub use transport::{wire_exchange, Delivery, PerfectTransport, TimedDelivery, Transport};

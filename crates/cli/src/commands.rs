@@ -4,8 +4,8 @@
 
 use crate::args::Args;
 use foces::{
-    audit_deviations, harden, localize, AlarmState, Detector, Fcm, Monitor, MonitorConfig,
-    SlicedFcm,
+    analyze_cluster_coverage, analyze_coverage, audit_deviations, harden, localize, AlarmState,
+    CoverageConfig, CoverageReport, Detector, Fcm, Monitor, MonitorConfig, ShardedFcm, SlicedFcm,
 };
 use foces_channel::{FakeStrategy, FaultProfile};
 use foces_controlplane::scenario::Scenario;
@@ -15,7 +15,7 @@ use foces_ingest::{CadenceConfig, LinkSpec, StreamAction, StreamConfig, StreamDr
 use foces_runtime::{
     ByzantineConfig, DetectionMode, EventLog, FaultScenario, RuntimeConfig, ScenarioDriver,
 };
-use foces_verify::verify_view;
+use foces_verify::{verify_view, Finding, FindingKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -25,9 +25,10 @@ pub type CmdError = Box<dyn std::error::Error>;
 
 /// A command's rendered report plus the process exit code `main` should
 /// propagate. `0` is a clean run; `foces run` exits `2` when the service
-/// ends with an unresolved alarm, and `foces audit` exits `3` when static
-/// verification finds rule-table violations, so scripts and CI can gate
-/// on it.
+/// ends with an unresolved alarm, `foces audit` exits `3` when static
+/// verification finds rule-table violations, and `--coverage-strict` (or
+/// `foces coverage --strict`) exits `4` when the pre-flight coverage
+/// analyzer has WARN findings, so scripts and CI can gate on each.
 #[derive(Debug)]
 pub struct CmdOutput {
     /// Human-readable report for stdout.
@@ -92,8 +93,16 @@ USAGE:
                  per-shard warm solvers, fault isolation; exits 2 if the run
                  ends with an unresolved alarm
   foces audit    <scenario> [--cap N] [--json]       static rule-table verification
-                 (loops, blackholes, shadowed rules, FCM consistency) plus
-                 detectability blind spots; exits 3 on static violations
+                 (loops, blackholes, shadowed rules, FCM consistency, stale
+                 rules) plus detectability blind spots; exits 3 on static
+                 violations
+  foces coverage <scenario> [--shards K] [--json] [--strict]
+                 static detectability & localization-coverage analysis, no
+                 epochs run: row-share/absorption WARNs with certificates,
+                 leave-one-out localizability classes, degradation margin,
+                 per-shard boundary rank; exits 4 with --strict on any WARN
+                 (`run`/`cluster`/`stream` accept --coverage-strict for the
+                 same pre-flight refusal)
   foces harden   <scenario> [--budget N] [--cap N]   close blind spots with extra rules
   foces scenario <fattree|bcube|dcell|stanford|linear|ring> print a template scenario
   foces help
@@ -107,6 +116,33 @@ fn load(args: &Args) -> Result<(Scenario, Deployment), CmdError> {
     let scenario = Scenario::parse(&text)?;
     let dep = scenario.provision()?;
     Ok((scenario, dep))
+}
+
+/// Renders the `--coverage-strict` refusal (exit `4`) when the pre-flight
+/// coverage analysis of a run/cluster/stream service carries WARN
+/// findings; `None` means the gate passes and the run may proceed.
+fn coverage_refusal(coverage: Option<&CoverageReport>, what: &str) -> Option<CmdOutput> {
+    let cov = coverage?;
+    if cov.is_clean() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", cov.summary());
+    for f in cov.findings.iter().filter(|f| f.severity.is_warn()) {
+        let _ = writeln!(out, "  WARN {}", f.detail);
+        if let Some(cert) = &f.certificate {
+            let _ = writeln!(out, "    certificate: {cert}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "exit 4: --coverage-strict refused the {what}: {} pre-flight coverage WARN finding(s)",
+        cov.warn_count()
+    );
+    Some(CmdOutput {
+        report: out,
+        exit_code: 4,
+    })
 }
 
 /// Replays one collection interval and returns counters (loss + default
@@ -345,6 +381,11 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
             .map_err(|e| format!("cannot open {path}: {e}"))?;
         driver.service_mut().set_event_log(log);
     }
+    if args.flag("coverage-strict") {
+        if let Some(refusal) = coverage_refusal(driver.service().coverage(), "run") {
+            return Ok(refusal);
+        }
+    }
 
     let mut out = String::new();
     writeln!(
@@ -550,6 +591,11 @@ pub fn cluster_run(args: &Args) -> Result<CmdOutput, CmdError> {
             .into());
         }
     }
+    if args.flag("coverage-strict") {
+        if let Some(refusal) = coverage_refusal(svc.coverage(), "cluster run") {
+            return Ok(refusal);
+        }
+    }
 
     let mut out = String::new();
     writeln!(
@@ -752,6 +798,11 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
             .map_err(|e| format!("cannot open {path}: {e}"))?;
         driver.install_log(log);
     }
+    if args.flag("coverage-strict") {
+        if let Some(refusal) = coverage_refusal(driver.coverage(), "stream") {
+            return Ok(refusal);
+        }
+    }
     let report = driver.run()?;
 
     let mut out = String::new();
@@ -834,7 +885,10 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
         0
     } else {
         if byz_unresolved {
-            writeln!(out, "exit 2: stream ended with an unresolved Byzantine alarm")?;
+            writeln!(
+                out,
+                "exit 2: stream ended with an unresolved Byzantine alarm"
+            )?;
         } else {
             writeln!(out, "exit 2: stream ended with an unresolved alarm")?;
         }
@@ -1140,8 +1194,26 @@ pub fn audit(args: &Args) -> Result<CmdOutput, CmdError> {
     let (_, dep) = load(args)?;
     let cap: usize = args.num("cap", usize::MAX)?;
     let fcm = Fcm::from_view(&dep.view);
-    let verification = verify_view(&dep.view);
+    let mut verification = verify_view(&dep.view);
     let report = audit_deviations(&dep.view, &fcm, cap);
+    // A deviation path that walks a rule the FCM has no row for means the
+    // matrix is stale relative to the plane under audit: surface it as a
+    // finding (and exit 3) instead of aborting the audit.
+    for c in &report.stale {
+        let flow = &fcm.flows()[c.flow];
+        verification.findings.push(Finding {
+            kind: FindingKind::StaleRule,
+            switch: c.at_switch,
+            rules: Vec::new(),
+            region: None,
+            header: None,
+            detail: format!(
+                "deviating flow h{}->h{} at s{} toward s{} walks a rule the FCM \
+                 has no row for: the matrix is stale relative to the plane",
+                flow.ingress.0, flow.egress.0, c.at_switch.0, c.redirected_to.0
+            ),
+        });
+    }
     let mut out = String::new();
     if args.flag("json") {
         for line in verification.to_json_lines() {
@@ -1150,10 +1222,11 @@ pub fn audit(args: &Args) -> Result<CmdOutput, CmdError> {
         writeln!(
             out,
             "{{\"event\":\"detectability\",\"candidates\":{},\"detectable\":{},\
-             \"blind\":{},\"coverage\":{:.6}}}",
+             \"blind\":{},\"stale\":{},\"coverage\":{:.6}}}",
             report.total(),
             report.detectable.len(),
             report.undetectable.len(),
+            report.stale.len(),
             report.coverage()
         )?;
     } else {
@@ -1167,6 +1240,9 @@ pub fn audit(args: &Args) -> Result<CmdOutput, CmdError> {
         writeln!(out, "candidates:   {}", report.total())?;
         writeln!(out, "detectable:   {}", report.detectable.len())?;
         writeln!(out, "blind spots:  {}", report.undetectable.len())?;
+        if !report.stale.is_empty() {
+            writeln!(out, "stale:        {}", report.stale.len())?;
+        }
         writeln!(out, "coverage:     {:.1}%", 100.0 * report.coverage())?;
         for c in report.undetectable.iter().take(10) {
             let flow = &fcm.flows()[c.flow];
@@ -1184,6 +1260,97 @@ pub fn audit(args: &Args) -> Result<CmdOutput, CmdError> {
         }
     }
     let exit_code = if verification.is_clean() { 0 } else { 3 };
+    Ok(CmdOutput {
+        report: out,
+        exit_code,
+    })
+}
+
+/// `foces coverage <scenario> [--shards K] [--json] [--strict]` — static
+/// detectability & localization-coverage analysis of the provisioned
+/// plane, with no epochs run: per-switch row-share/absorption scores with
+/// an absorbing-combination certificate behind every WARN, leave-one-out
+/// localizability classes, the degradation margin, and (with `--shards`)
+/// per-shard boundary rank. `--strict` exits `4` on any WARN finding.
+pub fn coverage_cmd(args: &Args) -> Result<CmdOutput, CmdError> {
+    let (_, dep) = load(args)?;
+    let fcm = Fcm::from_view(&dep.view);
+    let config = CoverageConfig::default();
+    let shards: usize = args.num("shards", 0)?;
+    let report = if shards > 0 {
+        let spec = foces_net::PartitionSpec::EdgeCut { k: shards };
+        let part = foces_net::partition(dep.view.topology(), spec);
+        let sharded = ShardedFcm::from_fcm(&fcm, &part);
+        analyze_cluster_coverage(&fcm, &sharded, &config)?
+    } else {
+        analyze_coverage(&fcm, &config)?
+    };
+    let mut out = String::new();
+    if args.flag("json") {
+        out.push_str(&report.to_json_lines());
+    } else {
+        writeln!(out, "{}", report.summary())?;
+        if let (Some(flow), false) = (report.margin_flow, report.margin_witness.is_empty()) {
+            let witness: Vec<String> = report
+                .margin_witness
+                .iter()
+                .map(|s| format!("s{}", s.0))
+                .collect();
+            writeln!(
+                out,
+                "margin witness: flow f{flow} goes unobservable if [{}] fail",
+                witness.join(", ")
+            )?;
+        }
+        for sh in &report.shards {
+            writeln!(
+                out,
+                "shard {}: {} rules x {} flows ({} basis cols, {} boundary), {}",
+                sh.region,
+                sh.rules,
+                sh.flows,
+                sh.basis_cols,
+                sh.boundary_flows,
+                if !sh.analyzed {
+                    "skipped (over basis limit)"
+                } else if sh.full_rank {
+                    "full rank"
+                } else {
+                    "RANK DEFICIENT"
+                }
+            )?;
+        }
+        for f in &report.findings {
+            let at = match (f.switch, f.region) {
+                (Some(sw), _) => format!(" s{}", sw.0),
+                (None, Some(r)) => format!(" shard {r}"),
+                _ => String::new(),
+            };
+            writeln!(
+                out,
+                "  [{} {}]{}: {}",
+                f.severity.label(),
+                f.kind.label(),
+                at,
+                f.detail
+            )?;
+            if let Some(cert) = &f.certificate {
+                writeln!(out, "    certificate: {cert}")?;
+            }
+        }
+    }
+    let exit_code = if args.flag("strict") && !report.is_clean() {
+        if !args.flag("json") {
+            writeln!(
+                out,
+                "exit 4: --strict and the analyzer found {} WARN finding(s)",
+                report.warn_count()
+            )?;
+        }
+        4
+    } else {
+        0
+    };
     Ok(CmdOutput {
         report: out,
         exit_code,
@@ -1310,6 +1477,7 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
         Some("stream") => stream_run(&args),
         Some("redteam") => redteam(&args),
         Some("audit") => audit(&args),
+        Some("coverage") => coverage_cmd(&args),
         Some("harden") => harden_cmd(&args).map(CmdOutput::clean),
         Some("scenario") => scenario_template(&args).map(CmdOutput::clean),
         Some("help") | None => Ok(CmdOutput::clean(USAGE.to_string())),
@@ -1586,15 +1754,24 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(out.exit_code, 0, "{}", out.report);
-        assert!(out.report.contains("[liars compromised: s"), "{}", out.report);
-        assert!(out.report.contains("LOCALIZED liar s"), "{}", out.report);
-        assert!(out.report.contains("[liars confessed]"), "{}", out.report);
         assert!(
-            out.report.contains("byzantine: 1 localized, 1 quarantined, 1 released"),
+            out.report.contains("[liars compromised: s"),
             "{}",
             out.report
         );
-        assert!(out.report.contains("\"liars_localized\":1"), "{}", out.report);
+        assert!(out.report.contains("LOCALIZED liar s"), "{}", out.report);
+        assert!(out.report.contains("[liars confessed]"), "{}", out.report);
+        assert!(
+            out.report
+                .contains("byzantine: 1 localized, 1 quarantined, 1 released"),
+            "{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("\"liars_localized\":1"),
+            "{}",
+            out.report
+        );
         assert!(out.report.contains("final state: normal"), "{}", out.report);
         let _ = std::fs::remove_file(path);
     }
@@ -1617,7 +1794,8 @@ mod tests {
         .unwrap();
         assert_eq!(out.exit_code, 0, "{}", out.report);
         assert!(
-            out.report.contains("byzantine: 1 localized, 1 quarantined, 1 released"),
+            out.report
+                .contains("byzantine: 1 localized, 1 quarantined, 1 released"),
             "{}",
             out.report
         );
@@ -1629,10 +1807,8 @@ mod tests {
     #[test]
     fn redteam_sweeps_and_writes_the_grid() {
         let path = scenario_file("topology ring 5\nall-pairs 1000\n");
-        let json = std::env::temp_dir().join(format!(
-            "foces-cli-redteam-{}.json",
-            std::process::id()
-        ));
+        let json =
+            std::env::temp_dir().join(format!("foces-cli-redteam-{}.json", std::process::id()));
         let out = run_full(argv(&[
             "redteam",
             path.to_str().unwrap(),
@@ -1861,6 +2037,105 @@ mod tests {
             "{}",
             lines[1]
         );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn coverage_clean_on_fattree_strict_exit_0() {
+        let path = scenario_file("topology fattree 4\ngranularity per-pair\nall-pairs 1000\n");
+        let out = run_full(argv(&["coverage", path.to_str().unwrap(), "--strict"])).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("0 warnings"), "{}", out.report);
+        assert!(out.report.contains("localizable"), "{}", out.report);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn coverage_warns_on_the_ring_with_a_certificate_and_strict_exit_4() {
+        let path = scenario_file("topology ring 4\ngranularity per-pair\nall-pairs 12000\n");
+        let out = run_full(argv(&["coverage", path.to_str().unwrap()])).unwrap();
+        assert_eq!(out.exit_code, 0, "no --strict: report only");
+        assert!(
+            out.report.contains("row-share-absorption"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("certificate: u ≈"), "{}", out.report);
+        let strict = run_full(argv(&["coverage", path.to_str().unwrap(), "--strict"])).unwrap();
+        assert_eq!(strict.exit_code, 4, "{}", strict.report);
+        assert!(strict.report.contains("exit 4"), "{}", strict.report);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn coverage_json_with_shards_renders_jsonl() {
+        let path = scenario_file("topology ring 4\ngranularity per-pair\nall-pairs 12000\n");
+        let out = run_full(argv(&[
+            "coverage",
+            path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        let lines: Vec<&str> = out.report.lines().collect();
+        assert!(lines[0].contains("\"event\":\"coverage\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"shards\":2"), "{}", lines[0]);
+        assert!(
+            lines[1..]
+                .iter()
+                .all(|l| l.contains("\"event\":\"coverage-finding\"")),
+            "{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("\"kind\":\"row-share-absorption\""),
+            "{}",
+            out.report
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn coverage_strict_refuses_run_and_stream_with_exit_4() {
+        let path = scenario_file("topology ring 4\ngranularity per-pair\nall-pairs 12000\n");
+        let run_out = run_full(argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--coverage-strict",
+        ]))
+        .unwrap();
+        assert_eq!(run_out.exit_code, 4, "{}", run_out.report);
+        assert!(
+            run_out.report.contains("exit 4: --coverage-strict"),
+            "{}",
+            run_out.report
+        );
+        let stream_out = run_full(argv(&[
+            "stream",
+            path.to_str().unwrap(),
+            "--duration-ms",
+            "50",
+            "--regions",
+            "2",
+            "--coverage-strict",
+        ]))
+        .unwrap();
+        assert_eq!(stream_out.exit_code, 4, "{}", stream_out.report);
+        // Without the flag the same scenario runs to completion, exit 0.
+        let plain = run_full(argv(&[
+            "stream",
+            path.to_str().unwrap(),
+            "--duration-ms",
+            "50",
+            "--regions",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(plain.exit_code, 0, "{}", plain.report);
         let _ = std::fs::remove_file(path);
     }
 

@@ -1,8 +1,6 @@
 //! `foces` — the command-line entry point. All logic lives in
 //! [`commands`]; `main` only wires argv and exit codes.
 
-#![forbid(unsafe_code)]
-
 mod args;
 mod commands;
 

@@ -32,9 +32,6 @@
 //! `crates/core/tests/shard_props.rs`, and against worker faults by
 //! `tests/cluster_faults.rs` and the stress test in this crate.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod completion;
 mod metrics;
 mod service;

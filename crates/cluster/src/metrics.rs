@@ -40,6 +40,9 @@ pub struct ClusterMetrics {
     pub alarms_cleared: u64,
     /// Lowest row coverage seen in any epoch (1.0 when never degraded).
     pub worst_row_coverage: f64,
+    /// WARN-severity findings from the pre-flight coverage analysis
+    /// (absorption-prone switches, rank-deficient shards).
+    pub coverage_warnings: u64,
 }
 
 impl ClusterMetrics {
@@ -98,6 +101,11 @@ impl ClusterMetrics {
             json_f64(self.worst_row_coverage),
             &mut s,
         );
+        push(
+            "coverage_warnings",
+            self.coverage_warnings.to_string(),
+            &mut s,
+        );
         s.push('}');
         s
     }
@@ -132,6 +140,7 @@ mod tests {
             "alarms_raised",
             "alarms_cleared",
             "worst_row_coverage",
+            "coverage_warnings",
         ] {
             assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
         }

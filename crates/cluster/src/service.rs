@@ -4,8 +4,9 @@
 
 use crate::ClusterMetrics;
 use foces::{
-    Detector, Fcm, FocesError, IncrementalSolver, RankBudget, ShardedFcm, SolvePath,
-    SuspicionConfig, SuspicionTracker, Verdict, DEFAULT_THRESHOLD,
+    analyze_cluster_coverage, CoverageConfig, CoverageReport, Detector, Fcm, FocesError,
+    IncrementalSolver, RankBudget, ShardedFcm, SolvePath, SuspicionConfig, SuspicionTracker,
+    Verdict, DEFAULT_THRESHOLD,
 };
 use foces_net::{partition, Partition, PartitionSpec, Topology};
 use foces_runtime::metrics::{json_f64, json_str};
@@ -204,6 +205,9 @@ pub struct ClusterService {
     /// Detectability cache keyed by the sorted degraded-region set.
     mask_cache: HashMap<Vec<usize>, DetectabilityReport>,
     epoch: u64,
+    /// Pre-flight coverage analysis over the FCM *and* the partition
+    /// (per-shard rank checks); `None` when the FCM was empty.
+    coverage: Option<CoverageReport>,
 }
 
 impl ClusterService {
@@ -220,6 +224,15 @@ impl ClusterService {
         let part = partition(topo, config.spec);
         let sharded = ShardedFcm::from_fcm(&fcm, &part);
         sharded.reconcile_boundaries(&fcm, &part)?;
+        // Pre-flight gate: score detection/localization coverage over both
+        // the whole system and every shard's sub-system, so thin shards
+        // (below full rank despite boundary replication) surface before
+        // the first epoch rather than as runtime solve errors.
+        let coverage = analyze_cluster_coverage(&fcm, &sharded, &CoverageConfig::default()).ok();
+        let mut metrics = ClusterMetrics::new();
+        if let Some(cov) = &coverage {
+            metrics.coverage_warnings = cov.warn_count() as u64;
+        }
         let solvers = (0..sharded.shard_count())
             .map(|_| Mutex::new(IncrementalSolver::new(RankBudget::default())))
             .collect();
@@ -232,11 +245,12 @@ impl ClusterService {
             solvers,
             faults: HashMap::new(),
             suspicion: SuspicionTracker::new(SuspicionConfig::default()),
-            metrics: ClusterMetrics::new(),
+            metrics,
             log: EventLog::in_memory(),
             mask_cache: HashMap::new(),
             config,
             epoch: 0,
+            coverage,
         })
     }
 
@@ -259,6 +273,12 @@ impl ClusterService {
     /// Cumulative metrics.
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// The pre-flight coverage analysis (whole system + per-shard rank);
+    /// `None` if the FCM was empty.
+    pub fn coverage(&self) -> Option<&CoverageReport> {
+        self.coverage.as_ref()
     }
 
     /// JSONL epoch lines recorded so far (when the log is in-memory).
@@ -651,6 +671,22 @@ mod tests {
         dep.dataplane.reset_counters();
         dep.replay_traffic(&mut LossModel::none());
         dep.dataplane.collect_counters()
+    }
+
+    #[test]
+    fn preflight_coverage_scores_every_shard() {
+        let (svc, _dep) = testbed(4);
+        let cov = svc.coverage().expect("non-empty FCM analyzes");
+        assert_eq!(
+            cov.shards.len(),
+            svc.sharded().shard_count(),
+            "every shard gets a rank check"
+        );
+        assert_eq!(
+            svc.metrics().coverage_warnings,
+            cov.warn_count() as u64,
+            "the metric mirrors the report"
+        );
     }
 
     #[test]

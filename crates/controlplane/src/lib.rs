@@ -32,9 +32,6 @@
 //! assert!(dep.dataplane.rule_count() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod controller;
 mod routing;
 pub mod scenario;

@@ -24,6 +24,9 @@
 //! flow h0 h3 1000               # src dst rate
 //! flow-via h1 h4 500 s2 s5      # src dst rate waypoint...
 //! all-pairs 1000                # one flow per ordered host pair at RATE
+//! all-pairs-sample 1000 1200 7  # RATE COUNT SEED: a deterministic sample
+//!                               # of COUNT ordered pairs (for topologies
+//!                               # whose full pair set is impractical)
 //! ```
 //!
 //! # Example
@@ -80,6 +83,10 @@ enum WorkloadEntry {
     Flow(FlowSpec),
     FlowVia(FlowSpec, Vec<SwitchId>),
     AllPairs(f64),
+    /// `(rate, count, seed)` — a deterministic sample of `count` ordered
+    /// host pairs, shuffled by a fixed LCG so the same scenario text always
+    /// yields the same flow set on every build.
+    AllPairsSample(f64, usize, u64),
 }
 
 /// A parsed scenario, ready to [`Scenario::provision`].
@@ -198,6 +205,14 @@ impl Scenario {
                         .ok_or_else(|| err(line_no, "all-pairs needs a rate".into()))?;
                     workload.push(WorkloadEntry::AllPairs(rate));
                 }
+                "all-pairs-sample" => {
+                    let bad = || err(line_no, "all-pairs-sample needs RATE COUNT SEED".into());
+                    let rate: f64 = tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+                    let count: usize =
+                        tokens.get(2).and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+                    let seed: u64 = tokens.get(3).and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+                    workload.push(WorkloadEntry::AllPairsSample(rate, count, seed));
+                }
                 other => {
                     return Err(err(line_no, format!("unknown directive {other:?}")));
                 }
@@ -271,6 +286,39 @@ impl Scenario {
                                 });
                             }
                         }
+                    }
+                }
+                WorkloadEntry::AllPairsSample(rate, count, seed) => {
+                    let hosts: Vec<HostId> = self.topology.hosts().collect();
+                    let mut pairs = Vec::new();
+                    for &src in &hosts {
+                        for &dst in &hosts {
+                            if src != dst {
+                                pairs.push((src, dst));
+                            }
+                        }
+                    }
+                    // Fisher–Yates with a fixed LCG (Knuth MMIX constants):
+                    // deterministic across builds without a rand dependency,
+                    // which is what makes the sample golden-pinnable.
+                    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let mut next = || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 33
+                    };
+                    for i in (1..pairs.len()).rev() {
+                        let j = (next() % (i as u64 + 1)) as usize;
+                        pairs.swap(i, j);
+                    }
+                    pairs.truncate(*count);
+                    for (src, dst) in pairs {
+                        plain.push(FlowSpec {
+                            src,
+                            dst,
+                            rate: *rate,
+                        });
                     }
                 }
                 WorkloadEntry::FlowVia(..) => {}
@@ -356,6 +404,35 @@ mod tests {
         let dep = s.provision().unwrap();
         assert_eq!(dep.flows.len(), 240);
         assert_eq!(dep.granularity, RuleGranularity::PerFlowPair);
+    }
+
+    #[test]
+    fn all_pairs_sample_is_deterministic_and_bounded() {
+        let text = "topology bcube 1 4\nall-pairs-sample 1000 20 7\n";
+        let a = Scenario::parse(text).unwrap().provision().unwrap();
+        let b = Scenario::parse(text).unwrap().provision().unwrap();
+        assert_eq!(a.flows.len(), 20);
+        assert_eq!(a.flows, b.flows, "same text must yield the same sample");
+        // A different seed yields a different (but equally sized) sample.
+        let c = Scenario::parse("topology bcube 1 4\nall-pairs-sample 1000 20 8\n")
+            .unwrap()
+            .provision()
+            .unwrap();
+        assert_eq!(c.flows.len(), 20);
+        assert_ne!(a.flows, c.flows);
+        // A count beyond the pair universe degrades to all pairs.
+        let d = Scenario::parse("topology bcube 1 4\nall-pairs-sample 1000 9999 7\n")
+            .unwrap()
+            .provision()
+            .unwrap();
+        assert_eq!(d.flows.len(), 240);
+    }
+
+    #[test]
+    fn all_pairs_sample_rejects_bad_args() {
+        let e = Scenario::parse("topology ring 4\nall-pairs-sample 1000\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("RATE COUNT SEED"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! report: which parts of the rule set leave blind spots.
 
 use crate::detectability::history_column;
+use crate::error::FocesError;
 use crate::Fcm;
 use foces_controlplane::ControllerView;
 use foces_dataplane::{Action, RuleRef};
@@ -42,10 +43,16 @@ pub struct DeviationAudit {
     /// Candidates whose deviated column stays in the FCM's span — FOCES
     /// blind spots.
     pub undetectable: Vec<DeviationCandidate>,
+    /// Candidates whose deviated history references rules the FCM does not
+    /// know — the FCM is stale relative to the plane it was traced against.
+    /// These cannot be classified; `foces audit` reports them as a finding
+    /// instead of aborting.
+    pub stale: Vec<DeviationCandidate>,
 }
 
 impl DeviationAudit {
-    /// Total candidates examined.
+    /// Total classified candidates (stale candidates are excluded: they
+    /// were never run through the Theorem 1 oracle).
     pub fn total(&self) -> usize {
         self.detectable.len() + self.undetectable.len()
     }
@@ -112,6 +119,7 @@ pub fn audit_deviations(view: &ControllerView, fcm: &Fcm, max_candidates: usize)
     let topo = view.topology();
     let mut detectable = Vec::new();
     let mut undetectable = Vec::new();
+    let mut stale = Vec::new();
     // One orthonormal basis of the FCM's column space answers every span
     // query in O(rules * rank) — the audit asks thousands of them.
     let mut tester = SpanTester::empty(fcm.rule_count(), DEFAULT_TOL);
@@ -153,12 +161,20 @@ pub fn audit_deviations(view: &ControllerView, fcm: &Fcm, max_candidates: usize)
                     deviated_history: canon.clone(),
                     still_delivered: delivered == Some(flow.egress),
                 };
-                if tester.contains(&history_column(fcm, &canon)) {
-                    undetectable.push(candidate);
-                } else {
-                    detectable.push(candidate);
+                match history_column(fcm, &canon) {
+                    Ok(col) => {
+                        if tester.contains(&col) {
+                            undetectable.push(candidate);
+                        } else {
+                            detectable.push(candidate);
+                        }
+                    }
+                    // Stale FCM: the re-trace matched a rule the snapshot
+                    // does not know. Record, don't abort the whole audit.
+                    Err(FocesError::UnknownRule(_)) => stale.push(candidate),
+                    Err(_) => unreachable!("history_column only fails on unknown rules"),
                 }
-                if detectable.len() + undetectable.len() >= max_candidates {
+                if detectable.len() + undetectable.len() + stale.len() >= max_candidates {
                     break 'outer;
                 }
             }
@@ -167,6 +183,7 @@ pub fn audit_deviations(view: &ControllerView, fcm: &Fcm, max_candidates: usize)
     DeviationAudit {
         detectable,
         undetectable,
+        stale,
     }
 }
 
@@ -198,10 +215,10 @@ mod tests {
         // Cross-check the audit's classification against the oracle.
         let (audit, fcm) = audit_for(fattree(4), 200);
         for c in audit.detectable.iter().take(30) {
-            assert!(!undetectable_by_rank(&fcm, &c.deviated_history));
+            assert!(!undetectable_by_rank(&fcm, &c.deviated_history).unwrap());
         }
         for c in audit.undetectable.iter().take(30) {
-            assert!(undetectable_by_rank(&fcm, &c.deviated_history));
+            assert!(undetectable_by_rank(&fcm, &c.deviated_history).unwrap());
         }
     }
 
@@ -226,7 +243,24 @@ mod tests {
         let audit = DeviationAudit {
             detectable: vec![],
             undetectable: vec![],
+            stale: vec![],
         };
         assert_eq!(audit.coverage(), 1.0);
+    }
+
+    #[test]
+    fn stale_plane_yields_stale_candidates_not_a_panic() {
+        // Audit a view whose tables moved out from under the FCM: same
+        // topology, but the view was re-provisioned at a different rule
+        // granularity, so the benign re-trace walks rules the FCM snapshot
+        // has no row for. This previously panicked inside history_column;
+        // now it must classify those candidates as stale.
+        let topo = fattree(4);
+        let flows = uniform_flows(&topo, 1000.0);
+        let stale_dep = provision(topo.clone(), &flows, RuleGranularity::PerDestination).unwrap();
+        let stale_fcm = Fcm::from_view(&stale_dep.view);
+        let dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        let audit = audit_deviations(&dep.view, &stale_fcm, 200);
+        assert!(!audit.stale.is_empty());
     }
 }

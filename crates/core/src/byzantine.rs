@@ -158,7 +158,11 @@ impl SuspicionTracker {
     /// break on switch id so the ranking is deterministic.
     pub fn ranked(&self) -> Vec<(SwitchId, f64)> {
         let mut v: Vec<(SwitchId, f64)> = self.scores.iter().map(|(&s, &x)| (s, x)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 
@@ -368,9 +372,9 @@ impl LooSolver {
             .collect();
         let mut new_pos = vec![usize::MAX; ncols];
         let mut kept = 0usize;
-        for j in 0..ncols {
+        for (j, pos) in new_pos.iter_mut().enumerate() {
             if drop_cols.binary_search(&j).is_err() {
-                new_pos[j] = kept;
+                *pos = kept;
                 kept += 1;
             }
         }
@@ -644,9 +648,7 @@ mod tests {
             }
         }
         (0..h.rows())
-            .filter(|&i| {
-                fcm.rules()[i].switch == s && h.row_iter(i).all(|(j, _)| support[j] > 1)
-            })
+            .filter(|&i| fcm.rules()[i].switch == s && h.row_iter(i).all(|(j, _)| support[j] > 1))
             .map(|i| fcm.rules()[i])
             .collect()
     }
@@ -732,8 +734,7 @@ mod tests {
         let (fcm, counters, liar, _) = liar_setup();
         let observed = vec![true; fcm.rule_count()];
         let det = Detector::default();
-        let report =
-            k_resilient_verdict(&det, &fcm, &counters, &observed, &[liar], 1).unwrap();
+        let report = k_resilient_verdict(&det, &fcm, &counters, &observed, &[liar], 1).unwrap();
         assert!(report.base_anomalous);
         assert!(!report.survives, "silencing the liar must flip the verdict");
         assert_eq!(report.flips_at, Some(1));

@@ -7,6 +7,7 @@
 //! counters then admit an alternative benign explanation, so no residual
 //! appears no matter how the detector is tuned.
 
+use crate::error::FocesError;
 use crate::rbg::Rbg;
 use crate::Fcm;
 use foces_dataplane::RuleRef;
@@ -15,28 +16,30 @@ use std::collections::BTreeSet;
 
 /// Builds the 0/1 column vector for a (deviated) rule history.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the history references a rule outside the FCM's rule universe
-/// — deviated packets still only match rules the controller installed.
-pub(crate) fn history_column(fcm: &Fcm, history: &[RuleRef]) -> Vec<f64> {
+/// [`FocesError::UnknownRule`] if the history references a rule outside
+/// the FCM's rule universe — the FCM is stale relative to the plane the
+/// history was traced from (e.g. `foces audit` against a plane that
+/// churned since the FCM snapshot). Callers surface this as a finding,
+/// not a panic.
+pub(crate) fn history_column(fcm: &Fcm, history: &[RuleRef]) -> Result<Vec<f64>, FocesError> {
     let mut col = vec![0.0; fcm.rule_count()];
     for r in history {
-        let row = fcm
-            .rule_row(*r)
-            .unwrap_or_else(|| panic!("history references unknown rule {r}"));
+        let row = fcm.rule_row(*r).ok_or(FocesError::UnknownRule(*r))?;
         col[row] = 1.0;
     }
-    col
+    Ok(col)
 }
 
 /// Theorem 1 oracle: `true` iff the anomaly that rewrites some flow's rule
 /// history to `deviated_history` is **undetectable** — the deviated column
 /// lies in the span of the FCM's columns.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the history references a rule the FCM does not know.
+/// [`FocesError::UnknownRule`] if the history references a rule the FCM
+/// does not know (the FCM is stale relative to the plane).
 ///
 /// # Example
 ///
@@ -47,18 +50,20 @@ pub(crate) fn history_column(fcm: &Fcm, history: &[RuleRef]) -> Vec<f64> {
 /// let fcm = testkit::paper_fig3_fcm();
 /// let r = fcm.rules();
 /// let deviated = [r[0], r[1], r[3], r[4], r[5]];
-/// assert!(undetectable_by_rank(&fcm, &deviated));
+/// assert!(undetectable_by_rank(&fcm, &deviated)?);
+/// # Ok::<(), foces::FocesError>(())
 /// ```
-pub fn undetectable_by_rank(fcm: &Fcm, deviated_history: &[RuleRef]) -> bool {
-    let col = history_column(fcm, deviated_history);
-    in_column_span(&fcm.dense(), &col, DEFAULT_TOL)
+pub fn undetectable_by_rank(fcm: &Fcm, deviated_history: &[RuleRef]) -> Result<bool, FocesError> {
+    let col = history_column(fcm, deviated_history)?;
+    Ok(in_column_span(&fcm.dense(), &col, DEFAULT_TOL))
 }
 
 /// Convenience inverse of [`undetectable_by_rank`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the history references a rule the FCM does not know.
+/// [`FocesError::UnknownRule`] if the history references a rule the FCM
+/// does not know (the FCM is stale relative to the plane).
 ///
 /// # Example
 ///
@@ -69,10 +74,11 @@ pub fn undetectable_by_rank(fcm: &Fcm, deviated_history: &[RuleRef]) -> bool {
 /// // detectable (rule r4 is otherwise unused).
 /// let fcm = testkit::paper_fig2_fcm();
 /// let r = fcm.rules();
-/// assert!(is_detectable(&fcm, &[r[0], r[1], r[3], r[4], r[5]]));
+/// assert!(is_detectable(&fcm, &[r[0], r[1], r[3], r[4], r[5]])?);
+/// # Ok::<(), foces::FocesError>(())
 /// ```
-pub fn is_detectable(fcm: &Fcm, deviated_history: &[RuleRef]) -> bool {
-    !undetectable_by_rank(fcm, deviated_history)
+pub fn is_detectable(fcm: &Fcm, deviated_history: &[RuleRef]) -> Result<bool, FocesError> {
+    Ok(!undetectable_by_rank(fcm, deviated_history)?)
 }
 
 /// Theorem 2's graph condition, evaluated as a *necessary* test: returns
@@ -110,14 +116,14 @@ mod tests {
     #[test]
     fn fig2_deviation_is_detectable() {
         let fcm = paper_fig2_fcm();
-        assert!(is_detectable(&fcm, &deviated(&fcm)));
-        assert!(!undetectable_by_rank(&fcm, &deviated(&fcm)));
+        assert!(is_detectable(&fcm, &deviated(&fcm)).unwrap());
+        assert!(!undetectable_by_rank(&fcm, &deviated(&fcm)).unwrap());
     }
 
     #[test]
     fn fig3_deviation_is_undetectable_and_has_loop() {
         let fcm = paper_fig3_fcm();
-        assert!(undetectable_by_rank(&fcm, &deviated(&fcm)));
+        assert!(undetectable_by_rank(&fcm, &deviated(&fcm)).unwrap());
         // Theorem 2 necessary direction: undetectable => loop.
         assert!(rbg_loop_exists(&fcm, &deviated(&fcm)));
     }
@@ -128,7 +134,7 @@ mod tests {
         // degenerate no-op "anomaly".
         let fcm = paper_fig2_fcm();
         let original = fcm.flows()[0].rules.clone();
-        assert!(undetectable_by_rank(&fcm, &original));
+        assert!(undetectable_by_rank(&fcm, &original).unwrap());
     }
 
     #[test]
@@ -141,7 +147,7 @@ mod tests {
         // consistency, and HX = Y' stays consistent only if the lost volume
         // can be re-explained, which the detector tests separately).
         let fcm = paper_fig2_fcm();
-        assert!(undetectable_by_rank(&fcm, &[]));
+        assert!(undetectable_by_rank(&fcm, &[]).unwrap());
     }
 
     #[test]
@@ -150,7 +156,7 @@ mod tests {
         // cannot be explained by any benign combination.
         let fcm = paper_fig2_fcm();
         let r = fcm.rules();
-        assert!(is_detectable(&fcm, &[r[3]]));
+        assert!(is_detectable(&fcm, &[r[3]]).unwrap());
     }
 
     #[test]
@@ -164,7 +170,7 @@ mod tests {
         let r = fcm.rules();
         let dev = [r[3]];
         assert!(!rbg_loop_exists(&fcm, &dev));
-        assert!(is_detectable(&fcm, &dev));
+        assert!(is_detectable(&fcm, &dev).unwrap());
     }
 
     #[test]
@@ -179,17 +185,19 @@ mod tests {
         let r = fcm.rules();
         let dev = [r[0], r[3]];
         assert!(rbg_loop_exists(&fcm, &dev));
-        assert!(is_detectable(&fcm, &dev));
+        assert!(is_detectable(&fcm, &dev).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "unknown rule")]
-    fn foreign_rule_panics() {
+    fn foreign_rule_is_a_typed_error_not_a_panic() {
         let fcm = paper_fig2_fcm();
         let foreign = RuleRef {
             switch: foces_net::SwitchId(99),
             index: 0,
         };
-        undetectable_by_rank(&fcm, &[foreign]);
+        let err = undetectable_by_rank(&fcm, &[foreign]).unwrap_err();
+        assert_eq!(err, crate::FocesError::UnknownRule(foreign));
+        assert!(err.to_string().contains("unknown rule"));
+        assert!(err.to_string().contains("stale"));
     }
 }

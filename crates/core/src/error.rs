@@ -1,3 +1,4 @@
+use foces_dataplane::RuleRef;
 use foces_linalg::LinalgError;
 use std::error::Error;
 use std::fmt;
@@ -15,6 +16,9 @@ pub enum FocesError {
     },
     /// The FCM has no flows (nothing to check).
     EmptyFcm,
+    /// A rule history referenced a rule outside the FCM's rule universe —
+    /// the FCM is stale relative to the control plane it was built from.
+    UnknownRule(RuleRef),
     /// The underlying linear solve failed beyond all fallbacks.
     Solver(LinalgError),
     /// A sharded FCM failed its boundary-flow reconciliation check: a flow
@@ -39,6 +43,10 @@ impl fmt::Display for FocesError {
                 "counter vector has {got} entries but the FCM has {expected} rules"
             ),
             FocesError::EmptyFcm => write!(f, "flow-counter matrix has no flows"),
+            FocesError::UnknownRule(r) => write!(
+                f,
+                "history references unknown rule {r}: the FCM is stale relative to the plane"
+            ),
             FocesError::Solver(e) => write!(f, "equation system solve failed: {e}"),
             FocesError::ShardReconciliation {
                 flow,

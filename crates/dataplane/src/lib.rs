@@ -45,9 +45,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod anomaly;
 mod loss;
 mod plane;

@@ -12,8 +12,6 @@
 //!
 //! Set `FOCES_TRIALS` (default 30) and `FOCES_LOSS` (default 0.25).
 
-#![forbid(unsafe_code)]
-
 use foces_controlplane::RuleGranularity;
 use foces_experiments::{paper_topologies, Confusion, Testbed};
 

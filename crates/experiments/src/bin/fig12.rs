@@ -22,8 +22,6 @@
 //! baseline is deliberately cubic); `FOCES_FULL=1` extends it to the
 //! paper's 12000-flow point (several minutes for the dense inversions).
 
-#![forbid(unsafe_code)]
-
 use foces::{Detector, EquationSystem, Fcm, SlicedFcm, SolverKind};
 use foces_controlplane::{provision, uniform_flows, FlowSpec, RuleGranularity};
 use foces_dataplane::LossModel;

@@ -8,8 +8,6 @@
 //! window, jumps past the threshold inside it, and the normal/anomaly gap
 //! narrows as the loss rate grows.
 
-#![forbid(unsafe_code)]
-
 use foces::{Detector, Fcm};
 use foces_controlplane::RuleGranularity;
 use foces_dataplane::{inject_random_anomaly, AnomalyKind};

@@ -11,8 +11,6 @@
 //!
 //! Set `FOCES_TRIALS` to override the per-class trial count (default 30).
 
-#![forbid(unsafe_code)]
-
 use foces_controlplane::RuleGranularity;
 use foces_experiments::{paper_topologies, Confusion, Testbed};
 

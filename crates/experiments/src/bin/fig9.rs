@@ -11,8 +11,6 @@
 //!
 //! Set `FOCES_TRIALS` to override the per-class trial count (default 50).
 
-#![forbid(unsafe_code)]
-
 use foces::Detector;
 use foces_controlplane::RuleGranularity;
 use foces_experiments::{paper_topologies, Confusion, Testbed};

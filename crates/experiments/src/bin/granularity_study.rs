@@ -10,8 +10,6 @@
 //! binary prints the data to do it (healthy index quantiles per topology,
 //! granularity, and loss rate).
 
-#![forbid(unsafe_code)]
-
 use foces_controlplane::RuleGranularity;
 use foces_experiments::{paper_topologies, Testbed};
 

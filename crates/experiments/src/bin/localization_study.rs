@@ -10,8 +10,6 @@
 //! the culprit **and its direct neighbors**; both strict (culprit only)
 //! and vicinity hit-rates are reported, at ranks 1 and 3.
 
-#![forbid(unsafe_code)]
-
 use foces::{localize, localize_differential};
 use foces_controlplane::RuleGranularity;
 use foces_dataplane::LossModel;

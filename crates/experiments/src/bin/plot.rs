@@ -5,8 +5,6 @@
 //! cargo run --release -p foces-experiments --bin plot -- fig7    # one figure
 //! ```
 
-#![forbid(unsafe_code)]
-
 use foces_experiments::{column, parse_csv, AsciiChart, Series};
 
 fn read(name: &str) -> Option<(Vec<String>, Vec<Vec<String>>)> {

@@ -9,8 +9,6 @@
 //! per-flow-pair (one rule per flow per hop, Floodlight-reactive-style) and
 //! per-destination (aggregated). See EXPERIMENTS.md for the comparison.
 
-#![forbid(unsafe_code)]
-
 use foces::Fcm;
 use foces_controlplane::{provision, uniform_flows, RuleGranularity};
 use foces_experiments::paper_topologies;

@@ -13,9 +13,6 @@
 //! * anomalies injected by randomly rewriting rule actions, detection run
 //!   on freshly collected counters each round.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod golden;
 mod report;
 

@@ -36,9 +36,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod wildcard;
 
 pub use wildcard::{covers, HeaderSpaceError, Wildcard};

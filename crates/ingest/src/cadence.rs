@@ -74,8 +74,14 @@ impl PollCadence {
 
     /// Records an uneventful poll: counters arrived, verdict clean, no
     /// churn. After `quiet_threshold` such polls in a row the interval
-    /// backs off geometrically toward `max_ms`.
+    /// backs off geometrically toward `max_ms`. A suspicion-tightened
+    /// interval (below `min_ms`) first recovers toward the floor.
     pub fn on_quiet(&mut self) {
+        if self.interval_ms < self.config.min_ms {
+            self.interval_ms = (self.interval_ms * 2.0).min(self.config.min_ms);
+            self.quiet_streak = 0;
+            return;
+        }
         self.quiet_streak = self.quiet_streak.saturating_add(1);
         if self.quiet_streak >= self.config.quiet_threshold {
             self.interval_ms = (self.interval_ms * self.config.backoff).min(self.config.max_ms);
@@ -83,10 +89,24 @@ impl PollCadence {
     }
 
     /// Records activity near this switch (churn in its shard, anomalous
-    /// verdict, timeout): the interval snaps back to `min_ms`.
+    /// verdict, timeout): the interval snaps back to `min_ms`. A
+    /// suspicion-tightened interval below the floor is left alone —
+    /// activity never *loosens* the timer.
     pub fn on_activity(&mut self) {
         self.quiet_streak = 0;
-        self.interval_ms = self.config.min_ms;
+        self.interval_ms = self.interval_ms.min(self.config.min_ms);
+    }
+
+    /// Records rising suspicion of this switch's shard: an anomalous round
+    /// while the alarm machine is still accumulating its raise quorum, or
+    /// a jump in the Byzantine suspicion score. The interval *halves*,
+    /// deliberately dropping below `min_ms` (floored at `min_ms / 4`), so
+    /// even a fixed cadence tightens while hysteresis counts — without
+    /// this, a fixed-cadence stream pays one full poll interval per quorum
+    /// round and the alarm starves behind the hysteresis window.
+    pub fn on_suspicion(&mut self) {
+        self.quiet_streak = 0;
+        self.interval_ms = (self.interval_ms * 0.5).max(self.config.min_ms * 0.25);
     }
 }
 
@@ -140,5 +160,43 @@ mod tests {
         assert_eq!(c.interval_ms(), 25.0);
         c.on_activity();
         assert_eq!(c.interval_ms(), 25.0);
+    }
+
+    #[test]
+    fn suspicion_halves_below_the_floor_even_when_fixed() {
+        let mut c = PollCadence::new(CadenceConfig::fixed(40.0));
+        c.on_suspicion();
+        assert_eq!(c.interval_ms(), 20.0, "fixed cadence still tightens");
+        c.on_suspicion();
+        assert_eq!(c.interval_ms(), 10.0, "clamped at min_ms / 4");
+        c.on_suspicion();
+        assert_eq!(c.interval_ms(), 10.0);
+    }
+
+    #[test]
+    fn activity_never_loosens_a_suspicion_tightened_timer() {
+        let mut c = PollCadence::new(CadenceConfig::fixed(40.0));
+        c.on_suspicion();
+        c.on_activity();
+        assert_eq!(c.interval_ms(), 20.0, "activity keeps the tight interval");
+    }
+
+    #[test]
+    fn quiet_recovers_a_suspicion_tightened_timer_to_the_floor() {
+        let mut c = PollCadence::new(CadenceConfig {
+            min_ms: 10.0,
+            max_ms: 80.0,
+            backoff: 2.0,
+            quiet_threshold: 1,
+        });
+        c.on_suspicion();
+        c.on_suspicion();
+        assert_eq!(c.interval_ms(), 2.5);
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 5.0, "doubles back toward min_ms");
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 10.0, "recovery stops at the floor");
+        c.on_quiet();
+        assert_eq!(c.interval_ms(), 20.0, "then normal backoff resumes");
     }
 }

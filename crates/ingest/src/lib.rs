@@ -34,9 +34,6 @@
 //! produce byte-identical JSONL (pinned by the property tests in
 //! `tests/queue_props.rs` and the integration suite).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cadence;
 pub mod event;
 pub mod link;

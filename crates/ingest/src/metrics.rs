@@ -79,6 +79,9 @@ pub struct IngestMetrics {
     pub suppressed_raises: u64,
     /// FCM + shard rebuilds after the view moved.
     pub fcm_rebuilds: u64,
+    /// WARN-severity findings from the latest pre-flight coverage analysis
+    /// of the stream's FCM (refreshed on every rebuild).
+    pub coverage_warnings: u64,
     /// Simulated time of the first shard verdict, ms (`None`: none fired).
     pub ttfv_ms: Option<f64>,
     /// Simulated time by which every (non-empty) shard had fired at least
@@ -192,6 +195,11 @@ impl IngestMetrics {
             json_f64(self.suppressed_raises as f64),
         );
         raw(&mut s, "fcm_rebuilds", json_f64(self.fcm_rebuilds as f64));
+        raw(
+            &mut s,
+            "coverage_warnings",
+            json_f64(self.coverage_warnings as f64),
+        );
         raw(&mut s, "ttfv_ms", opt(self.ttfv_ms));
         raw(&mut s, "ttav_ms", opt(self.ttav_ms));
         raw(&mut s, "alarm_latency_ms", opt(self.alarm_latency_ms));

@@ -36,8 +36,9 @@ use crate::event::{EventQueue, SimTime};
 use crate::link::{IngestChannel, LinkSpec};
 use crate::metrics::IngestMetrics;
 use foces::{
-    cross_validate, k_resilient_verdict, AlarmState, Detector, Fcm, FocesError, IncrementalSolver,
-    ShardUnionVerdict, ShardedFcm, SuspicionTracker,
+    analyze_cluster_coverage, cross_validate, k_resilient_verdict, AlarmState, CoverageConfig,
+    CoverageReport, Detector, Fcm, FocesError, IncrementalSolver, ShardUnionVerdict, ShardedFcm,
+    SuspicionTracker,
 };
 use foces_channel::{
     plan_collusion, ChannelError, CollusionInputs, ControllerMsg, Delivery, FakeStrategy,
@@ -295,6 +296,12 @@ pub struct StreamDriver {
     quiet_rounds: u32,
     /// Alarm up but no single switch's removal explains the conflict.
     byz_unresolved: bool,
+    /// Byzantine suspicion high-water mark from the previous scored round
+    /// (drives the cadence suspicion trigger).
+    last_suspicion: f64,
+    /// Pre-flight coverage analysis of the stream's FCM + partition
+    /// (refreshed on every rebuild; `None` only for an empty plane).
+    coverage: Option<CoverageReport>,
     liar_rng: StdRng,
     liars: Vec<SwitchId>,
     forging: Vec<SwitchId>,
@@ -363,6 +370,13 @@ impl StreamDriver {
         let fired = vec![false; sharded.shard_count()];
         let suspicion = SuspicionTracker::new(config.byzantine.suspicion);
         let liar_rng = StdRng::seed_from_u64(config.liar_seed);
+        // Pre-flight: score detectability and localization coverage of the
+        // plane this stream is about to watch, before any counters arrive.
+        let coverage = analyze_cluster_coverage(&fcm, &sharded, &CoverageConfig::default()).ok();
+        let mut metrics = IngestMetrics::default();
+        if let Some(cov) = &coverage {
+            metrics.coverage_warnings = cov.warn_count() as u64;
+        }
         StreamDriver {
             dep,
             config,
@@ -389,12 +403,14 @@ impl StreamDriver {
             churn_rng,
             applied: None,
             next_xid: 1,
-            metrics: IngestMetrics::default(),
+            metrics,
             log: EventLog::in_memory(),
             fired,
             last_verdict: HashMap::new(),
             first_inject_at: None,
             suspicion,
+            last_suspicion: 0.0,
+            coverage,
             quarantined: BTreeSet::new(),
             quiet_rounds: 0,
             byz_unresolved: false,
@@ -440,6 +456,12 @@ impl StreamDriver {
     /// The Byzantine suspicion tracker (empty while the layer is off).
     pub fn suspicion(&self) -> &SuspicionTracker {
         &self.suspicion
+    }
+
+    /// The latest pre-flight coverage analysis (`None` only for an empty
+    /// plane). Refreshed whenever a rebuild re-derives the FCM.
+    pub fn coverage(&self) -> Option<&CoverageReport> {
+        self.coverage.as_ref()
     }
 
     /// Switches currently under counter quarantine, ascending.
@@ -891,10 +913,21 @@ impl StreamDriver {
         }
         // Cadence: trouble anywhere in the shard tightens every member;
         // a clean quiet round lets them all drift toward the ceiling.
+        // Rising suspicion — an anomalous round while the alarm machine is
+        // still past Normal, or a Byzantine suspicion jump — goes further
+        // and halves the timers below the floor, so even a fixed cadence
+        // accumulates its hysteresis quorum at a tightened poll rate
+        // instead of paying one full interval per quorum round.
+        let s_max = self.suspicion.max_score();
+        let suspicious = (anomalous && self.alarm.state() != AlarmState::Normal)
+            || s_max > self.last_suspicion + 1e-9;
+        self.last_suspicion = s_max;
         let active = churn || anomalous;
         for sw in view.switches {
             let c = self.cadence.get_mut(sw).expect("cadence per switch");
-            if active {
+            if suspicious {
+                c.on_suspicion();
+            } else if active {
                 c.on_activity();
             } else {
                 c.on_quiet();
@@ -1148,7 +1181,8 @@ impl StreamDriver {
             let table = self.original_tables.get(&s).cloned().unwrap_or_default();
             let mut agent = ForgingAgent::new(s, table);
             plan.forge_into(&mut agent);
-            self.agents.insert(s, Box::new(agent) as Box<dyn SwitchAgent>);
+            self.agents
+                .insert(s, Box::new(agent) as Box<dyn SwitchAgent>);
         }
     }
 
@@ -1204,6 +1238,17 @@ impl StreamDriver {
             json_f64(now.as_ms()),
             self.fcm_generation
         ));
+        // The plane moved: re-score coverage against the rebuilt FCM and
+        // shards, and surface any WARN findings right after the rebuild
+        // line so the log explains *why* the stream may now be blind.
+        self.coverage =
+            analyze_cluster_coverage(&self.fcm, &self.sharded, &CoverageConfig::default()).ok();
+        if let Some(cov) = &self.coverage {
+            self.metrics.coverage_warnings = cov.warn_count() as u64;
+            for f in cov.findings.iter().filter(|f| f.severity.is_warn()) {
+                self.log.record(f.to_json());
+            }
+        }
     }
 
     /// Resets counters and replays the steady traffic under the current
@@ -1376,7 +1421,10 @@ mod tests {
             r.metrics.quarantine_releases, 1,
             "the confessed switch is re-admitted"
         );
-        assert_eq!(r.metrics.unresolved_byzantine, 0, "a pure fabrication localizes");
+        assert_eq!(
+            r.metrics.unresolved_byzantine, 0,
+            "a pure fabrication localizes"
+        );
         assert!(d.quarantined_switches().is_empty());
         assert!(!d.byzantine_unresolved());
         assert_eq!(r.alarm_state, AlarmState::Normal);
@@ -1409,6 +1457,77 @@ mod tests {
             "honest rounds never add suspicion"
         );
         assert!(d.quarantined_switches().is_empty());
+    }
+
+    #[test]
+    fn preflight_coverage_scores_the_plane_before_any_counters() {
+        let d = StreamDriver::new(deployment(), quiet_config(), vec![]);
+        let cov = d.coverage().expect("non-empty plane analyzes");
+        assert_eq!(cov.shards.len(), 2, "one entry per region");
+        assert!(
+            cov.warn_count() > 0,
+            "the ring concentrates rows: {}",
+            cov.summary()
+        );
+        assert_eq!(
+            d.metrics().coverage_warnings,
+            cov.warn_count() as u64,
+            "metric mirrors the report"
+        );
+    }
+
+    #[test]
+    fn rebuild_reanalyzes_coverage_and_logs_warns() {
+        let script = vec![(50.0, StreamAction::Churn)];
+        let mut cfg = quiet_config();
+        cfg.settle_ms = 60.0;
+        let mut d = StreamDriver::new(deployment(), cfg, script);
+        let r = d.run().unwrap();
+        assert_eq!(r.metrics.fcm_rebuilds, 1);
+        assert!(
+            r.metrics.coverage_warnings > 0,
+            "rebuild refreshes the metric: {:?}",
+            r.metrics
+        );
+        let warn_lines = d
+            .log()
+            .lines()
+            .iter()
+            .filter(|l| l.contains("\"event\":\"coverage-finding\""))
+            .count();
+        assert_eq!(
+            warn_lines, r.metrics.coverage_warnings as usize,
+            "rebuild surfaces each WARN in the JSONL"
+        );
+    }
+
+    #[test]
+    fn fixed_cadence_stream_raises_within_the_hysteresis_bound() {
+        // With `raise_k = 2` and a fixed 40 ms cadence, a stream that only
+        // ever polls at the fixed interval pays a full 40 ms per quorum
+        // round: first anomalous verdict up to ~40 ms after injection, then
+        // another ~40 ms before the raise — the alarm starves behind the
+        // hysteresis window. The suspicion snap halves the shard's timers
+        // after the first anomalous round, so the raise lands within the
+        // `raise_k × interval` bound instead of past it.
+        let script = vec![
+            (40.0, StreamAction::Inject(AnomalyKind::PathDeviation)),
+            (240.0, StreamAction::Revert),
+        ];
+        let mut cfg = quiet_config();
+        cfg.duration_ms = 400.0;
+        cfg.cadence = CadenceConfig::fixed(40.0);
+        let mut d = StreamDriver::new(deployment(), cfg, script);
+        let r = d.run().unwrap();
+        assert_eq!(r.metrics.alarms_raised, 1, "{:?}", r.metrics);
+        let lat = r.metrics.alarm_latency_ms.expect("alarm after inject");
+        let bound = 2.0 * 40.0;
+        assert!(
+            lat <= bound,
+            "suspicion snap must beat the fixed-cadence starvation: \
+             latency {lat} ms > bound {bound} ms"
+        );
+        assert_eq!(r.alarm_state, AlarmState::Normal, "revert clears");
     }
 
     #[test]

@@ -46,9 +46,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod cholesky;
 mod dense;
 mod error;

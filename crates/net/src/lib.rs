@@ -25,9 +25,6 @@
 //! assert_eq!(topo.host_count(), 16);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod generators;
 pub mod partition;
 mod topology;

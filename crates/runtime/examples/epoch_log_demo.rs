@@ -10,8 +10,6 @@
 //! (a HashMap iteration order leak, an unseeded RNG, a time-dependent
 //! branch), which would also invalidate the golden-file battery.
 
-#![forbid(unsafe_code)]
-
 use foces_controlplane::{provision, uniform_flows, RuleGranularity};
 use foces_dataplane::AnomalyKind;
 use foces_net::generators::fattree;

@@ -44,9 +44,6 @@
 //!   reset → replay → (inject/revert) → poll → detect per epoch; the
 //!   `foces run` CLI subcommand and the cross-crate fault test sit on it.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod degraded;
 pub mod harness;
 pub mod hysteresis;

@@ -49,6 +49,11 @@ pub struct RuntimeMetrics {
     /// Static findings across all verification passes (loops, blackholes,
     /// shadowed rules, FCM inconsistencies).
     pub static_violations: u64,
+    /// Coverage analysis passes (pre-flight plus one after every rebuild).
+    pub coverage_passes: u64,
+    /// WARN-severity coverage findings across all passes (absorption-prone
+    /// switches, LOO rank loss, rank-deficient shards).
+    pub coverage_warnings: u64,
     /// Full rounds solved on the warm path (cached factor patched and
     /// reused).
     pub warm_solves: u64,
@@ -135,6 +140,8 @@ impl RuntimeMetrics {
         num(&mut s, "fcm_rebuilds", self.fcm_rebuilds as f64);
         num(&mut s, "verify_passes", self.verify_passes as f64);
         num(&mut s, "static_violations", self.static_violations as f64);
+        num(&mut s, "coverage_passes", self.coverage_passes as f64);
+        num(&mut s, "coverage_warnings", self.coverage_warnings as f64);
         num(&mut s, "warm_solves", self.warm_solves as f64);
         num(&mut s, "cold_solves", self.cold_solves as f64);
         num(&mut s, "warm_fallbacks", self.warm_fallbacks as f64);

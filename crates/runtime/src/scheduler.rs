@@ -188,10 +188,7 @@ impl EpochScheduler {
     /// `None` — and changes nothing — when no agent for that switch
     /// exists. This is how a scenario compromises (or restores) a switch
     /// mid-run without rebuilding the scheduler.
-    pub fn replace_agent(
-        &mut self,
-        agent: Box<dyn SwitchAgent>,
-    ) -> Option<Box<dyn SwitchAgent>> {
+    pub fn replace_agent(&mut self, agent: Box<dyn SwitchAgent>) -> Option<Box<dyn SwitchAgent>> {
         let s = agent.switch();
         let pos = self.agents.iter().position(|a| a.switch() == s)?;
         Some(std::mem::replace(&mut self.agents[pos], agent))

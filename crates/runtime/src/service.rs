@@ -15,9 +15,10 @@ use crate::parallel::detect_parallel;
 use crate::scheduler::{EpochScheduler, PollPolicy};
 use crate::transport::SimTransport;
 use foces::{
-    cross_validate, k_resilient_verdict, localize, AlarmState, ColdReason, Detector, Fcm,
-    FcmDelta, FocesError, ResilienceReport, SlicedFcm, SlicedVerdict, SolvePath, SuspicionConfig,
-    SuspicionTracker, SwitchSuspicion, Verdict, DEFAULT_THRESHOLD,
+    analyze_coverage, cross_validate, k_resilient_verdict, localize, AlarmState, ColdReason,
+    CoverageConfig, CoverageReport, Detector, Fcm, FcmDelta, FocesError, ResilienceReport,
+    SlicedFcm, SlicedVerdict, SolvePath, SuspicionConfig, SuspicionTracker, SwitchSuspicion,
+    Verdict, DEFAULT_THRESHOLD,
 };
 use foces_channel::{ChannelError, SwitchAgent, Transport};
 use foces_controlplane::ControllerView;
@@ -246,6 +247,10 @@ pub struct RuntimeService {
     quiet_streak: u32,
     /// Alarm is up but leave-one-out could not pin a single liar.
     byz_unresolved: bool,
+    /// The most recent coverage analysis: the pre-flight pass at
+    /// construction, refreshed after every FCM rebuild. `None` only when
+    /// the FCM was empty or degenerate beyond analysis.
+    coverage: Option<CoverageReport>,
 }
 
 /// Statically verifies `view` (and `fcm` against it), treating
@@ -273,6 +278,28 @@ fn verify_closure(view: &ControllerView, fcm: &Fcm, metrics: &mut RuntimeMetrics
     report
 }
 
+/// Runs the static coverage analysis on `fcm` and accounts it in
+/// `metrics`, logging each WARN finding to `log` when one is given.
+/// Degenerate FCMs (empty) yield `None` instead of failing the service —
+/// detection itself reports the emptiness on the first epoch.
+fn coverage_closure(
+    fcm: &Fcm,
+    metrics: &mut RuntimeMetrics,
+    log: Option<&mut EventLog>,
+) -> Option<CoverageReport> {
+    let report = analyze_coverage(fcm, &CoverageConfig::default()).ok()?;
+    metrics.coverage_passes += 1;
+    metrics.coverage_warnings += report.warn_count() as u64;
+    if let Some(log) = log {
+        for f in &report.findings {
+            if f.severity.is_warn() {
+                log.record(f.to_json());
+            }
+        }
+    }
+    Some(report)
+}
+
 impl RuntimeService {
     /// Builds a service for `view`, polling `agents` through `transport`.
     /// Runs the full-system detectability audit once up front.
@@ -284,9 +311,11 @@ impl RuntimeService {
     ) -> Self {
         let fcm = Fcm::from_view(view);
         // Pre-flight gate: prove the configuration sound before trusting
-        // counter equations built from it.
+        // counter equations built from it, and statically score how much
+        // detection/localization coverage it actually provides.
         let mut metrics = RuntimeMetrics::default();
         let verification = verify_closure(view, &fcm, &mut metrics);
+        let coverage = coverage_closure(&fcm, &mut metrics, None);
         let static_touched = verification.implicated_rules();
         let sliced = SlicedFcm::from_fcm(&fcm);
         let detector = Detector::with_threshold(config.threshold);
@@ -308,6 +337,7 @@ impl RuntimeService {
             quarantined: BTreeSet::new(),
             quiet_streak: 0,
             byz_unresolved: false,
+            coverage,
         }
     }
 
@@ -367,6 +397,12 @@ impl RuntimeService {
         &self.verification
     }
 
+    /// The most recent coverage analysis (pre-flight, refreshed after
+    /// every FCM rebuild); `None` if the FCM was empty.
+    pub fn coverage(&self) -> Option<&CoverageReport> {
+        self.coverage.as_ref()
+    }
+
     /// Rules implicated by the verification's critical findings. While
     /// non-empty, every epoch is detected reconciled with these rows
     /// masked (see [`EpochReport::static_violations`]).
@@ -395,10 +431,7 @@ impl RuntimeService {
     /// Swaps in a new agent for its switch (compromise or restore a switch
     /// mid-run), returning the displaced agent — `None` if the switch is
     /// not polled by this service.
-    pub fn replace_agent(
-        &mut self,
-        agent: Box<dyn SwitchAgent>,
-    ) -> Option<Box<dyn SwitchAgent>> {
+    pub fn replace_agent(&mut self, agent: Box<dyn SwitchAgent>) -> Option<Box<dyn SwitchAgent>> {
         self.scheduler.replace_agent(agent)
     }
 
@@ -527,10 +560,7 @@ impl RuntimeService {
             // Residuals from full and row-masked rounds attribute cleanly
             // to switches; reconciled rounds mix generations and blind
             // rounds have nothing, so neither feeds suspicion.
-            let scorable = matches!(
-                mode,
-                DetectionMode::Full | DetectionMode::Degraded { .. }
-            );
+            let scorable = matches!(mode, DetectionMode::Full | DetectionMode::Degraded { .. });
             if scorable {
                 if let Some(v) = &verdict {
                     // Row-masking preserves order, so the solved rows are
@@ -545,7 +575,8 @@ impl RuntimeService {
                         .map(|(r, _)| *r)
                         .collect();
                     if scored.len() == v.solve.residual.len() {
-                        self.suspicion.observe(&scored, &v.solve.residual, v.anomalous);
+                        self.suspicion
+                            .observe(&scored, &v.solve.residual, v.anomalous);
                         self.metrics.suspicion_rounds += 1;
                     }
                 }
@@ -597,8 +628,12 @@ impl RuntimeService {
             // On the raise epoch, probe whether the verdict survives
             // silencing the top suspects (k-resilience).
             if scorable && alarm_raised && byz.resilience_k > 0 {
-                let ranked: Vec<SwitchId> =
-                    self.suspicion.ranked().into_iter().map(|(s, _)| s).collect();
+                let ranked: Vec<SwitchId> = self
+                    .suspicion
+                    .ranked()
+                    .into_iter()
+                    .map(|(s, _)| s)
+                    .collect();
                 if !ranked.is_empty() {
                     let rep = k_resilient_verdict(
                         self.pipeline.detector(),
@@ -693,6 +728,11 @@ impl RuntimeService {
                 (delta.rows_added + delta.rows_removed + delta.rows_retouched) as u64;
             self.metrics.delta_cols += delta.column_churn() as u64;
             self.verification = verify_closure(view, &fcm, &mut self.metrics);
+            // Churn can erode coverage (e.g. a reroute concentrating rows
+            // on one switch): re-score it the same epoch it happens. The
+            // WARN lines are recorded after this epoch's own line so the
+            // log stays one-epoch-per-line-then-findings.
+            self.coverage = coverage_closure(&fcm, &mut self.metrics, None);
             self.static_touched = self.verification.implicated_rules();
             self.sliced = SlicedFcm::from_fcm(&fcm);
             // Retarget (not rebuild) the pipeline: the incremental
@@ -736,6 +776,13 @@ impl RuntimeService {
             json_str(&self.alarm.state().to_string()),
             json_f64(collection.elapsed_ms),
         ));
+        if verified {
+            if let Some(cov) = &self.coverage {
+                for f in cov.findings.iter().filter(|f| f.severity.is_warn()) {
+                    self.log.record(f.to_json());
+                }
+            }
+        }
 
         Ok(EpochReport {
             epoch,
@@ -934,6 +981,47 @@ mod tests {
         assert_eq!(r.static_violations, 0);
         assert!(svc.log().lines()[0].contains("\"verified\":false"));
         assert!(svc.log().lines()[0].contains("\"static_violations\":0"));
+    }
+
+    #[test]
+    fn preflight_coverage_runs_and_flags_the_ring() {
+        // ring(4) is exactly the PR 7 absorption case: the pre-flight
+        // analysis must come back with row-share WARNs and certificates.
+        let dep = deployment();
+        let transport = SimTransport::new(11, FaultProfile::default());
+        let svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        let cov = svc.coverage().expect("non-empty FCM analyzes");
+        assert!(cov.warn_count() > 0, "ring(4) has absorption blind spots");
+        assert!(
+            cov.findings.iter().any(|f| f.certificate.is_some()),
+            "WARNs carry certificates"
+        );
+        assert_eq!(svc.metrics().coverage_passes, 1);
+        assert_eq!(svc.metrics().coverage_warnings, cov.warn_count() as u64);
+    }
+
+    #[test]
+    fn rebuild_reanalyzes_coverage_and_logs_warns() {
+        let topo = ring(4);
+        let flows = uniform_flows(&topo, 12_000.0);
+        let mut dep = provision(topo, &flows, RuleGranularity::PerFlowPair).unwrap();
+        let transport = SimTransport::new(1, FaultProfile::default());
+        let mut svc =
+            RuntimeService::with_sim_transport(&dep.view, transport, RuntimeConfig::default());
+        assert_eq!(svc.metrics().coverage_passes, 1);
+        dep.dataplane.reset_counters();
+        dep.reroute_flow_via(0, &[]).unwrap();
+        dep.replay_traffic(&mut LossModel::none());
+        svc.run_epoch(&dep.dataplane, &dep.view).unwrap();
+        assert_eq!(svc.metrics().coverage_passes, 2, "rebuild re-analyzed");
+        assert!(
+            svc.log()
+                .lines()
+                .iter()
+                .any(|l| l.contains("\"event\":\"coverage-finding\"")),
+            "rebuild-time WARNs reach the event log"
+        );
     }
 
     #[test]

@@ -19,7 +19,6 @@
 //! RUSTFLAGS="--cfg loom" cargo test -p foces-runtime --test loom_model --release
 //! ```
 #![cfg(loom)]
-#![forbid(unsafe_code)]
 
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;

@@ -8,7 +8,6 @@
 //! threads enough times that a refactor which breaks slot publication or
 //! work claiming fails fast. It is also the target the CI `soundness`
 //! job runs under ThreadSanitizer.
-#![forbid(unsafe_code)]
 
 use foces::{Detector, Fcm, SlicedFcm};
 use foces_controlplane::{provision, uniform_flows, RuleGranularity};

@@ -5,7 +5,6 @@
 //! detector keeps scoring the uncompromised remainder and never raises
 //! an alarm. A broken configuration is a configuration bug, not a
 //! compromised switch.
-#![forbid(unsafe_code)]
 
 use foces::AlarmState;
 use foces_controlplane::{provision, uniform_flows, RuleGranularity};

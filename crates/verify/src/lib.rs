@@ -48,9 +48,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod consistency;
 mod report;
 mod shadow;

@@ -25,6 +25,10 @@ pub enum FindingKind {
     /// view does not hold, or a flow column's recorded rule path is not
     /// what the tables actually forward the flow's header along.
     FcmInconsistency,
+    /// An audit walked a deviation path through a rule the FCM has no row
+    /// for: the matrix is stale relative to the plane being audited, so
+    /// the deviation cannot be classified detectable or undetectable.
+    StaleRule,
 }
 
 impl FindingKind {
@@ -35,6 +39,7 @@ impl FindingKind {
             FindingKind::Blackhole => "blackhole",
             FindingKind::ShadowedRule => "shadowed",
             FindingKind::FcmInconsistency => "fcm",
+            FindingKind::StaleRule => "stale-rule",
         }
     }
 
@@ -168,6 +173,11 @@ impl VerifyReport {
         self.of_kind(FindingKind::FcmInconsistency).count()
     }
 
+    /// Number of stale-rule findings (FCM stale relative to the plane).
+    pub fn stale_rules(&self) -> usize {
+        self.of_kind(FindingKind::StaleRule).count()
+    }
+
     /// Findings that poison detection verdicts (everything but shadowing).
     pub fn critical(&self) -> impl Iterator<Item = &Finding> {
         self.findings.iter().filter(|f| f.kind.is_critical())
@@ -195,12 +205,13 @@ impl VerifyReport {
             )
         } else {
             format!(
-                "{} violation(s): {} loop, {} blackhole, {} shadowed, {} fcm ({:.3}s)",
+                "{} violation(s): {} loop, {} blackhole, {} shadowed, {} fcm, {} stale ({:.3}s)",
                 self.findings.len(),
                 self.loops(),
                 self.blackholes(),
                 self.shadowed(),
                 self.inconsistencies(),
+                self.stale_rules(),
                 self.elapsed_secs
             )
         }
@@ -212,7 +223,7 @@ impl VerifyReport {
         let mut lines = Vec::with_capacity(self.findings.len() + 1);
         lines.push(format!(
             "{{\"event\":\"verify\",\"clean\":{},\"findings\":{},\"loops\":{},\
-             \"blackholes\":{},\"shadowed\":{},\"fcm\":{},\"classes\":{},\
+             \"blackholes\":{},\"shadowed\":{},\"fcm\":{},\"stale\":{},\"classes\":{},\
              \"rules\":{},\"flows\":{},\"elapsed_secs\":{:.6}}}",
             self.is_clean(),
             self.findings.len(),
@@ -220,6 +231,7 @@ impl VerifyReport {
             self.blackholes(),
             self.shadowed(),
             self.inconsistencies(),
+            self.stale_rules(),
             self.classes_traced,
             self.rules_checked,
             self.flows_checked,

@@ -3,7 +3,6 @@
 //! exists to catch — loop-forming next-hop rewrites, deleted last-hop
 //! rules, broader higher-priority shadow rules — must be caught with a
 //! concrete counterexample header that actually exhibits the violation.
-#![forbid(unsafe_code)]
 
 use foces_controlplane::{provision, uniform_flows, ControllerView, Deployment, RuleGranularity};
 use foces_dataplane::{dst_match, pair_header, Action, FlowTable};

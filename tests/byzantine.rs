@@ -82,7 +82,11 @@ fn single_liar_is_localized_within_the_hysteresis_bound() {
         }
     }
     assert_eq!(reports.len(), EPOCHS as usize);
-    assert_eq!(liars.len(), 1, "the scenario compromises exactly one switch");
+    assert_eq!(
+        liars.len(),
+        1,
+        "the scenario compromises exactly one switch"
+    );
     let liar = liars[0];
 
     // The liar is localized, exactly once, within the bound.
@@ -96,7 +100,11 @@ fn single_liar_is_localized_within_the_hysteresis_bound() {
         "exactly one localization event, got {localized:?}"
     );
     let (when, who) = localized[0];
-    assert_eq!(who, liar, "localized s{} but the liar is s{}", who.0, liar.0);
+    assert_eq!(
+        who, liar,
+        "localized s{} but the liar is s{}",
+        who.0, liar.0
+    );
     assert!(
         when >= FAKE_AT,
         "localization at {when} predates the compromise"
@@ -165,11 +173,17 @@ fn honest_churning_network_is_never_quarantined() {
     let mut driver = ScenarioDriver::new(testbed(), scenario, byzantine_config());
     let reports = driver.run().expect("no round may fail outright");
 
-    assert!(driver.churn_events() > 0, "the schedule must actually churn");
+    assert!(
+        driver.churn_events() > 0,
+        "the schedule must actually churn"
+    );
     let m = *driver.service().metrics();
     assert_eq!(m.alarms_raised, 0, "honest churn is not an anomaly");
     assert_eq!(m.liars_localized, 0);
-    assert_eq!(m.switch_quarantines, 0, "no honest switch may be quarantined");
+    assert_eq!(
+        m.switch_quarantines, 0,
+        "no honest switch may be quarantined"
+    );
     assert_eq!(m.unresolved_byzantine, 0);
     for r in &reports {
         assert!(

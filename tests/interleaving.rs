@@ -115,8 +115,11 @@ fn every_interleaving_of_update_and_collection_reconciles_without_alarm() {
     for &split in &SPLITS {
         let mut dep = testbed();
         let (flow, waypoint, _) = planned_update(&dep);
-        let mut service =
-            RuntimeService::with_sim_transport(&dep.view, quiet_transport(), RuntimeConfig::default());
+        let mut service = RuntimeService::with_sim_transport(
+            &dep.view,
+            quiet_transport(),
+            RuntimeConfig::default(),
+        );
 
         for epoch in 0..6u64 {
             let r = if epoch == UPDATE_AT {
@@ -129,7 +132,10 @@ fn every_interleaving_of_update_and_collection_reconciles_without_alarm() {
                 "split {split}: healthy epoch {epoch} scored anomalous ({:?})",
                 r.mode
             );
-            assert!(!r.alarm_raised, "split {split}: false alarm at epoch {epoch}");
+            assert!(
+                !r.alarm_raised,
+                "split {split}: false alarm at epoch {epoch}"
+            );
             if epoch == UPDATE_AT {
                 assert!(r.churn, "split {split}: the update epoch must flag churn");
                 assert!(
@@ -141,7 +147,10 @@ fn every_interleaving_of_update_and_collection_reconciles_without_alarm() {
         }
         let m = *service.metrics();
         assert_eq!(m.alarms_raised, 0, "split {split}");
-        assert!(m.fcm_rebuilds > 0, "split {split}: the FCM must follow the view");
+        assert!(
+            m.fcm_rebuilds > 0,
+            "split {split}: the FCM must follow the view"
+        );
         assert_eq!(service.state(), AlarmState::Normal, "split {split}");
     }
 }

@@ -97,7 +97,7 @@ proptest! {
         let mut canon = deviated.clone();
         canon.sort_unstable();
         canon.dedup();
-        let oracle_detectable = is_detectable(&fcm, &canon);
+        let oracle_detectable = is_detectable(&fcm, &canon).unwrap();
         prop_assert_eq!(
             verdict.anomalous,
             oracle_detectable,
@@ -154,7 +154,7 @@ fn theorem2_undetectable_implies_rbg_loop_on_paper_topologies() {
         let fcm = Fcm::from_view(&dep.view);
         let audit = audit_deviations(&dep.view, &fcm, 400);
         for c in &audit.undetectable {
-            assert!(undetectable_by_rank(&fcm, &c.deviated_history));
+            assert!(undetectable_by_rank(&fcm, &c.deviated_history).unwrap());
             assert!(
                 rbg_loop_exists(&fcm, &c.deviated_history),
                 "undetectable deviation without an RBG loop: {c:?}"
