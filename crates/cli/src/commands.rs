@@ -15,6 +15,7 @@ use foces_ingest::{CadenceConfig, LinkSpec, StreamAction, StreamConfig, StreamDr
 use foces_runtime::{
     ByzantineConfig, DetectionMode, EventLog, FaultScenario, RuntimeConfig, ScenarioDriver,
 };
+use foces_sched::{run_interleave, InterleaveConfig, ScheduleSet};
 use foces_verify::{verify_view, Finding, FindingKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,9 +27,11 @@ pub type CmdError = Box<dyn std::error::Error>;
 /// A command's rendered report plus the process exit code `main` should
 /// propagate. `0` is a clean run; `foces run` exits `2` when the service
 /// ends with an unresolved alarm, `foces audit` exits `3` when static
-/// verification finds rule-table violations, and `--coverage-strict` (or
-/// `foces coverage --strict`) exits `4` when the pre-flight coverage
-/// analyzer has WARN findings, so scripts and CI can gate on each.
+/// verification finds rule-table violations, `foces interleave` exits `2`
+/// when any enumerated schedule violates a soundness oracle, and
+/// `--coverage-strict` (or `foces coverage --strict`) exits `4` when the
+/// pre-flight coverage analyzer has WARN findings, so scripts and CI can
+/// gate on each.
 #[derive(Debug)]
 pub struct CmdOutput {
     /// Human-readable report for stdout.
@@ -92,6 +95,14 @@ USAGE:
                  sharded detection: k region shards on a work-stealing pool,
                  per-shard warm solvers, fault isolation; exits 2 if the run
                  ends with an unresolved alarm
+  foces interleave <scenario> [--updates N] [--segments K] [--schedules N --seed S]
+                 [--uniform] [--update-at E] [--epochs-after N] [--shards K]
+                 [--threshold T] [--no-dropper] [--no-fanout] [--json]
+                 schedule-enumeration conformance: N concurrent reroutes whose
+                 per-switch commits race counter collection (and the shard
+                 fan-out); exhaustive by default with DPOR-style trace pruning,
+                 bounded deterministic sampling via --schedules/--seed; exits 2
+                 on any oracle violation, with the minimal failing schedule
   foces audit    <scenario> [--cap N] [--json]       static rule-table verification
                  (loops, blackholes, shadowed rules, FCM consistency, stale
                  rules) plus detectability blind spots; exits 3 on static
@@ -1357,6 +1368,141 @@ pub fn coverage_cmd(args: &Args) -> Result<CmdOutput, CmdError> {
     })
 }
 
+/// `foces interleave <scenario> ...` — schedule-enumeration conformance
+/// for concurrent updates racing counter collection: stages `--updates`
+/// reroutes, enumerates every non-equivalent per-switch commit schedule
+/// (or a bounded `--schedules`/`--seed` sample), executes each against a
+/// real runtime service, and holds it to the soundness oracles. Exits
+/// `2` on any violation, reporting the shrunk minimal failing schedule.
+/// `--json` emits the deterministic schedule log (byte-identical across
+/// runs with the same inputs and seed).
+pub fn interleave(args: &Args) -> Result<CmdOutput, CmdError> {
+    let (_, dep) = load(args)?;
+    let mut cfg = InterleaveConfig {
+        updates: args.num("updates", 2)?,
+        segments: args.num("segments", 2)?,
+        ..InterleaveConfig::default()
+    };
+    cfg.mode = if let Some(count) = args.opt("schedules") {
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("--schedules: cannot parse {count:?}"))?;
+        ScheduleSet::Sample {
+            count,
+            seed: args.num("seed", 7)?,
+        }
+    } else if args.flag("uniform") {
+        ScheduleSet::Uniform
+    } else {
+        ScheduleSet::Exhaustive
+    };
+    cfg.harness.update_at = args.num("update-at", cfg.harness.update_at)?;
+    cfg.harness.epochs_after = args.num("epochs-after", cfg.harness.epochs_after)?;
+    cfg.harness.runtime.threshold = args.num("threshold", cfg.harness.runtime.threshold)?;
+    cfg.check_dropper = !args.flag("no-dropper");
+    cfg.fanout_shards = if args.flag("no-fanout") {
+        None
+    } else {
+        Some(args.num("shards", 2)?)
+    };
+
+    let report = run_interleave(&dep, &cfg)?;
+    let mut out = String::new();
+    if args.flag("json") {
+        for line in report.json_lines() {
+            writeln!(out, "{line}")?;
+        }
+    } else {
+        let flows: Vec<String> = report
+            .plans
+            .iter()
+            .map(|p| format!("f{}", p.flow))
+            .collect();
+        writeln!(
+            out,
+            "staged {} concurrent reroute(s) [{}], {} per-switch commit events",
+            report.plans.len(),
+            flows.join(", "),
+            report.events.len()
+        )?;
+        writeln!(
+            out,
+            "schedules: {} explored, {} equivalent linearizations pruned",
+            report.explored, report.pruned
+        )?;
+        let uniform = report
+            .outcomes
+            .iter()
+            .filter(|o| o.schedule.is_uniform())
+            .count();
+        writeln!(
+            out,
+            "  {uniform} uniform (global-split) schedules among them"
+        )?;
+        if cfg.check_dropper {
+            let bound = cfg.harness.update_at + cfg.harness.runtime.churn_raise_bound();
+            let worst = report
+                .outcomes
+                .iter()
+                .filter_map(|o| o.dropper_first_raise)
+                .max();
+            match worst {
+                Some(w) => writeln!(
+                    out,
+                    "dropper: caught on every schedule, worst first-raise epoch {w} (bound {bound})"
+                )?,
+                None => writeln!(out, "dropper: dimension produced no first-raise data")?,
+            }
+        }
+        if cfg.fanout_shards.is_some() {
+            let (rounds, reconciled, blind, stale) = report
+                .outcomes
+                .iter()
+                .filter_map(|o| o.fanout.as_ref())
+                .fold((0, 0, 0, 0), |acc, f| {
+                    (
+                        acc.0 + f.rounds,
+                        acc.1 + f.reconciled,
+                        acc.2 + f.blind,
+                        acc.3 + f.stale_rounds,
+                    )
+                });
+            writeln!(
+                out,
+                "fan-out: {rounds} boundary shard rounds ({reconciled} reconciled, {blind} blind, \
+                 {stale} with stale-generation members)"
+            )?;
+        }
+        for o in report.outcomes.iter().filter(|o| !o.violations.is_empty()) {
+            writeln!(out, "  VIOLATION at schedule {}:", o.schedule.label())?;
+            for v in &o.violations {
+                writeln!(out, "    {v}")?;
+            }
+        }
+        match &report.minimal_failing {
+            None => writeln!(out, "verdict: all {} schedules sound", report.explored)?,
+            Some((s, vs)) => {
+                writeln!(out, "minimal failing schedule: {}", s.label())?;
+                for v in vs {
+                    writeln!(out, "    {v}")?;
+                }
+            }
+        }
+    }
+    let exit_code = if report.ok() { 0 } else { 2 };
+    if exit_code != 0 && !args.flag("json") {
+        writeln!(
+            out,
+            "exit 2: {} oracle violation(s) across the schedule space",
+            report.violation_count()
+        )?;
+    }
+    Ok(CmdOutput {
+        report: out,
+        exit_code,
+    })
+}
+
 /// `foces harden <scenario> [--budget N] [--cap N]`.
 pub fn harden_cmd(args: &Args) -> Result<String, CmdError> {
     let (_, dep) = load(args)?;
@@ -1466,6 +1612,11 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
             "magnitudes",
             "strategies",
             "out",
+            "updates",
+            "segments",
+            "schedules",
+            "update-at",
+            "epochs-after",
         ],
     )?;
     match args.positional(0) {
@@ -1478,6 +1629,7 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
         Some("redteam") => redteam(&args),
         Some("audit") => audit(&args),
         Some("coverage") => coverage_cmd(&args),
+        Some("interleave") => interleave(&args),
         Some("harden") => harden_cmd(&args).map(CmdOutput::clean),
         Some("scenario") => scenario_template(&args).map(CmdOutput::clean),
         Some("help") | None => Ok(CmdOutput::clean(USAGE.to_string())),
@@ -2093,6 +2245,64 @@ mod tests {
             out.report.contains("\"kind\":\"row-share-absorption\""),
             "{}",
             out.report
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn interleave_bounded_sample_is_sound_and_deterministic() {
+        let path =
+            scenario_file("topology fattree 4\ngranularity per-pair\nall-pairs-sample 1000 60 7\n");
+        let cmd = |extra: &[&str]| {
+            let mut parts = vec!["interleave", path.to_str().unwrap()];
+            parts.extend_from_slice(extra);
+            run_full(argv(&parts)).unwrap()
+        };
+        let human = cmd(&[
+            "--updates=1",
+            "--segments=2",
+            "--schedules=2",
+            "--seed=5",
+            "--no-dropper",
+            "--no-fanout",
+        ]);
+        assert_eq!(human.exit_code, 0, "{}", human.report);
+        assert!(
+            human.report.contains("schedules: 2 explored"),
+            "{}",
+            human.report
+        );
+        assert!(
+            human.report.contains("verdict: all 2 schedules sound"),
+            "{}",
+            human.report
+        );
+        let json_args = [
+            "--updates=1",
+            "--segments=2",
+            "--schedules=2",
+            "--seed=5",
+            "--no-dropper",
+            "--no-fanout",
+            "--json",
+        ];
+        let a = cmd(&json_args);
+        let b = cmd(&json_args);
+        assert_eq!(a.exit_code, 0, "{}", a.report);
+        assert_eq!(
+            a.report, b.report,
+            "same seed must give byte-identical logs"
+        );
+        let lines: Vec<&str> = a.report.lines().collect();
+        assert!(
+            lines[0].contains("\"event\":\"interleave-plan\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines.last().unwrap().contains("\"violations\":0"),
+            "{}",
+            a.report
         );
         let _ = std::fs::remove_file(path);
     }

@@ -34,10 +34,12 @@
 
 pub mod completion;
 mod metrics;
+pub mod reconcile;
 mod service;
 
 pub use completion::ShardCompletion;
 pub use metrics::ClusterMetrics;
+pub use reconcile::{reconcile_shard_round, ShardRound, ShardRoundKind};
 pub use service::{
     ClusterConfig, ClusterEpochReport, ClusterService, DegradeReason, DetectabilityReport,
     ShardFault, ShardHealth, ShardReport,

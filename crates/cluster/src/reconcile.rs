@@ -1,0 +1,111 @@
+//! Per-shard reconciliation of churned or incomplete rounds — the PR-2
+//! journal/quarantine pattern applied to one shard's sub-system.
+//!
+//! Both consumers of the shard fan-out need exactly this round shape: the
+//! event-driven `foces-ingest::StreamDriver` when a shard's completion
+//! edge fires mid-update, and the `foces-sched` schedule harness when it
+//! replays a shard round at an arbitrary point of an enumerated commit
+//! schedule. Extracting it here keeps the two byte-for-byte identical —
+//! the conformance the harness checks is only meaningful if the checked
+//! code is the deployed code.
+
+use foces::{Detector, Fcm, FocesError, ShardView, Verdict};
+use foces_dataplane::RuleRef;
+
+/// How a reconciled shard round was scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRoundKind {
+    /// Masking left no solvable sub-system; the round is skipped, not
+    /// fabricated (sound: no verdict is better than a wrong one).
+    Blind,
+    /// Rule generations were mixed (journal churn or a stale-generation
+    /// member); the masked verdict counts, but its residuals must never
+    /// feed per-switch suspicion.
+    Reconciled,
+    /// No churn, but some closure rows were unobserved; the row-masked
+    /// verdict is sound on the remaining equations.
+    Degraded,
+}
+
+impl ShardRoundKind {
+    /// The JSONL label the stream driver logs for this round kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardRoundKind::Blind => "blind",
+            ShardRoundKind::Reconciled => "reconciled",
+            ShardRoundKind::Degraded => "degraded",
+        }
+    }
+}
+
+/// The outcome of [`reconcile_shard_round`].
+#[derive(Debug, Clone)]
+pub struct ShardRound {
+    /// How the round was scored.
+    pub kind: ShardRoundKind,
+    /// The masked verdict, absent for blind rounds.
+    pub verdict: Option<Verdict>,
+    /// The rules whose residuals may feed suspicion scoring — empty for
+    /// blind *and* reconciled rounds (mixed generations lie).
+    pub scored_rules: Vec<RuleRef>,
+}
+
+/// Scores one shard round whose counters mix rule generations (`churn`)
+/// or miss closure rows (`!sub_observed.all()`): quarantines the flow
+/// columns the journal's `touched` rules cross (resolved against the
+/// **parent** FCM — a flow rerouted outside this region still mixes
+/// generations inside it), masks the quarantine's closure rows and the
+/// touched rules' own rows, drops unobserved rows on top, and solves the
+/// remaining sub-system.
+///
+/// `sub_counters` and `sub_observed` are in the shard's parent-row order
+/// ([`ShardView::sub_counters`]).
+///
+/// # Errors
+///
+/// Propagates solver failures from [`Detector::detect_masked`].
+pub fn reconcile_shard_round(
+    view: &ShardView<'_>,
+    parent_fcm: &Fcm,
+    detector: &Detector,
+    sub_counters: &[f64],
+    sub_observed: &[bool],
+    touched: &[RuleRef],
+    churn: bool,
+) -> Result<ShardRound, FocesError> {
+    let parent_q = parent_fcm.columns_touching(touched);
+    let shard_q: Vec<bool> = view.parent_columns.iter().map(|&j| parent_q[j]).collect();
+    let closure = view.sub_fcm.rows_touching(&shard_q);
+    let mut keep: Vec<bool> = sub_observed
+        .iter()
+        .zip(&closure)
+        .map(|(&o, &c)| o && !c)
+        .collect();
+    for r in touched {
+        if let Some(row) = view.sub_fcm.rule_row(*r) {
+            keep[row] = false;
+        }
+    }
+    let masked = view.sub_fcm.quarantine(&keep, &shard_q);
+    if masked.fcm().rule_count() == 0 || masked.fcm().flow_count() == 0 {
+        return Ok(ShardRound {
+            kind: ShardRoundKind::Blind,
+            verdict: None,
+            scored_rules: Vec::new(),
+        });
+    }
+    let verdict = detector.detect_masked(&masked, sub_counters)?;
+    if churn {
+        Ok(ShardRound {
+            kind: ShardRoundKind::Reconciled,
+            verdict: Some(verdict),
+            scored_rules: Vec::new(),
+        })
+    } else {
+        Ok(ShardRound {
+            kind: ShardRoundKind::Degraded,
+            verdict: Some(verdict),
+            scored_rules: masked.fcm().rules().to_vec(),
+        })
+    }
+}

@@ -372,36 +372,7 @@ impl Deployment {
         spec: FlowSpec,
         waypoints: &[SwitchId],
     ) -> Result<(Vec<RuleRef>, Vec<SwitchId>), ProvisionError> {
-        let topo = self.dataplane.topology();
-        let (src_sw, _) = topo
-            .host_attachment(spec.src)
-            .ok_or(ProvisionError::UnattachedHost(spec.src))?;
-        let (dst_sw, dst_port) = topo
-            .host_attachment(spec.dst)
-            .ok_or(ProvisionError::UnattachedHost(spec.dst))?;
-        // Stitch switch-level shortest-path segments through the waypoints.
-        let mut path: Vec<SwitchId> = vec![src_sw];
-        let mut stops: Vec<SwitchId> = waypoints.to_vec();
-        stops.push(dst_sw);
-        for stop in stops {
-            let from = *path.last().expect("path starts non-empty");
-            let segment = topo
-                .shortest_path(foces_net::Node::Switch(from), foces_net::Node::Switch(stop))
-                .ok_or(ProvisionError::WaypointUnreachable { waypoint: stop })?;
-            for node in segment.into_iter().skip(1) {
-                let foces_net::Node::Switch(sw) = node else {
-                    unreachable!("switch-to-switch paths never transit hosts");
-                };
-                path.push(sw);
-            }
-        }
-        // Simplicity check.
-        let mut seen = std::collections::HashSet::new();
-        for &sw in &path {
-            if !seen.insert(sw) {
-                return Err(ProvisionError::NonSimplePath { switch: sw });
-            }
-        }
+        let (path, dst_port) = self.stitch_waypoint_path(spec, waypoints)?;
         // Install per-pair rules along the stitched path, at a priority
         // above plain per-pair forwarding (10): a waypoint policy for a
         // pair overrides any shortest-path rule already installed for it.
@@ -458,7 +429,143 @@ impl Deployment {
         flow: usize,
         waypoints: &[SwitchId],
     ) -> Result<(u64, Vec<RuleRef>), ProvisionError> {
+        let staged = self.stage_reroute_via(flow, waypoints)?;
+        self.commit_staged(&staged);
+        Ok((staged.generation, staged.rule_refs()))
+    }
+
+    /// The planning half of [`Deployment::reroute_flow_via`], with **no
+    /// side effects**: computes the stitched path the reroute would take
+    /// and validates it, without touching the view, the journal, or the
+    /// data plane. `Ok` here guarantees `stage_reroute_via` with the same
+    /// arguments succeeds (path computation depends only on the topology).
+    ///
+    /// This is the clone-free reroutability probe test harnesses should
+    /// use instead of `dep.clone()` + a speculative reroute.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Deployment::add_flow_via`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn probe_reroute_via(
+        &self,
+        flow: usize,
+        waypoints: &[SwitchId],
+    ) -> Result<Vec<SwitchId>, ProvisionError> {
+        let (path, _) = self.stitch_waypoint_path(self.flows[flow], waypoints)?;
+        Ok(path)
+    }
+
+    /// **Stages** a journaled reroute without pushing anything to the data
+    /// plane: the new path's rules are installed into the controller's
+    /// view, the update is journaled (generation bumped) exactly as
+    /// [`Deployment::reroute_flow_via`] would, and the flow's expected
+    /// path moves — but every switch still forwards with its old table
+    /// until [`Deployment::commit_switch`] delivers its FlowMods.
+    ///
+    /// This models what a real controller does: the journal entry and the
+    /// intent exist the moment the update is *issued*; each switch applies
+    /// its rules (and acknowledges the new generation) at its own
+    /// independent commit point. The window between stage and the last
+    /// commit is exactly the race the runtime's reconciliation must absorb.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Deployment::add_flow_via`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn stage_reroute_via(
+        &mut self,
+        flow: usize,
+        waypoints: &[SwitchId],
+    ) -> Result<StagedUpdate, ProvisionError> {
         let spec = self.flows[flow];
+        let (path, dst_port) = self.stitch_waypoint_path(spec, waypoints)?;
+        let old_path = std::mem::replace(&mut self.expected_paths[flow], path.clone());
+        // Old-path rules must be resolved BEFORE the install: on switches
+        // shared by both paths the lookup would otherwise find the new
+        // (higher-priority) rule and miss the one being drained.
+        let mut touched = self.pair_rules_on(&old_path, spec);
+        let planned = self.plan_pair_rules_along(spec, &path, dst_port, &[&old_path, &path]);
+        let installs: Vec<(RuleRef, Rule)> = planned
+            .into_iter()
+            .map(|(sw, rule)| (self.view.install(sw, rule.clone()), rule))
+            .collect();
+        touched.extend(installs.iter().map(|(r, _)| *r));
+        touched.sort_unstable();
+        touched.dedup();
+        let generation = self
+            .view
+            .record_update(UpdateKind::Reroute, touched, vec![flow]);
+        Ok(StagedUpdate {
+            flow,
+            generation,
+            old_path,
+            new_path: path,
+            installs,
+        })
+    }
+
+    /// Commits one switch's share of a staged reroute: installs its staged
+    /// rules on the live data plane and stamps its table with the staged
+    /// generation. Returns the number of rules pushed (0 if the update has
+    /// none for this switch — nothing is stamped then).
+    ///
+    /// Commit order across *switches* is free — that freedom is the
+    /// schedule space `foces-sched` enumerates. Commit order *per switch*
+    /// is not: an OpenFlow connection delivers FlowMods in order, so when
+    /// several staged updates target the same switch they must commit in
+    /// stage order there. The index-lockstep assertion below enforces
+    /// exactly that (a violation would silently desynchronize the view
+    /// from the data plane, so it is a panic, not an error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a staged rule would land at a different index than the
+    /// view recorded — i.e. per-switch FIFO order was violated, or the
+    /// same staged update was committed twice.
+    pub fn commit_switch(&mut self, staged: &StagedUpdate, switch: SwitchId) -> usize {
+        let mut pushed = 0;
+        for (target, rule) in &staged.installs {
+            if target.switch != switch {
+                continue;
+            }
+            let r = self.dataplane.install(switch, rule.clone());
+            assert_eq!(
+                r.index, target.index,
+                "per-switch commits must follow stage order (FIFO FlowMod channel)"
+            );
+            pushed += 1;
+        }
+        if pushed > 0 {
+            self.dataplane
+                .set_table_generation(switch, staged.generation);
+        }
+        pushed
+    }
+
+    /// Commits a staged reroute on every switch of its new path, in path
+    /// order — the degenerate "all commit points coincide" schedule, which
+    /// is what the non-staged [`Deployment::reroute_flow_via`] performs.
+    pub fn commit_staged(&mut self, staged: &StagedUpdate) {
+        for sw in staged.switches() {
+            self.commit_switch(staged, sw);
+        }
+    }
+
+    /// Stitches switch-level shortest-path segments from `spec.src`'s
+    /// attachment through `waypoints` to the destination and validates
+    /// simplicity. Pure: the planning half of every waypoint route.
+    fn stitch_waypoint_path(
+        &self,
+        spec: FlowSpec,
+        waypoints: &[SwitchId],
+    ) -> Result<(Vec<SwitchId>, foces_net::Port), ProvisionError> {
         let topo = self.dataplane.topology();
         let (src_sw, _) = topo
             .host_attachment(spec.src)
@@ -487,22 +594,7 @@ impl Deployment {
                 return Err(ProvisionError::NonSimplePath { switch: sw });
             }
         }
-        let old_path = std::mem::replace(&mut self.expected_paths[flow], path.clone());
-        // Old-path rules must be resolved BEFORE the install: on switches
-        // shared by both paths the lookup would otherwise find the new
-        // (higher-priority) rule and miss the one being drained.
-        let mut touched = self.pair_rules_on(&old_path, spec);
-        let new_rules = self.install_pair_rules_along(spec, &path, dst_port, &[&old_path, &path]);
-        touched.extend(new_rules.iter().copied());
-        touched.sort_unstable();
-        touched.dedup();
-        let generation = self
-            .view
-            .record_update(UpdateKind::Reroute, touched, vec![flow]);
-        for r in &new_rules {
-            self.dataplane.set_table_generation(r.switch, generation);
-        }
-        Ok((generation, new_rules))
+        Ok((path, dst_port))
     }
 
     /// **Journaled granularity refinement**: gives flow `flow` dedicated
@@ -580,17 +672,17 @@ impl Deployment {
             .collect()
     }
 
-    /// Installs dedicated per-pair rules for `spec` along `path` (lockstep
-    /// on both planes), at a priority strictly above every rule that
-    /// currently matches the pair on any of `priority_scopes`' switches —
-    /// so the new rules win even over previous reroutes of the same flow.
-    fn install_pair_rules_along(
-        &mut self,
+    /// Plans dedicated per-pair rules for `spec` along `path`, at a
+    /// priority strictly above every rule that currently matches the pair
+    /// on any of `priority_scopes`' switches — so the new rules win even
+    /// over previous reroutes of the same flow. Pure: nothing is installed.
+    fn plan_pair_rules_along(
+        &self,
         spec: FlowSpec,
         path: &[SwitchId],
         dst_port: foces_net::Port,
         priority_scopes: &[&[SwitchId]],
-    ) -> Vec<RuleRef> {
+    ) -> Vec<(SwitchId, Rule)> {
         const REROUTE_BASE_PRIORITY: u16 = 12;
         let header = foces_dataplane::pair_header(spec.src, spec.dst);
         let max_prio = priority_scopes
@@ -605,27 +697,95 @@ impl Deployment {
             .max()
             .unwrap_or(0);
         let priority = max_prio.saturating_add(1).max(REROUTE_BASE_PRIORITY);
-        let mut new_rules = Vec::with_capacity(path.len());
-        for (i, &sw) in path.iter().enumerate() {
-            let port = match path.get(i + 1) {
-                Some(&next) => self
-                    .dataplane
-                    .topology()
-                    .port_towards(foces_net::Node::Switch(sw), foces_net::Node::Switch(next))
-                    .expect("consecutive path switches are adjacent"),
-                None => dst_port,
-            };
-            let rule = Rule::new(
-                pair_match(spec.src, spec.dst),
-                priority,
-                Action::Forward(port),
-            );
-            let r = self.dataplane.install(sw, rule.clone());
-            let view_index = self.view.tables[sw.0].push(rule);
-            debug_assert_eq!(view_index, r.index, "view and data plane in lockstep");
-            new_rules.push(r);
-        }
-        new_rules
+        path.iter()
+            .enumerate()
+            .map(|(i, &sw)| {
+                let port = match path.get(i + 1) {
+                    Some(&next) => self
+                        .dataplane
+                        .topology()
+                        .port_towards(foces_net::Node::Switch(sw), foces_net::Node::Switch(next))
+                        .expect("consecutive path switches are adjacent"),
+                    None => dst_port,
+                };
+                let rule = Rule::new(
+                    pair_match(spec.src, spec.dst),
+                    priority,
+                    Action::Forward(port),
+                );
+                (sw, rule)
+            })
+            .collect()
+    }
+
+    /// Installs dedicated per-pair rules for `spec` along `path` (lockstep
+    /// on both planes) — [`Deployment::plan_pair_rules_along`] committed
+    /// everywhere at once.
+    fn install_pair_rules_along(
+        &mut self,
+        spec: FlowSpec,
+        path: &[SwitchId],
+        dst_port: foces_net::Port,
+        priority_scopes: &[&[SwitchId]],
+    ) -> Vec<RuleRef> {
+        self.plan_pair_rules_along(spec, path, dst_port, priority_scopes)
+            .into_iter()
+            .map(|(sw, rule)| {
+                let r = self.dataplane.install(sw, rule.clone());
+                let view_index = self.view.tables[sw.0].push(rule);
+                debug_assert_eq!(view_index, r.index, "view and data plane in lockstep");
+                r
+            })
+            .collect()
+    }
+}
+
+/// A reroute whose intent exists — view rules installed, journal entry
+/// committed, expected path moved — but whose FlowMods have not yet
+/// reached any switch. Produced by [`Deployment::stage_reroute_via`];
+/// consumed, one switch at a time, by [`Deployment::commit_switch`].
+///
+/// The set of per-switch commit points (one per new-path switch) is the
+/// unit the `foces-sched` schedule enumerator permutes against counter
+/// collection.
+#[derive(Debug, Clone)]
+pub struct StagedUpdate {
+    /// Index of the rerouted flow in [`Deployment::flows`].
+    pub flow: usize,
+    /// The generation the journal entry committed at stage time. Every
+    /// switch acknowledges this generation when its commit lands.
+    pub generation: u64,
+    /// The path the flow is being drained from.
+    pub old_path: Vec<SwitchId>,
+    /// The path the flow is moving to (one staged rule per switch).
+    pub new_path: Vec<SwitchId>,
+    /// The staged rules with the view indices they were recorded at —
+    /// the indices the data-plane pushes must reproduce at commit time.
+    installs: Vec<(RuleRef, Rule)>,
+}
+
+impl StagedUpdate {
+    /// The switches with pending commits, in stage (new-path) order.
+    /// Paths are simple, so each switch appears once.
+    pub fn switches(&self) -> Vec<SwitchId> {
+        self.installs.iter().map(|(r, _)| r.switch).collect()
+    }
+
+    /// The staged rules' references (view indices), in stage order.
+    pub fn rule_refs(&self) -> Vec<RuleRef> {
+        self.installs.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// Every switch on the old *or* new path, sorted and deduplicated —
+    /// the update's whole blast radius. A "switch the update never
+    /// touches" (where a dropper must still be caught) is any switch
+    /// outside this set.
+    pub fn blast_radius(&self) -> Vec<SwitchId> {
+        let mut blast = self.old_path.clone();
+        blast.extend_from_slice(&self.new_path);
+        blast.sort_unstable();
+        blast.dedup();
+        blast
     }
 }
 

@@ -36,9 +36,10 @@ mod controller;
 mod routing;
 pub mod scenario;
 mod spec;
+pub mod testkit;
 
 pub use controller::{
-    provision, ControllerView, Deployment, ProvisionError, UpdateKind, UpdateRecord,
+    provision, ControllerView, Deployment, ProvisionError, StagedUpdate, UpdateKind, UpdateRecord,
 };
 pub use routing::DestinationTree;
 pub use spec::{uniform_flows, FlowSpec, RuleGranularity};

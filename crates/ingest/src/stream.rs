@@ -704,39 +704,24 @@ impl StreamDriver {
         self.metrics.shard_rounds += 1;
         let (kind, verdict, scored_rules) = if churn || !complete {
             // Per-shard reconciliation, the PR-2 quarantine pattern on the
-            // shard's sub-system: quarantined flows come from the *parent*
-            // FCM (a flow rerouted outside this region still mixes
-            // generations inside it), rows from the sub-FCM's closure —
-            // with unobserved rows masked on top, as in degraded rounds.
-            let parent_q = self.fcm.columns_touching(&touched);
-            let shard_q: Vec<bool> = view.parent_columns.iter().map(|&j| parent_q[j]).collect();
-            let closure = view.sub_fcm.rows_touching(&shard_q);
-            let mut keep: Vec<bool> = sub_observed
-                .iter()
-                .zip(&closure)
-                .map(|(&o, &c)| o && !c)
-                .collect();
-            for r in &touched {
-                if let Some(row) = view.sub_fcm.rule_row(*r) {
-                    keep[row] = false;
-                }
+            // shard's sub-system — shared with the `foces-sched`
+            // conformance harness so the checked round shape IS the
+            // deployed one.
+            let round = foces_cluster::reconcile_shard_round(
+                &view,
+                &self.fcm,
+                &self.detector,
+                &sub_counters,
+                &sub_observed,
+                &touched,
+                churn,
+            )?;
+            match round.kind {
+                foces_cluster::ShardRoundKind::Blind => self.metrics.blind_rounds += 1,
+                foces_cluster::ShardRoundKind::Reconciled => self.metrics.reconciled_rounds += 1,
+                foces_cluster::ShardRoundKind::Degraded => self.metrics.degraded_rounds += 1,
             }
-            let masked = view.sub_fcm.quarantine(&keep, &shard_q);
-            if masked.fcm().rule_count() == 0 || masked.fcm().flow_count() == 0 {
-                self.metrics.blind_rounds += 1;
-                ("blind", None, Vec::new())
-            } else if churn {
-                self.metrics.reconciled_rounds += 1;
-                let v = self.detector.detect_masked(&masked, &sub_counters)?;
-                // Reconciled rounds mix rule generations: their residuals
-                // never feed suspicion.
-                ("reconciled", Some(v), Vec::new())
-            } else {
-                self.metrics.degraded_rounds += 1;
-                let rules: Vec<RuleRef> = masked.fcm().rules().to_vec();
-                let v = self.detector.detect_masked(&masked, &sub_counters)?;
-                ("degraded", Some(v), rules)
-            }
+            (round.kind.label(), round.verdict, round.scored_rules)
         } else {
             let solver = self.solvers.entry(region).or_default();
             let rules: Vec<RuleRef> = view.sub_fcm.rules().to_vec();

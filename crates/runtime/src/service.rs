@@ -136,6 +136,20 @@ impl RuntimeConfig {
             churn_penalty: self.churn_penalty,
         }
     }
+
+    /// Worst-case number of epochs between a persistent anomaly first
+    /// manifesting during a churn-reconciled epoch and the alarm raise:
+    /// the churn-suppression window plus its penalty delay the counter,
+    /// then `raise_after` anomalous epochs must accumulate, plus one
+    /// epoch of slack because the reconciled epoch itself may score clean
+    /// (the anomaly's rows can be masked by the update's journal).
+    ///
+    /// This is the completeness bound the interleaving oracles hold every
+    /// schedule to: a dropper activating at epoch `u` must raise by
+    /// `u + churn_raise_bound()`.
+    pub fn churn_raise_bound(&self) -> u64 {
+        u64::from(self.raise_after) + u64::from(self.churn_suppress + self.churn_penalty) + 1
+    }
 }
 
 impl Default for RuntimeConfig {

@@ -1,0 +1,267 @@
+//! Executes one enumerated schedule against the real stack: staged
+//! reroutes on a cloned [`Deployment`], per-switch commits interleaved
+//! with scaled traffic replay, epochs scored by a real
+//! [`RuntimeService`], and per-boundary counter snapshots for the shard
+//! fan-out dimension.
+
+use crate::schedule::{CommitEvent, Schedule};
+use crate::SchedError;
+use foces::Fcm;
+use foces_controlplane::testkit::ReroutePlan;
+use foces_controlplane::{Deployment, StagedUpdate};
+use foces_dataplane::{inject_random_anomaly, AnomalyKind, LossModel, RuleRef};
+use foces_net::SwitchId;
+use foces_runtime::{FaultProfile, RuntimeConfig, RuntimeService, SimTransport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the harness drives each schedule's epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Runtime (detector + hysteresis) configuration for the service.
+    pub runtime: RuntimeConfig,
+    /// The epoch the updates are staged and committed in.
+    pub update_at: u64,
+    /// Healthy epochs to score after the update epoch.
+    pub epochs_after: u64,
+    /// Seed for the (quiet) simulated control channel.
+    pub transport_seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            runtime: RuntimeConfig::default(),
+            update_at: 1,
+            epochs_after: 2,
+            transport_seed: 7,
+        }
+    }
+}
+
+/// A persistent dropper to plant before the update epoch's traffic — the
+/// adversary's best moment to hide behind reconciliation masking.
+#[derive(Debug, Clone)]
+pub struct DropperSpec {
+    /// Seed for the random eligible-rule choice.
+    pub seed: u64,
+    /// Switches the dropper must avoid (the updates' union blast radius).
+    pub exclude: Vec<SwitchId>,
+}
+
+/// One scored epoch, reduced to the fields the oracles (and the JSON
+/// schedule log) need.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The epoch number.
+    pub epoch: u64,
+    /// Detection-mode label (e.g. `Full`, `Reconciled`).
+    pub mode: String,
+    /// Whether the round's verdict crossed the threshold.
+    pub anomalous: bool,
+    /// Whether this round raised the alarm.
+    pub alarm_raised: bool,
+    /// Whether this round witnessed churn.
+    pub churn: bool,
+    /// Whether the round took the journal-reconciled path.
+    pub reconciled: bool,
+}
+
+/// Counters and generation stamps captured at one slot boundary of the
+/// update epoch — what a shard completing at that instant would see.
+#[derive(Debug, Clone)]
+pub struct BoundarySnapshot {
+    /// The boundary's slot (commits with this slot have landed; `slot`
+    /// traffic segments have run).
+    pub slot: u8,
+    /// The pre-update FCM's counter vector (row order) at this instant.
+    pub counters: Vec<f64>,
+    /// `generations[s]` = switch `s`'s table generation at this instant.
+    pub generations: Vec<u64>,
+}
+
+/// Everything one schedule execution produced.
+#[derive(Debug, Clone)]
+pub struct ScheduleRun {
+    /// Per-epoch outcomes, in order.
+    pub epochs: Vec<EpochOutcome>,
+    /// Alarm state after the last epoch (as a debug label).
+    pub final_state: String,
+    /// Total alarms raised across the run.
+    pub alarms_raised: u64,
+    /// FCM rebuilds performed (must be > 0: the FCM follows the view).
+    pub fcm_rebuilds: u64,
+    /// First epoch that raised the alarm, if any.
+    pub first_raise: Option<u64>,
+    /// The data plane's full counter vector at the end of the update
+    /// epoch's traffic — the pruning-soundness witness: equivalent
+    /// schedules must reproduce it bit-for-bit.
+    pub update_counters: Vec<f64>,
+    /// Journal rows touched by the staged updates (vs generation 0).
+    pub touched_rules: Vec<RuleRef>,
+    /// Per-slot-boundary snapshots of the update epoch (slots
+    /// `1..=segments`), for the shard fan-out dimension.
+    pub boundaries: Vec<BoundarySnapshot>,
+}
+
+fn quiet_transport(seed: u64) -> SimTransport {
+    SimTransport::new(
+        seed,
+        FaultProfile {
+            latency_ms: 1.0,
+            jitter_ms: 0.0,
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            offline: Vec::new(),
+        },
+    )
+}
+
+/// The commit events a set of reroute plans induces, in stage order:
+/// update-major, new-path order within each update. This is the event
+/// list [`crate::ScheduleSpace`] must be built over for
+/// [`run_schedule`]'s schedules to line up.
+pub fn events_for(plans: &[ReroutePlan]) -> Vec<CommitEvent> {
+    plans
+        .iter()
+        .enumerate()
+        .flat_map(|(update, p)| {
+            p.new_path
+                .iter()
+                .map(move |&switch| CommitEvent { update, switch })
+        })
+        .collect()
+}
+
+/// Runs one schedule end to end on a clone of `template`.
+///
+/// * Epochs before `update_at` and after it replay full traffic and must
+///   score clean.
+/// * At `update_at`, all plans are **staged** first (view + journal, no
+///   FlowMods), then the window runs: for each slot `0..=segments`, the
+///   events assigned to that slot commit (in `order`, which defaults to
+///   stage order and must respect per-switch FIFO), then one traffic
+///   segment of `1/segments` of every flow's volume replays.
+/// * With a [`DropperSpec`], the dropper activates entering the update
+///   epoch, off the excluded switches.
+///
+/// `events` and `schedule` must be index-aligned; `order`, when given, is
+/// a permutation of event indices used to linearize same-slot commits (to
+/// verify pruning soundness: any valid linearization must be equivalent
+/// to the canonical stage-order one).
+///
+/// # Errors
+///
+/// [`SchedError::Provision`] when a plan no longer applies,
+/// [`SchedError::Runtime`] when an epoch fails to score.
+///
+/// # Panics
+///
+/// Panics if `order` violates per-switch FIFO (the controller's
+/// index-lockstep assertion fires), or if `schedule` is not aligned with
+/// `events`.
+pub fn run_schedule(
+    template: &Deployment,
+    plans: &[ReroutePlan],
+    events: &[CommitEvent],
+    schedule: &Schedule,
+    cfg: &HarnessConfig,
+    dropper: Option<&DropperSpec>,
+    order: Option<&[usize]>,
+) -> Result<ScheduleRun, SchedError> {
+    assert_eq!(
+        events.len(),
+        schedule.slots.len(),
+        "schedule must assign every event a slot"
+    );
+    let identity: Vec<usize> = (0..events.len()).collect();
+    let order = order.unwrap_or(&identity);
+    assert_eq!(order.len(), events.len(), "order must permute all events");
+
+    let mut dep = template.clone();
+    let fcm0 = Fcm::from_view(&dep.view);
+    let mut service = RuntimeService::with_sim_transport(
+        &dep.view,
+        quiet_transport(cfg.transport_seed),
+        cfg.runtime,
+    );
+
+    let total_epochs = cfg.update_at + 1 + cfg.epochs_after;
+    let mut epochs = Vec::with_capacity(total_epochs as usize);
+    let mut first_raise = None;
+    let mut update_counters = Vec::new();
+    let mut touched_rules = Vec::new();
+    let mut boundaries = Vec::new();
+
+    for epoch in 0..total_epochs {
+        let report = if epoch == cfg.update_at {
+            dep.dataplane.reset_counters();
+            if let Some(d) = dropper {
+                let mut rng = StdRng::seed_from_u64(d.seed);
+                let applied = inject_random_anomaly(
+                    &mut dep.dataplane,
+                    AnomalyKind::EarlyDrop,
+                    &mut rng,
+                    &d.exclude,
+                )
+                .ok_or(SchedError::NoDropperSite)?;
+                debug_assert!(!d.exclude.contains(&applied.rule.switch));
+            }
+            let staged: Vec<StagedUpdate> = plans
+                .iter()
+                .map(|p| dep.stage_reroute_via(p.flow, &[p.waypoint]))
+                .collect::<Result<_, _>>()?;
+            touched_rules = dep.view.touched_rules_since(0);
+            let fraction = 1.0 / f64::from(schedule.segments);
+            let mut loss = LossModel::none();
+            for slot in 0..=schedule.segments {
+                for &e in order {
+                    if schedule.slots[e] == slot {
+                        dep.commit_switch(&staged[events[e].update], events[e].switch);
+                    }
+                }
+                if slot > 0 {
+                    boundaries.push(BoundarySnapshot {
+                        slot,
+                        counters: fcm0.counters_from(&dep.dataplane),
+                        generations: (0..dep.dataplane.topology().switch_count())
+                            .map(|s| dep.dataplane.table_generation(SwitchId(s)))
+                            .collect(),
+                    });
+                }
+                if slot < schedule.segments {
+                    dep.replay_traffic_scaled(&mut loss, fraction);
+                }
+            }
+            update_counters = dep.dataplane.collect_counters();
+            service.run_epoch(&dep.dataplane, &dep.view)?
+        } else {
+            dep.dataplane.reset_counters();
+            dep.replay_traffic(&mut LossModel::none());
+            service.run_epoch(&dep.dataplane, &dep.view)?
+        };
+        if report.alarm_raised && first_raise.is_none() {
+            first_raise = Some(epoch);
+        }
+        epochs.push(EpochOutcome {
+            epoch,
+            mode: report.mode.label().to_string(),
+            anomalous: report.anomalous(),
+            alarm_raised: report.alarm_raised,
+            churn: report.churn,
+            reconciled: report.mode.is_reconciled(),
+        });
+    }
+
+    let metrics = *service.metrics();
+    Ok(ScheduleRun {
+        epochs,
+        final_state: format!("{:?}", service.state()),
+        alarms_raised: metrics.alarms_raised,
+        fcm_rebuilds: metrics.fcm_rebuilds,
+        first_raise,
+        update_counters,
+        touched_rules,
+        boundaries,
+    })
+}

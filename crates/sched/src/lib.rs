@@ -1,0 +1,467 @@
+//! **foces-sched** — deterministic concurrency-conformance harness for
+//! the FOCES consistency protocol.
+//!
+//! The reconciliation machinery (generation stamps, update journal, row
+//! masking, flow quarantine — PR 2) was only ever exercised against one
+//! update committing at one global split point. Real controllers commit
+//! N concurrent updates while counters are being collected, and each
+//! *switch* applies its FlowMods at its own moment. This crate is the
+//! repo's first systematic model-checking layer over that race:
+//!
+//! 1. [`ScheduleSpace`] models each (update, new-path switch) commit as
+//!    an independent event and enumerates slot vectors — which commits
+//!    land after how many traffic segments — under the per-switch FIFO
+//!    partial order, one canonical representative per Mazurkiewicz trace
+//!    (commuting commits on disjoint switches are explored once; the
+//!    skipped linearizations are counted as **pruned**).
+//! 2. [`run_schedule`] executes a schedule for real: staged reroutes on
+//!    a cloned [`Deployment`], per-switch commits interleaved with
+//!    scaled traffic, epochs scored by a real
+//!    [`foces_runtime::RuntimeService`], slot-boundary snapshots
+//!    replayed through the §13 shard fan-out via the *deployed*
+//!    [`foces_cluster::reconcile_shard_round`].
+//! 3. The [`oracle`]s hold every schedule to the protocol's contract:
+//!    healthy schedules reconcile with zero false alarms; a dropper
+//!    outside every update's blast radius still alarms within the
+//!    hysteresis + churn-suppression bound; shard rounds fired at any
+//!    boundary (stale-generation members included) are reconciled or
+//!    blind, never anomalous.
+//! 4. On failure, [`shrink_failing`] pins events to the window's
+//!    extremes until only the interleaving that matters remains.
+//!
+//! [`run_interleave`] drives the whole pipeline and is what the
+//! `foces interleave` CLI verb (exit 2 on any violation) wraps. Every
+//! mode — exhaustive, bounded [`ScheduleSet::Sample`], and the
+//! [`ScheduleSet::Uniform`] global splits the pre-harness tests used —
+//! is deterministic: same seed, byte-identical schedule log.
+
+mod fanout;
+mod harness;
+pub mod oracle;
+mod schedule;
+mod shrink;
+
+pub use fanout::{check_fanout, FanoutOutcome};
+pub use harness::{
+    events_for, run_schedule, BoundarySnapshot, DropperSpec, EpochOutcome, HarnessConfig,
+    ScheduleRun,
+};
+pub use oracle::{check_dropper, check_healthy, Violation};
+pub use schedule::{CommitEvent, Enumeration, Schedule, ScheduleSpace};
+pub use shrink::shrink_failing;
+
+use foces_controlplane::testkit::{plan_reroutes, ReroutePlan};
+use foces_controlplane::{Deployment, ProvisionError};
+use foces_net::SwitchId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The fabric cannot express the requested number of concurrent
+    /// reroutes on distinct flows.
+    NotEnoughReroutes {
+        /// How many updates were requested.
+        wanted: usize,
+        /// How many reroutable flows were found.
+        found: usize,
+    },
+    /// Exhaustive enumeration would exceed the configured cap — use a
+    /// bounded [`ScheduleSet::Sample`] instead.
+    TooManySchedules {
+        /// The schedule classes the space contains.
+        classes: u128,
+        /// The configured cap.
+        cap: u128,
+    },
+    /// No eligible rule exists for the dropper outside the blast radius.
+    NoDropperSite,
+    /// Staging a planned reroute failed.
+    Provision(ProvisionError),
+    /// An epoch failed to score.
+    Runtime(foces_runtime::RuntimeError),
+    /// A shard-round solve failed.
+    Foces(foces::FocesError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NotEnoughReroutes { wanted, found } => write!(
+                f,
+                "fabric offers only {found} reroutable flows, {wanted} updates requested"
+            ),
+            SchedError::TooManySchedules { classes, cap } => write!(
+                f,
+                "{classes} schedule classes exceed the exhaustive cap {cap}; use --schedules"
+            ),
+            SchedError::NoDropperSite => {
+                write!(f, "no eligible dropper rule outside the blast radius")
+            }
+            SchedError::Provision(e) => write!(f, "staging failed: {e}"),
+            SchedError::Runtime(e) => write!(f, "epoch failed: {e}"),
+            SchedError::Foces(e) => write!(f, "shard solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+impl From<ProvisionError> for SchedError {
+    fn from(e: ProvisionError) -> Self {
+        SchedError::Provision(e)
+    }
+}
+
+impl From<foces_runtime::RuntimeError> for SchedError {
+    fn from(e: foces_runtime::RuntimeError) -> Self {
+        SchedError::Runtime(e)
+    }
+}
+
+impl From<foces::FocesError> for SchedError {
+    fn from(e: foces::FocesError) -> Self {
+        SchedError::Foces(e)
+    }
+}
+
+/// Which subset of the schedule space to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleSet {
+    /// Every equivalence class (refused above
+    /// [`InterleaveConfig::max_explored`]).
+    Exhaustive,
+    /// A deterministic seeded sample of valid schedules — the CI mode.
+    Sample {
+        /// Distinct schedules to draw.
+        count: usize,
+        /// The draw's seed.
+        seed: u64,
+    },
+    /// Only the global-split schedules (all events share one slot) — the
+    /// trivial N=1-era subset, kept as the migration target for the
+    /// pre-harness tests.
+    Uniform,
+}
+
+/// Configuration for [`run_interleave`].
+#[derive(Debug, Clone)]
+pub struct InterleaveConfig {
+    /// Concurrent reroutes to stage (distinct flows).
+    pub updates: usize,
+    /// Traffic segments per collection window (slots run `0..=segments`).
+    pub segments: u8,
+    /// Which schedules to execute.
+    pub mode: ScheduleSet,
+    /// Epoch layout + runtime configuration per schedule.
+    pub harness: HarnessConfig,
+    /// Whether to run the dropper-completeness dimension (doubles the
+    /// executions: one healthy + one dropper run per schedule).
+    pub check_dropper: bool,
+    /// Seed for the dropper's rule choice.
+    pub dropper_seed: u64,
+    /// Region shards for the fan-out dimension; `None` disables it.
+    pub fanout_shards: Option<usize>,
+    /// Refuse exhaustive enumeration above this many classes.
+    pub max_explored: u128,
+}
+
+impl Default for InterleaveConfig {
+    fn default() -> Self {
+        InterleaveConfig {
+            updates: 2,
+            segments: 2,
+            mode: ScheduleSet::Exhaustive,
+            harness: HarnessConfig::default(),
+            check_dropper: true,
+            dropper_seed: 41,
+            fanout_shards: Some(2),
+            max_explored: 20_000,
+        }
+    }
+}
+
+/// One schedule's full outcome across all enabled dimensions.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The canonical schedule executed.
+    pub schedule: Schedule,
+    /// The update epoch's detection-mode label from the healthy run.
+    pub update_mode: String,
+    /// Alarms the healthy run raised (0 when sound).
+    pub alarms: u64,
+    /// When the dropper run first raised, if that dimension ran.
+    pub dropper_first_raise: Option<u64>,
+    /// The fan-out dimension's aggregate, if enabled.
+    pub fanout: Option<FanoutOutcome>,
+    /// All oracle violations this schedule produced.
+    pub violations: Vec<Violation>,
+}
+
+/// The full harness report.
+#[derive(Debug, Clone)]
+pub struct InterleaveReport {
+    /// The staged reroutes (one per update).
+    pub plans: Vec<ReroutePlan>,
+    /// The commit events, in stage order.
+    pub events: Vec<CommitEvent>,
+    /// Canonical schedules executed.
+    pub explored: u64,
+    /// Equivalent linearizations skipped by trace pruning.
+    pub pruned: u128,
+    /// Per-schedule outcomes, in enumeration order.
+    pub outcomes: Vec<ScheduleOutcome>,
+    /// A locally-minimal failing schedule and its violations, when any
+    /// schedule failed.
+    pub minimal_failing: Option<(Schedule, Vec<Violation>)>,
+}
+
+impl InterleaveReport {
+    /// Total oracle violations across all schedules.
+    pub fn violation_count(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.violations.len() as u64)
+            .sum()
+    }
+
+    /// `true` when every schedule satisfied every enabled oracle.
+    pub fn ok(&self) -> bool {
+        self.violation_count() == 0
+    }
+
+    /// The deterministic JSONL schedule log: one plan line, one line per
+    /// schedule, one summary line. Byte-identical across runs with the
+    /// same inputs and seed.
+    pub fn json_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.outcomes.len() + 2);
+        let flows: Vec<String> = self.plans.iter().map(|p| p.flow.to_string()).collect();
+        let waypoints: Vec<String> = self
+            .plans
+            .iter()
+            .map(|p| p.waypoint.0.to_string())
+            .collect();
+        let blast: Vec<String> = blast_union(&self.plans)
+            .iter()
+            .map(|s| s.0.to_string())
+            .collect();
+        lines.push(format!(
+            "{{\"event\":\"interleave-plan\",\"updates\":{},\"events\":{},\"flows\":[{}],\"waypoints\":[{}],\"blast_radius\":[{}]}}",
+            self.plans.len(),
+            self.events.len(),
+            flows.join(","),
+            waypoints.join(","),
+            blast.join(","),
+        ));
+        for (id, o) in self.outcomes.iter().enumerate() {
+            let slots: Vec<String> = o.schedule.slots.iter().map(u8::to_string).collect();
+            let first = o
+                .dropper_first_raise
+                .map_or("null".to_string(), |e| e.to_string());
+            let fanout = match &o.fanout {
+                Some(f) => format!(
+                    "{{\"rounds\":{},\"reconciled\":{},\"blind\":{},\"stale\":{}}}",
+                    f.rounds, f.reconciled, f.blind, f.stale_rounds
+                ),
+                None => "null".to_string(),
+            };
+            let violations: Vec<String> = o.violations.iter().map(|v| format!("\"{v}\"")).collect();
+            lines.push(format!(
+                "{{\"event\":\"schedule\",\"id\":{},\"slots\":[{}],\"segments\":{},\"uniform\":{},\"update_mode\":\"{}\",\"alarms\":{},\"dropper_first_raise\":{},\"fanout\":{},\"violations\":[{}]}}",
+                id,
+                slots.join(","),
+                o.schedule.segments,
+                o.schedule.is_uniform(),
+                o.update_mode,
+                o.alarms,
+                first,
+                fanout,
+                violations.join(","),
+            ));
+        }
+        let minimal = self
+            .minimal_failing
+            .as_ref()
+            .map_or("null".to_string(), |(s, _)| format!("\"{}\"", s.label()));
+        lines.push(format!(
+            "{{\"event\":\"interleave-summary\",\"explored\":{},\"pruned\":{},\"violations\":{},\"minimal_failing\":{}}}",
+            self.explored,
+            self.pruned,
+            self.violation_count(),
+            minimal,
+        ));
+        lines
+    }
+}
+
+fn blast_union(plans: &[ReroutePlan]) -> Vec<SwitchId> {
+    let mut union: Vec<SwitchId> = plans.iter().flat_map(|p| p.blast_radius()).collect();
+    union.sort_unstable();
+    union.dedup();
+    union
+}
+
+/// One schedule's evaluation across all enabled oracle dimensions.
+struct DimensionResults {
+    violations: Vec<Violation>,
+    healthy: ScheduleRun,
+    fanout: Option<FanoutOutcome>,
+    dropper_first: Option<u64>,
+}
+
+/// Executes every enabled oracle dimension for one schedule and returns
+/// the merged violations plus the healthy run (for reporting).
+fn schedule_violations(
+    template: &Deployment,
+    plans: &[ReroutePlan],
+    events: &[CommitEvent],
+    schedule: &Schedule,
+    cfg: &InterleaveConfig,
+    exclude: &[SwitchId],
+) -> Result<DimensionResults, SchedError> {
+    let healthy = run_schedule(template, plans, events, schedule, &cfg.harness, None, None)?;
+    let mut violations = check_healthy(&healthy, &cfg.harness);
+    let fanout = match cfg.fanout_shards {
+        Some(k) => {
+            let f = check_fanout(template, &healthy, k, cfg.harness.runtime.threshold)?;
+            violations.extend(f.violations.iter().cloned());
+            Some(f)
+        }
+        None => None,
+    };
+    let dropper_first = if cfg.check_dropper {
+        let d = DropperSpec {
+            seed: cfg.dropper_seed,
+            exclude: exclude.to_vec(),
+        };
+        let run = run_schedule(
+            template,
+            plans,
+            events,
+            schedule,
+            &cfg.harness,
+            Some(&d),
+            None,
+        )?;
+        violations.extend(check_dropper(&run, &cfg.harness));
+        run.first_raise
+    } else {
+        None
+    };
+    Ok(DimensionResults {
+        violations,
+        healthy,
+        fanout,
+        dropper_first,
+    })
+}
+
+/// Plans `cfg.updates` concurrent reroutes on `template`, enumerates (or
+/// samples) the commit-schedule space, executes every selected schedule
+/// through all enabled oracle dimensions, and — if anything failed —
+/// shrinks the first failing schedule to a locally-minimal one.
+///
+/// # Errors
+///
+/// See [`SchedError`]; notably [`SchedError::TooManySchedules`] when the
+/// exhaustive space exceeds [`InterleaveConfig::max_explored`].
+pub fn run_interleave(
+    template: &Deployment,
+    cfg: &InterleaveConfig,
+) -> Result<InterleaveReport, SchedError> {
+    let plans = plan_reroutes(template, cfg.updates);
+    if plans.len() < cfg.updates {
+        return Err(SchedError::NotEnoughReroutes {
+            wanted: cfg.updates,
+            found: plans.len(),
+        });
+    }
+    run_interleave_with_plans(template, plans, cfg)
+}
+
+/// [`run_interleave`] with caller-chosen reroute plans — for tests that
+/// need a specific update shape (e.g. two reroutes with *overlapping*
+/// blast radii) rather than the planner's shortest-path picks.
+/// `cfg.updates` is ignored; `plans` defines the update set.
+///
+/// # Errors
+///
+/// See [`SchedError`].
+pub fn run_interleave_with_plans(
+    template: &Deployment,
+    plans: Vec<ReroutePlan>,
+    cfg: &InterleaveConfig,
+) -> Result<InterleaveReport, SchedError> {
+    let events = events_for(&plans);
+    let space = ScheduleSpace::new(events.clone(), cfg.segments);
+    let (schedules, explored, pruned) = match cfg.mode {
+        ScheduleSet::Exhaustive => {
+            let classes = space.class_count();
+            if classes > cfg.max_explored {
+                return Err(SchedError::TooManySchedules {
+                    classes,
+                    cap: cfg.max_explored,
+                });
+            }
+            let e = space.enumerate();
+            (e.schedules, e.explored, e.pruned)
+        }
+        ScheduleSet::Sample { count, seed } => {
+            let s = space.sample(count, seed);
+            let pruned = s
+                .iter()
+                .map(|sch| space.linearizations(sch).saturating_sub(1))
+                .sum();
+            (s.clone(), s.len() as u64, pruned)
+        }
+        ScheduleSet::Uniform => {
+            let s: Vec<Schedule> = (0..=cfg.segments)
+                .map(|slot| Schedule::uniform(events.len(), slot, cfg.segments))
+                .collect();
+            let pruned = s
+                .iter()
+                .map(|sch| space.linearizations(sch).saturating_sub(1))
+                .sum();
+            (s.clone(), s.len() as u64, pruned)
+        }
+    };
+
+    let exclude = blast_union(&plans);
+    let update_at = cfg.harness.update_at as usize;
+    let mut outcomes = Vec::with_capacity(schedules.len());
+    for schedule in &schedules {
+        let dims = schedule_violations(template, &plans, &events, schedule, cfg, &exclude)?;
+        outcomes.push(ScheduleOutcome {
+            schedule: schedule.clone(),
+            update_mode: dims.healthy.epochs[update_at].mode.clone(),
+            alarms: dims.healthy.alarms_raised,
+            dropper_first_raise: dims.dropper_first,
+            fanout: dims.fanout,
+            violations: dims.violations,
+        });
+    }
+
+    let minimal_failing = match outcomes.iter().find(|o| !o.violations.is_empty()) {
+        Some(bad) => {
+            let shrunk = shrink_failing(&space, &bad.schedule, |cand| {
+                schedule_violations(template, &plans, &events, cand, cfg, &exclude)
+                    .map(|d| !d.violations.is_empty())
+                    .unwrap_or(true)
+            });
+            let dims = schedule_violations(template, &plans, &events, &shrunk, cfg, &exclude)?;
+            Some((shrunk, dims.violations))
+        }
+        None => None,
+    };
+
+    Ok(InterleaveReport {
+        plans,
+        events,
+        explored,
+        pruned,
+        outcomes,
+        minimal_failing,
+    })
+}

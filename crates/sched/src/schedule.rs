@@ -1,0 +1,341 @@
+//! The schedule model: per-switch commit events, slot vectors, the FIFO
+//! partial order, and DPOR-style equivalence-class enumeration.
+//!
+//! # Model
+//!
+//! N concurrent reroutes are **staged** (view + journal) at the start of
+//! one collection window. Each staged update then has one independent
+//! **commit event** per new-path switch — the moment that switch's
+//! FlowMods land and its table acknowledges the staged generation. The
+//! collection window's traffic is cut into `segments` equal pieces; a
+//! schedule assigns every commit event a **slot** `0..=segments`, meaning
+//! "this commit lands after that many traffic segments have run". All
+//! commits land before the counters are read (slot `segments` = just
+//! before collection): an OpenFlow barrier completes before the
+//! generation-stamped two-phase read begins.
+//!
+//! Two constraints define the valid schedules:
+//!
+//! * **Per-switch FIFO.** One OpenFlow connection per switch delivers
+//!   FlowMods in order, so two events on the *same* switch must take
+//!   non-decreasing slots in stage order (and within a slot they commit
+//!   in stage order). This is also what keeps the controller's view and
+//!   the switch's table index-aligned.
+//! * Events on *different* switches are unordered — that freedom is the
+//!   space being model-checked.
+//!
+//! # Equivalence (Mazurkiewicz traces)
+//!
+//! Two schedules are equivalent iff every pair of *dependent* events is
+//! ordered the same way. Commits on the same switch are dependent (FIFO
+//! plus same table). A commit and a traffic segment are dependent (the
+//! segment's counters change with the rule set). Commits on **different
+//! switches with no traffic segment between them commute**: no packet
+//! runs between the two table writes, so both orders yield bit-identical
+//! counters. Hence a slot vector *is* a canonical trace representative,
+//! and every linearization it represents beyond itself counts as pruned.
+
+use foces_net::SwitchId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One per-switch commit point of one staged update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEvent {
+    /// Index of the staged update this commit belongs to.
+    pub update: usize,
+    /// The switch whose FlowMods land at this event.
+    pub switch: SwitchId,
+}
+
+/// A canonical schedule: `slots[e]` is the number of traffic segments
+/// that run before event `e` commits (`0..=segments`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    /// Per-event commit slots, indexed like [`ScheduleSpace::events`].
+    pub slots: Vec<u8>,
+    /// How many equal traffic segments the collection window is cut into.
+    pub segments: u8,
+}
+
+impl Schedule {
+    /// The degenerate schedule where every commit lands at the same
+    /// global split point — the only schedules the pre-harness test
+    /// suite explored.
+    pub fn uniform(events: usize, slot: u8, segments: u8) -> Self {
+        Schedule {
+            slots: vec![slot; events],
+            segments,
+        }
+    }
+
+    /// `true` when all events share one slot (a global-split schedule).
+    pub fn is_uniform(&self) -> bool {
+        self.slots.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Compact label, e.g. `"0,2,1/2"`: slots then `/segments`.
+    pub fn label(&self) -> String {
+        let slots: Vec<String> = self.slots.iter().map(u8::to_string).collect();
+        format!("{}/{}", slots.join(","), self.segments)
+    }
+}
+
+/// The set of valid schedules for a fixed event list.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpace {
+    /// All commit events in **stage order**: update-major, new-path order
+    /// within an update. Stage order is the canonical intra-slot commit
+    /// order and the reference order for the FIFO constraint.
+    pub events: Vec<CommitEvent>,
+    /// Traffic segments per collection window (slots run `0..=segments`).
+    pub segments: u8,
+}
+
+/// What an exhaustive enumeration found.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// Every canonical schedule (one per Mazurkiewicz equivalence class).
+    pub schedules: Vec<Schedule>,
+    /// Number of canonical schedules explored (`schedules.len()`).
+    pub explored: u64,
+    /// Number of equivalent linearizations *not* explored: over all
+    /// classes, linearizations minus the one representative.
+    pub pruned: u128,
+}
+
+impl ScheduleSpace {
+    /// Builds the space for `events` in stage order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` (a window with no traffic has nothing to
+    /// interleave).
+    pub fn new(events: Vec<CommitEvent>, segments: u8) -> Self {
+        assert!(segments > 0, "need at least one traffic segment");
+        ScheduleSpace { events, segments }
+    }
+
+    /// For each event, the index of the *previous* event on the same
+    /// switch (stage order), if any — the FIFO predecessor whose slot
+    /// bounds this event's slot from below.
+    fn fifo_predecessor(&self) -> Vec<Option<usize>> {
+        let mut pred = vec![None; self.events.len()];
+        for (e, ev) in self.events.iter().enumerate() {
+            pred[e] = self.events[..e].iter().rposition(|p| p.switch == ev.switch);
+        }
+        pred
+    }
+
+    /// Whether a slot vector satisfies the per-switch FIFO constraint.
+    pub fn is_valid(&self, schedule: &Schedule) -> bool {
+        if schedule.slots.len() != self.events.len() || schedule.segments != self.segments {
+            return false;
+        }
+        if schedule.slots.iter().any(|&s| s > self.segments) {
+            return false;
+        }
+        self.fifo_predecessor()
+            .iter()
+            .enumerate()
+            .all(|(e, p)| p.is_none_or(|p| schedule.slots[p] <= schedule.slots[e]))
+    }
+
+    /// The number of distinct valid schedules (equivalence classes),
+    /// without materializing them.
+    pub fn class_count(&self) -> u128 {
+        let pred = self.fifo_predecessor();
+        let mut count = 0u128;
+        let mut slots = vec![0u8; self.events.len()];
+        self.count_rec(0, &pred, &mut slots, &mut count);
+        count
+    }
+
+    fn count_rec(&self, e: usize, pred: &[Option<usize>], slots: &mut Vec<u8>, count: &mut u128) {
+        if e == self.events.len() {
+            *count += 1;
+            return;
+        }
+        let lo = pred[e].map_or(0, |p| slots[p]);
+        for s in lo..=self.segments {
+            slots[e] = s;
+            self.count_rec(e + 1, pred, slots, count);
+        }
+    }
+
+    /// Exhaustively enumerates every equivalence class (canonical slot
+    /// vectors, lexicographic order) and counts the pruned
+    /// linearizations.
+    pub fn enumerate(&self) -> Enumeration {
+        let pred = self.fifo_predecessor();
+        let mut schedules = Vec::new();
+        let mut slots = vec![0u8; self.events.len()];
+        self.enumerate_rec(0, &pred, &mut slots, &mut schedules);
+        let pruned = schedules
+            .iter()
+            .map(|s| self.linearizations(s).saturating_sub(1))
+            .sum();
+        Enumeration {
+            explored: schedules.len() as u64,
+            pruned,
+            schedules,
+        }
+    }
+
+    fn enumerate_rec(
+        &self,
+        e: usize,
+        pred: &[Option<usize>],
+        slots: &mut Vec<u8>,
+        out: &mut Vec<Schedule>,
+    ) {
+        if e == self.events.len() {
+            out.push(Schedule {
+                slots: slots.clone(),
+                segments: self.segments,
+            });
+            return;
+        }
+        let lo = pred[e].map_or(0, |p| slots[p]);
+        for s in lo..=self.segments {
+            slots[e] = s;
+            self.enumerate_rec(e + 1, pred, slots, out);
+        }
+    }
+
+    /// How many interleavings (total orders of commits against each other
+    /// and the traffic segments) the given canonical schedule represents.
+    ///
+    /// Events in different slots, and events relative to traffic
+    /// segments, are already totally ordered by the slot vector. Within
+    /// one slot, `m` events interleave in `m!` orders — except that
+    /// same-switch events are FIFO-pinned, dividing by the product of
+    /// per-switch multiplicities' factorials (multinomial of the slot's
+    /// switch groups).
+    pub fn linearizations(&self, schedule: &Schedule) -> u128 {
+        let mut total = 1u128;
+        for slot in 0..=self.segments {
+            let in_slot: Vec<usize> = (0..self.events.len())
+                .filter(|&e| schedule.slots[e] == slot)
+                .collect();
+            let mut orders = factorial(in_slot.len());
+            let mut seen: Vec<(SwitchId, usize)> = Vec::new();
+            for &e in &in_slot {
+                let sw = self.events[e].switch;
+                match seen.iter_mut().find(|(s, _)| *s == sw) {
+                    Some((_, k)) => *k += 1,
+                    None => seen.push((sw, 1)),
+                }
+            }
+            for (_, k) in seen {
+                orders /= factorial(k);
+            }
+            total = total.saturating_mul(orders);
+        }
+        total
+    }
+
+    /// Draws `count` valid schedules, deterministically from `seed` — the
+    /// bounded CI mode. Per switch group the slots are drawn uniformly
+    /// and sorted (sorting makes any draw FIFO-valid); draws are
+    /// deduplicated, so fewer than `count` distinct schedules may return
+    /// when the space is small.
+    pub fn sample(&self, count: usize, seed: u64) -> Vec<Schedule> {
+        let pred = self.fifo_predecessor();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<Schedule> = Vec::with_capacity(count);
+        // Bounded retry: a tiny space can't yield `count` distinct draws.
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count.saturating_mul(64) + 64 {
+            attempts += 1;
+            let mut slots = vec![0u8; self.events.len()];
+            for s in &mut slots {
+                *s = rng.gen_range(0..=self.segments);
+            }
+            // Repair FIFO violations by clamping each event to its
+            // predecessor's slot — preserves determinism and validity.
+            for e in 0..self.events.len() {
+                if let Some(p) = pred[e] {
+                    slots[e] = slots[e].max(slots[p]);
+                }
+            }
+            let s = Schedule {
+                slots,
+                segments: self.segments,
+            };
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+fn factorial(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(update: usize, switch: usize) -> CommitEvent {
+        CommitEvent {
+            update,
+            switch: SwitchId(switch),
+        }
+    }
+
+    #[test]
+    fn disjoint_switches_enumerate_the_full_grid() {
+        // 2 events on distinct switches, 2 segments: 3^2 = 9 classes.
+        let space = ScheduleSpace::new(vec![ev(0, 1), ev(1, 2)], 2);
+        let e = space.enumerate();
+        assert_eq!(e.explored, 9);
+        assert_eq!(space.class_count(), 9);
+        // The 3 same-slot classes each represent 2 linearizations.
+        assert_eq!(e.pruned, 3);
+    }
+
+    #[test]
+    fn same_switch_events_are_fifo_ordered() {
+        // 2 events on the SAME switch: only non-decreasing slot pairs.
+        let space = ScheduleSpace::new(vec![ev(0, 1), ev(1, 1)], 2);
+        let e = space.enumerate();
+        assert_eq!(e.explored, 6); // C(3+1,2) = 6 multisets
+        for s in &e.schedules {
+            assert!(s.slots[0] <= s.slots[1]);
+        }
+        // Same-switch same-slot pairs are FIFO-pinned: nothing pruned.
+        assert_eq!(e.pruned, 0);
+    }
+
+    #[test]
+    fn linearization_counts_are_multinomial() {
+        // 3 events in one slot: two on s1 (pinned), one on s2.
+        let space = ScheduleSpace::new(vec![ev(0, 1), ev(1, 1), ev(0, 2)], 1);
+        let s = Schedule::uniform(3, 0, 1);
+        assert_eq!(space.linearizations(&s), 3); // 3!/2! = 3
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_valid() {
+        let space = ScheduleSpace::new(vec![ev(0, 1), ev(0, 2), ev(1, 1), ev(1, 3)], 3);
+        let a = space.sample(8, 42);
+        let b = space.sample(8, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        for s in &a {
+            assert!(space.is_valid(s), "sampled schedule {} invalid", s.label());
+        }
+        assert_ne!(space.sample(8, 43), a, "different seed, different draw");
+    }
+
+    #[test]
+    fn uniform_schedules_are_valid_everywhere() {
+        let space = ScheduleSpace::new(vec![ev(0, 1), ev(0, 2), ev(1, 2)], 4);
+        for slot in 0..=4 {
+            assert!(space.is_valid(&Schedule::uniform(3, slot, 4)));
+        }
+    }
+}

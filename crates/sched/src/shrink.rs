@@ -1,0 +1,90 @@
+//! Greedy shrinking of a failing schedule to a locally-minimal one.
+//!
+//! "Minimal" here means *minimal mixing*: as many events as possible
+//! pinned to the window's extremes (slot 0 = before any traffic, slot
+//! `segments` = after all of it), because an extreme slot removes that
+//! commit from the race entirely. The schedule that still fails with the
+//! fewest mid-window commits names the exact interleaving that matters.
+
+use crate::schedule::{Schedule, ScheduleSpace};
+
+/// Shrinks `start` (which must satisfy `still_fails`) by repeatedly
+/// pinning one event's slot to an extreme (0 first, then `segments`)
+/// while the failure persists, until a fixpoint. The result fails and is
+/// valid; every single further extremization either passes or breaks
+/// FIFO validity.
+///
+/// `still_fails` is re-invoked per candidate — callers pay one full
+/// schedule execution per probe, so this is for the (rare) failure path.
+pub fn shrink_failing<F>(space: &ScheduleSpace, start: &Schedule, mut still_fails: F) -> Schedule
+where
+    F: FnMut(&Schedule) -> bool,
+{
+    let mut current = start.clone();
+    loop {
+        let mut improved = false;
+        for e in 0..current.slots.len() {
+            // Only mid-window events are candidates: an event already at
+            // an extreme is out of the race, and re-moving it to the
+            // *other* extreme could oscillate forever. Each accepted move
+            // strictly shrinks the mid-window set, so this terminates.
+            if current.slots[e] == 0 || current.slots[e] == space.segments {
+                continue;
+            }
+            for target in [0u8, space.segments] {
+                let mut candidate = current.clone();
+                candidate.slots[e] = target;
+                if !space.is_valid(&candidate) {
+                    continue;
+                }
+                if still_fails(&candidate) {
+                    current = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::CommitEvent;
+    use foces_net::SwitchId;
+
+    #[test]
+    fn shrinks_to_the_one_slot_that_matters() {
+        // Failure depends only on event 1 sitting mid-window; everything
+        // else should be driven to an extreme.
+        let events = vec![
+            CommitEvent {
+                update: 0,
+                switch: SwitchId(1),
+            },
+            CommitEvent {
+                update: 0,
+                switch: SwitchId(2),
+            },
+            CommitEvent {
+                update: 1,
+                switch: SwitchId(3),
+            },
+        ];
+        let space = ScheduleSpace::new(events, 2);
+        let start = Schedule {
+            slots: vec![1, 1, 1],
+            segments: 2,
+        };
+        let minimal = shrink_failing(&space, &start, |s| s.slots[1] == 1);
+        assert_eq!(minimal.slots[1], 1, "the culprit survives");
+        assert!(
+            minimal.slots[0] == 0 || minimal.slots[0] == 2,
+            "bystander pinned to an extreme"
+        );
+        assert!(minimal.slots[2] == 0 || minimal.slots[2] == 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property suite for the schedule harness.
+//!
+//! * **No false alarms** — random update pairs × random valid schedules
+//!   reconcile with zero false alarms (proptest's own shrinking walks
+//!   the seed toward a minimal failing draw; the harness's
+//!   `shrink_failing` then pins the minimal *schedule*).
+//! * **Pruning soundness** — a canonical schedule's verdict trace (and
+//!   the update epoch's exact counter vector) is identical under every
+//!   FIFO-respecting linearization of its same-slot commits: what the
+//!   enumerator prunes really is equivalent to what it keeps.
+
+use foces_controlplane::testkit::plan_reroutes;
+use foces_controlplane::{provision, uniform_flows, Deployment, FlowSpec, RuleGranularity};
+use foces_net::generators::fattree;
+use foces_sched::{check_healthy, events_for, run_schedule, HarnessConfig, ScheduleSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+/// FatTree(4) with every third all-pairs flow: rich enough for two
+/// disjoint-or-overlapping reroutes, small enough for per-case service
+/// builds.
+fn testbed() -> &'static Deployment {
+    static DEP: OnceLock<Deployment> = OnceLock::new();
+    DEP.get_or_init(|| {
+        let topo = fattree(4);
+        let flows: Vec<FlowSpec> = uniform_flows(&topo, 240_000.0)
+            .into_iter()
+            .step_by(3)
+            .collect();
+        provision(topo, &flows, RuleGranularity::PerFlowPair).expect("provision fattree(4)")
+    })
+}
+
+/// A FIFO-respecting permutation of the event indices, derived from
+/// `seed`: a Fisher–Yates shuffle, then each switch's events are put
+/// back in stage order at the (sorted) positions the shuffle gave them.
+fn fifo_permutation(space: &ScheduleSpace, seed: u64) -> Vec<usize> {
+    let n = space.events.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    // Re-pin same-switch events to stage order without moving the
+    // positions the shuffle assigned to that switch.
+    let switches: Vec<_> = space.events.iter().map(|e| e.switch).collect();
+    for &sw in &switches {
+        let mut positions: Vec<usize> = (0..n).filter(|&p| switches[order[p]] == sw).collect();
+        positions.sort_unstable();
+        let mut in_stage_order: Vec<usize> = (0..n).filter(|&e| switches[e] == sw).collect();
+        in_stage_order.sort_unstable();
+        for (p, e) in positions.into_iter().zip(in_stage_order) {
+            order[p] = e;
+        }
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_update_pairs_and_schedules_reconcile_without_false_alarm(seed in 0u64..1024) {
+        let dep = testbed();
+        let mut plans = plan_reroutes(dep, 8);
+        prop_assume!(plans.len() >= 2);
+        // Rotate which pair of flows updates, seeded by the case.
+        let n = plans.len();
+        plans.rotate_left(seed as usize % n);
+        plans.truncate(2);
+        let events = events_for(&plans);
+        let space = ScheduleSpace::new(events.clone(), 3);
+        let cfg = HarnessConfig::default();
+        for schedule in space.sample(1, seed) {
+            let run = run_schedule(dep, &plans, &events, &schedule, &cfg, None, None)
+                .expect("schedules execute");
+            let violations = check_healthy(&run, &cfg);
+            prop_assert!(
+                violations.is_empty(),
+                "schedule {} violated: {:?}",
+                schedule.label(),
+                violations
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_linearizations_match_their_canonical_representative(seed in 0u64..1024) {
+        let dep = testbed();
+        let plans = plan_reroutes(dep, 2);
+        prop_assume!(plans.len() == 2);
+        let events = events_for(&plans);
+        let space = ScheduleSpace::new(events.clone(), 2);
+        let schedule = space.sample(1, seed).remove(0);
+        let cfg = HarnessConfig::default();
+        let canonical = run_schedule(dep, &plans, &events, &schedule, &cfg, None, None)
+            .expect("canonical run");
+        let order = fifo_permutation(&space, seed.wrapping_mul(31).wrapping_add(7));
+        let permuted = run_schedule(dep, &plans, &events, &schedule, &cfg, None, Some(&order))
+            .expect("permuted run");
+        // Bit-identical counters at the update epoch's end: same-slot
+        // commits on distinct switches genuinely commute.
+        prop_assert_eq!(&canonical.update_counters, &permuted.update_counters);
+        // And the scored trace agrees epoch by epoch.
+        for (a, b) in canonical.epochs.iter().zip(&permuted.epochs) {
+            prop_assert_eq!(&a.mode, &b.mode, "epoch {}", a.epoch);
+            prop_assert_eq!(a.anomalous, b.anomalous, "epoch {}", a.epoch);
+            prop_assert_eq!(a.alarm_raised, b.alarm_raised, "epoch {}", a.epoch);
+            prop_assert_eq!(a.churn, b.churn, "epoch {}", a.epoch);
+        }
+        prop_assert_eq!(canonical.final_state, permuted.final_state);
+    }
+}

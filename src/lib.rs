@@ -20,4 +20,5 @@ pub use foces_ingest as ingest;
 pub use foces_linalg as linalg;
 pub use foces_net as net;
 pub use foces_runtime as runtime;
+pub use foces_sched as sched;
 pub use foces_verify as verify;

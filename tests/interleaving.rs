@@ -1,36 +1,32 @@
-//! Update/collection interleaving test (ROADMAP item 5b, grounded in
-//! Tracer's observation — arXiv:2410.23763 — that consistency checking
+//! Update/collection interleaving conformance (ROADMAP item 5b, grounded
+//! in Tracer's observation — arXiv:2410.23763 — that consistency checking
 //! must tolerate rule updates landing *during* telemetry collection).
 //!
-//! One multi-rule update (a flow reroute through a waypoint: old-path
-//! rules drained, new-path rules installed, all journaled under one
-//! generation) is scheduled against the counter-collection epoch at
-//! every split fraction `f` — `f` of the epoch's traffic runs under the
-//! old rules, the update commits, and the remaining `1 − f` runs under
-//! the new rules. `f = 0` and `f = 1` are the degenerate schedules
-//! (update strictly before / strictly after the traffic but inside the
-//! same collection window).
+//! Since PR 9 this suite drives the `foces-sched` schedule-enumeration
+//! harness instead of hand-rolled split loops:
 //!
-//! What must hold for **every** interleaving:
-//! * the PR-2 reconciliation (journaled rows masked, rerouted flows
-//!   quarantined, FCM rebuilt at the boundary) scores the mixed epoch —
-//!   and every epoch after it — as normal: no false alarm;
-//! * a true packet dropper on a switch the update never touches is still
-//!   caught within the hysteresis-plus-churn-suppression bound: masking
-//!   absorbs the update, not the attack.
+//! * the original two single-update tests are the trivial N=1 case —
+//!   [`ScheduleSet::Uniform`] with 4 segments reproduces exactly the old
+//!   global split fractions {0, ¼, ½, ¾, 1};
+//! * two *overlapping* reroutes commit switch-by-switch in sampled
+//!   interleavings, and must still reconcile (and still not mask a true
+//!   dropper outside both blast radii);
+//! * commits race the §13 shard fan-out: shard rounds fired at slot
+//!   boundaries — including with stale-generation members — must score
+//!   reconciled or blind, never anomalous.
+//!
+//! The exhaustive enumeration (every non-equivalent schedule for two
+//! concurrent updates on FatTree(4)) runs in CI via `foces interleave`;
+//! these tier-1 tests keep to bounded samples so debug runs stay fast.
 
-use foces::AlarmState;
-use foces_controlplane::{provision, uniform_flows, Deployment, RuleGranularity};
-use foces_dataplane::{inject_random_anomaly, AnomalyKind, LossModel};
+use foces_controlplane::testkit::plan_reroutes;
+use foces_controlplane::{provision, uniform_flows, Deployment, FlowSpec, RuleGranularity};
 use foces_net::generators::fattree;
-use foces_net::SwitchId;
-use foces_runtime::{FaultProfile, RuntimeConfig, RuntimeService, SimTransport};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foces_runtime::RuntimeConfig;
+use foces_sched::{
+    run_interleave, run_interleave_with_plans, HarnessConfig, InterleaveConfig, ScheduleSet,
+};
 
-/// The enumerated schedules: what fraction of the epoch's traffic the
-/// update lands after.
-const SPLITS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 const UPDATE_AT: u64 = 2;
 
 fn testbed() -> Deployment {
@@ -39,179 +35,158 @@ fn testbed() -> Deployment {
     provision(topo, &flows, RuleGranularity::PerFlowPair).expect("provision fattree(4)")
 }
 
-fn quiet_transport() -> SimTransport {
-    SimTransport::new(
-        7,
-        FaultProfile {
-            latency_ms: 1.0,
-            jitter_ms: 0.0,
-            drop_prob: 0.0,
-            reorder_prob: 0.0,
-            offline: Vec::new(),
-        },
-    )
+/// A smaller flow set for the multi-update tests: every third all-pairs
+/// flow keeps per-schedule service builds cheap without losing
+/// reroutability or FCM rank.
+fn sampled_testbed() -> Deployment {
+    let topo = fattree(4);
+    let flows: Vec<FlowSpec> = uniform_flows(&topo, 240_000.0)
+        .into_iter()
+        .step_by(3)
+        .collect();
+    provision(topo, &flows, RuleGranularity::PerFlowPair).expect("provision fattree(4)")
 }
 
-/// Picks a flow and a waypoint that reroute it onto a different simple
-/// path, and returns them with every switch on the old *or* new path
-/// (the update's whole blast radius — where a dropper must not be
-/// placed for the "never touched by the update" variant to be
-/// meaningful). Same-edge-switch pairs have no reroute, so the search
-/// spans flows.
-fn planned_update(dep: &Deployment) -> (usize, SwitchId, Vec<SwitchId>) {
-    for flow in 0..dep.flows.len() {
-        let old_path = &dep.expected_paths[flow];
-        if old_path.len() < 2 {
-            continue;
-        }
-        for w in dep.dataplane.topology().switches() {
-            if old_path.contains(&w) {
-                continue;
-            }
-            let mut probe = dep.clone();
-            if probe.reroute_flow_via(flow, &[w]).is_ok() {
-                let mut blast = old_path.clone();
-                blast.extend_from_slice(&probe.expected_paths[flow]);
-                blast.sort_unstable();
-                blast.dedup();
-                return (flow, w, blast);
-            }
-        }
-    }
-    panic!("no waypoint reroutes any flow on this fabric");
-}
-
-/// Replays one epoch's traffic with the reroute committed after fraction
-/// `split` of it, then scores the epoch.
-fn interleaved_epoch(
-    dep: &mut Deployment,
-    service: &mut RuntimeService,
-    flow: usize,
-    waypoint: SwitchId,
-    split: f64,
-) -> foces_runtime::EpochReport {
-    let mut loss = LossModel::none();
-    dep.dataplane.reset_counters();
-    dep.replay_traffic_scaled(&mut loss, split);
-    dep.reroute_flow_via(flow, &[waypoint])
-        .expect("planned reroute must apply");
-    dep.replay_traffic_scaled(&mut loss, 1.0 - split);
-    service
-        .run_epoch(&dep.dataplane, &dep.view)
-        .expect("mixed-generation epochs reconcile, never fail")
-}
-
-fn clean_epoch(dep: &mut Deployment, service: &mut RuntimeService) -> foces_runtime::EpochReport {
-    let mut loss = LossModel::none();
-    dep.dataplane.reset_counters();
-    dep.replay_traffic(&mut loss);
-    service
-        .run_epoch(&dep.dataplane, &dep.view)
-        .expect("clean epochs never fail")
-}
-
-#[test]
-fn every_interleaving_of_update_and_collection_reconciles_without_alarm() {
-    for &split in &SPLITS {
-        let mut dep = testbed();
-        let (flow, waypoint, _) = planned_update(&dep);
-        let mut service = RuntimeService::with_sim_transport(
-            &dep.view,
-            quiet_transport(),
-            RuntimeConfig::default(),
-        );
-
-        for epoch in 0..6u64 {
-            let r = if epoch == UPDATE_AT {
-                interleaved_epoch(&mut dep, &mut service, flow, waypoint, split)
-            } else {
-                clean_epoch(&mut dep, &mut service)
-            };
-            assert!(
-                !r.anomalous(),
-                "split {split}: healthy epoch {epoch} scored anomalous ({:?})",
-                r.mode
-            );
-            assert!(
-                !r.alarm_raised,
-                "split {split}: false alarm at epoch {epoch}"
-            );
-            if epoch == UPDATE_AT {
-                assert!(r.churn, "split {split}: the update epoch must flag churn");
-                assert!(
-                    r.mode.is_reconciled(),
-                    "split {split}: update epoch mode {:?}, want reconciled",
-                    r.mode
-                );
-            }
-        }
-        let m = *service.metrics();
-        assert_eq!(m.alarms_raised, 0, "split {split}");
-        assert!(
-            m.fcm_rebuilds > 0,
-            "split {split}: the FCM must follow the view"
-        );
-        assert_eq!(service.state(), AlarmState::Normal, "split {split}");
+fn harness(update_at: u64, epochs_after: u64) -> HarnessConfig {
+    HarnessConfig {
+        runtime: RuntimeConfig::default(),
+        update_at,
+        epochs_after,
+        transport_seed: 7,
     }
 }
 
 #[test]
-fn a_true_dropper_is_caught_under_every_interleaving() {
-    let config = RuntimeConfig::default();
-    // The dropper activates on the update epoch itself (the adversary's
-    // best moment): `raise_after` anomalous rounds, stretched by the
-    // churn-suppression slack the reconciled epoch arms.
-    let bound = UPDATE_AT
-        + u64::from(config.raise_after)
-        + u64::from(config.churn_suppress + config.churn_penalty)
-        + 1;
-    let epochs = bound + 3;
+fn every_global_split_of_one_update_reconciles_without_alarm() {
+    // The pre-harness test enumerated one update at splits {0,.25,.5,.75,1}:
+    // exactly the uniform schedules of a 4-segment window, N=1.
+    let dep = testbed();
+    let cfg = InterleaveConfig {
+        updates: 1,
+        segments: 4,
+        mode: ScheduleSet::Uniform,
+        harness: harness(UPDATE_AT, 3),
+        check_dropper: false,
+        fanout_shards: None,
+        ..InterleaveConfig::default()
+    };
+    let report = run_interleave(&dep, &cfg).expect("harness runs");
+    assert_eq!(report.explored, 5, "five global splits");
+    assert!(
+        report.ok(),
+        "healthy schedules must reconcile: {:?}",
+        report.minimal_failing
+    );
+    for o in &report.outcomes {
+        assert!(o.schedule.is_uniform());
+        assert_eq!(o.update_mode, "Reconciled");
+        assert_eq!(o.alarms, 0);
+    }
+}
 
-    for &split in &SPLITS {
-        let mut dep = testbed();
-        let (flow, waypoint, blast) = planned_update(&dep);
-        let mut service = RuntimeService::with_sim_transport(&dep.view, quiet_transport(), config);
-
-        let mut first_raise = None;
-        for epoch in 0..epochs {
-            let r = if epoch == UPDATE_AT {
-                // The dropper activates entering the update epoch itself
-                // (the adversary's best moment to hide), on a switch the
-                // update never touches.
-                let mut rng = StdRng::seed_from_u64(41);
-                let applied = inject_random_anomaly(
-                    &mut dep.dataplane,
-                    AnomalyKind::EarlyDrop,
-                    &mut rng,
-                    &blast,
-                )
-                .expect("an eligible rule off the update's paths must exist");
-                assert!(
-                    !blast.contains(&applied.rule.switch),
-                    "dropper landed on a switch the update touches"
-                );
-                interleaved_epoch(&mut dep, &mut service, flow, waypoint, split)
-            } else {
-                clean_epoch(&mut dep, &mut service)
-            };
-            if r.alarm_raised && first_raise.is_none() {
-                first_raise = Some(epoch);
-            }
-        }
-        let first = first_raise
-            .unwrap_or_else(|| panic!("split {split}: reconciliation swallowed the dropper"));
+#[test]
+fn a_true_dropper_is_caught_under_every_global_split() {
+    let dep = testbed();
+    let runtime = RuntimeConfig::default();
+    let bound = UPDATE_AT + runtime.churn_raise_bound();
+    let cfg = InterleaveConfig {
+        updates: 1,
+        segments: 4,
+        mode: ScheduleSet::Uniform,
+        harness: harness(UPDATE_AT, bound - UPDATE_AT + 2),
+        check_dropper: true,
+        dropper_seed: 41,
+        fanout_shards: None,
+        ..InterleaveConfig::default()
+    };
+    let report = run_interleave(&dep, &cfg).expect("harness runs");
+    assert!(
+        report.ok(),
+        "dropper must be caught in bound on every split: {:?}",
+        report.minimal_failing
+    );
+    for o in &report.outcomes {
+        let first = o
+            .dropper_first_raise
+            .expect("reconciliation must not swallow the dropper");
         assert!(
-            first >= UPDATE_AT,
-            "split {split}: alarm at {first} predates the dropper"
-        );
-        assert!(
-            first <= bound,
-            "split {split}: alarm at {first} outran the bound {bound}"
-        );
-        assert_eq!(
-            service.state(),
-            AlarmState::Alarmed,
-            "split {split}: the dropper never stops, the alarm must stand"
+            (UPDATE_AT..=bound).contains(&first),
+            "split {}: alarm at {first} outside [{UPDATE_AT}, {bound}]",
+            o.schedule.label()
         );
     }
+}
+
+#[test]
+fn overlapping_reroutes_with_interleaved_per_switch_commits_reconcile() {
+    let dep = sampled_testbed();
+    // Pick two reroutes whose blast radii genuinely intersect — the case
+    // where per-switch FIFO ordering and journal masking interact.
+    let candidates = plan_reroutes(&dep, 16);
+    let (a, b) = candidates
+        .iter()
+        .enumerate()
+        .find_map(|(i, p)| {
+            candidates[i + 1..]
+                .iter()
+                .find(|q| {
+                    let pb = p.blast_radius();
+                    q.blast_radius().iter().any(|s| pb.contains(s))
+                })
+                .map(|q| (p.clone(), q.clone()))
+        })
+        .expect("fattree(4) offers overlapping reroutes");
+    assert_ne!(a.flow, b.flow, "distinct flows");
+    let cfg = InterleaveConfig {
+        segments: 2,
+        mode: ScheduleSet::Sample { count: 5, seed: 7 },
+        harness: harness(1, 2),
+        check_dropper: true,
+        dropper_seed: 41,
+        fanout_shards: None,
+        ..InterleaveConfig::default()
+    };
+    let report = run_interleave_with_plans(&dep, vec![a, b], &cfg).expect("harness runs");
+    assert_eq!(report.explored, 5);
+    assert!(
+        report.ok(),
+        "interleaved overlapping commits must reconcile and not mask the dropper: {:?}",
+        report.minimal_failing
+    );
+}
+
+#[test]
+fn commits_racing_the_shard_fanout_stay_reconciled() {
+    let dep = sampled_testbed();
+    let cfg = InterleaveConfig {
+        updates: 2,
+        segments: 2,
+        mode: ScheduleSet::Sample { count: 3, seed: 11 },
+        harness: harness(1, 1),
+        check_dropper: false,
+        fanout_shards: Some(2),
+        ..InterleaveConfig::default()
+    };
+    let report = run_interleave(&dep, &cfg).expect("harness runs");
+    assert!(
+        report.ok(),
+        "every shard round fired mid-commit must be reconciled or blind: {:?}",
+        report.minimal_failing
+    );
+    // The race actually happened: some round saw a member whose table
+    // already stamped a generation the shard FCM has never seen.
+    let stale: u64 = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.fanout.as_ref())
+        .map(|f| f.stale_rounds)
+        .sum();
+    assert!(stale > 0, "stale-generation shard members must occur");
+    let reconciled: u64 = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.fanout.as_ref())
+        .map(|f| f.reconciled)
+        .sum();
+    assert!(reconciled > 0, "reconciled shard rounds must occur");
 }
