@@ -74,7 +74,7 @@ fn bench_gram_assembly(c: &mut Criterion) {
             b.iter(|| black_box(m).gram());
         });
         group.bench_with_input(BenchmarkId::new("sparse", n), &sparse, |b, m| {
-            b.iter(|| black_box(m).gram_dense());
+            b.iter(|| black_box(m).gram_dense().unwrap());
         });
     }
     group.finish();

@@ -42,7 +42,7 @@ fn probe_stage_costs() {
     eprintln!("select_columns: {:.1}ms", t.elapsed().as_secs_f64() * 1e3);
 
     let t = Instant::now();
-    let gram = h_basis.gram_dense();
+    let gram = h_basis.gram_dense().unwrap();
     eprintln!("gram_dense: {:.1}ms", t.elapsed().as_secs_f64() * 1e3);
 
     let t = Instant::now();

@@ -1,7 +1,7 @@
 //! Coordinated counter-forging strategies — the upgraded adversary of the
 //! redteam harness.
 //!
-//! [`ForgingAgent`](crate::ForgingAgent) can overlay any per-rule value;
+//! [`ForgingAgent`] can overlay any per-rule value;
 //! this module decides *what values a rational adversary would choose*.
 //! Two attack postures exist:
 //!

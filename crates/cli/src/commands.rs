@@ -64,6 +64,7 @@ USAGE:
                  [--churn-suppress N] [--churn-penalty N]
                  [--poll-deadline-ms MS] [--attempt-timeout-ms MS] [--max-attempts N]
                  [--workers N] [--oracle-cap N] [--log FILE.jsonl]
+                 [--backend dense|sparse|auto]
                  [--liars N --fake-at E [--confess-at E]] [--fake-strategy S]
                  [--fake-magnitude L] [--liar-seed N]
                  fault-tolerant online detection over an unreliable channel;
@@ -77,6 +78,7 @@ USAGE:
                  [--liars N --fake-at MS [--confess-at MS]] [--fake-strategy S]
                  [--fake-magnitude L] [--liar-seed N]
                  [--seed N] [--churn-seed N] [--anomaly-seed N] [--log FILE.jsonl]
+                 [--backend dense|sparse|auto]
                  event-driven continuous ingestion: per-link channel models,
                  adaptive poll cadence, per-shard detection the moment a
                  shard's counters are complete; exits 2 if the stream ends
@@ -88,10 +90,21 @@ USAGE:
                  adversarial sweep (strategy x liar count x fake magnitude):
                  detection latency, localization precision/recall, and the
                  evasion-cost curve, written to BENCH_redteam.json
+  foces scale    [--full] [--out FILE.json] [--seed N] [--threshold T]
+                 [--ceiling K] [--flows-max N]
+                 sparse-engine scaling sweep over FatTree all-pairs systems,
+                 written to BENCH_scale.json: FatTree(8) dense-vs-sparse
+                 parity (verdicts and anomaly indices to 1e-9) with the
+                 cold-solve speedup, FatTree(12) sparse-only with the dense
+                 backend's typed allocation refusal asserted, and with
+                 --full the FatTree(16)-class headline cell (>=1e5 flows,
+                 verdict-correct healthy+anomalous sparse rounds); exits 2
+                 on any parity or verdict failure
   foces cluster  <scenario> [--epochs N] [--shards K] [--partition per-switch|edge-cut]
                  [--shard-deadline-ms MS] [--loss P] [--attack-at E] [--repair-at E]
                  [--kill-shard R --kill-at E [--heal-at E]] [--seed N] [--threshold T]
                  [--workers N] [--queue-capacity N] [--log FILE.jsonl]
+                 [--backend dense|sparse|auto]
                  sharded detection: k region shards on a work-stealing pool,
                  per-shard warm solvers, fault isolation; exits 2 if the run
                  ends with an unresolved alarm
@@ -373,6 +386,7 @@ pub fn run_service(args: &Args) -> Result<CmdOutput, CmdError> {
         },
         ..RuntimeConfig::default()
     };
+    config.backend = args.num("backend", config.backend)?;
     config.alarm_window = args.num("alarm-window", config.alarm_window)?;
     config.churn_suppress = args.num("churn-suppress", config.churn_suppress)?;
     config.churn_penalty = args.num("churn-penalty", config.churn_penalty)?;
@@ -585,6 +599,7 @@ pub fn cluster_run(args: &Args) -> Result<CmdOutput, CmdError> {
         workers: args.num("workers", 0)?,
         queue_capacity: args.num("queue-capacity", 4)?,
         shard_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        backend: args.num("backend", foces::BackendKind::default())?,
         ..foces_cluster::ClusterConfig::default()
     };
     let mut svc = foces_cluster::ClusterService::new(fcm, dep.view.topology(), config)?;
@@ -770,6 +785,7 @@ pub fn stream_run(args: &Args) -> Result<CmdOutput, CmdError> {
             enabled: liars > 0,
             ..ByzantineConfig::default()
         },
+        backend: args.num("backend", defaults.backend)?,
         ..defaults
     };
 
@@ -1197,6 +1213,368 @@ pub fn redteam(args: &Args) -> Result<CmdOutput, CmdError> {
     Ok(CmdOutput::clean(out))
 }
 
+/// One prepared scale deployment: the FCM plus a healthy and an
+/// anomalous counter snapshot (same rule-modification seed per cell so
+/// every backend scores the identical vectors).
+struct ScaleSystem {
+    fcm: Fcm,
+    healthy: Vec<f64>,
+    anomalous: Vec<f64>,
+    hosts: usize,
+    flows: usize,
+    rules: usize,
+    basis_cols: usize,
+}
+
+/// Builds the FatTree(`k`) all-pairs deployment for one scale cell and
+/// collects both counter snapshots. `flows_max > 0` truncates the
+/// all-pairs flow list (deterministically, in host order) to bound a
+/// sweep's runtime without changing the rule structure of what remains.
+fn scale_system(k: usize, seed: u64, flows_max: usize) -> Result<ScaleSystem, CmdError> {
+    use foces_controlplane::{provision, uniform_flows, RuleGranularity};
+    let topo = foces_net::generators::fattree(k);
+    let hosts = topo.host_count();
+    let pairs = hosts * hosts.saturating_sub(1);
+    let mut flows = uniform_flows(&topo, 1000.0 * pairs as f64);
+    if flows_max > 0 && flows.len() > flows_max {
+        flows.truncate(flows_max);
+    }
+    let flow_count = flows.len();
+    let mut dep = provision(topo, &flows, RuleGranularity::PerDestination)?;
+    let fcm = Fcm::from_view(&dep.view);
+    dep.replay_traffic(&mut LossModel::none());
+    let healthy = dep.dataplane.collect_counters();
+    let mut rng = StdRng::seed_from_u64(seed);
+    inject_random_anomaly(
+        &mut dep.dataplane,
+        AnomalyKind::PathDeviation,
+        &mut rng,
+        &[],
+    )
+    .ok_or_else(|| format!("fattree-{k}: no eligible rule to deviate"))?;
+    dep.dataplane.reset_counters();
+    dep.replay_traffic(&mut LossModel::none());
+    let anomalous = dep.dataplane.collect_counters();
+    Ok(ScaleSystem {
+        hosts,
+        flows: flow_count,
+        rules: fcm.rule_count(),
+        basis_cols: fcm.unique_column_basis().len(),
+        fcm,
+        healthy,
+        anomalous,
+    })
+}
+
+/// One backend's measured pass over a [`ScaleSystem`]: a timed cold
+/// healthy round, a timed warm repeat, and an anomalous round.
+struct ScaleRun {
+    cold_ms: f64,
+    warm_ms: f64,
+    solve_path: String,
+    cg_iterations: u64,
+    healthy_index: f64,
+    healthy_flag: bool,
+    anomalous_index: f64,
+    anomalous_flag: bool,
+}
+
+fn scale_run(
+    sys: &ScaleSystem,
+    backend: foces::BackendKind,
+    threshold: f64,
+) -> Result<ScaleRun, foces::FocesError> {
+    let detector = Detector::with_threshold(threshold);
+    let mut solver = foces::IncrementalSolver::with_backend(foces::RankBudget::default(), backend);
+    let t0 = std::time::Instant::now();
+    let (healthy, path) = detector.detect_warm(&sys.fcm, &sys.healthy, &mut solver)?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut cg_iterations = solver.last_iterations();
+    let t1 = std::time::Instant::now();
+    detector.detect_warm(&sys.fcm, &sys.healthy, &mut solver)?;
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    cg_iterations = cg_iterations.max(solver.last_iterations());
+    let (anomalous, _) = detector.detect_warm(&sys.fcm, &sys.anomalous, &mut solver)?;
+    cg_iterations = cg_iterations.max(solver.last_iterations());
+    Ok(ScaleRun {
+        cold_ms,
+        warm_ms,
+        solve_path: path.to_string(),
+        cg_iterations,
+        healthy_index: healthy.anomaly_index,
+        healthy_flag: healthy.anomalous,
+        anomalous_index: anomalous.anomaly_index,
+        anomalous_flag: anomalous.anomalous,
+    })
+}
+
+/// Renders one scale cell as a JSON object for BENCH_scale.json.
+#[allow(clippy::too_many_arguments)]
+fn scale_cell_json(
+    name: &str,
+    sys: &ScaleSystem,
+    backend: &str,
+    run: Option<&ScaleRun>,
+    dense_error: Option<&str>,
+) -> String {
+    use foces_runtime::metrics::{json_f64, json_str};
+    let mut s = format!(
+        "{{\"topology\":{},\"hosts\":{},\"flows\":{},\"rules\":{},\
+         \"basis_cols\":{},\"backend\":{}",
+        json_str(name),
+        sys.hosts,
+        sys.flows,
+        sys.rules,
+        sys.basis_cols,
+        json_str(backend),
+    );
+    if let Some(r) = run {
+        let _ = write!(
+            s,
+            ",\"cold_ms\":{},\"warm_ms\":{},\"solve_path\":{},\"cg_iterations\":{},\
+             \"healthy_anomaly_index\":{},\"healthy_anomalous\":{},\
+             \"anomalous_anomaly_index\":{},\"anomalous_anomalous\":{}",
+            json_f64(r.cold_ms),
+            json_f64(r.warm_ms),
+            json_str(&r.solve_path),
+            r.cg_iterations,
+            json_f64(r.healthy_index),
+            r.healthy_flag,
+            json_f64(r.anomalous_index),
+            r.anomalous_flag,
+        );
+    }
+    match dense_error {
+        Some(e) => {
+            let _ = write!(s, ",\"dense_error\":{}", json_str(e));
+        }
+        None => s.push_str(",\"dense_error\":null"),
+    }
+    let _ = write!(
+        s,
+        ",\"peak_rss_bytes\":{}}}",
+        foces_runtime::peak_rss_bytes()
+    );
+    s
+}
+
+/// Attempts a dense-backend round expecting the typed allocation refusal;
+/// returns the rendered [`foces_linalg::LinalgError::AllocationTooLarge`]
+/// or an error when dense unexpectedly proceeds (or fails differently).
+fn scale_expect_dense_refusal(sys: &ScaleSystem, threshold: f64) -> Result<String, CmdError> {
+    use foces_linalg::LinalgError;
+    match scale_run(sys, foces::BackendKind::Dense, threshold) {
+        Err(foces::FocesError::Solver(e @ LinalgError::AllocationTooLarge { .. })) => {
+            Ok(e.to_string())
+        }
+        Ok(_) => Err(format!(
+            "expected the dense backend to refuse {} basis columns with \
+             AllocationTooLarge, but it solved",
+            sys.basis_cols
+        )
+        .into()),
+        Err(other) => {
+            Err(format!("expected AllocationTooLarge from the dense backend, got: {other}").into())
+        }
+    }
+}
+
+/// `foces scale [--full] [--out FILE.json] …` — the sparse-engine scaling
+/// sweep. Smoke mode (the default, CI-sized) runs FatTree(8) all-pairs on
+/// both backends — asserting verdict/index parity and recording the
+/// cold-solve speedup — plus a FatTree(12) sparse-only cell where the
+/// dense backend's typed `AllocationTooLarge` refusal is asserted. `--full`
+/// adds the FatTree(16)-class headline cell (≥10⁵ flows): dense refuses
+/// with a typed error, the sparse engine completes verdict-correct healthy
+/// and anomalous rounds. Exits 2 on any parity or verdict failure.
+pub fn scale(args: &Args) -> Result<CmdOutput, CmdError> {
+    use foces_runtime::metrics::json_f64;
+    let full = args.flag("full");
+    let seed: u64 = args.num("seed", 7)?;
+    let threshold: f64 = args.num("threshold", foces::DEFAULT_THRESHOLD)?;
+    let ceiling: usize = args.num("ceiling", 16)?;
+    let flows_max: usize = args.num("flows-max", 0)?;
+    let out_path = args.opt("out").unwrap_or("BENCH_scale.json").to_string();
+
+    let mut out = String::new();
+    let mut cells: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    // -- FatTree(8) parity cell: dense vs sparse on identical counters --
+    let sys8 = scale_system(8, seed, flows_max)?;
+    writeln!(
+        out,
+        "fattree-8: {} hosts, {} flows, {} rules, {} basis columns",
+        sys8.hosts, sys8.flows, sys8.rules, sys8.basis_cols
+    )?;
+    let dense8 = scale_run(&sys8, foces::BackendKind::Dense, threshold)?;
+    let sparse8 = scale_run(&sys8, foces::BackendKind::Sparse, threshold)?;
+    let index_diff = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+    let parity_diff = index_diff(dense8.healthy_index, sparse8.healthy_index)
+        .max(index_diff(dense8.anomalous_index, sparse8.anomalous_index));
+    let parity_ok = dense8.healthy_flag == sparse8.healthy_flag
+        && dense8.anomalous_flag == sparse8.anomalous_flag
+        && parity_diff <= 1e-9;
+    if !parity_ok {
+        failures.push(format!(
+            "fattree-8 parity: dense ({}, AI {:.6}/{:.6}) vs sparse ({}, AI {:.6}/{:.6})",
+            dense8.healthy_flag,
+            dense8.healthy_index,
+            dense8.anomalous_index,
+            sparse8.healthy_flag,
+            sparse8.healthy_index,
+            sparse8.anomalous_index,
+        ));
+    }
+    if dense8.healthy_flag || !dense8.anomalous_flag {
+        failures.push(format!(
+            "fattree-8 verdicts: healthy round anomalous={}, anomalous round anomalous={}",
+            dense8.healthy_flag, dense8.anomalous_flag
+        ));
+    }
+    let speedup = dense8.cold_ms / sparse8.cold_ms.max(1e-9);
+    writeln!(
+        out,
+        "  dense  cold {:>10.1} ms, warm {:>8.1} ms  (path {})",
+        dense8.cold_ms, dense8.warm_ms, dense8.solve_path
+    )?;
+    writeln!(
+        out,
+        "  sparse cold {:>10.1} ms, warm {:>8.1} ms  (path {}, {} cg iters)",
+        sparse8.cold_ms, sparse8.warm_ms, sparse8.solve_path, sparse8.cg_iterations
+    )?;
+    writeln!(
+        out,
+        "  parity: max index diff {parity_diff:.2e}, cold speedup {speedup:.1}x \
+         (target >=5x), {}",
+        if parity_ok { "ok" } else { "FAILED" }
+    )?;
+    cells.push(scale_cell_json(
+        "fattree-8",
+        &sys8,
+        "dense",
+        Some(&dense8),
+        None,
+    ));
+    cells.push(scale_cell_json(
+        "fattree-8",
+        &sys8,
+        "sparse",
+        Some(&sparse8),
+        None,
+    ));
+    drop(sys8);
+
+    // -- FatTree(12) sparse-only smoke: dense must refuse, typed --------
+    let sys12 = scale_system(12, seed, flows_max)?;
+    writeln!(
+        out,
+        "fattree-12: {} hosts, {} flows, {} rules, {} basis columns",
+        sys12.hosts, sys12.flows, sys12.rules, sys12.basis_cols
+    )?;
+    let refusal12 = scale_expect_dense_refusal(&sys12, threshold)?;
+    writeln!(out, "  dense  refused (typed): {refusal12}")?;
+    let sparse12 = scale_run(&sys12, foces::BackendKind::Sparse, threshold)?;
+    if sparse12.healthy_flag || !sparse12.anomalous_flag {
+        failures.push(format!(
+            "fattree-12 sparse verdicts: healthy anomalous={}, anomalous anomalous={}",
+            sparse12.healthy_flag, sparse12.anomalous_flag
+        ));
+    }
+    writeln!(
+        out,
+        "  sparse cold {:>10.1} ms, warm {:>8.1} ms  (path {}, {} cg iters, \
+         healthy AI {:.2}, anomalous AI {:.2})",
+        sparse12.cold_ms,
+        sparse12.warm_ms,
+        sparse12.solve_path,
+        sparse12.cg_iterations,
+        sparse12.healthy_index,
+        sparse12.anomalous_index
+    )?;
+    cells.push(scale_cell_json(
+        "fattree-12",
+        &sys12,
+        "sparse",
+        Some(&sparse12),
+        Some(&refusal12),
+    ));
+    drop(sys12);
+
+    // -- FatTree(16)-class headline (full mode only) --------------------
+    if full {
+        let sys16 = scale_system(ceiling, seed, flows_max)?;
+        writeln!(
+            out,
+            "fattree-{ceiling}: {} hosts, {} flows, {} rules, {} basis columns",
+            sys16.hosts, sys16.flows, sys16.rules, sys16.basis_cols
+        )?;
+        if sys16.flows < 100_000 {
+            failures.push(format!(
+                "fattree-{ceiling}: only {} flows (headline cell needs >=100000)",
+                sys16.flows
+            ));
+        }
+        let refusal16 = scale_expect_dense_refusal(&sys16, threshold)?;
+        writeln!(out, "  dense  refused (typed): {refusal16}")?;
+        let sparse16 = scale_run(&sys16, foces::BackendKind::Sparse, threshold)?;
+        if sparse16.healthy_flag || !sparse16.anomalous_flag {
+            failures.push(format!(
+                "fattree-{ceiling} sparse verdicts: healthy anomalous={}, \
+                 anomalous anomalous={}",
+                sparse16.healthy_flag, sparse16.anomalous_flag
+            ));
+        }
+        writeln!(
+            out,
+            "  sparse cold {:>10.1} ms, warm {:>8.1} ms  (path {}, {} cg iters, \
+             healthy AI {:.2}, anomalous AI {:.2})",
+            sparse16.cold_ms,
+            sparse16.warm_ms,
+            sparse16.solve_path,
+            sparse16.cg_iterations,
+            sparse16.healthy_index,
+            sparse16.anomalous_index
+        )?;
+        cells.push(scale_cell_json(
+            &format!("fattree-{ceiling}"),
+            &sys16,
+            "sparse",
+            Some(&sparse16),
+            Some(&refusal16),
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"scale\",\"mode\":\"{}\",\"threshold\":{},\
+         \"parity\":{{\"topology\":\"fattree-8\",\"max_index_diff\":{},\
+         \"cold_speedup\":{},\"speedup_ok\":{},\"parity_ok\":{parity_ok}}},\
+         \"cells\":[{}]}}\n",
+        if full { "full" } else { "smoke" },
+        json_f64(threshold),
+        json_f64(parity_diff),
+        json_f64(speedup),
+        speedup >= 5.0,
+        cells.join(",")
+    );
+    std::fs::write(&out_path, json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    writeln!(out, "wrote {out_path} ({} cells)", cells.len())?;
+
+    let exit_code = if failures.is_empty() {
+        0
+    } else {
+        for f in &failures {
+            writeln!(out, "FAIL: {f}")?;
+        }
+        writeln!(out, "exit 2: {} scale assertion(s) failed", failures.len())?;
+        2
+    };
+    Ok(CmdOutput {
+        report: out,
+        exit_code,
+    })
+}
+
 /// `foces audit <scenario> [--cap N] [--json]` — static rule-table
 /// verification (loops, blackholes, shadowing, FCM consistency) followed
 /// by the detectability blind-spot analysis. Exits `3` when verification
@@ -1617,6 +1995,9 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
             "schedules",
             "update-at",
             "epochs-after",
+            "backend",
+            "ceiling",
+            "flows-max",
         ],
     )?;
     match args.positional(0) {
@@ -1627,6 +2008,7 @@ pub fn dispatch(raw: &[String]) -> Result<CmdOutput, CmdError> {
         Some("cluster") => cluster_run(&args),
         Some("stream") => stream_run(&args),
         Some("redteam") => redteam(&args),
+        Some("scale") => scale(&args),
         Some("audit") => audit(&args),
         Some("coverage") => coverage_cmd(&args),
         Some("interleave") => interleave(&args),

@@ -4,9 +4,9 @@
 
 use crate::ClusterMetrics;
 use foces::{
-    analyze_cluster_coverage, CoverageConfig, CoverageReport, Detector, Fcm, FocesError,
-    IncrementalSolver, RankBudget, ShardedFcm, SolvePath, SuspicionConfig, SuspicionTracker,
-    Verdict, DEFAULT_THRESHOLD,
+    analyze_cluster_coverage, BackendKind, CoverageConfig, CoverageReport, Detector, Fcm,
+    FocesError, IncrementalSolver, RankBudget, ShardedFcm, SolvePath, SuspicionConfig,
+    SuspicionTracker, Verdict, DEFAULT_THRESHOLD,
 };
 use foces_net::{partition, Partition, PartitionSpec, Topology};
 use foces_runtime::metrics::{json_f64, json_str};
@@ -168,6 +168,9 @@ pub struct ClusterConfig {
     pub shard_deadline: Option<Duration>,
     /// Alarm hysteresis configuration.
     pub hysteresis: HysteresisConfig,
+    /// Solve backend for the per-shard warm solvers: dense factor cache,
+    /// sparse Cholesky/PCGLS engine, or size-based auto selection.
+    pub backend: BackendKind,
 }
 
 impl Default for ClusterConfig {
@@ -179,6 +182,7 @@ impl Default for ClusterConfig {
             queue_capacity: 4,
             shard_deadline: None,
             hysteresis: HysteresisConfig::default(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -234,7 +238,12 @@ impl ClusterService {
             metrics.coverage_warnings = cov.warn_count() as u64;
         }
         let solvers = (0..sharded.shard_count())
-            .map(|_| Mutex::new(IncrementalSolver::new(RankBudget::default())))
+            .map(|_| {
+                Mutex::new(IncrementalSolver::with_backend(
+                    RankBudget::default(),
+                    config.backend,
+                ))
+            })
             .collect();
         Ok(ClusterService {
             detector: Detector::with_threshold(config.threshold),

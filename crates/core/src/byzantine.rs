@@ -272,7 +272,10 @@ impl LooSolver {
         }
         let groups = fcm.column_groups();
         let basis = fcm.sparse().select_columns(&groups.basis);
-        let cache = FactorCache::factor_lean(basis.gram_dense()).map_err(FocesError::from)?;
+        let cache = basis
+            .gram_dense()
+            .and_then(FactorCache::factor_lean)
+            .map_err(FocesError::from)?;
         let rhs = basis.transpose_matvec(counters).map_err(FocesError::from)?;
         let mut rows_of: BTreeMap<SwitchId, Vec<usize>> = BTreeMap::new();
         for (i, r) in fcm.rules().iter().enumerate() {

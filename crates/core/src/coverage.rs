@@ -49,6 +49,7 @@ use std::time::Instant;
 
 use foces_linalg::{CsrMatrix, FactorCache, LinalgError};
 use foces_net::SwitchId;
+use foces_sparse::SparseFactor;
 
 use crate::error::FocesError;
 use crate::fcm::Fcm;
@@ -499,7 +500,7 @@ fn analyze_inner(
             certificate: None,
         });
     } else {
-        match FactorCache::factor_lean(basis.gram_dense()) {
+        match basis.gram_dense().and_then(FactorCache::factor_lean) {
             Err(e) => {
                 truncated = true;
                 warns.push(CoverageFinding {
@@ -516,7 +517,14 @@ fn analyze_inner(
                 });
             }
             Ok(cache) => {
-                let state = SwitchAnalysis::build(&basis, &cache, rules);
+                // Absorption-certificate solves route through the sparse
+                // factor (CSR kernels) — the dense factor cache stays for
+                // the LOO classification, whose per-row downdates it alone
+                // supports. The Gram factored fine densely, so the sparse
+                // factor only ever fails on pathological conditioning; the
+                // dense solve is the fallback.
+                let sparse_factor = SparseFactor::factor_fresh(&basis.gram_csr()).ok();
+                let state = SwitchAnalysis::build(&basis, &cache, sparse_factor, rules);
                 for (&sw, rows) in &rows_of {
                     let row_share = rows.len() as f64 / rules.len() as f64;
                     let (absorption, certificate) = state.absorption(rows, &groups.basis, config);
@@ -661,8 +669,11 @@ fn analyze_inner(
                 continue;
             }
             let sub_basis = sub.sparse().select_columns(&sub_groups.basis);
+            // Rank probe via the sparse factor: same positive-definiteness
+            // tolerance as the dense Cholesky, without densifying the
+            // shard's Gram.
             let full_rank = sub.rule_count() >= sub_basis_cols
-                && FactorCache::factor_lean(sub_basis.gram_dense()).is_ok();
+                && SparseFactor::factor_fresh(&sub_basis.gram_csr()).is_ok();
             if !full_rank {
                 warns.push(CoverageFinding {
                     kind: CoverageKind::BoundaryRankDeficit,
@@ -715,6 +726,9 @@ fn analyze_inner(
 struct SwitchAnalysis<'a> {
     basis: &'a CsrMatrix,
     cache: &'a FactorCache,
+    /// Sparse factor of the same Gram, for the absorption solves (one per
+    /// switch): CSR kernels instead of dense back-substitutions.
+    sparse_factor: Option<SparseFactor>,
     rules: &'a [foces_dataplane::RuleRef],
     /// Rows supporting each basis column.
     col_support: Vec<Vec<usize>>,
@@ -724,6 +738,7 @@ impl<'a> SwitchAnalysis<'a> {
     fn build(
         basis: &'a CsrMatrix,
         cache: &'a FactorCache,
+        sparse_factor: Option<SparseFactor>,
         rules: &'a [foces_dataplane::RuleRef],
     ) -> Self {
         let mut col_support: Vec<Vec<usize>> = vec![Vec::new(); basis.cols()];
@@ -735,6 +750,7 @@ impl<'a> SwitchAnalysis<'a> {
         SwitchAnalysis {
             basis,
             cache,
+            sparse_factor,
             rules,
             col_support,
         }
@@ -751,11 +767,16 @@ impl<'a> SwitchAnalysis<'a> {
         if rows.is_empty() {
             return (0.0, None);
         }
-        let mut u = vec![0.0; self.rules.len()];
-        for &r in rows {
-            u[r] = 1.0;
-        }
         let solve = || -> Result<(f64, Vec<f64>), LinalgError> {
+            if let Some(factor) = &self.sparse_factor {
+                return foces_sparse::absorption_coefficients(self.basis, factor, rows);
+            }
+            // Dense fallback (sparse factor unavailable): materialize the
+            // indicator and back-substitute through the dense cache.
+            let mut u = vec![0.0; self.rules.len()];
+            for &r in rows {
+                u[r] = 1.0;
+            }
             let rhs = self.basis.transpose_matvec(&u)?;
             let x = self.cache.solve(&rhs)?;
             let fitted = self.basis.matvec(&x)?;

@@ -33,7 +33,8 @@ use foces_atpg::LogicalFlow;
 use foces_controlplane::ControllerView;
 use foces_dataplane::RuleRef;
 use foces_linalg::{CsrMatrix, FactorCache, LinalgError};
-use std::collections::HashMap;
+use foces_sparse::{BackendKind, ResolvedBackend, SolveBackend, SparseEngine};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Structural difference between two FCMs — the per-epoch churn summary.
@@ -213,6 +214,10 @@ pub enum ColdReason {
     /// The Gram matrix itself is rank deficient; solved via the QR
     /// fallback, nothing cached.
     RankDeficient,
+    /// Sparse backend: the Gram sparsity pattern changed since the last
+    /// epoch, so the symbolic analysis (ordering, elimination tree) had to
+    /// be redone — the sparse analogue of a dense refactorization.
+    PatternChanged,
 }
 
 /// Which solve path a detection round actually took — surfaced through
@@ -252,6 +257,7 @@ impl fmt::Display for SolvePath {
                     ColdReason::Singular => "singular",
                     ColdReason::Conditioning => "conditioning",
                     ColdReason::RankDeficient => "rank-deficient",
+                    ColdReason::PatternChanged => "pattern-changed",
                 };
                 write!(f, "cold({r})")
             }
@@ -303,6 +309,19 @@ const REFINEMENT_TOL: f64 = 1e-6;
 pub struct IncrementalSolver {
     budget: RankBudget,
     cache: Option<WarmState>,
+    backend: BackendKind,
+    /// Cross-epoch sparse-engine state (symbolic analysis, PCGLS
+    /// preconditioner) — the sparse counterpart of `cache`.
+    engine: SparseEngine,
+    /// Basis keys from the last sparse solve, for FcmDelta-style churn
+    /// accounting (drives preconditioner refresh and warm/cold reporting).
+    sparse_keys: Vec<Vec<RuleRef>>,
+    /// Whether the sparse engine has completed a solve since the last
+    /// invalidation (distinguishes a cold first solve from a pattern
+    /// change).
+    sparse_ready: bool,
+    /// CGLS iterations spent by the most recent solve (0 on direct paths).
+    last_iterations: u64,
 }
 
 /// The cached factor plus the rule-set key of each factor position.
@@ -316,11 +335,24 @@ struct WarmState {
 }
 
 impl IncrementalSolver {
-    /// Creates a solver with an explicit rank budget.
+    /// Creates a solver with an explicit rank budget and the default
+    /// ([`BackendKind::Dense`]) backend.
     pub fn new(budget: RankBudget) -> Self {
         IncrementalSolver {
             budget,
-            cache: None,
+            ..IncrementalSolver::default()
+        }
+    }
+
+    /// Creates a solver with an explicit backend. `Dense` keeps the
+    /// `FactorCache` warm/cold ladder; `Sparse` routes every solve through
+    /// the [`SparseEngine`] (symbolic reuse + preconditioned CGLS); `Auto`
+    /// resolves per basis size.
+    pub fn with_backend(budget: RankBudget, backend: BackendKind) -> Self {
+        IncrementalSolver {
+            budget,
+            backend,
+            ..IncrementalSolver::default()
         }
     }
 
@@ -329,14 +361,30 @@ impl IncrementalSolver {
         self.budget
     }
 
-    /// Drops the cached factor; the next solve runs cold.
-    pub fn invalidate(&mut self) {
-        self.cache = None;
+    /// The configured backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
-    /// `true` once a factor is cached.
+    /// CGLS iterations spent by the most recent solve (0 for direct
+    /// methods and the dense backend).
+    pub fn last_iterations(&self) -> u64 {
+        self.last_iterations
+    }
+
+    /// Drops the cached factor and all sparse-engine state; the next solve
+    /// runs cold.
+    pub fn invalidate(&mut self) {
+        self.cache = None;
+        self.engine.invalidate();
+        self.sparse_keys.clear();
+        self.sparse_ready = false;
+    }
+
+    /// `true` once cross-epoch state is held (dense factor or sparse
+    /// engine).
     pub fn is_warm(&self) -> bool {
-        self.cache.is_some()
+        self.cache.is_some() || self.sparse_ready
     }
 
     /// Solves `min ‖H·X − Y'‖` like [`crate::EquationSystem::solve`] with
@@ -422,6 +470,10 @@ impl IncrementalSolver {
         counters: &[f64],
         keys: &[Vec<RuleRef>],
     ) -> Result<(SolvePath, Vec<f64>), FocesError> {
+        if self.backend.resolve(h_basis.cols()) == ResolvedBackend::Sparse {
+            return self.solve_basis_sparse(h_basis, counters, keys);
+        }
+        self.last_iterations = 0;
         let rhs = h_basis
             .transpose_matvec(counters)
             .map_err(FocesError::from)?;
@@ -435,7 +487,7 @@ impl IncrementalSolver {
         // (duplicate-free but linearly dependent columns) falls through to
         // QR and caches nothing.
         self.cache = None;
-        let gram = h_basis.gram_dense();
+        let gram = h_basis.gram_dense().map_err(FocesError::from)?;
         match FactorCache::factor_lean(gram) {
             Ok(factor) => {
                 let x = factor.solve(&rhs).map_err(FocesError::from)?;
@@ -448,7 +500,7 @@ impl IncrementalSolver {
             Err(
                 LinalgError::NotPositiveDefinite { .. } | LinalgError::SingularTriangular { .. },
             ) => {
-                let dense = h_basis.to_dense();
+                let dense = h_basis.try_to_dense().map_err(FocesError::from)?;
                 let sol = foces_linalg::lstsq(&dense, counters, foces_linalg::LstsqMethod::Qr)
                     .map_err(FocesError::from)?;
                 Ok((
@@ -460,6 +512,53 @@ impl IncrementalSolver {
             }
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// Sparse-backend basis solve: routes through the engine's symbolic
+    /// reuse / PCGLS ladder, driving the preconditioner lifecycle with the
+    /// same basis-key diff the dense warm path budgets on, and mapping the
+    /// engine's reuse report onto [`SolvePath`].
+    fn solve_basis_sparse(
+        &mut self,
+        h_basis: &CsrMatrix,
+        counters: &[f64],
+        keys: &[Vec<RuleRef>],
+    ) -> Result<(SolvePath, Vec<f64>), FocesError> {
+        let was_ready = self.sparse_ready;
+        // Basis churn since the last solve = FcmDelta at basis granularity:
+        // any appearing/disappearing rule-set key shifts column norms, so a
+        // nonzero delta refreshes the PCGLS preconditioner.
+        let delta_rank = if was_ready {
+            let prev: HashSet<&[RuleRef]> = self.sparse_keys.iter().map(|k| k.as_slice()).collect();
+            let now: HashSet<&[RuleRef]> = keys.iter().map(|k| k.as_slice()).collect();
+            prev.symmetric_difference(&now).count()
+        } else {
+            keys.len()
+        };
+        if delta_rank > 0 {
+            self.engine.note_rank_growth(delta_rank);
+        }
+        let sol = self
+            .engine
+            .solve_basis(h_basis, counters)
+            .map_err(FocesError::from)?;
+        self.last_iterations = sol.iterations;
+        self.sparse_keys = keys.to_vec();
+        self.sparse_ready = true;
+        let path = if sol.reused && was_ready {
+            SolvePath::Warm {
+                rank_applied: delta_rank,
+            }
+        } else if was_ready {
+            SolvePath::Cold {
+                reason: ColdReason::PatternChanged,
+            }
+        } else {
+            SolvePath::Cold {
+                reason: ColdReason::NoCache,
+            }
+        };
+        Ok((path, sol.x))
     }
 
     /// Attempts the warm path; on `Err` returns the cold-fallback reason.

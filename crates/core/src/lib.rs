@@ -101,6 +101,10 @@ pub use rbg::Rbg;
 pub use shard::{ShardUnionVerdict, ShardView, ShardedFcm};
 pub use slicing::{SliceView, SlicedFcm, SlicedVerdict};
 pub use solver::{EquationSystem, SolveOutcome, SolverKind};
+// Backend selection comes from the sparse engine crate; re-exported so
+// downstream crates (runtime, cluster, ingest, cli) need no direct
+// foces-sparse dependency.
+pub use foces_sparse::BackendKind;
 
 /// The paper's default detection threshold (§IV-A): with counter noise
 /// `Y'(i) ~ N(Y₀(i), σ²)`, `Err_med ≈ 0.675σ` and `Err_max ≲ 3σ`, so a

@@ -1,5 +1,6 @@
 use crate::{Fcm, FocesError, MaskedFcm};
 use foces_linalg::{lstsq, lstsq_sparse, DenseMatrix, LinalgError, LstsqMethod};
+use foces_sparse::{BackendKind, ResolvedBackend, SolveBackend, SparseEngine};
 
 /// Strategy for solving the flow-counter equation system.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -85,17 +86,35 @@ pub struct SolveOutcome {
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EquationSystem {
     kind: SolverKind,
+    backend: BackendKind,
 }
 
 impl EquationSystem {
-    /// Creates a solver with the given strategy.
+    /// Creates a solver with the given strategy and the default
+    /// ([`BackendKind::Dense`]) storage backend.
     pub fn new(kind: SolverKind) -> Self {
-        EquationSystem { kind }
+        EquationSystem {
+            kind,
+            backend: BackendKind::default(),
+        }
+    }
+
+    /// Selects the solve backend: `Dense` (historical, golden-stable),
+    /// `Sparse` (AMD + sparse Cholesky, PCGLS fallback — the only path that
+    /// survives FatTree(16)-class bases), or `Auto`.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The configured strategy.
     pub fn kind(&self) -> SolverKind {
         self.kind
+    }
+
+    /// The configured storage backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Solves `min ‖H·X − Y'‖` and derives `Ŷ` and `Δ`.
@@ -120,7 +139,7 @@ impl EquationSystem {
             });
         }
         match self.kind {
-            SolverKind::DirectDense => match solve_direct(fcm, counters) {
+            SolverKind::DirectDense => match solve_direct(fcm, counters, self.backend) {
                 Ok(out) => Ok(out),
                 // Residual dependencies beyond duplicate columns: fall back
                 // to the iterative path, which tolerates rank deficiency.
@@ -142,7 +161,9 @@ impl EquationSystem {
             }
             SolverKind::Auto => {
                 if fcm.flow_count() <= SolverKind::AUTO_DIRECT_LIMIT {
-                    EquationSystem::new(SolverKind::DirectDense).solve(fcm, counters)
+                    EquationSystem::new(SolverKind::DirectDense)
+                        .with_backend(self.backend)
+                        .solve(fcm, counters)
                 } else {
                     solve_iterative(
                         fcm,
@@ -204,7 +225,7 @@ impl EquationSystem {
 /// operations throughout (see [`SolverKind::DenseNaive`]).
 fn solve_naive(fcm: &Fcm, counters: &[f64]) -> Result<SolveOutcome, LinalgError> {
     let groups = fcm.column_groups();
-    let h_basis = fcm.sparse().select_columns(&groups.basis).to_dense();
+    let h_basis = fcm.sparse().select_columns(&groups.basis).try_to_dense()?;
     let gram = h_basis.transpose().matmul(&h_basis)?;
     let inv = foces_linalg::Cholesky::factor(&gram)?.inverse()?;
     let rhs = h_basis.transpose_matvec(counters)?;
@@ -231,23 +252,33 @@ fn solve_naive(fcm: &Fcm, counters: &[f64]) -> Result<SolveOutcome, LinalgError>
     })
 }
 
-/// Direct path: deduplicate columns, assemble the normal equations from
-/// sparse storage (`HᵀH` via per-row outer products, `Hᵀy` via a sparse
-/// transposed mat-vec — never densifying `H` itself), Cholesky-solve, and
-/// expand the estimate back to all flows. A dense QR on the basis is the
-/// fallback for numerically deficient Gram matrices.
-fn solve_direct(fcm: &Fcm, counters: &[f64]) -> Result<SolveOutcome, LinalgError> {
+/// Direct path: deduplicate columns, solve over the basis through the
+/// selected backend (dense normal equations, or the sparse engine's
+/// AMD-Cholesky/PCGLS ladder — never densifying `H` itself), and expand the
+/// estimate back to all flows. A dense QR on the basis is the fallback for
+/// numerically deficient Gram matrices on the dense backend; the sparse
+/// engine handles rank deficiency internally via PCGLS.
+fn solve_direct(
+    fcm: &Fcm,
+    counters: &[f64],
+    backend: BackendKind,
+) -> Result<SolveOutcome, LinalgError> {
     let groups = fcm.column_groups();
     let h_basis = fcm.sparse().select_columns(&groups.basis);
-    let x_basis = match solve_basis_cholesky(&h_basis, counters) {
-        Ok(x) => x,
-        Err(LinalgError::NotPositiveDefinite { .. } | LinalgError::SingularTriangular { .. }) => {
-            // Rank-deficient basis: densify (only ever reached on small or
-            // degenerate systems) and let QR report precisely.
-            let dense_basis: DenseMatrix = h_basis.to_dense();
-            lstsq(&dense_basis, counters, LstsqMethod::Qr)?.x
-        }
-        Err(e) => return Err(e),
+    let x_basis = match backend.resolve(h_basis.cols()) {
+        ResolvedBackend::Sparse => SparseEngine::default().solve_basis(&h_basis, counters)?.x,
+        ResolvedBackend::Dense => match solve_basis_cholesky(&h_basis, counters) {
+            Ok(x) => x,
+            Err(
+                LinalgError::NotPositiveDefinite { .. } | LinalgError::SingularTriangular { .. },
+            ) => {
+                // Rank-deficient basis: densify (only ever reached on small
+                // or degenerate systems) and let QR report precisely.
+                let dense_basis: DenseMatrix = h_basis.try_to_dense()?;
+                lstsq(&dense_basis, counters, LstsqMethod::Qr)?.x
+            }
+            Err(e) => return Err(e),
+        },
     };
     let fitted = h_basis.matvec(&x_basis)?;
     let residual: Vec<f64> = counters
@@ -281,7 +312,7 @@ fn solve_basis_cholesky(
     h_basis: &foces_linalg::CsrMatrix,
     counters: &[f64],
 ) -> Result<Vec<f64>, LinalgError> {
-    let gram = h_basis.gram_dense();
+    let gram = h_basis.gram_dense()?;
     let rhs = h_basis.transpose_matvec(counters)?;
     foces_linalg::Cholesky::factor(&gram)?.solve(&rhs)
 }

@@ -36,9 +36,9 @@ use crate::event::{EventQueue, SimTime};
 use crate::link::{IngestChannel, LinkSpec};
 use crate::metrics::IngestMetrics;
 use foces::{
-    analyze_cluster_coverage, cross_validate, k_resilient_verdict, AlarmState, CoverageConfig,
-    CoverageReport, Detector, Fcm, FocesError, IncrementalSolver, ShardUnionVerdict, ShardedFcm,
-    SuspicionTracker,
+    analyze_cluster_coverage, cross_validate, k_resilient_verdict, AlarmState, BackendKind,
+    CoverageConfig, CoverageReport, Detector, Fcm, FocesError, IncrementalSolver, RankBudget,
+    ShardUnionVerdict, ShardedFcm, SuspicionTracker,
 };
 use foces_channel::{
     plan_collusion, ChannelError, CollusionInputs, ControllerMsg, Delivery, FakeStrategy,
@@ -158,6 +158,9 @@ pub struct StreamConfig {
     /// Byzantine-resilience layer (suspicion, liar localization,
     /// quarantine) — shared tunables with the lockstep runtime.
     pub byzantine: ByzantineConfig,
+    /// Solve backend for the per-region warm solvers: dense factor cache,
+    /// sparse Cholesky/PCGLS engine, or size-based auto selection.
+    pub backend: BackendKind,
 }
 
 impl Default for StreamConfig {
@@ -182,6 +185,7 @@ impl Default for StreamConfig {
             anomaly_seed: 4,
             liar_seed: 11,
             byzantine: ByzantineConfig::default(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -723,7 +727,11 @@ impl StreamDriver {
             }
             (round.kind.label(), round.verdict, round.scored_rules)
         } else {
-            let solver = self.solvers.entry(region).or_default();
+            let backend = self.config.backend;
+            let solver = self
+                .solvers
+                .entry(region)
+                .or_insert_with(|| IncrementalSolver::with_backend(RankBudget::default(), backend));
             let rules: Vec<RuleRef> = view.sub_fcm.rules().to_vec();
             let (v, path) = self
                 .detector

@@ -30,6 +30,18 @@ pub struct DenseMatrix {
 }
 
 impl DenseMatrix {
+    /// Hard cap (in bytes) on a single guarded dense allocation: 256 MiB,
+    /// i.e. a square matrix of dimension 5792.
+    ///
+    /// Chosen to admit every dense system the repo's benches actually
+    /// solve (the FatTree(8) basis Gram is well under it) while refusing
+    /// the FatTree(16)-class Grams that would otherwise OOM-kill the
+    /// process. Infallible constructors ([`DenseMatrix::zeros`] and
+    /// friends) are *not* guarded — only [`DenseMatrix::try_zeros`] and
+    /// the solve-path entry points that can meaningfully fall back to
+    /// sparse storage (e.g. `CsrMatrix::gram_dense`).
+    pub const MAX_ALLOC_BYTES: usize = 1 << 28;
+
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         DenseMatrix {
@@ -37,6 +49,30 @@ impl DenseMatrix {
             cols,
             data: vec![0.0; rows * cols],
         }
+    }
+
+    /// Guarded [`DenseMatrix::zeros`]: refuses allocations above
+    /// [`DenseMatrix::MAX_ALLOC_BYTES`] with a typed error instead of
+    /// aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::AllocationTooLarge`] if `rows·cols·8` exceeds the
+    /// cap (or overflows `usize`).
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self, LinalgError> {
+        let bytes = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(std::mem::size_of::<f64>()))
+            .unwrap_or(usize::MAX);
+        if bytes > Self::MAX_ALLOC_BYTES {
+            return Err(LinalgError::AllocationTooLarge {
+                rows,
+                cols,
+                bytes,
+                cap: Self::MAX_ALLOC_BYTES,
+            });
+        }
+        Ok(Self::zeros(rows, cols))
     }
 
     /// Creates the `n x n` identity matrix.

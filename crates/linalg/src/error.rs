@@ -53,6 +53,24 @@ pub enum LinalgError {
     },
     /// Construction input was invalid (e.g. a triplet index out of bounds).
     InvalidInput(String),
+    /// A dense allocation was refused because it exceeds
+    /// [`crate::DenseMatrix::MAX_ALLOC_BYTES`].
+    ///
+    /// Dense storage grows quadratically with the basis size while the FCM
+    /// itself stays ~0.03 % dense, so on FatTree(16)-class systems a dense
+    /// Gram would OOM-kill the process long before the solve starts. The
+    /// guard turns that abort into a typed, testable error the caller can
+    /// route to the sparse backend.
+    AllocationTooLarge {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+        /// Requested size in bytes (`rows·cols·8`, saturating).
+        bytes: usize,
+        /// The configured cap ([`crate::DenseMatrix::MAX_ALLOC_BYTES`]).
+        cap: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -81,6 +99,16 @@ impl fmt::Display for LinalgError {
                  (residual {residual:e})"
             ),
             LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            LinalgError::AllocationTooLarge {
+                rows,
+                cols,
+                bytes,
+                cap,
+            } => write!(
+                f,
+                "dense allocation of {rows}x{cols} ({bytes} bytes) exceeds the \
+                 {cap}-byte cap; use the sparse backend for systems this large"
+            ),
         }
     }
 }

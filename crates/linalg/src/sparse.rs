@@ -220,12 +220,115 @@ impl CsrMatrix {
         Ok(x)
     }
 
+    /// Read-only view of the row-pointer array (`len == rows + 1`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Read-only view of the column indices, row by row, each row sorted.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Read-only view of the stored values (parallel to
+    /// [`CsrMatrix::indices`]).
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The transpose as a new CSR matrix (i.e. the CSC form of `self`),
+    /// built by counting sort in `O(nnz + rows + cols)`. Row entries of
+    /// the result are sorted by construction.
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            indptr[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            indptr[j + 1] += indptr[j];
+        }
+        let mut next = indptr.clone();
+        let mut indices = vec![0usize; nnz];
+        let mut data = vec![0.0f64; nnz];
+        for i in 0..self.rows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let p = next[self.indices[k]];
+                next[self.indices[k]] += 1;
+                indices[p] = i;
+                data[p] = self.data[k];
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Assembles the Gram matrix `AᵀA` in sparse (CSR) form: the CSRᵀ·CSR
+    /// product via a sparse accumulator, `O(Σ_i nnz(row i)²)` time but —
+    /// unlike [`CsrMatrix::gram_dense`] — only `O(nnz(AᵀA))` memory, so it
+    /// scales to basis sizes where a dense Gram cannot even allocate.
+    ///
+    /// This is the Gram entry point for large systems; keep
+    /// [`CsrMatrix::gram_dense`] for small ones (its documented threshold is
+    /// [`DenseMatrix::MAX_ALLOC_BYTES`], enforced by the allocation guard).
+    pub fn gram_csr(&self) -> CsrMatrix {
+        let t = self.transpose();
+        let n = self.cols;
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices: Vec<usize> = Vec::new();
+        let mut data: Vec<f64> = Vec::new();
+        // Sparse accumulator: `stamp[j] == i` marks column j live in row i.
+        let mut stamp = vec![usize::MAX; n];
+        let mut acc = vec![0.0f64; n];
+        indptr.push(0);
+        for i in 0..n {
+            let row_start = indices.len();
+            for (k, tv) in t.row_iter(i) {
+                for (j, hv) in self.row_iter(k) {
+                    if stamp[j] != i {
+                        stamp[j] = i;
+                        acc[j] = 0.0;
+                        indices.push(j);
+                    }
+                    acc[j] += tv * hv;
+                }
+            }
+            indices[row_start..].sort_unstable();
+            for idx in row_start..indices.len() {
+                data.push(acc[indices[idx]]);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
     /// Assembles the dense Gram matrix `AᵀA` directly from sparse storage.
     ///
     /// Each row of `A` contributes the outer product of its (few) nonzeros,
     /// so the cost is `Σ_i nnz(row i)²` — far below the dense `m·n²`.
-    pub fn gram_dense(&self) -> DenseMatrix {
-        let mut g = DenseMatrix::zeros(self.cols, self.cols);
+    ///
+    /// Dense Gram storage is quadratic in the column count, so this is the
+    /// small-system path: above [`DenseMatrix::MAX_ALLOC_BYTES`] (square
+    /// dimension ≈ 5792) the allocation guard refuses and callers must use
+    /// [`CsrMatrix::gram_csr`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::AllocationTooLarge`] if the `cols × cols` result
+    /// exceeds the dense allocation cap.
+    pub fn gram_dense(&self) -> Result<DenseMatrix, LinalgError> {
+        let mut g = DenseMatrix::try_zeros(self.cols, self.cols)?;
         for i in 0..self.rows {
             let range = self.indptr[i]..self.indptr[i + 1];
             let idx = &self.indices[range.clone()];
@@ -240,7 +343,7 @@ impl CsrMatrix {
                 }
             }
         }
-        g
+        Ok(g)
     }
 
     /// Builds a new CSR matrix keeping only the given columns, renumbered
@@ -296,6 +399,24 @@ impl CsrMatrix {
             }
         }
         m
+    }
+
+    /// Guarded [`CsrMatrix::to_dense`]: used by solve paths (e.g. the QR
+    /// fallback on rank-deficient bases) that must fail typed rather than
+    /// OOM on large systems.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::AllocationTooLarge`] if the dense form exceeds the
+    /// allocation cap.
+    pub fn try_to_dense(&self) -> Result<DenseMatrix, LinalgError> {
+        let mut m = DenseMatrix::try_zeros(self.rows, self.cols)?;
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                m.set(i, j, v);
+            }
+        }
+        Ok(m)
     }
 }
 
@@ -518,7 +639,56 @@ mod tests {
     #[test]
     fn gram_dense_agrees_with_dense_gram() {
         let m = sample();
-        assert!(m.gram_dense().approx_eq(&m.to_dense().gram(), 1e-12));
+        assert!(m
+            .gram_dense()
+            .unwrap()
+            .approx_eq(&m.to_dense().gram(), 1e-12));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), m.cols());
+        assert_eq!(t.cols(), m.rows());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn gram_csr_matches_gram_dense() {
+        let m = sample();
+        assert!(m
+            .gram_csr()
+            .to_dense()
+            .approx_eq(&m.gram_dense().unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn oversized_gram_returns_typed_error() {
+        // A 1-nonzero matrix with a huge column count: nothing to compute,
+        // but the dense Gram would need cols² doubles.
+        let wide = CsrMatrix::from_triplets(
+            1,
+            100_000,
+            &[Triplet {
+                row: 0,
+                col: 0,
+                value: 1.0,
+            }],
+        )
+        .unwrap();
+        let err = wide.gram_dense().unwrap_err();
+        assert!(
+            matches!(err, LinalgError::AllocationTooLarge { cols: 100_000, .. }),
+            "got {err:?}"
+        );
+        // The sparse Gram of the same matrix is trivial.
+        assert_eq!(wide.gram_csr().nnz(), 1);
     }
 
     #[test]

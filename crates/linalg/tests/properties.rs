@@ -146,7 +146,7 @@ proptest! {
     #[test]
     fn sparse_gram_matches_dense(h in full_rank_binary_matrix()) {
         let sparse = CsrMatrix::from_dense(&h);
-        prop_assert!(sparse.gram_dense().approx_eq(&h.gram(), 1e-9));
+        prop_assert!(sparse.gram_dense().unwrap().approx_eq(&h.gram(), 1e-9));
     }
 
     /// rank(A) == rank(Aᵀ).

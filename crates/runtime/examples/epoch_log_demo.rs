@@ -5,10 +5,12 @@
 //! Every random choice in the stack — traffic loss, channel faults,
 //! anomaly placement, churn reroutes, incremental-solver behaviour — is
 //! derived from the seeds fixed below, so two runs of this example must
-//! produce **byte-identical** logs. CI runs it twice and diffs the files;
-//! a mismatch means nondeterminism crept into the detection pipeline
-//! (a HashMap iteration order leak, an unseeded RNG, a time-dependent
-//! branch), which would also invalidate the golden-file battery.
+//! produce **byte-identical** logs. CI runs it twice and diffs the files
+//! (after zeroing the one process-level gauge, `peak_rss_bytes`, which
+//! reads live `VmHWM`); a mismatch means nondeterminism crept into the
+//! detection pipeline (a HashMap iteration order leak, an unseeded RNG,
+//! a time-dependent branch), which would also invalidate the golden-file
+//! battery.
 
 use foces_controlplane::{provision, uniform_flows, RuleGranularity};
 use foces_dataplane::AnomalyKind;

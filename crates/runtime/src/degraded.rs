@@ -18,8 +18,8 @@
 //! with reduced — or zero ([`DetectionMode::Blind`]) — coverage.
 
 use foces::{
-    audit_deviations, Detector, DeviationCandidate, Fcm, FocesError, IncrementalSolver, MaskedFcm,
-    SolvePath, Verdict,
+    audit_deviations, BackendKind, Detector, DeviationCandidate, Fcm, FocesError,
+    IncrementalSolver, MaskedFcm, RankBudget, SolvePath, Verdict,
 };
 use foces_controlplane::ControllerView;
 use foces_dataplane::RuleRef;
@@ -137,6 +137,19 @@ impl DegradedPipeline {
     /// reused for every masked re-audit; a few hundred is plenty for a
     /// coverage estimate).
     pub fn new(view: &ControllerView, fcm: Fcm, detector: Detector, oracle_cap: usize) -> Self {
+        DegradedPipeline::with_backend(view, fcm, detector, oracle_cap, BackendKind::default())
+    }
+
+    /// Like [`DegradedPipeline::new`], but the full-round incremental
+    /// solver runs on the given solve backend (dense factor cache, sparse
+    /// Cholesky/PCGLS engine, or size-based auto selection).
+    pub fn with_backend(
+        view: &ControllerView,
+        fcm: Fcm,
+        detector: Detector,
+        oracle_cap: usize,
+        backend: BackendKind,
+    ) -> Self {
         let mut pipeline = DegradedPipeline {
             fcm,
             detector,
@@ -144,7 +157,7 @@ impl DegradedPipeline {
             full_coverage: 0.0,
             cache: HashMap::new(),
             reconcile_cache: HashMap::new(),
-            warm: IncrementalSolver::default(),
+            warm: IncrementalSolver::with_backend(RankBudget::default(), backend),
             last_path: None,
         };
         pipeline.reaudit(view, oracle_cap);
@@ -324,6 +337,17 @@ impl DegradedPipeline {
     /// reconciled, or blind one.
     pub fn last_solve_path(&self) -> Option<SolvePath> {
         self.last_path
+    }
+
+    /// Conjugate-gradient iterations spent by the most recent full-round
+    /// solve (0 on dense or direct-sparse paths).
+    pub fn last_cg_iterations(&self) -> u64 {
+        self.warm.last_iterations()
+    }
+
+    /// The solve backend the full-round incremental solver runs on.
+    pub fn backend(&self) -> BackendKind {
+        self.warm.backend()
     }
 
     /// Whether the incremental solver currently holds a cached

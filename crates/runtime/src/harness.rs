@@ -599,7 +599,12 @@ mod tests {
             scenario.seed = 99;
             let mut d = ScenarioDriver::new(deployment(), scenario, RuntimeConfig::default());
             d.run().unwrap();
-            d.service().log().lines().to_vec()
+            d.service()
+                .log()
+                .lines()
+                .iter()
+                .map(|l| crate::metrics::scrub_gauges(l))
+                .collect::<Vec<_>>()
         };
         assert_eq!(make(), make(), "seeded runs must be bit-identical");
     }

@@ -57,7 +57,7 @@ pub mod transport;
 pub use degraded::{DegradedPipeline, DetectionMode};
 pub use harness::{FaultScenario, ScenarioDriver};
 pub use hysteresis::{AlarmMachine, AlarmTransition, HysteresisConfig};
-pub use metrics::{EventLog, RuntimeMetrics};
+pub use metrics::{peak_rss_bytes, scrub_gauges, EventLog, RuntimeMetrics};
 pub use parallel::detect_parallel;
 pub use pool::{run_tasks, PoolConfig, PoolStats, TaskOutcome, TaskRun};
 pub use scheduler::{EpochCollection, EpochScheduler, PollPolicy, SwitchPoll};

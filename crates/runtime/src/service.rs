@@ -15,10 +15,10 @@ use crate::parallel::detect_parallel;
 use crate::scheduler::{EpochScheduler, PollPolicy};
 use crate::transport::SimTransport;
 use foces::{
-    analyze_coverage, cross_validate, k_resilient_verdict, localize, AlarmState, ColdReason,
-    CoverageConfig, CoverageReport, Detector, Fcm, FcmDelta, FocesError, ResilienceReport,
-    SlicedFcm, SlicedVerdict, SolvePath, SuspicionConfig, SuspicionTracker, SwitchSuspicion,
-    Verdict, DEFAULT_THRESHOLD,
+    analyze_coverage, cross_validate, k_resilient_verdict, localize, AlarmState, BackendKind,
+    ColdReason, CoverageConfig, CoverageReport, Detector, Fcm, FcmDelta, FocesError,
+    ResilienceReport, SlicedFcm, SlicedVerdict, SolvePath, SuspicionConfig, SuspicionTracker,
+    SwitchSuspicion, Verdict, DEFAULT_THRESHOLD,
 };
 use foces_channel::{ChannelError, SwitchAgent, Transport};
 use foces_controlplane::ControllerView;
@@ -123,6 +123,9 @@ pub struct RuntimeConfig {
     /// Byzantine-resilience layer (suspicion, liar localization,
     /// quarantine); disabled by default.
     pub byzantine: ByzantineConfig,
+    /// Solve backend for the full-round incremental solver: dense factor
+    /// cache, sparse Cholesky/PCGLS engine, or size-based auto selection.
+    pub backend: BackendKind,
 }
 
 impl RuntimeConfig {
@@ -167,6 +170,7 @@ impl Default for RuntimeConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
             byzantine: ByzantineConfig::default(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -333,7 +337,8 @@ impl RuntimeService {
         let static_touched = verification.implicated_rules();
         let sliced = SlicedFcm::from_fcm(&fcm);
         let detector = Detector::with_threshold(config.threshold);
-        let pipeline = DegradedPipeline::new(view, fcm, detector, config.oracle_cap);
+        let pipeline =
+            DegradedPipeline::with_backend(view, fcm, detector, config.oracle_cap, config.backend);
         let scheduler = EpochScheduler::new(agents, transport, config.policy);
         RuntimeService {
             pipeline,
@@ -548,6 +553,10 @@ impl RuntimeService {
             }
             _ => {}
         }
+        let cg_iterations = self.pipeline.last_cg_iterations();
+        self.metrics.cg_iterations += cg_iterations;
+        self.metrics.solve_backend = self.config.backend.code();
+        self.metrics.peak_rss_bytes = crate::metrics::peak_rss_bytes();
 
         // -- Alarm hysteresis (blind rounds freeze the machine) ----------
         let anomalous = verdict.as_ref().map(|v| v.anomalous).unwrap_or(false);
@@ -775,7 +784,8 @@ impl RuntimeService {
             "{{\"epoch\":{epoch},\"mode\":{},\"missing\":{missing_count},\
              \"anomaly_index\":{},\"anomalous\":{anomalous},\"coverage\":{},\
              \"churn\":{churn},\"quarantined\":{quarantined},\
-             \"solve_path\":{solve_path_json},\
+             \"solve_path\":{solve_path_json},\"solve_backend\":{},\
+             \"cg_iterations\":{cg_iterations},\"peak_rss_bytes\":{},\
              \"suspicion_max\":{},\"implicated\":{},\"liars\":{},\
              \"localized\":{localized_json},\"byz_unresolved\":{byz_unresolved},\
              \"state\":{},\"alarm_raised\":{alarm_raised},\
@@ -784,6 +794,8 @@ impl RuntimeService {
             json_str(mode.label()),
             json_f64(ai),
             json_f64(coverage),
+            json_str(self.config.backend.name()),
+            self.metrics.peak_rss_bytes,
             json_f64(suspicion_max),
             implicated.len(),
             self.quarantined.len(),

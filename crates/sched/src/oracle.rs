@@ -9,7 +9,7 @@
 //!   a switch outside every update's blast radius must raise the alarm
 //!   within [`foces_runtime::RuntimeConfig::churn_raise_bound`] epochs,
 //!   and the alarm must still stand at the end of the run.
-//! * **Fan-out soundness** (see [`crate::fanout`]) — a shard round fired
+//! * **Fan-out soundness** (see [`check_fanout`](crate::check_fanout)) — a shard round fired
 //!   at any slot boundary, including with stale-generation members, must
 //!   be scored reconciled or blind, never anomalous.
 

@@ -1,0 +1,189 @@
+//! CSR kernels shared by the solve engine and the core detection machinery:
+//! residual checks, per-group (suspicion) attribution, and the
+//! coverage-analysis absorption solve — all `O(nnz)` per call, so the
+//! Byzantine and coverage layers stop densifying on large systems.
+
+use crate::numeric::SparseFactor;
+use foces_linalg::{CsrMatrix, LinalgError};
+
+/// Relative normal-equation residual: returns `(rhs − Hᵀ(H x), ‖·‖/‖rhs‖)`.
+///
+/// This is the acceptance check both the sparse direct path and the dense
+/// `FactorCache` warm path gate on — two mat-vecs, never a Gram.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn normal_residual(
+    h: &CsrMatrix,
+    x: &[f64],
+    rhs: &[f64],
+) -> Result<(Vec<f64>, f64), LinalgError> {
+    let fitted = h.matvec(x)?;
+    let back = h.transpose_matvec(&fitted)?;
+    let mut r = vec![0.0f64; rhs.len()];
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for ((ri, &bi), &rhsi) in r.iter_mut().zip(&back).zip(rhs) {
+        *ri = rhsi - bi;
+        num += *ri * *ri;
+        den += rhsi * rhsi;
+    }
+    let rel = if den > 0.0 {
+        (num / den).sqrt()
+    } else {
+        num.sqrt()
+    };
+    Ok((r, rel))
+}
+
+/// Per-row absolute residuals `|counters − H x|` — the paper's per-rule
+/// error vector that `judge()` ranks, computed without materializing H.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn abs_residual(h: &CsrMatrix, x: &[f64], counters: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if counters.len() != h.rows() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "abs_residual: matrix is {}x{} but counters has length {}",
+            h.rows(),
+            h.cols(),
+            counters.len()
+        )));
+    }
+    let fitted = h.matvec(x)?;
+    Ok(counters
+        .iter()
+        .zip(&fitted)
+        .map(|(c, f)| (c - f).abs())
+        .collect())
+}
+
+/// Sums a per-row score into per-group totals via a row→group map
+/// (suspicion attribution: rows are rules, groups are switches).
+///
+/// Rows whose group id is `usize::MAX` are unattributed and skipped.
+pub fn per_group_mass(row_score: &[f64], group_of_row: &[usize], groups: usize) -> Vec<f64> {
+    let mut mass = vec![0.0f64; groups];
+    for (&score, &g) in row_score.iter().zip(group_of_row) {
+        if g != usize::MAX && g < groups {
+            mass[g] += score;
+        }
+    }
+    mass
+}
+
+/// `Hᵀ u_S` for an indicator vector over the given rows, gathered straight
+/// from CSR storage — the coverage analyzer's absorption right-hand side
+/// without allocating the m-length indicator.
+pub fn rows_indicator_rhs(h: &CsrMatrix, rows: &[usize]) -> Vec<f64> {
+    let mut out = vec![0.0f64; h.cols()];
+    for &r in rows {
+        for (j, v) in h.row_iter(r) {
+            out[j] += v;
+        }
+    }
+    out
+}
+
+/// Coverage absorption via the sparse factor: projects the indicator of
+/// `rows` onto the column space of `h` and returns
+/// `(residual_norm, coefficients)` where `residual_norm = ‖u − H x‖` for
+/// the projection coefficients `x`.
+///
+/// The residual is expanded as `‖Hx‖² − 2·Σ_{r∈rows}(Hx)_r + |rows|` so the
+/// sparse indicator never has to be materialized against a dense fit.
+///
+/// # Errors
+///
+/// Propagates solve/shape errors from the factor and mat-vec.
+pub fn absorption_coefficients(
+    h: &CsrMatrix,
+    factor: &SparseFactor,
+    rows: &[usize],
+) -> Result<(f64, Vec<f64>), LinalgError> {
+    let rhs = rows_indicator_rhs(h, rows);
+    let x = factor.solve(&rhs)?;
+    let fitted = h.matvec(&x)?;
+    let fit_sq: f64 = fitted.iter().map(|v| v * v).sum();
+    let cross: f64 = rows.iter().map(|&r| fitted[r]).sum();
+    let resid_sq = (fit_sq - 2.0 * cross + rows.len() as f64).max(0.0);
+    Ok((resid_sq.sqrt(), x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_linalg::DenseMatrix;
+
+    fn h() -> CsrMatrix {
+        CsrMatrix::from_dense(
+            &DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn normal_residual_is_zero_at_the_solution() {
+        let h = h();
+        let x = [2.0, -1.0];
+        let b = h.matvec(&x).unwrap();
+        let rhs = h.transpose_matvec(&b).unwrap();
+        let (_, rel) = normal_residual(&h, &x, &rhs).unwrap();
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn abs_residual_matches_manual_computation() {
+        let h = h();
+        let x = [1.0, 1.0];
+        let counters = [1.5, 2.0, 0.5, 2.0];
+        let r = abs_residual(&h, &x, &counters).unwrap();
+        assert_eq!(r, vec![0.5, 0.0, 0.5, 0.0]);
+        assert!(abs_residual(&h, &x, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn per_group_mass_skips_unattributed_rows() {
+        let mass = per_group_mass(&[1.0, 2.0, 4.0, 8.0], &[0, 1, usize::MAX, 0], 2);
+        assert_eq!(mass, vec![9.0, 2.0]);
+    }
+
+    #[test]
+    fn indicator_rhs_matches_transpose_matvec() {
+        let h = h();
+        let rows = [1usize, 3];
+        let mut u = vec![0.0; 4];
+        for &r in &rows {
+            u[r] = 1.0;
+        }
+        assert_eq!(
+            rows_indicator_rhs(&h, &rows),
+            h.transpose_matvec(&u).unwrap()
+        );
+    }
+
+    #[test]
+    fn absorption_matches_dense_projection() {
+        // Row 0 is exactly column 0 minus rows 1&3's shared structure;
+        // compare against the explicit dense computation.
+        let h = h();
+        let gram = h.gram_csr();
+        let f = SparseFactor::factor_fresh(&gram).unwrap();
+        let rows = [0usize, 2];
+        let (resid, x) = absorption_coefficients(&h, &f, &rows).unwrap();
+        // Dense reference.
+        let mut u = [0.0; 4];
+        for &r in &rows {
+            u[r] = 1.0;
+        }
+        let fitted = h.matvec(&x).unwrap();
+        let explicit: f64 = u
+            .iter()
+            .zip(&fitted)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!((resid - explicit).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Preconditioned CGLS: conjugate-gradient least squares on the
+//! column-scaled system, with a preconditioner cheap enough to build in
+//! `O(nnz)` and worth reusing across epochs.
+//!
+//! CGLS convergence on FOCES matrices is governed by the spread of column
+//! norms — a core-layer rule shared by thousands of flows has a column norm
+//! orders of magnitude above an edge rule's. Scaling each column to unit
+//! norm (Jacobi on the normal equations) collapses that spread without ever
+//! forming `AᵀA`, which matters at FatTree(16) scale where even the sparse
+//! Gram is too expensive to assemble per epoch.
+
+use foces_linalg::{CsrMatrix, LinalgError};
+
+/// Diagonal (column-norm) preconditioner for [`pcgls`].
+///
+/// Built in one `O(nnz)` sweep; the engine keeps it across epochs and
+/// rebuilds only when `FcmDelta` reports rank growth (new/changed columns
+/// shift the norms the scaling is based on).
+#[derive(Debug, Clone)]
+pub struct Jacobi {
+    /// `1 / ‖A·e_j‖` per column (1.0 for empty columns).
+    inv_scale: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Builds the preconditioner from the column norms of `a`.
+    pub fn from_matrix(a: &CsrMatrix) -> Self {
+        let mut sq = vec![0.0f64; a.cols()];
+        for (&j, &v) in a.indices().iter().zip(a.values()) {
+            sq[j] += v * v;
+        }
+        let inv_scale = sq
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 1.0 })
+            .collect();
+        Jacobi { inv_scale }
+    }
+
+    /// Number of columns this preconditioner was built for.
+    pub fn dim(&self) -> usize {
+        self.inv_scale.len()
+    }
+
+    fn scale(&self, v: &mut [f64]) {
+        for (vi, &s) in v.iter_mut().zip(&self.inv_scale) {
+            *vi *= s;
+        }
+    }
+}
+
+/// Result of a [`pcgls`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcglsOutcome {
+    /// Least-squares solution estimate (in the original, unscaled basis).
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final preconditioned normal-equation residual norm.
+    pub residual_norm: f64,
+}
+
+/// Preconditioned CGLS: solves `min ‖A x − b‖₂` by running CGLS on the
+/// column-scaled matrix `B = A·S` (`S = diag(1/‖A·e_j‖)`) and returning
+/// `x = S z`. Matches [`foces_linalg::cgls`] semantics: converged when the
+/// (scaled) normal residual drops below `tol · ‖BᵀB b‖`-style target.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] on shape mismatch between `a`, `b`,
+///   or the preconditioner.
+/// * [`LinalgError::DidNotConverge`] if the iteration budget runs out.
+pub fn pcgls(
+    a: &CsrMatrix,
+    b: &[f64],
+    precond: &Jacobi,
+    tol: f64,
+    max_iter: usize,
+) -> Result<PcglsOutcome, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "pcgls: matrix is {}x{} but rhs has length {}",
+            a.rows(),
+            a.cols(),
+            b.len()
+        )));
+    }
+    if precond.dim() != a.cols() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "pcgls: preconditioner has {} columns but matrix has {}",
+            precond.dim(),
+            a.cols()
+        )));
+    }
+    let n = a.cols();
+    let mut z = vec![0.0f64; n];
+    let mut r = b.to_vec();
+    // s = Bᵀ r = S·(Aᵀ r)
+    let mut s = a.transpose_matvec(&r)?;
+    precond.scale(&mut s);
+    let mut p = s.clone();
+    let mut gamma: f64 = s.iter().map(|v| v * v).sum();
+    let target = tol * gamma.sqrt().max(f64::MIN_POSITIVE);
+    let mut iterations = max_iter;
+    for iter in 0..=max_iter {
+        if gamma.sqrt() <= target {
+            iterations = iter;
+            break;
+        }
+        if iter == max_iter {
+            return Err(LinalgError::DidNotConverge {
+                iterations: max_iter,
+                residual: gamma.sqrt(),
+            });
+        }
+        // q = B p = A·(S p)
+        let mut sp = p.clone();
+        precond.scale(&mut sp);
+        let q = a.matvec(&sp)?;
+        let qq: f64 = q.iter().map(|v| v * v).sum();
+        if qq == 0.0 {
+            iterations = iter;
+            break;
+        }
+        let alpha = gamma / qq;
+        for (zi, pi) in z.iter_mut().zip(&p) {
+            *zi += alpha * pi;
+        }
+        for (ri, qi) in r.iter_mut().zip(&q) {
+            *ri -= alpha * qi;
+        }
+        s = a.transpose_matvec(&r)?;
+        precond.scale(&mut s);
+        let gamma_new: f64 = s.iter().map(|v| v * v).sum();
+        let beta = gamma_new / gamma;
+        for (pi, si) in p.iter_mut().zip(&s) {
+            *pi = si + beta * *pi;
+        }
+        gamma = gamma_new;
+    }
+    // Un-scale: x = S z.
+    precond.scale(&mut z);
+    Ok(PcglsOutcome {
+        x: z,
+        iterations,
+        residual_norm: gamma.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foces_linalg::{cgls, DenseMatrix};
+
+    fn paper_system() -> (CsrMatrix, Vec<f64>) {
+        let d = DenseMatrix::from_rows(&[
+            &[1., 0., 0.],
+            &[1., 0., 0.],
+            &[1., 1., 0.],
+            &[0., 0., 0.],
+            &[0., 0., 1.],
+            &[1., 1., 1.],
+        ])
+        .unwrap();
+        (CsrMatrix::from_dense(&d), vec![3., 3., 4., 3., 8., 12.])
+    }
+
+    #[test]
+    fn matches_unpreconditioned_cgls_solution() {
+        let (a, b) = paper_system();
+        let pc = Jacobi::from_matrix(&a);
+        let out = pcgls(&a, &b, &pc, 1e-12, 1000).unwrap();
+        let plain = cgls(&a, &b, 1e-12, 1000).unwrap();
+        for (x, y) in out.x.iter().zip(&plain.x) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn badly_scaled_columns_converge_faster_with_preconditioner() {
+        // One column 1000× heavier than the others: plain CGLS crawls,
+        // scaled CGLS sees a well-conditioned system.
+        let d = DenseMatrix::from_rows(&[
+            &[1000.0, 1.0, 0.0],
+            &[1000.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1000.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let a = CsrMatrix::from_dense(&d);
+        let x_true = [0.002, 3.0, -1.5];
+        let b = a.matvec(&x_true).unwrap();
+        let pc = Jacobi::from_matrix(&a);
+        let fast = pcgls(&a, &b, &pc, 1e-12, 200).unwrap();
+        let slow = cgls(&a, &b, 1e-12, 200).unwrap();
+        assert!(fast.iterations <= slow.iterations);
+        for (x, t) in fast.x.iter().zip(&x_true) {
+            assert!((x - t).abs() < 1e-6, "{x} vs {t}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_immediate() {
+        let (a, _) = paper_system();
+        let pc = Jacobi::from_matrix(&a);
+        let out = pcgls(&a, &[0.0; 6], &pc, 1e-9, 10).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert!(out.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_typed() {
+        let (a, b) = paper_system();
+        let pc = Jacobi::from_matrix(&a);
+        assert!(pcgls(&a, &b[..4], &pc, 1e-9, 10).is_err());
+        let wrong = Jacobi {
+            inv_scale: vec![1.0; 2],
+        };
+        assert!(pcgls(&a, &b, &wrong, 1e-9, 10).is_err());
+    }
+}

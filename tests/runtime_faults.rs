@@ -187,10 +187,18 @@ fn parallel_slice_solving_matches_sequential_exactly() {
 
 #[test]
 fn deterministic_replay_of_the_whole_scenario() {
+    // Process-level gauges (peak_rss_bytes reads live VmHWM) are scrubbed;
+    // every behavioral field must still reproduce bit for bit.
     let run = || {
         let mut driver = ScenarioDriver::new(testbed(), scenario(), RuntimeConfig::default());
         driver.run().expect("scenario");
-        driver.service().log().lines().to_vec()
+        driver
+            .service()
+            .log()
+            .lines()
+            .iter()
+            .map(|l| foces_runtime::scrub_gauges(l))
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run(), "same seeds, same event log, bit for bit");
 }
